@@ -1,0 +1,90 @@
+"""E8: operations execute in time polynomial (near-linear) in |t|.
+
+Section 3 notes the fragment sits inside Core XPath — evaluable in
+O(|p|·|t|) — and that insert/delete then cost linear time.  The sweeps
+measure evaluation, insertion, and deletion against document size and
+pattern size; the shape test asserts near-linear document scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.xpath import parse_xpath
+from repro.patterns.embedding import evaluate
+from repro.workloads.generators import random_linear_pattern
+from repro.xml.random_trees import auction_site, bookstore, random_path, random_tree
+
+DOC_SIZES = [200, 400, 800, 1600, 3200]
+PATTERNS = {
+    "child-chain": "bib/book/title",
+    "descendant": "//quantity",
+    "predicate": "bib/book[.//quantity < 10]",
+    "wildcard": "bib/*/*",
+}
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_evaluation_by_pattern_kind(benchmark, name):
+    """E8: evaluation cost per pattern family on a fixed document."""
+    doc = bookstore(300, seed=11)
+    pattern = parse_xpath(PATTERNS[name])
+    benchmark(lambda: evaluate(pattern, doc))
+
+
+@pytest.mark.parametrize("books", [100, 400, 1600])
+def test_insert_execution(benchmark, books):
+    doc = bookstore(books, seed=12)
+    insert = Insert("//book[.//quantity < 10]", "<restock/>")
+    benchmark(lambda: insert.apply(doc))
+
+
+@pytest.mark.parametrize("books", [100, 400, 1600])
+def test_delete_execution(benchmark, books):
+    doc = bookstore(books, seed=13)
+    delete = Delete("//book[.//quantity < 10]")
+    benchmark(lambda: delete.apply(doc))
+
+
+@pytest.mark.parametrize("items", [20, 80, 320])
+def test_evaluation_on_auction_documents(benchmark, items):
+    """E8: the second (XMark-flavored) document family — deeper, mixed
+    content — to confirm the scaling shape is not a bookstore artifact."""
+    doc = auction_site(items=items, people=items // 2, seed=21)
+    pattern = parse_xpath("site/open_auctions/open_auction[bidder]/current")
+    benchmark(lambda: evaluate(pattern, doc))
+
+
+def test_recursive_descent_on_auctions(benchmark):
+    """E8: descendant axis through the recursive parlist structure."""
+    doc = auction_site(items=100, people=30, seed=22)
+    pattern = parse_xpath("//parlist//text")
+    result = benchmark(lambda: evaluate(pattern, doc))
+    assert result
+
+
+def test_worst_case_chain_document(benchmark):
+    """E8: deep-chain documents exercise the descendant axis worst case."""
+    doc = random_path(2000, seed=14)
+    pattern = random_linear_pattern(6, ("a", "b", "c", "d"), p_descendant=0.8, seed=14)
+    benchmark(lambda: evaluate(pattern, doc))
+
+
+def test_evaluation_shape_series(benchmark):
+    """E8 summary: near-linear growth in document size."""
+    pattern = parse_xpath("//quantity")
+
+    def sweep() -> list[float]:
+        times = []
+        for books in DOC_SIZES:
+            doc = bookstore(books, seed=15)
+            times.append(measure(lambda: evaluate(pattern, doc)))
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E8 evaluation vs document size (books)", DOC_SIZES, times)
+    for smaller, larger in zip(times, times[1:]):
+        if smaller > 1e-3:
+            assert larger / smaller < 5, f"super-linear blowup: {times}"

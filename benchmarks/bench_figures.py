@@ -1,0 +1,138 @@
+"""F1–F8: the paper's figures as executable benchmarks.
+
+Each benchmark reconstructs one figure scenario, asserts the behavior the
+paper's text claims, and measures the cost of the involved operation.  See
+tests/test_figures.py for the purely functional versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.reductions import (
+    read_delete_gadget,
+    read_insert_gadget,
+    read_insert_witness_from_noncontainment,
+)
+from repro.conflicts.semantics import (
+    ConflictKind,
+    Verdict,
+    is_node_conflict_witness,
+    is_value_conflict_witness,
+    is_witness,
+)
+from repro.conflicts.witness_min import reparent
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.containment import contains, non_containment_witness
+from repro.patterns.embedding import evaluate
+from repro.patterns.xpath import parse_xpath
+from repro.xml.random_trees import bookstore
+from repro.xml.tree import XMLTree, build_tree
+
+
+def test_figure1_restock_insert(benchmark):
+    """F1: the Section 1 motivating insert on a Figure 1 bookstore."""
+    doc = bookstore(200, low_stock_fraction=0.3, seed=1)
+    insert = Insert("//book[.//quantity < 10]", "<restock/>")
+
+    result = benchmark(lambda: insert.apply(doc))
+    low = evaluate(parse_xpath("//book[.//quantity < 10]"), doc)
+    assert result.points == frozenset(low)
+    assert len(result.affected) == len(low)
+
+
+def test_figure2_pattern_evaluation(benchmark):
+    """F2: evaluating a[.//c]/b[d][*//f] against its figure tree."""
+    tree = build_tree(("a", ("x", "c"), ("b", "d", ("g", ("h", "f")))))
+    pattern = parse_xpath("a[.//c]/b[d][*//f]")
+
+    result = benchmark(lambda: evaluate(pattern, tree))
+    assert len(result) == 1
+
+
+def test_figure3_value_vs_reference(benchmark):
+    """F3: the delete that conflicts under reference but not value semantics."""
+    w = build_tree(("root", ("delta", ("gamma", "leaf")), ("gamma", "leaf")))
+    read = Read("root//gamma")
+    delete = Delete("root/delta")
+
+    node_hit, value_hit = benchmark(
+        lambda: (
+            is_node_conflict_witness(w, read, delete),
+            is_value_conflict_witness(w, read, delete),
+        )
+    )
+    assert node_hit and not value_hit
+
+
+def test_figure4_read_insert_conflict(benchmark):
+    """F4: detecting the cut-edge conflict structure."""
+    read = Read("a//v")
+    insert = Insert("a/b", "<x><v/></x>")
+
+    report = benchmark(lambda: detect_read_insert_linear(read, insert))
+    assert report.verdict is Verdict.CONFLICT
+    assert is_witness(report.witness, read, insert, ConflictKind.NODE)
+
+
+def test_figure5_read_delete_conflict(benchmark):
+    """F5: detecting the read-delete conflict structure."""
+    read = Read("a//v")
+    delete = Delete("a/b")
+
+    report = benchmark(lambda: detect_read_delete_linear(read, delete))
+    assert report.verdict is Verdict.CONFLICT
+    assert is_witness(report.witness, read, delete, ConflictKind.NODE)
+
+
+def test_figure6_reparent(benchmark):
+    """F6: one reparent step on a long chain."""
+    tree = XMLTree("a")
+    node = tree.root
+    for _ in range(50):
+        node = tree.add_child(node, "m")
+    v = tree.add_child(node, "v")
+
+    out = benchmark(lambda: reparent(tree, tree.root, v, star_length=2, alpha="Z"))
+    assert [out.label(n) for n in out.path_from_root(v)] == [
+        "a", "Z", "Z", "Z", "v",
+    ]
+
+
+@pytest.mark.parametrize(
+    "p,q", [("a//b", "a/b"), ("a/*", "a/b"), ("a[b]", "a[b][c]")]
+)
+def test_figure7_insert_gadget(benchmark, p, q):
+    """F7: gadget construction + witness assembly for non-contained pairs."""
+    pp, qq = parse_xpath(p), parse_xpath(q)
+    assert not contains(pp, qq)
+
+    def run():
+        read, insert, labels = read_insert_gadget(pp, qq)
+        t_p = non_containment_witness(pp, qq)
+        witness = read_insert_witness_from_noncontainment(t_p, qq.model(), labels)
+        return read, insert, witness
+
+    read, insert, witness = benchmark(run)
+    assert is_witness(witness, read, insert, ConflictKind.NODE)
+
+
+@pytest.mark.parametrize("p,q", [("a//b", "a/b"), ("a/*", "a/b")])
+def test_figure8_delete_gadget(benchmark, p, q):
+    """F8: the read-delete gadget end to end."""
+    from repro.conflicts.reductions import read_delete_witness_from_noncontainment
+
+    pp, qq = parse_xpath(p), parse_xpath(q)
+
+    def run():
+        read, delete, labels = read_delete_gadget(pp, qq)
+        t_p = non_containment_witness(pp, qq)
+        witness = read_delete_witness_from_noncontainment(t_p, qq.model(), labels)
+        return read, delete, witness
+
+    read, delete, witness = benchmark(run)
+    assert is_witness(witness, read, delete, ConflictKind.NODE)

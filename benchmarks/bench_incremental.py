@@ -1,0 +1,124 @@
+"""E14: incremental evaluation vs re-evaluation from scratch.
+
+Lemma 1's proof assumes update-time maintenance of evaluation state "in an
+appropriate tree representation ... in time linear in the size of t"; the
+:class:`IncrementalEvaluator` does better than linear on realistic
+documents: an update costs ``O((region + depth) · |p|)`` in phase 1, so on
+*bushy* documents (depth ≈ log n) maintenance is exponentially cheaper
+than the ``O(|p| · n)`` re-evaluation — while on degenerate chain
+documents (depth = n) the two approaches meet, the documented worst case.
+
+The sweeps measure an interleaved workload — insert, then read the result
+— which is exactly what the dependence-analysis application produces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.patterns.embedding import evaluate
+from repro.patterns.incremental import IncrementalEvaluator
+from repro.patterns.xpath import parse_xpath
+from repro.xml.random_trees import bookstore, random_path
+from repro.xml.tree import XMLTree, build_tree
+
+UPDATES_PER_RUN = 20
+PATTERN = "bib/book[.//restock]/quantity"
+
+
+def _insertion_points(tree: XMLTree, label: str, count: int) -> list:
+    points = [n for n in tree.nodes() if tree.label(n) == label]
+    rng = random.Random(7)
+    return [points[rng.randrange(len(points))] for _ in range(count)]
+
+
+def _run_incremental(pattern_text: str, base: XMLTree, points: list) -> set:
+    tree = base.copy()
+    ev = IncrementalEvaluator(parse_xpath(pattern_text), tree)
+    out: set = set()
+    for point in points:
+        ev.insert_subtree(point, build_tree("restock"))
+        out = ev.results  # interleaved read
+    return out
+
+
+def _run_fromscratch(pattern_text: str, base: XMLTree, points: list) -> set:
+    tree = base.copy()
+    pattern = parse_xpath(pattern_text)
+    out: set = set()
+    for point in points:
+        tree.graft(point, build_tree("restock"))
+        out = evaluate(pattern, tree)  # interleaved read
+    return out
+
+
+@pytest.mark.parametrize("books", [50, 200, 800])
+def test_incremental_on_bookstore(benchmark, books):
+    """E14: maintained evaluation, bushy document, updates at books."""
+    base = bookstore(books, seed=5)
+    points = _insertion_points(base, "book", UPDATES_PER_RUN)
+    benchmark(lambda: _run_incremental(PATTERN, base, points))
+
+
+@pytest.mark.parametrize("books", [50, 200, 800])
+def test_fromscratch_on_bookstore(benchmark, books):
+    """E14 baseline: full re-evaluation after each insert."""
+    base = bookstore(books, seed=5)
+    points = _insertion_points(base, "book", UPDATES_PER_RUN)
+    benchmark(lambda: _run_fromscratch(PATTERN, base, points))
+
+
+def test_incremental_equals_fromscratch(benchmark):
+    """E14 correctness: both strategies compute the same results."""
+
+    def run():
+        base = bookstore(60, seed=9)
+        points = _insertion_points(base, "book", UPDATES_PER_RUN)
+        return (
+            _run_incremental(PATTERN, base, points),
+            _run_fromscratch(PATTERN, base, points),
+        )
+
+    inc, full = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert inc == full
+
+
+def test_incremental_speedup_series(benchmark):
+    """E14 summary: the bushy-document speedup grows with document size."""
+    sizes = [50, 200, 800]
+
+    def sweep() -> list[float]:
+        ratios = []
+        for books in sizes:
+            base = bookstore(books, seed=5)
+            points = _insertion_points(base, "book", UPDATES_PER_RUN)
+            full = measure(lambda: _run_fromscratch(PATTERN, base, points), repeat=1)
+            inc = measure(lambda: _run_incremental(PATTERN, base, points), repeat=1)
+            ratios.append(full / max(inc, 1e-9))
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E14 from-scratch/incremental speedup (bookstore)", sizes, ratios, unit="x")
+    assert ratios[-1] > 1.5, f"incremental must win on bushy documents: {ratios}"
+
+
+def test_chain_worst_case(benchmark):
+    """E14: on a chain the update path is the whole document — the
+    documented break-even case (maintenance ≈ re-evaluation)."""
+    base = random_path(800, ("a", "b"), seed=4)
+    leaf = max(base.nodes(), key=base.depth)
+
+    def run():
+        tree = base.copy()
+        ev = IncrementalEvaluator(parse_xpath("*//c"), tree)
+        point = leaf
+        for _ in range(5):
+            mapping = ev.insert_subtree(point, build_tree(("b", "c")))
+            point = mapping[0]
+        return ev.results
+
+    results = benchmark(run)
+    assert results  # the inserted c's are found

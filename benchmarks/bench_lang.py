@@ -1,0 +1,95 @@
+"""E10: the compiler-analysis application (Section 1's motivation).
+
+Measures dependence-graph construction and read-CSE optimization over
+random pidgin programs, and validates the paper's promised payoff: the
+optimizer eliminates redundant reads while preserving program semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.conflicts.detector import ConflictDetector
+from repro.lang.analysis import dependence_graph, find_redundant_reads, optimize
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.workloads.generators import random_program
+
+PROGRAM_SIZES = [4, 8, 16, 32]
+
+PAPER_FRAGMENT = """
+x = <doc><B/><A/></doc>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//C
+u = read $x//A
+"""
+
+
+def test_paper_fragment_analysis(benchmark):
+    """E10: analyzing the paper's own motivating fragment."""
+    program = parse_program(PAPER_FRAGMENT)
+
+    report = benchmark(lambda: dependence_graph(program))
+    # read //A swaps with the insert; read //C does not.
+    assert not report.conflicts_between(1, 2)
+    assert report.conflicts_between(2, 3)
+    assert len(find_redundant_reads(report)) == 1
+
+
+@pytest.mark.parametrize("statements", PROGRAM_SIZES)
+def test_dependence_graph_scaling(benchmark, statements):
+    """E10: analysis time vs program length (quadratic pair count)."""
+    program = random_program(statements, variables=2, seed=statements)
+    detector = ConflictDetector(exhaustive_cap=3)
+    benchmark(lambda: dependence_graph(program, detector))
+
+
+def test_optimizer_end_to_end(benchmark):
+    """E10: optimize + re-interpret, semantics preserved."""
+    program = random_program(12, variables=2, seed=3)
+
+    def run():
+        result = optimize(program)
+        return result, run_program(program), run_program(result.program)
+
+    result, original, optimized = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name in optimized.reads:
+        assert original.reads[name] == optimized.reads[name]
+    for dropped, kept in result.aliases.items():
+        assert original.reads[dropped] == optimized.reads[kept]
+
+
+def test_analysis_shape_series(benchmark):
+    """E10 summary: analysis grows with the pair count (quadratic-ish)."""
+    detector = ConflictDetector(exhaustive_cap=3)
+
+    def sweep() -> list[float]:
+        times = []
+        for statements in PROGRAM_SIZES:
+            program = random_program(statements, variables=2, seed=statements)
+            times.append(measure(lambda: dependence_graph(program, detector)))
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E10 dependence analysis vs program length", PROGRAM_SIZES, times)
+    for smaller, larger in zip(times, times[1:]):
+        if smaller > 1e-3:
+            assert larger / smaller < 16, f"worse than quartic: {times}"
+
+
+def test_cse_payoff_rate(benchmark):
+    """E10: how often random programs expose an eliminable read."""
+
+    def run():
+        eliminated = 0
+        for seed in range(15):
+            program = random_program(10, variables=2, seed=seed)
+            result = optimize(program)
+            eliminated += len(result.eliminated)
+        return eliminated
+
+    eliminated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE10 reads eliminated across 15 random programs: {eliminated}")
+    assert eliminated > 0, "the workload should expose CSE opportunities"

@@ -1,0 +1,105 @@
+"""E1/E2: polynomial scaling of the linear-read conflict algorithms.
+
+Theorems 1 and 2 claim PTIME detection when the read pattern is linear.
+The benchmark sweeps the pattern length and measures detection time; the
+series test asserts the polynomial *shape*: doubling the input must not
+blow the runtime up by more than a generous polynomial factor (the
+observed exponent is recorded in EXPERIMENTS.md; contrast with bench_np.py
+where the same sweep on the exhaustive engine grows exponentially).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.operations.ops import Delete, Insert, Read
+from repro.workloads.generators import random_linear_pattern
+from repro.xml.random_trees import random_tree
+
+SIZES = [2, 4, 8, 16, 32]
+ALPHABET = ("a", "b", "c", "d")
+
+
+def _instance(size: int, seed: int):
+    rng = random.Random(seed)
+    read = Read(random_linear_pattern(size, ALPHABET, seed=rng))
+    insert = Insert(
+        random_linear_pattern(max(2, size // 2), ALPHABET, seed=rng),
+        random_tree(3, ALPHABET, seed=rng),
+    )
+    delete = Delete(random_linear_pattern(max(2, size // 2), ALPHABET, seed=rng))
+    return read, insert, delete
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_read_insert_linear_scaling(benchmark, size):
+    """E2: read-insert detection time at one read-pattern size."""
+    instances = [_instance(size, seed) for seed in range(10)]
+
+    def run():
+        for read, insert, _ in instances:
+            detect_read_insert_linear(read, insert)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_read_delete_linear_scaling(benchmark, size):
+    """E1: read-delete detection time at one read-pattern size."""
+    instances = [_instance(size, seed) for seed in range(10)]
+
+    def run():
+        for read, _, delete in instances:
+            detect_read_delete_linear(read, delete)
+
+    benchmark(run)
+
+
+def test_polynomial_shape_series(benchmark):
+    """E1/E2 summary: the growth must look polynomial, not exponential.
+
+    For a polynomial t(n) = c * n^k, the ratio t(2n)/t(n) is bounded by
+    2^k; we assert ratio <= 20 per doubling (k <= ~4.3) which any
+    exponential in pattern length would violate over this range (and does
+    — see bench_np.py).
+    """
+
+    def sweep() -> list[float]:
+        times = []
+        for size in SIZES:
+            instances = [_instance(size, seed) for seed in range(8)]
+
+            def run():
+                for read, insert, delete in instances:
+                    detect_read_insert_linear(read, insert)
+                    detect_read_delete_linear(read, delete)
+
+            times.append(measure(run))
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E1/E2 linear-read detection vs pattern size", SIZES, times)
+    for smaller, larger in zip(times, times[1:]):
+        if smaller > 1e-4:  # below that, timer noise dominates
+            assert larger / smaller < 20, (
+                f"super-polynomial growth: {times}"
+            )
+
+
+@pytest.mark.parametrize("x_size", [1, 4, 16, 64])
+def test_inserted_subtree_size_sweep(benchmark, x_size):
+    """E2 secondary axis: cost vs size of the inserted tree X."""
+    rng = random.Random(99)
+    read = Read(random_linear_pattern(8, ALPHABET, seed=rng))
+    insert = Insert(
+        random_linear_pattern(4, ALPHABET, seed=rng),
+        random_tree(x_size, ALPHABET, seed=rng),
+    )
+    benchmark(lambda: detect_read_insert_linear(read, insert))

@@ -1,0 +1,127 @@
+"""E4: the NP side — exhaustive witness search scales exponentially.
+
+Theorems 3/5 place branching-read conflict detection in NP via bounded
+witness search (Lemma 11).  This module measures that search:
+
+* runtime vs candidate-size cap — the series grows *exponentially* (the
+  candidate count is the dominating factor), the expected complement of
+  bench_linear's polynomial series;
+* candidate-space size vs cap (exact counts, no timing noise);
+* measured minimal-witness sizes vs the Lemma 11 bound |R|·|U|·(k+1) —
+  every minimized witness must fit within the bound, usually far inside.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.conflicts.general import (
+    find_witness_exhaustive,
+    witness_alphabet,
+    witness_size_bound,
+)
+from repro.conflicts.semantics import ConflictKind
+from repro.conflicts.witness_min import minimize_witness
+from repro.operations.ops import Insert, Read
+from repro.workloads.generators import random_branching_pattern
+from repro.xml.enumerate import count_trees
+from repro.xml.random_trees import random_tree
+
+CAPS = [2, 3, 4, 5]
+ALPHABET = ("a", "b", "c")
+
+
+def _instance(seed: int):
+    rng = random.Random(seed)
+    read = Read(random_branching_pattern(3, ALPHABET, seed=rng, output="any"))
+    insert = Insert(
+        random_branching_pattern(2, ALPHABET, seed=rng),
+        random_tree(2, ALPHABET, seed=rng),
+    )
+    return read, insert
+
+
+@pytest.mark.parametrize("cap", CAPS)
+def test_exhaustive_search_scaling(benchmark, cap):
+    """E4: full search (worst case: no witness) at one size cap."""
+    read = Read("a[b][c]")
+    insert = Insert("a/z", "<q/>")  # never conflicts: full enumeration runs
+
+    benchmark(
+        lambda: find_witness_exhaustive(
+            read, insert, ConflictKind.NODE, max_size=cap
+        )
+    )
+
+
+def test_exponential_shape_series(benchmark):
+    """E4 summary: per-increment growth factor must be large (exponential).
+
+    Candidate counts multiply by ~8-10x per extra node over a 4-letter
+    witness alphabet; we assert the *last* step's runtime ratio exceeds 3x,
+    which no polynomial of modest degree produces per +1 node.
+    """
+    read = Read("a[b][c]")
+    insert = Insert("a/z", "<q/>")
+
+    def sweep() -> list[float]:
+        return [
+            measure(
+                lambda: find_witness_exhaustive(
+                    read, insert, ConflictKind.NODE, max_size=cap
+                ),
+                repeat=1,
+            )
+            for cap in CAPS
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E4 exhaustive search vs size cap", CAPS, times)
+    assert times[-1] / max(times[-2], 1e-9) > 3, (
+        f"expected exponential growth, got {times}"
+    )
+
+
+def test_candidate_space_counts(benchmark):
+    """E4: the combinatorial explosion, exactly (no timing noise)."""
+    read = Read("a[b][c]")
+    insert = Insert("a/z", "<q/>")
+    alphabet = witness_alphabet(read, insert)
+
+    counts = benchmark.pedantic(
+        lambda: [count_trees(cap, alphabet) for cap in CAPS],
+        rounds=1,
+        iterations=1,
+    )
+    print_series("E4 candidate trees vs size cap", CAPS, [float(c) for c in counts], unit="trees")
+    for smaller, larger in zip(counts, counts[1:]):
+        assert larger / smaller > 4, "candidate space must grow exponentially"
+
+
+def test_witness_sizes_vs_lemma11_bound(benchmark):
+    """E4: minimized witnesses respect (and undercut) the Lemma 11 bound."""
+
+    def run():
+        rows = []
+        for seed in range(30):
+            read, insert = _instance(seed)
+            witness = find_witness_exhaustive(
+                read, insert, ConflictKind.NODE, max_size=4
+            )
+            if witness is None:
+                continue
+            small = minimize_witness(witness, read, insert)
+            rows.append((small.size, witness_size_bound(read, insert)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows, "expected at least one conflicting instance"
+    for size, bound in rows:
+        assert size <= bound
+    mean_ratio = sum(size / bound for size, bound in rows) / len(rows)
+    print(f"\nE4 witness-size/bound mean ratio over {len(rows)} instances: "
+          f"{mean_ratio:.3f}")
+    assert mean_ratio <= 1.0

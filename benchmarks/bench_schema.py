@@ -1,0 +1,151 @@
+"""E11: schema-constrained conflict detection (the Section 6 open problem).
+
+Measures the schema subsystem — validation, valid-document generation and
+enumeration — and the headline phenomenon: a DTD can *silence* conflicts
+that exist unconstrained, while genuine conflicts keep small valid
+witnesses.  Rates reported:
+
+* silencing rate over a workload of structurally-impossible reads,
+* persistence (valid witnesses found) for schema-compatible conflicts,
+* valid fraction of the candidate space (how much the schema prunes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.semantics import Verdict
+from repro.operations.ops import Delete, Insert, Read
+from repro.schema.conflicts import decide_conflict_under_schema
+from repro.schema.dtd import DTD
+from repro.schema.generator import enumerate_valid_trees, random_valid_tree
+from repro.schema.validator import is_valid
+from repro.xml.enumerate import count_trees
+
+BOOKSTORE = DTD.parse(
+    """
+    <!ELEMENT bib (book*)>
+    <!ELEMENT book (title, publisher?, quantity)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT publisher (name)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT quantity (#PCDATA)>
+    """
+)
+
+#: Reads that conflict with `delete bib/book` unconstrained but require
+#: shapes the DTD forbids.
+IMPOSSIBLE_READS = [
+    "bib/book/book",              # nested books
+    "bib/book/title/title",       # nested titles
+    "bib/book/publisher/quantity",  # quantity inside publisher
+    "bib/book/name",              # name outside publisher
+]
+
+#: Reads whose conflicts survive the schema.
+POSSIBLE_READS = ["//quantity", "bib/book/title", "//publisher/name"]
+
+
+@pytest.mark.parametrize("books", [10, 100, 1000])
+def test_validation_cost(benchmark, books):
+    """E11: validator cost vs document size."""
+    from repro.xml.random_trees import bookstore as make_bookstore
+
+    doc = make_bookstore(books, seed=3)
+    # The random bookstore has 'stock' wrappers the DTD doesn't declare;
+    # validation still runs over every node (and reports the violations).
+    benchmark(lambda: is_valid(doc, BOOKSTORE))
+
+
+def test_valid_generation_cost(benchmark):
+    """E11: sampling schema-valid documents."""
+    benchmark(lambda: [random_valid_tree(BOOKSTORE, seed=s) for s in range(10)])
+
+
+def test_schema_prunes_candidate_space(benchmark):
+    """E11: valid fraction of all candidate trees up to size 6."""
+
+    def run():
+        valid = sum(1 for _ in enumerate_valid_trees(BOOKSTORE, 6))
+        total = count_trees(6, tuple(sorted(BOOKSTORE.labels())))
+        return valid, total
+
+    valid, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE11 candidate pruning: {valid} valid of {total} trees "
+          f"({valid / total:.2%})")
+    assert valid < total * 0.01, "the schema should prune heavily"
+
+
+def test_silencing_rate(benchmark):
+    """E11: conflicts silenced by the schema vs unconstrained verdicts."""
+    detector = ConflictDetector()
+    delete = Delete("bib/book")
+
+    def run():
+        silenced = 0
+        for path in IMPOSSIBLE_READS:
+            read = Read(path)
+            unconstrained = detector.read_delete(read, delete).verdict
+            assert unconstrained is Verdict.CONFLICT, path
+            constrained = decide_conflict_under_schema(
+                read, delete, BOOKSTORE, max_size=7
+            ).verdict
+            silenced += constrained is not Verdict.CONFLICT
+        return silenced
+
+    silenced = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE11 silenced conflicts: {silenced}/{len(IMPOSSIBLE_READS)}")
+    assert silenced == len(IMPOSSIBLE_READS)
+
+
+def test_persistence_rate(benchmark):
+    """E11: schema-compatible conflicts keep small *valid* witnesses."""
+    delete = Delete("bib/book")
+
+    def run():
+        persisted = 0
+        for path in POSSIBLE_READS:
+            report = decide_conflict_under_schema(
+                Read(path), delete, BOOKSTORE, max_size=7
+            )
+            if report.verdict is Verdict.CONFLICT:
+                assert is_valid(report.witness, BOOKSTORE)
+                persisted += 1
+        return persisted
+
+    persisted = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE11 persisting conflicts: {persisted}/{len(POSSIBLE_READS)}")
+    assert persisted == len(POSSIBLE_READS)
+
+
+def test_schema_search_shape(benchmark):
+    """E11: valid-tree enumeration still grows exponentially (the schema
+    prunes the space but does not change its asymptotic nature)."""
+    sizes = [4, 6, 8]
+
+    def sweep() -> list[float]:
+        return [
+            measure(
+                lambda: sum(1 for _ in enumerate_valid_trees(BOOKSTORE, size)),
+                repeat=1,
+            )
+            for size in sizes
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E11 valid enumeration vs size cap", sizes, times)
+    assert times[-1] > times[0]
+
+
+def test_insert_conflict_under_schema(benchmark):
+    """E11: headline insert query under the schema."""
+    read = Read("//publisher/name")
+    insert = Insert("bib/book", "<publisher><name/></publisher>")
+    report = benchmark.pedantic(
+        lambda: decide_conflict_under_schema(read, insert, BOOKSTORE, max_size=6),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.verdict is Verdict.CONFLICT

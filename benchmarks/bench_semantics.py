@@ -1,0 +1,99 @@
+"""E7: semantics relationships — Lemma 2 and the semantics hierarchy.
+
+Measures and validates, over randomized linear instances:
+
+* tree-conflict and value-conflict decisions coincide (Lemma 2) — the
+  agreement rate must be 100%;
+* node conflicts imply tree conflicts (the hierarchy the definitions
+  suggest);
+* relative costs of deciding each of the three semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.semantics import ConflictKind, Verdict
+from repro.operations.ops import Delete, Insert, Read
+from repro.workloads.generators import random_linear_pattern
+from repro.xml.random_trees import random_tree
+
+ALPHABET = ("a", "b", "c")
+
+
+def _instances(count: int, base_seed: int):
+    out = []
+    for seed in range(count):
+        rng = random.Random(base_seed + seed)
+        read = Read(random_linear_pattern(rng.randint(1, 5), ALPHABET, seed=rng))
+        insert = Insert(
+            random_linear_pattern(rng.randint(1, 3), ALPHABET, seed=rng),
+            random_tree(rng.randint(1, 3), ALPHABET, seed=rng),
+        )
+        delete = Delete(random_linear_pattern(rng.randint(2, 3), ALPHABET, seed=rng))
+        out.append((read, insert, delete))
+    return out
+
+
+@pytest.mark.parametrize("kind", [ConflictKind.NODE, ConflictKind.TREE, ConflictKind.VALUE])
+def test_semantics_decision_cost(benchmark, kind):
+    """E7: per-semantics decision cost over a fixed instance batch."""
+    instances = _instances(20, base_seed=0)
+
+    def run():
+        for read, insert, delete in instances:
+            detect_read_insert_linear(read, insert, kind)
+            detect_read_delete_linear(read, delete, kind)
+
+    benchmark(run)
+
+
+def test_lemma2_agreement_rate(benchmark):
+    """E7: tree ≡ value decisions for linear patterns (Lemma 2) — 100%."""
+
+    def run():
+        agree = total = 0
+        for read, insert, delete in _instances(60, base_seed=100):
+            for detect, update in (
+                (detect_read_insert_linear, insert),
+                (detect_read_delete_linear, delete),
+            ):
+                total += 1
+                tree_v = detect(read, update, ConflictKind.TREE).verdict
+                value_v = detect(read, update, ConflictKind.VALUE).verdict
+                agree += tree_v == value_v
+        return agree, total
+
+    agree, total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE7 Lemma 2 (tree==value) agreement: {agree}/{total}")
+    assert agree == total
+
+
+def test_hierarchy_rate(benchmark):
+    """E7: node conflict -> tree conflict, empirically always."""
+
+    def run():
+        violations = conflicts = 0
+        for read, insert, delete in _instances(60, base_seed=200):
+            for detect, update in (
+                (detect_read_insert_linear, insert),
+                (detect_read_delete_linear, delete),
+            ):
+                node_v = detect(read, update, ConflictKind.NODE).verdict
+                if node_v is not Verdict.CONFLICT:
+                    continue
+                conflicts += 1
+                tree_v = detect(read, update, ConflictKind.TREE).verdict
+                violations += tree_v is not Verdict.CONFLICT
+        return violations, conflicts
+
+    violations, conflicts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE7 hierarchy: {violations} violations over {conflicts} node conflicts")
+    assert violations == 0
+    assert conflicts > 0, "workload should produce some conflicts"

@@ -1,0 +1,125 @@
+"""E3: branching update patterns via trunk reduction (Corollaries 1-2).
+
+Lemmas 4 and 8 let the PTIME algorithms handle *branching* update patterns
+by reducing them to their root-to-output trunk.  This module measures that
+path and checks agreement with exhaustive search on small instances: the
+trunk reduction must not change any verdict.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.conflicts.general import find_witness_exhaustive, witness_size_bound
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.semantics import ConflictKind, Verdict, is_witness
+from repro.operations.ops import Delete, Insert, Read
+from repro.workloads.generators import (
+    random_branching_pattern,
+    random_linear_pattern,
+)
+from repro.xml.random_trees import random_tree
+
+ALPHABET = ("a", "b", "c")
+BRANCH_SIZES = [2, 4, 8, 16]
+
+
+def _branching_insert(size: int, rng: random.Random) -> Insert:
+    pattern = random_branching_pattern(size, ALPHABET, seed=rng, output="any")
+    return Insert(pattern, random_tree(2, ALPHABET, seed=rng))
+
+
+def _branching_delete(size: int, rng: random.Random) -> Delete:
+    pattern = random_branching_pattern(max(size, 2), ALPHABET, seed=rng, output="leaf")
+    if pattern.output == pattern.root:
+        leaf = next(n for n in pattern.preorder() if n != pattern.root)
+        pattern.set_output(leaf)
+    return Delete(pattern)
+
+
+@pytest.mark.parametrize("size", BRANCH_SIZES)
+def test_branching_insert_detection(benchmark, size):
+    """E3: detection time vs *update*-pattern size (read fixed, linear)."""
+    rng = random.Random(size)
+    read = Read(random_linear_pattern(6, ALPHABET, seed=rng))
+    inserts = [_branching_insert(size, rng) for _ in range(10)]
+
+    def run():
+        for insert in inserts:
+            detect_read_insert_linear(read, insert)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("size", BRANCH_SIZES)
+def test_branching_delete_detection(benchmark, size):
+    rng = random.Random(size + 77)
+    read = Read(random_linear_pattern(6, ALPHABET, seed=rng))
+    deletes = [_branching_delete(size, rng) for _ in range(10)]
+
+    def run():
+        for delete in deletes:
+            detect_read_delete_linear(read, delete)
+
+    benchmark(run)
+
+
+def test_trunk_agrees_with_exhaustive(benchmark):
+    """E3 correctness: on small instances the trunk-reduced PTIME verdicts
+    agree with exhaustive ground truth (witnesses verified, no-conflicts
+    refuted by full search to the Lemma 11 bound or cap 4)."""
+
+    def run():
+        agreements = 0
+        checked = 0
+        for seed in range(25):
+            rng = random.Random(seed)
+            read = Read(random_linear_pattern(2, ("a", "b"), seed=rng))
+            insert = Insert(
+                random_branching_pattern(2, ("a", "b"), seed=rng),
+                random_tree(1, ("a", "b"), seed=rng),
+            )
+            report = detect_read_insert_linear(read, insert)
+            cap = min(4, witness_size_bound(read, insert))
+            found = find_witness_exhaustive(
+                read, insert, ConflictKind.NODE, max_size=cap
+            )
+            checked += 1
+            if report.verdict is Verdict.CONFLICT:
+                ok = is_witness(report.witness, read, insert, ConflictKind.NODE)
+            else:
+                ok = found is None
+            agreements += ok
+        return agreements, checked
+
+    agreements, checked = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nE3 trunk-reduction agreement: {agreements}/{checked}")
+    assert agreements == checked
+
+
+def test_trunk_shape_series(benchmark):
+    """E3 summary: polynomial in the update-pattern size as well."""
+    rng = random.Random(5)
+    read = Read(random_linear_pattern(6, ALPHABET, seed=rng))
+
+    def sweep() -> list[float]:
+        times = []
+        for size in BRANCH_SIZES:
+            local = random.Random(size)
+            inserts = [_branching_insert(size, local) for _ in range(8)]
+            times.append(
+                measure(lambda: [detect_read_insert_linear(read, i) for i in inserts])
+            )
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E3 detection vs branching update size", BRANCH_SIZES, times)
+    for smaller, larger in zip(times, times[1:]):
+        if smaller > 1e-4:
+            assert larger / smaller < 20, f"super-polynomial: {times}"

@@ -1,0 +1,28 @@
+"""Timing and reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+__all__ = ["measure", "print_series"]
+
+
+def measure(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeat`` runs."""
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def print_series(title: str, xs: list, ys: list[float], unit: str = "s") -> None:
+    """Render one experiment series as an aligned table."""
+    print(f"\n=== {title} ===")
+    print(f"{'x':>10} | {f'value ({unit})':>14}")
+    print("-" * 28)
+    for x, y in zip(xs, ys):
+        print(f"{x!s:>10} | {y:>14.6f}")

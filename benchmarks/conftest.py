@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` module regenerates one experiment from the
+EXPERIMENTS.md index.  The paper under reproduction is a theory paper with
+no measurement tables, so the experiments validate the *shape* of its
+complexity claims (polynomial vs exponential) and the *correctness rates*
+of its constructions; EXPERIMENTS.md records the measured outcomes.
+
+Conventions:
+
+* pytest-benchmark measures the headline operation per parameter point;
+* each module also contains one ``test_..._series``/``..._shape`` summary
+  that sweeps the parameter with ``time.perf_counter`` (via
+  :func:`bench_utils.measure`), prints the series (visible with ``-s``),
+  and makes *loose* shape assertions (growth-ratio bounds) so regressions
+  fail the suite without making the timing tests flaky.
+"""

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package installs editably on environments without the ``wheel`` package
+(``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop`` when PEP 517 wheel building is unavailable).
+"""
+
+from setuptools import setup
+
+setup()

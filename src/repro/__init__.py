@@ -1,0 +1,69 @@
+"""``repro`` — a reproduction of *Conflicting XML Updates* (EDBT 2006).
+
+Raghavachari & Shmueli study when XPath-driven update operations on XML
+documents *conflict* — when executing an update before a read can change
+what the read returns, on some document.  This library implements the whole
+paper: the tree/pattern formalism, the three conflict semantics, the
+polynomial-time detection algorithms for linear reads, the NP-side
+machinery (bounded witness search, witness minimization, hardness
+reductions), and the compiler-analysis application that motivates it all.
+
+Quick start::
+
+    from repro import ConflictDetector, Read, Insert, Verdict
+
+    detector = ConflictDetector()
+    report = detector.read_insert(Read("*//C"), Insert("*/B", "<C/>"))
+    assert report.verdict is Verdict.CONFLICT
+    print(report.witness.sketch())   # a concrete document showing it
+
+Package map:
+
+* :mod:`repro.xml` — unordered labeled trees, XML parsing/serialization,
+  isomorphism, tree enumeration, random documents.
+* :mod:`repro.patterns` — tree patterns, the XPath fragment, embedding
+  evaluation, pattern containment.
+* :mod:`repro.automata` — NFAs and weak/strong matching of linear patterns.
+* :mod:`repro.operations` — ``READ`` / ``INSERT`` / ``DELETE`` semantics.
+* :mod:`repro.conflicts` — the conflict engine (the paper's contribution).
+* :mod:`repro.lang` — the pidgin update language and dependence analysis.
+* :mod:`repro.workloads` — reproducible generators for the experiments.
+"""
+
+from repro.conflicts import (
+    ConflictDetector,
+    ConflictKind,
+    ConflictReport,
+    Verdict,
+    is_witness,
+    minimize_witness,
+)
+from repro.errors import ReproError
+from repro.operations import Delete, Insert, Read, UpdateResult
+from repro.patterns import TreePattern, evaluate, parse_xpath, to_xpath
+from repro.xml import XMLTree, build_tree, parse, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ConflictDetector",
+    "ConflictKind",
+    "ConflictReport",
+    "Verdict",
+    "is_witness",
+    "minimize_witness",
+    "Read",
+    "Insert",
+    "Delete",
+    "UpdateResult",
+    "TreePattern",
+    "parse_xpath",
+    "to_xpath",
+    "evaluate",
+    "XMLTree",
+    "build_tree",
+    "parse",
+    "serialize",
+    "ReproError",
+]

@@ -1,0 +1,21 @@
+"""Finite-automaton substrate and linear-pattern matching (Definition 7)."""
+
+from repro.automata.matching import (
+    linear_pattern_nfa,
+    match_dp,
+    match_strongly,
+    match_weakly,
+    matching_alphabet,
+    matching_word,
+)
+from repro.automata.nfa import NFA
+
+__all__ = [
+    "NFA",
+    "linear_pattern_nfa",
+    "matching_alphabet",
+    "matching_word",
+    "match_strongly",
+    "match_weakly",
+    "match_dp",
+]

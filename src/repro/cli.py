@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Five subcommands expose the library's main entry points:
+
+* ``eval``      — evaluate an XPath pattern against a document;
+* ``check``     — decide a read-update conflict (the core question);
+* ``commute``   — decide whether two updates commute;
+* ``analyze``   — dependence analysis / optimization of a pidgin program;
+* ``validate``  — DTD validation of a document.
+
+Exit codes for the decision commands: ``0`` = no conflict / valid,
+``1`` = conflict / invalid, ``2`` = undecided within the search budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
+from repro.errors import ReproError
+from repro.lang.analysis import (
+    dependence_graph,
+    find_redundant_reads,
+    hoist_reads,
+    optimize,
+)
+from repro.lang.parser import parse_program
+from repro.operations.ops import Delete, Insert, Read, UpdateOp
+from repro.patterns.xpath import parse_xpath
+from repro.schema.dtd import DTD
+from repro.schema.validator import validate as dtd_validate
+from repro.xml.parser import parse as parse_xml
+from repro.xml.serializer import serialize
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 64
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conflict detection for XPath-driven XML updates "
+        "(Raghavachari & Shmueli, EDBT 2006).",
+    )
+    sub = parser.add_subparsers(required=True)
+
+    p_eval = sub.add_parser("eval", help="evaluate an XPath pattern on a document")
+    p_eval.add_argument("--xpath", required=True)
+    _add_document_args(p_eval)
+    p_eval.add_argument(
+        "--subtrees", action="store_true", help="print the selected subtrees"
+    )
+    p_eval.set_defaults(handler=_cmd_eval)
+
+    p_check = sub.add_parser("check", help="decide a read-update conflict")
+    p_check.add_argument("--read", required=True, help="read XPath")
+    group = p_check.add_mutually_exclusive_group(required=True)
+    group.add_argument("--insert", help="insert XPath")
+    group.add_argument("--delete", help="delete XPath")
+    p_check.add_argument(
+        "--xml", default="<x/>", help="XML inserted by --insert (default <x/>)"
+    )
+    p_check.add_argument(
+        "--kind",
+        choices=[k.value for k in ConflictKind],
+        default="node",
+        help="conflict semantics (default: node)",
+    )
+    p_check.add_argument(
+        "--budget", type=int, default=5,
+        help="witness-size cap for branching reads (default 5)",
+    )
+    p_check.add_argument(
+        "--witness", action="store_true", help="print a witness document"
+    )
+    p_check.add_argument(
+        "--schema",
+        help="path to a DTD: only documents valid against it count as "
+        "witnesses (schema-constrained detection; exit 2 when no valid "
+        "witness is found within the budget)",
+    )
+    p_check.set_defaults(handler=_cmd_check)
+
+    p_commute = sub.add_parser("commute", help="decide whether two updates commute")
+    for index in ("1", "2"):
+        group2 = p_commute.add_mutually_exclusive_group(required=True)
+        group2.add_argument(f"--insert{index}", help=f"update {index}: insert XPath")
+        group2.add_argument(f"--delete{index}", help=f"update {index}: delete XPath")
+        p_commute.add_argument(
+            f"--xml{index}", default="<x/>", help=f"XML for --insert{index}"
+        )
+    p_commute.add_argument("--budget", type=int, default=4)
+    p_commute.add_argument("--witness", action="store_true")
+    p_commute.set_defaults(handler=_cmd_commute)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a pidgin update program")
+    p_analyze.add_argument("program", help="path to the program ('-' for stdin)")
+    p_analyze.add_argument(
+        "--optimize", action="store_true", help="apply read-CSE and print the result"
+    )
+    p_analyze.add_argument(
+        "--hoist", action="store_true",
+        help="hoist reads above non-conflicting updates and print the result",
+    )
+    p_analyze.set_defaults(handler=_cmd_analyze)
+
+    p_validate = sub.add_parser("validate", help="validate a document against a DTD")
+    p_validate.add_argument("--dtd", required=True, help="path to DTD text")
+    _add_document_args(p_validate)
+    p_validate.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def _add_document_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--file", help="path to an XML document")
+    group.add_argument("--xml-text", help="inline XML document text")
+
+
+def _load_document(args: argparse.Namespace):  # type: ignore[no-untyped-def]
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            return parse_xml(handle.read())
+    return parse_xml(args.xml_text)
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    doc = _load_document(args)
+    pattern = parse_xpath(args.xpath)
+    read = Read(pattern)
+    nodes = sorted(read.apply(doc))
+    print(f"{len(nodes)} node(s) selected: {nodes}")
+    if args.subtrees:
+        for node in nodes:
+            print(f"  #{node}: {serialize(doc, node=node)}")
+    return 0
+
+
+def _make_update(path: str | None, delete_path: str | None, xml: str) -> UpdateOp:
+    if path is not None:
+        return Insert(path, xml)
+    assert delete_path is not None
+    return Delete(delete_path)
+
+
+def _report_exit(report: ConflictReport, show_witness: bool) -> int:
+    print(f"verdict: {report.verdict.value}   (method: {report.method})")
+    for note in report.notes:
+        print(f"note: {note}")
+    if show_witness and report.witness is not None:
+        print("witness document:")
+        for line in report.witness.sketch().splitlines():
+            print(f"  {line}")
+        print(f"as XML: {serialize(report.witness)}")
+    return {
+        Verdict.NO_CONFLICT: 0,
+        Verdict.CONFLICT: 1,
+        Verdict.UNKNOWN: 2,
+    }[report.verdict]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    read = Read(args.read)
+    update = _make_update(args.insert, args.delete, args.xml)
+    if args.schema:
+        from repro.schema.conflicts import decide_conflict_under_schema
+
+        with open(args.schema, encoding="utf-8") as handle:
+            dtd = DTD.parse(handle.read())
+        report = decide_conflict_under_schema(
+            read, update, dtd, ConflictKind(args.kind),
+            max_size=max(args.budget, 6),
+        )
+        return _report_exit(report, args.witness)
+    detector = ConflictDetector(
+        kind=ConflictKind(args.kind), exhaustive_cap=args.budget
+    )
+    report = detector.read_update(read, update)
+    return _report_exit(report, args.witness)
+
+
+def _cmd_commute(args: argparse.Namespace) -> int:
+    detector = ConflictDetector(exhaustive_cap=args.budget)
+    first = _make_update(args.insert1, args.delete1, args.xml1)
+    second = _make_update(args.insert2, args.delete2, args.xml2)
+    report = detector.update_update(first, second)
+    return _report_exit(report, args.witness)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.program == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.program, encoding="utf-8") as handle:
+            source = handle.read()
+    program = parse_program(source)
+    report = dependence_graph(program)
+    print(f"{len(program)} statement(s); may-conflict edges:")
+    for edge in report.edges:
+        if edge.reason == "definition":
+            continue
+        print(
+            f"  [{edge.earlier}] <-> [{edge.later}] ({edge.reason}) "
+            f"on ${edge.variable}"
+        )
+    redundant = find_redundant_reads(report)
+    for r in redundant:
+        print(f"redundant read: [{r.duplicate}] duplicates [{r.original}]")
+    if args.optimize:
+        result = optimize(program)
+        print("optimized program:")
+        for statement in result.program:
+            print(f"  {statement}")
+        if result.aliases:
+            print(f"aliases: {result.aliases}")
+    if args.hoist:
+        hoisted = hoist_reads(program)
+        print("hoisted program:")
+        for statement in hoisted.program:
+            print(f"  {statement}")
+        if hoisted.moves:
+            print(f"moves (old index -> new index): {hoisted.moves}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.dtd, encoding="utf-8") as handle:
+        dtd = DTD.parse(handle.read())
+    doc = _load_document(args)
+    violations = dtd_validate(doc, dtd)
+    if not violations:
+        print("valid")
+        return 0
+    print(f"{len(violations)} violation(s):")
+    for violation in violations:
+        print(f"  {violation}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""NP-hardness gadgets for update-update conflicts (Section 6).
+
+The paper states that "the reductions from XPath containment provided in
+Section 5 can be modified in a straightforward manner" to show that
+insert-insert, insert-delete, and delete-insert conflicts are NP-hard.
+This module carries out those modifications explicitly.
+
+Both gadgets reuse the Figure 7 scaffolding — fresh symbols ``α, β, γ, δ``
+and the two-β-children witness shape — with a second update in place of
+the read:
+
+* **insert-insert** (:func:`insert_insert_gadget`): ``I1`` is exactly
+  Theorem 4's insertion (adds ``γ`` under ``β`` children satisfying
+  ``[p']`` when some ``β[p][γ]`` child exists); ``I2`` inserts ``δ`` under
+  the root when some ``β[p'][γ]`` child exists.  When ``p ⊆ p'``, any
+  trigger of ``I1`` is itself a ``β[p'][γ]`` child, so ``I2``'s behavior
+  is order-independent and the pair commutes; when ``p ⊄ p'``, the
+  Figure 7d tree makes ``I1`` enable ``I2`` — order changes the result.
+* **insert-delete** (:func:`insert_delete_gadget`): same ``I1``; ``D``
+  deletes the root's ``δ`` children when some ``β[p'][γ]`` child exists.
+  The commutation argument is the same with deletion in place of the
+  second insertion.
+
+Commutation is judged under **value semantics**
+(:func:`repro.conflicts.complex.is_commutativity_witness`), per the
+paper's remark that reference semantics cannot meaningfully compare the
+two orders' fresh copies.
+
+No gadget is offered for delete-delete: the analogous modification does
+not go through directly (a deletion destroys its partner's positive
+trigger regardless of containment), and the paper gives no construction —
+it only conjectures the complexity.  Delete-delete conflicts do exist
+(see ``tests/test_complex.py``), they are just not tied to containment by
+this scaffolding.
+"""
+
+from __future__ import annotations
+
+from repro.conflicts.reductions import GadgetLabels, _fresh_gadget_labels
+from repro.operations.ops import Delete, Insert
+from repro.patterns.pattern import Axis, TreePattern
+from repro.xml.tree import XMLTree
+
+__all__ = [
+    "insert_insert_gadget",
+    "insert_delete_gadget",
+    "commutativity_witness_from_noncontainment",
+]
+
+
+def _theorem4_insert(p: TreePattern, p_prime: TreePattern, g: GadgetLabels) -> Insert:
+    """``I1 = INSERT_{α[β[p][γ]]/β[p'], <γ/>}`` — Theorem 4's insertion."""
+    q = TreePattern(g.alpha)
+    beta_pred = q.add_child(q.root, g.beta, Axis.CHILD)
+    q.graft(beta_pred, p, Axis.CHILD)
+    q.add_child(beta_pred, g.gamma, Axis.CHILD)
+    beta_spine = q.add_child(q.root, g.beta, Axis.CHILD)
+    q.graft(beta_spine, p_prime, Axis.CHILD)
+    q.set_output(beta_spine)
+    return Insert(q, XMLTree(g.gamma))
+
+
+def _trigger_pattern(p_prime: TreePattern, g: GadgetLabels) -> TreePattern:
+    """``α[β[p'][γ]]`` with the output at the root."""
+    q = TreePattern(g.alpha)
+    beta = q.add_child(q.root, g.beta, Axis.CHILD)
+    q.graft(beta, p_prime, Axis.CHILD)
+    q.add_child(beta, g.gamma, Axis.CHILD)
+    q.set_output(q.root)
+    return q
+
+
+def insert_insert_gadget(
+    p: TreePattern, p_prime: TreePattern
+) -> tuple[Insert, Insert, GadgetLabels]:
+    """Two insertions that fail to commute iff ``p ⊄ p'``."""
+    g = _fresh_gadget_labels(p, p_prime)
+    first = _theorem4_insert(p, p_prime, g)
+    second = Insert(_trigger_pattern(p_prime, g), XMLTree(g.delta))
+    return first, second, g
+
+
+def insert_delete_gadget(
+    p: TreePattern, p_prime: TreePattern
+) -> tuple[Insert, Delete, GadgetLabels]:
+    """An insertion and a deletion that fail to commute iff ``p ⊄ p'``."""
+    g = _fresh_gadget_labels(p, p_prime)
+    first = _theorem4_insert(p, p_prime, g)
+    # D = α[β[p'][γ]]/δ — delete the root's δ children when triggered.
+    q = _trigger_pattern(p_prime, g)
+    delta = q.add_child(q.root, g.delta, Axis.CHILD)
+    q.set_output(delta)
+    return first, Delete(q), g
+
+
+def commutativity_witness_from_noncontainment(
+    t_p: XMLTree,
+    t_p_prime: XMLTree,
+    labels: GadgetLabels,
+) -> XMLTree:
+    """The Figure 7d shape, extended with a ``δ`` child of the root.
+
+    Given a non-containment certificate ``t_p`` (satisfies ``p``, not
+    ``p'``) and any tree ``t_p_prime`` satisfying ``p'``, the returned
+    tree witnesses non-commutation of either gadget pair: running ``I1``
+    first creates the ``β[p'][γ]`` trigger that the second operation
+    needs, so the two orders produce non-isomorphic results.
+    """
+    witness = XMLTree(labels.alpha)
+    beta_one = witness.add_child(witness.root, labels.beta)
+    witness.graft(beta_one, t_p)
+    witness.add_child(beta_one, labels.gamma)
+    beta_two = witness.add_child(witness.root, labels.beta)
+    witness.graft(beta_two, t_p_prime)
+    witness.add_child(witness.root, labels.delta)
+    return witness

@@ -1,0 +1,245 @@
+"""The unified conflict detector — the library's main entry point.
+
+:class:`ConflictDetector` routes a conflict query to the right algorithm:
+
+* linear read pattern → the exact PTIME algorithms of Section 4
+  (:mod:`repro.conflicts.linear`), regardless of whether the update pattern
+  branches (Corollaries 1 and 2);
+* branching read pattern → the general engine
+  (:mod:`repro.conflicts.general`): sound heuristics, then bounded
+  exhaustive search, complete when the budget covers the Lemma 11 bound;
+* update-update queries → the value-semantics commutativity engine
+  (:mod:`repro.conflicts.complex`).
+
+Patterns carrying value tests (``[quantity < 10]``) are stripped before
+detection — removing a test only widens what a pattern can match, so the
+analysis is a sound over-approximation (it may report a conflict that the
+tests would have ruled out, never the reverse); a note records when this
+happened.
+
+Typical use::
+
+    detector = ConflictDetector()
+    report = detector.read_insert(Read("a/*/A"), Insert("a/B", "<C/>"))
+    if report.verdict is Verdict.NO_CONFLICT:
+        ...  # safe to reorder / cache
+"""
+
+from __future__ import annotations
+
+from repro.conflicts.complex import detect_update_update
+from repro.conflicts.general import DEFAULT_EXHAUSTIVE_CAP, decide_conflict
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.semantics import ConflictKind, ConflictReport
+from repro.operations.ops import Delete, Insert, Read, UpdateOp
+
+__all__ = ["ConflictDetector"]
+
+
+class ConflictDetector:
+    """Detect conflicts between read/insert/delete operations.
+
+    Args:
+        kind: which conflict semantics to decide (default: node conflicts,
+            the paper's focus).
+        exhaustive_cap: size cap for the general case's witness
+            enumeration; ``None`` disables enumeration (heuristics only).
+        use_heuristics: whether the general case tries the fast candidate
+            family before enumerating.
+        cache: memoize query answers by the operands' canonical forms
+            (default on).  Program analysis repeats structurally identical
+            queries constantly; a cached answer also keeps an expensive
+            general-case NO_CONFLICT from being recomputed.
+        minimize_witnesses: shrink every returned witness with the
+            marking/reparenting minimizer (Lemmas 9-11) before reporting.
+            Off by default — minimization costs several re-checks — but
+            valuable when witnesses are shown to humans.
+    """
+
+    def __init__(
+        self,
+        kind: ConflictKind = ConflictKind.NODE,
+        exhaustive_cap: int | None = DEFAULT_EXHAUSTIVE_CAP,
+        use_heuristics: bool = True,
+        cache: bool = True,
+        minimize_witnesses: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.exhaustive_cap = exhaustive_cap
+        self.use_heuristics = use_heuristics
+        self.minimize_witnesses = minimize_witnesses
+        self._cache: dict[tuple, ConflictReport] | None = {} if cache else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Read-update queries
+    # ------------------------------------------------------------------
+
+    def read_insert(self, read: Read, insert: Insert) -> ConflictReport:
+        """May ``insert`` change what ``read`` returns, on *some* document?
+
+        Exact for linear reads even with value tests: tests are
+        existential over text children, so they never constrain a witness
+        we are free to build — only the embedding into the fixed inserted
+        tree ``X``, which the cut-edge check evaluates test-aware.
+        """
+        notes: list[str] = []
+        if not read.pattern.is_linear:
+            read, insert, notes = self._strip(read, insert)
+        report = self._dispatch(read, insert)
+        report.notes.extend(notes)
+        return report
+
+    def read_delete(self, read: Read, delete: Delete) -> ConflictReport:
+        """May ``delete`` change what ``read`` returns, on *some* document?
+
+        Exact for linear reads even with value tests (see
+        :meth:`read_insert`).
+        """
+        notes = []
+        if not read.pattern.is_linear:
+            read, delete, notes = self._strip(read, delete)
+        report = self._dispatch(read, delete)
+        report.notes.extend(notes)
+        return report
+
+    def read_update(self, read: Read, update: UpdateOp) -> ConflictReport:
+        """Dispatch on the update's type."""
+        if isinstance(update, Insert):
+            return self.read_insert(read, update)
+        if isinstance(update, Delete):
+            return self.read_delete(read, update)
+        raise TypeError(f"unsupported update type {type(update)!r}")
+
+    # ------------------------------------------------------------------
+    # Update-update queries
+    # ------------------------------------------------------------------
+
+    def update_update(self, op1: UpdateOp, op2: UpdateOp) -> ConflictReport:
+        """May the two updates fail to commute (value semantics)?"""
+        op1_stripped, op2_stripped, notes = self._strip(op1, op2)
+        key = self._cache_key("update-update", op1_stripped, op2_stripped)
+        report = self._cache_get(key)
+        if report is None:
+            report = detect_update_update(
+                op1_stripped,
+                op2_stripped,
+                exhaustive_cap=self.exhaustive_cap,
+                use_heuristics=self.use_heuristics,
+            )
+            self._cache_put(key, report)
+        report.notes.extend(notes)
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, read: Read, update: UpdateOp) -> ConflictReport:
+        key = self._cache_key("read-update", read, update)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        if read.pattern.is_linear:
+            if isinstance(update, Insert):
+                report = detect_read_insert_linear(read, update, self.kind)
+            else:
+                report = detect_read_delete_linear(read, update, self.kind)
+        else:
+            report = decide_conflict(
+                read,
+                update,
+                self.kind,
+                exhaustive_cap=self.exhaustive_cap,
+                use_heuristics=self.use_heuristics,
+            )
+        if self.minimize_witnesses and report.witness is not None:
+            from repro.conflicts.witness_min import minimize_witness
+
+            report.witness = minimize_witness(
+                report.witness, read, update, self.kind
+            )
+        self._cache_put(key, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Query cache
+    # ------------------------------------------------------------------
+    #
+    # Program analysis asks the same question over and over (real programs
+    # reuse a handful of paths), and a single general-case NO_CONFLICT
+    # answer can cost an exhaustive enumeration.  Queries are keyed by the
+    # *canonical forms* of the operands, so structurally identical
+    # operations share answers regardless of object identity.
+
+    def _cache_key(self, tag: str, first, second) -> tuple | None:  # type: ignore[no-untyped-def]
+        if self._cache is None:
+            return None
+
+        def op_key(op):  # type: ignore[no-untyped-def]
+            from repro.xml.isomorphism import canonical_form
+
+            subtree = (
+                canonical_form(op.subtree) if isinstance(op, Insert) else None
+            )
+            return (type(op).__name__, op.pattern.canonical_form(), subtree)
+
+        return (
+            tag,
+            self.kind,
+            self.exhaustive_cap,
+            self.use_heuristics,
+            op_key(first),
+            op_key(second),
+        )
+
+    def _cache_get(self, key: tuple | None) -> ConflictReport | None:
+        if key is None or self._cache is None:
+            return None
+        hit = self._cache.get(key)
+        if hit is None:
+            self.cache_misses += 1
+            return None
+        self.cache_hits += 1
+        return self._copy_report(hit)
+
+    def _cache_put(self, key: tuple | None, report: ConflictReport) -> None:
+        if key is not None and self._cache is not None:
+            self._cache[key] = self._copy_report(report)
+
+    @staticmethod
+    def _copy_report(report: ConflictReport) -> ConflictReport:
+        return ConflictReport(
+            verdict=report.verdict,
+            kind=report.kind,
+            witness=report.witness,
+            method=report.method,
+            notes=list(report.notes),
+            stats=dict(report.stats),
+        )
+
+    @staticmethod
+    def _strip(first, second):  # type: ignore[no-untyped-def]
+        """Strip value tests from both operations' patterns, noting it."""
+        notes: list[str] = []
+
+        def strip_op(op):  # type: ignore[no-untyped-def]
+            if not op.pattern.has_value_tests():
+                return op
+            notes.append(
+                "value tests were stripped from a pattern; the verdict is a "
+                "sound over-approximation (conflicts may be spurious, "
+                "no-conflict verdicts are exact)"
+            )
+            stripped = op.pattern.strip_value_tests()
+            if isinstance(op, Read):
+                return Read(stripped)
+            if isinstance(op, Insert):
+                return Insert(stripped, op.subtree)
+            return Delete(stripped)
+
+        return strip_op(first), strip_op(second), notes

@@ -1,0 +1,189 @@
+"""NP-hardness reductions from XPath non-containment (Theorems 4 and 6).
+
+Miklau & Suciu proved that deciding ``p ⊄ p'`` for patterns in
+``P^{//,[],*}`` is NP-hard.  The paper reduces that problem to conflict
+detection with two gadget constructions, reproduced here exactly:
+
+* **read-insert** (Figure 7): from ``(p, p')`` build
+  ``q_I = α[β[p][γ]]/β[p']`` (insertion pattern), ``X = <γ/>`` (inserted
+  tree) and ``q_R = α[β[p'][γ]]`` (read pattern), with ``α, β, γ`` fresh
+  symbols.  Then ``READ_{q_R}`` conflicts with ``INSERT_{q_I, X}`` iff
+  ``p ⊄ p'``.
+* **read-delete** (Figure 8): build ``q_D = α[β[p]]/γ[p']`` and
+  ``q_R = α[*[p']]``.  Then ``READ_{q_R}`` conflicts with ``DELETE_{q_D}``
+  iff ``p ⊄ p'``.
+
+Both gadgets are constructible in polynomial time; experiment E5 validates
+the "iff" empirically against the exact containment oracle of
+:mod:`repro.patterns.containment`.
+
+For tree- and value-conflict semantics the Section 5 REMARKS modify the
+read: a fresh ``δ``-labeled child of the read root becomes the output node,
+decoupling the read result from the modified region; pass
+``kind=ConflictKind.TREE`` or ``VALUE`` to apply that variant.
+
+The module also provides the *witness family* of Figures 7d and 8c: given a
+tree ``t_p`` satisfying ``p`` but not ``p'``, it assembles the concrete
+conflict witness the proofs describe — used in tests to verify both
+directions of the reductions without any search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conflicts.semantics import ConflictKind
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.pattern import WILDCARD, Axis, TreePattern, fresh_label
+from repro.xml.tree import XMLTree
+
+__all__ = [
+    "GadgetLabels",
+    "read_insert_gadget",
+    "read_delete_gadget",
+    "read_insert_witness_from_noncontainment",
+    "read_delete_witness_from_noncontainment",
+]
+
+
+@dataclass(frozen=True)
+class GadgetLabels:
+    """The fresh symbols used by a gadget construction."""
+
+    alpha: str
+    beta: str
+    gamma: str
+    delta: str
+
+
+def _fresh_gadget_labels(p: TreePattern, p_prime: TreePattern) -> GadgetLabels:
+    used = set(p.labels() | p_prime.labels())
+    labels = []
+    for stem in ("galpha", "gbeta", "ggamma", "gdelta"):
+        label = fresh_label(used, stem=stem)
+        used.add(label)
+        labels.append(label)
+    return GadgetLabels(*labels)
+
+
+def read_insert_gadget(
+    p: TreePattern,
+    p_prime: TreePattern,
+    kind: ConflictKind = ConflictKind.NODE,
+) -> tuple[Read, Insert, GadgetLabels]:
+    """Theorem 4 construction: conflict(read, insert) iff ``p ⊄ p'``.
+
+    Returns ``(READ_{q_R}, INSERT_{q_I, X}, labels)``.
+    """
+    g = _fresh_gadget_labels(p, p_prime)
+
+    # q_I = α[β[p][γ]]/β[p'] with output at the spine β.
+    q_i = TreePattern(g.alpha)
+    beta_pred = q_i.add_child(q_i.root, g.beta, Axis.CHILD)
+    q_i.graft(beta_pred, p, Axis.CHILD)
+    q_i.add_child(beta_pred, g.gamma, Axis.CHILD)
+    beta_spine = q_i.add_child(q_i.root, g.beta, Axis.CHILD)
+    q_i.graft(beta_spine, p_prime, Axis.CHILD)
+    q_i.set_output(beta_spine)
+
+    # X = <γ/>.
+    x = XMLTree(g.gamma)
+
+    # q_R = α[β[p'][γ]] with output at the root (node semantics), or at a
+    # fresh δ child (tree/value semantics, per the Section 5 REMARKS).
+    q_r = TreePattern(g.alpha)
+    beta_read = q_r.add_child(q_r.root, g.beta, Axis.CHILD)
+    q_r.graft(beta_read, p_prime, Axis.CHILD)
+    q_r.add_child(beta_read, g.gamma, Axis.CHILD)
+    if kind is ConflictKind.NODE:
+        q_r.set_output(q_r.root)
+    else:
+        delta = q_r.add_child(q_r.root, g.delta, Axis.CHILD)
+        q_r.set_output(delta)
+
+    return Read(q_r), Insert(q_i, x), g
+
+
+def read_delete_gadget(
+    p: TreePattern,
+    p_prime: TreePattern,
+    kind: ConflictKind = ConflictKind.NODE,
+) -> tuple[Read, Delete, GadgetLabels]:
+    """Theorem 6 construction: conflict(read, delete) iff ``p ⊄ p'``.
+
+    Returns ``(READ_{q_R}, DELETE_{q_D}, labels)``.
+    """
+    g = _fresh_gadget_labels(p, p_prime)
+
+    # q_D = α[β[p]]/γ[p'] with output at the spine γ.
+    q_d = TreePattern(g.alpha)
+    beta_pred = q_d.add_child(q_d.root, g.beta, Axis.CHILD)
+    q_d.graft(beta_pred, p, Axis.CHILD)
+    gamma_spine = q_d.add_child(q_d.root, g.gamma, Axis.CHILD)
+    q_d.graft(gamma_spine, p_prime, Axis.CHILD)
+    q_d.set_output(gamma_spine)
+
+    # q_R = α[*[p']].
+    q_r = TreePattern(g.alpha)
+    star = q_r.add_child(q_r.root, WILDCARD, Axis.CHILD)
+    q_r.graft(star, p_prime, Axis.CHILD)
+    if kind is ConflictKind.NODE:
+        q_r.set_output(q_r.root)
+    else:
+        delta = q_r.add_child(q_r.root, g.delta, Axis.CHILD)
+        q_r.set_output(delta)
+
+    return Read(q_r), Delete(q_d), g
+
+
+def read_insert_witness_from_noncontainment(
+    t_p: XMLTree,
+    t_p_prime: XMLTree,
+    labels: GadgetLabels,
+    kind: ConflictKind = ConflictKind.NODE,
+) -> XMLTree:
+    """Assemble the Figure 7d witness from a non-containment certificate.
+
+    Args:
+        t_p: a tree satisfying ``p`` but not ``p'`` (root-anchored).
+        t_p_prime: any tree satisfying ``p'`` (e.g. the model ``M_{p'}``).
+        labels: the gadget's fresh symbols.
+
+    Structure: ``α`` root with two ``β`` children — one holding ``t_p`` and
+    a ``γ`` leaf, the other holding ``t_p_prime`` and **no** ``γ`` child.
+    The read fails on this tree; after the insertion adds ``γ`` under the
+    second ``β``, the read succeeds — a node conflict.
+    """
+    witness = XMLTree(labels.alpha)
+    beta_one = witness.add_child(witness.root, labels.beta)
+    witness.graft(beta_one, t_p)
+    witness.add_child(beta_one, labels.gamma)
+    beta_two = witness.add_child(witness.root, labels.beta)
+    witness.graft(beta_two, t_p_prime)
+    if kind is not ConflictKind.NODE:
+        witness.add_child(witness.root, labels.delta)
+    return witness
+
+
+def read_delete_witness_from_noncontainment(
+    t_p: XMLTree,
+    t_p_prime: XMLTree,
+    labels: GadgetLabels,
+    kind: ConflictKind = ConflictKind.NODE,
+) -> XMLTree:
+    """Assemble the Figure 8c witness from a non-containment certificate.
+
+    Structure: ``α`` root with a ``β`` child holding ``t_p`` and a ``γ``
+    child holding ``t_p_prime``.  Before the deletion the read selects the
+    root (via the ``γ`` child, which satisfies ``p'``); the deletion
+    removes that ``γ`` child, and since ``t_p`` does not satisfy ``p'``,
+    the read then fails — a node conflict.
+    """
+    witness = XMLTree(labels.alpha)
+    beta = witness.add_child(witness.root, labels.beta)
+    witness.graft(beta, t_p)
+    gamma = witness.add_child(witness.root, labels.gamma)
+    witness.graft(gamma, t_p_prime)
+    if kind is not ConflictKind.NODE:
+        witness.add_child(witness.root, labels.delta)
+    return witness

@@ -1,0 +1,72 @@
+"""Satisfiability of tree patterns and its conflict encoding (Section 6).
+
+Every pattern in ``P^{//,[],*}`` is satisfiable — its *model* ``M_p``
+(Section 2.3) is a tree into which it embeds — so :func:`is_satisfiable`
+is trivially constant-true for this fragment and returns the model as the
+certificate.
+
+The interesting observation the paper makes is the converse encoding: *a
+read that selects all nodes conflicts with a delete if and only if the
+deletion pattern is satisfiable*.  For XPath fragments where satisfiability
+is nontrivial (e.g. with upward axes), this turns any conflict detector
+into a satisfiability tester.  :func:`satisfiability_via_conflict`
+demonstrates the encoding within our fragment: it builds the universal read
+``*//*`` (selecting every non-root node) and checks the conflict against
+the given deletion — which, per the paper's remark, must come out
+"conflict" for every well-formed deletion in this fragment.
+
+For the fragment where the encoding is *non-trivial* — patterns with
+parent/ancestor axes, which can be unsatisfiable — see
+:mod:`repro.patterns.upward` and its
+``satisfiability_via_conflict_upward``.
+"""
+
+from __future__ import annotations
+
+from repro.conflicts.semantics import ConflictKind, is_witness
+from repro.operations.ops import Delete, Read
+from repro.patterns.pattern import WILDCARD, Axis, TreePattern
+from repro.xml.tree import XMLTree
+
+__all__ = ["is_satisfiable", "universal_read", "satisfiability_via_conflict"]
+
+
+def is_satisfiable(pattern: TreePattern) -> tuple[bool, XMLTree]:
+    """Satisfiability with certificate: ``(True, M_p)`` for this fragment.
+
+    The fragment ``P^{//,[],*}`` has no unsatisfiable patterns (no upward
+    axes, no negation), so the answer is always True; the returned model is
+    a concrete tree on which ``[[p]](M_p) ≠ ∅``.
+    """
+    return True, pattern.model()
+
+
+def universal_read() -> Read:
+    """The read ``*//*`` — selects **every** non-root node of any tree."""
+    pattern = TreePattern(WILDCARD)
+    out = pattern.add_child(pattern.root, WILDCARD, Axis.DESCENDANT)
+    pattern.set_output(out)
+    return Read(pattern)
+
+
+def satisfiability_via_conflict(delete: Delete) -> tuple[bool, XMLTree | None]:
+    """Decide satisfiability of the deletion pattern via conflict detection.
+
+    Encoding from Section 6: the universal read conflicts with ``delete``
+    iff the deletion pattern is satisfiable.  Here the certificate is
+    direct — the deletion pattern's model, extended so the deleted node has
+    something the read loses — making the check constructive rather than
+    search-based.
+
+    Returns ``(satisfiable, witness)`` where ``witness`` is a tree on which
+    the conflict manifests.
+    """
+    read = universal_read()
+    model = delete.pattern.model()
+    # On the model, the deletion fires and removes at least one non-root
+    # node, which the universal read selected: an immediate node conflict.
+    if is_witness(model, read, delete, ConflictKind.NODE):
+        return True, model
+    # Defensive fallback (cannot trigger in this fragment): no conflict on
+    # the model would mean the deletion selected nothing anywhere.
+    return False, None  # pragma: no cover

@@ -1,0 +1,114 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The concrete
+subclasses mirror the major subsystems (XML substrate, XPath/pattern layer,
+operations, conflict engine, pidgin language).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class XMLError(ReproError):
+    """Base class for errors in the XML tree substrate."""
+
+
+class XMLParseError(XMLError):
+    """Malformed XML text was supplied to :func:`repro.xml.parse`.
+
+    Attributes:
+        position: character offset in the input at which the error was
+            detected, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class NodeNotFoundError(XMLError):
+    """A node id was used that does not exist in the tree."""
+
+
+class TreeStructureError(XMLError):
+    """An operation would violate the tree invariants.
+
+    Raised, for instance, when grafting a subtree under one of its own
+    descendants or detaching the root of a tree.
+    """
+
+
+class PatternError(ReproError):
+    """Base class for errors in the tree-pattern layer."""
+
+
+class XPathSyntaxError(PatternError):
+    """Malformed XPath text was supplied to :func:`repro.patterns.parse_xpath`.
+
+    Attributes:
+        position: character offset in the input at which the error was
+            detected, or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class NotLinearError(PatternError):
+    """A linear pattern was required but a branching pattern was supplied.
+
+    The polynomial-time algorithms of Section 4 of the paper require the
+    *read* pattern to be linear (class ``P^{//,*}``); this error signals a
+    caller that handed a branching pattern to a linear-only entry point.
+    """
+
+
+class OperationError(ReproError):
+    """An update operation was constructed or applied incorrectly.
+
+    For example, the paper requires the output node of a deletion pattern to
+    differ from its root (so the result of a deletion remains a tree).
+    """
+
+
+class ConflictEngineError(ReproError):
+    """Base class for errors in the conflict-detection engine."""
+
+
+class SearchBudgetExceeded(ConflictEngineError):
+    """An exhaustive witness search exceeded its configured budget.
+
+    Attributes:
+        explored: number of candidate trees examined before giving up.
+    """
+
+    def __init__(self, message: str, explored: int = 0) -> None:
+        super().__init__(message)
+        self.explored = explored
+
+
+class LanguageError(ReproError):
+    """Base class for errors in the pidgin update language."""
+
+
+class ProgramParseError(LanguageError):
+    """Malformed pidgin-language source text."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ProgramRuntimeError(LanguageError):
+    """A pidgin program referenced an undefined variable or misused a value."""

@@ -1,0 +1,43 @@
+"""The pidgin XML-update language: parser, interpreter, dependence analysis."""
+
+from repro.lang.analysis import (
+    DependenceEdge,
+    DependenceReport,
+    OptimizationResult,
+    RedundantRead,
+    can_swap,
+    dependence_graph,
+    find_redundant_reads,
+    optimize,
+)
+from repro.lang.ast import (
+    AssignStmt,
+    DeleteStmt,
+    InsertStmt,
+    Program,
+    ReadStmt,
+    Statement,
+)
+from repro.lang.interp import Environment, ReadResult, run_program
+from repro.lang.parser import parse_program
+
+__all__ = [
+    "Program",
+    "Statement",
+    "AssignStmt",
+    "ReadStmt",
+    "InsertStmt",
+    "DeleteStmt",
+    "parse_program",
+    "run_program",
+    "Environment",
+    "ReadResult",
+    "dependence_graph",
+    "DependenceReport",
+    "DependenceEdge",
+    "can_swap",
+    "find_redundant_reads",
+    "RedundantRead",
+    "optimize",
+    "OptimizationResult",
+]

@@ -1,0 +1,307 @@
+"""Static data-dependence analysis for pidgin programs (the paper's Section 1).
+
+The paper motivates conflict detection as a compiler analysis: if a read
+and an update *cannot* conflict, the compiler may reorder them, fuse tree
+traversals, or eliminate a recomputed read.  This module implements that
+application on straight-line pidgin programs:
+
+* :func:`dependence_graph` — for every ordered statement pair touching the
+  same tree variable, query the :class:`ConflictDetector`; an edge means
+  "may not be reordered across each other".
+* :func:`can_swap` — adjacency-level reorderability.
+* :func:`find_redundant_reads` — common-subexpression elimination for
+  reads: a later read with the same source and pattern, with no
+  potentially-conflicting update in between, can be replaced by the earlier
+  read's result (the paper's ``let u = y`` example).
+* :func:`optimize` — applies the CSE rewrites and reports them; soundness
+  is validated in the test-suite by interpreting original and optimized
+  programs and comparing final states.
+
+Analysis is conservative in exactly one place: when the detector returns
+``UNKNOWN`` (possible only for branching reads under a bounded search
+budget), the pair is treated as conflicting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.semantics import Verdict
+from repro.lang.ast import (
+    AssignStmt,
+    DeleteStmt,
+    InsertStmt,
+    Program,
+    ReadStmt,
+    Statement,
+)
+from repro.operations.ops import Delete, Insert, Read, UpdateOp
+
+__all__ = [
+    "DependenceEdge",
+    "DependenceReport",
+    "dependence_graph",
+    "can_swap",
+    "find_redundant_reads",
+    "optimize",
+    "hoist_reads",
+    "HoistResult",
+]
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    """A may-conflict edge between statement indices ``earlier < later``."""
+
+    earlier: int
+    later: int
+    variable: str
+    reason: str  # "read-insert", "read-delete", "update-update", ...
+
+
+@dataclass
+class DependenceReport:
+    """Result of analyzing a program."""
+
+    program: Program
+    edges: list[DependenceEdge] = field(default_factory=list)
+
+    def conflicts_between(self, i: int, j: int) -> bool:
+        """Is there an edge between statements ``i`` and ``j`` (either order)?"""
+        lo, hi = min(i, j), max(i, j)
+        return any(e.earlier == lo and e.later == hi for e in self.edges)
+
+    def blocked_range(self, i: int, j: int, variable: str) -> bool:
+        """Does any statement strictly between ``i`` and ``j`` conflict with ``i``?"""
+        return any(
+            e.earlier == i and i < e.later < j and e.variable == variable
+            for e in self.edges
+        )
+
+
+def _as_operation(statement: Statement):  # type: ignore[no-untyped-def]
+    if isinstance(statement, ReadStmt):
+        return Read(statement.pattern)
+    if isinstance(statement, InsertStmt):
+        return Insert(statement.pattern, statement.literal)
+    if isinstance(statement, DeleteStmt):
+        return Delete(statement.pattern)
+    return None
+
+
+def _variable_of(statement: Statement) -> str | None:
+    if isinstance(statement, (ReadStmt, InsertStmt, DeleteStmt)):
+        return statement.source
+    if isinstance(statement, AssignStmt):
+        return statement.target
+    return None
+
+
+def dependence_graph(
+    program: Program, detector: ConflictDetector | None = None
+) -> DependenceReport:
+    """Build the may-conflict graph of a program.
+
+    Pairs on *different* tree variables never conflict (assignments bind
+    fresh trees, so variables cannot alias).  An assignment conflicts with
+    every later statement touching the same variable (it redefines the
+    whole document).
+    """
+    if detector is None:
+        # A compiler analysis only needs *sound* may-conflict answers, and
+        # UNKNOWN is treated as a conflict, so a small search budget
+        # suffices: it trades a few spurious dependence edges for fast
+        # analysis.  Callers wanting sharper answers pass their own
+        # detector.
+        detector = ConflictDetector(exhaustive_cap=4)
+    report = DependenceReport(program)
+    statements = program.statements
+    for j, later in enumerate(statements):
+        for i in range(j):
+            earlier = statements[i]
+            variable = _variable_of(earlier)
+            if variable is None or variable != _variable_of(later):
+                continue
+            reason = _pair_conflict(earlier, later, detector)
+            if reason is not None:
+                report.edges.append(DependenceEdge(i, j, variable, reason))
+    return report
+
+
+def _pair_conflict(
+    earlier: Statement, later: Statement, detector: ConflictDetector
+) -> str | None:
+    if isinstance(earlier, AssignStmt) or isinstance(later, AssignStmt):
+        return "definition"
+    op_a = _as_operation(earlier)
+    op_b = _as_operation(later)
+    read: Read | None = None
+    update: UpdateOp | None = None
+    if isinstance(op_a, Read) and isinstance(op_b, Read):
+        return None  # reads never conflict with reads
+    if isinstance(op_a, Read):
+        read, update = op_a, op_b  # type: ignore[assignment]
+    elif isinstance(op_b, Read):
+        read, update = op_b, op_a  # type: ignore[assignment]
+    if read is not None and update is not None:
+        verdict = detector.read_update(read, update).verdict
+        if verdict is Verdict.NO_CONFLICT:
+            return None
+        kind = "read-insert" if isinstance(update, Insert) else "read-delete"
+        return kind if verdict is Verdict.CONFLICT else f"{kind}-unknown"
+    # update-update pair
+    assert isinstance(op_a, (Insert, Delete)) and isinstance(op_b, (Insert, Delete))
+    verdict = detector.update_update(op_a, op_b).verdict
+    if verdict is Verdict.NO_CONFLICT:
+        return None
+    return "update-update" if verdict is Verdict.CONFLICT else "update-update-unknown"
+
+
+def can_swap(report: DependenceReport, i: int) -> bool:
+    """May statements ``i`` and ``i+1`` be exchanged?"""
+    if i + 1 >= len(report.program):
+        raise IndexError(f"no statement follows index {i}")
+    return not report.conflicts_between(i, i + 1)
+
+
+@dataclass(frozen=True)
+class RedundantRead:
+    """A read whose result equals an earlier read's result."""
+
+    original: int
+    duplicate: int
+
+
+def find_redundant_reads(report: DependenceReport) -> list[RedundantRead]:
+    """Reads eligible for common-subexpression elimination.
+
+    A read at ``j`` duplicates a read at ``i < j`` when both have the same
+    source variable and pattern and no statement between them may conflict
+    with the read.
+    """
+    out: list[RedundantRead] = []
+    statements = report.program.statements
+    claimed: set[int] = set()
+    for j, later in enumerate(statements):
+        if not isinstance(later, ReadStmt) or j in claimed:
+            continue
+        for i in range(j):
+            earlier = statements[i]
+            if (
+                isinstance(earlier, ReadStmt)
+                and earlier.source == later.source
+                and earlier.pattern == later.pattern
+                and not _conflicting_between(report, i, j, later.source)
+            ):
+                out.append(RedundantRead(i, j))
+                claimed.add(j)
+                break
+    return out
+
+
+def _conflicting_between(
+    report: DependenceReport, i: int, j: int, variable: str
+) -> bool:
+    """Any statement strictly between i and j that may change the read?"""
+    statements = report.program.statements
+    for k in range(i + 1, j):
+        mid = statements[k]
+        if _variable_of(mid) != variable:
+            continue
+        if isinstance(mid, ReadStmt):
+            continue
+        if report.conflicts_between(k, j) or report.conflicts_between(i, k):
+            return True
+    return False
+
+
+@dataclass
+class OptimizationResult:
+    """The rewritten program plus what was done."""
+
+    program: Program
+    eliminated: list[RedundantRead] = field(default_factory=list)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class HoistResult:
+    """The reordered program plus where each statement moved."""
+
+    program: Program
+    moves: dict[int, int] = field(default_factory=dict)  # old index -> new index
+
+
+def hoist_reads(
+    program: Program, detector: ConflictDetector | None = None
+) -> HoistResult:
+    """Code motion: move each read as early as its dependences allow.
+
+    The paper's Section 1 sketches this optimization: a read that cannot
+    conflict with the updates above it may be hoisted past them, enabling
+    traversal fusion with earlier reads of the same document.  A read is
+    moved upward, one statement at a time, as long as the statement above
+    it is not a read target it depends on (reads never block reads) and
+    the dependence graph has no edge between them.
+
+    The transformation is semantics-preserving by construction — only
+    provably non-conflicting pairs are exchanged — and the test-suite
+    re-validates by interpretation.
+    """
+    report = dependence_graph(program, detector)
+    statements = list(program.statements)
+    positions = list(range(len(statements)))  # original index of each slot
+
+    changed = True
+    while changed:
+        changed = False
+        for slot in range(1, len(statements)):
+            current = statements[slot]
+            if not isinstance(current, ReadStmt):
+                continue
+            above = statements[slot - 1]
+            if isinstance(above, ReadStmt):
+                # Crossing another read gains nothing and (for equal
+                # targets) would reorder writes; leave read blocks intact.
+                continue
+            if isinstance(above, AssignStmt) and above.target == current.target:
+                continue  # write-after-write versus a tree assignment
+            if report.conflicts_between(positions[slot - 1], positions[slot]):
+                continue
+            statements[slot - 1], statements[slot] = current, above
+            positions[slot - 1], positions[slot] = (
+                positions[slot],
+                positions[slot - 1],
+            )
+            changed = True
+    moves = {
+        original: new
+        for new, original in enumerate(positions)
+        if original != new
+    }
+    return HoistResult(Program(statements), moves)
+
+
+def optimize(
+    program: Program, detector: ConflictDetector | None = None
+) -> OptimizationResult:
+    """Apply read-CSE: replace duplicate reads by aliases of earlier results.
+
+    The rewritten program drops the duplicate read statements; ``aliases``
+    maps each dropped read's target variable to the variable holding the
+    equivalent earlier result.  Interpreting the optimized program and then
+    copying aliased results reproduces the original final environment (the
+    test suite verifies this end to end).
+    """
+    report = dependence_graph(program, detector)
+    redundant = find_redundant_reads(report)
+    drop = {r.duplicate for r in redundant}
+    aliases: dict[str, str] = {}
+    for r in redundant:
+        original = program.statements[r.original]
+        duplicate = program.statements[r.duplicate]
+        assert isinstance(original, ReadStmt) and isinstance(duplicate, ReadStmt)
+        aliases[duplicate.target] = original.target
+    kept = [s for k, s in enumerate(program.statements) if k not in drop]
+    return OptimizationResult(Program(kept), redundant, aliases)

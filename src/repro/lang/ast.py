@@ -1,0 +1,111 @@
+"""AST for the paper's pidgin update language (Section 1).
+
+The introduction motivates conflict detection with program fragments like::
+
+    x = <doc><B/></doc>
+    y = read $x//A
+    insert $x/B, <C/>
+    z = read $x//C
+    delete $x//D
+
+Four statement forms: tree-literal assignment, read, insert, delete.  Paths
+are written relative to a tree variable (``$x//A``); they compile to tree
+patterns whose root is a wildcard matching the variable's document root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.patterns.pattern import TreePattern
+from repro.xml.tree import XMLTree
+
+__all__ = ["Statement", "AssignStmt", "ReadStmt", "InsertStmt", "DeleteStmt", "Program"]
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """``var = <xml literal>`` — bind a fresh tree to a variable."""
+
+    target: str
+    literal: XMLTree
+    line: int = 0
+
+    def __str__(self) -> str:
+        from repro.xml.serializer import serialize
+
+        return f"{self.target} = {serialize(self.literal)}"
+
+
+@dataclass(frozen=True)
+class ReadStmt:
+    """``var = read $src<path>`` — bind the selected node set to ``var``."""
+
+    target: str
+    source: str
+    pattern: TreePattern
+    line: int = 0
+
+    def __str__(self) -> str:
+        from repro.patterns.xpath import to_xpath
+
+        return f"{self.target} = read ${self.source}{_render_path(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    """``insert $src<path>, <xml>`` — graft a copy of the literal at each match."""
+
+    source: str
+    pattern: TreePattern
+    literal: XMLTree
+    line: int = 0
+
+    def __str__(self) -> str:
+        from repro.xml.serializer import serialize
+
+        return (
+            f"insert ${self.source}{_render_path(self.pattern)}, "
+            f"{serialize(self.literal)}"
+        )
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    """``delete $src<path>`` — remove the subtree at each match."""
+
+    source: str
+    pattern: TreePattern
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"delete ${self.source}{_render_path(self.pattern)}"
+
+
+Statement = AssignStmt | ReadStmt | InsertStmt | DeleteStmt
+
+
+@dataclass
+class Program:
+    """A straight-line sequence of statements."""
+
+    statements: list[Statement]
+
+    def __iter__(self):  # type: ignore[no-untyped-def]
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)
+
+
+def _render_path(pattern: TreePattern) -> str:
+    """Render a variable-relative path: drop the wildcard root."""
+    from repro.patterns.xpath import to_xpath
+
+    text = to_xpath(pattern)
+    if text.startswith("*"):
+        text = text[1:]
+    return text

@@ -1,0 +1,84 @@
+"""Interpreter for the pidgin update language (reference semantics).
+
+Trees are mutated in place, as in XJ and the XQuery update proposals the
+paper targets; a read binds a set of node references into the environment.
+The interpreter exists to *validate* the static analysis: the optimizer's
+transformations are only sound if interpreting the transformed program
+yields equivalent final state, and the test suite checks exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProgramRuntimeError
+from repro.lang.ast import AssignStmt, DeleteStmt, InsertStmt, Program, ReadStmt
+from repro.operations.ops import Delete, Insert, Read
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = ["ReadResult", "Environment", "run_program"]
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """The value of a read: node references into a named tree."""
+
+    source: str
+    nodes: frozenset[NodeId]
+
+
+@dataclass
+class Environment:
+    """Final interpreter state: tree variables and read results."""
+
+    trees: dict[str, XMLTree] = field(default_factory=dict)
+    reads: dict[str, ReadResult] = field(default_factory=dict)
+
+    def tree(self, name: str) -> XMLTree:
+        try:
+            return self.trees[name]
+        except KeyError:
+            raise ProgramRuntimeError(f"undefined tree variable ${name}") from None
+
+    def snapshot_equal(self, other: "Environment") -> bool:
+        """Structural equality of final states (used by optimizer tests).
+
+        Tree variables must be pairwise equivalent (same node ids, edges,
+        labels — Definition 2); read results must be identical reference
+        sets.  Node ids assigned to freshly inserted copies depend on
+        insertion order, so callers comparing across *reordered* programs
+        should use :func:`repro.xml.isomorphism.isomorphic` per tree
+        instead; this strict check suits same-order comparisons.
+        """
+        if set(self.trees) != set(other.trees) or set(self.reads) != set(other.reads):
+            return False
+        if any(not self.trees[k].equivalent(other.trees[k]) for k in self.trees):
+            return False
+        return all(self.reads[k] == other.reads[k] for k in self.reads)
+
+
+def run_program(program: Program, env: Environment | None = None) -> Environment:
+    """Execute ``program``, returning the final environment.
+
+    A fresh environment is used unless one is supplied (supplying one
+    allows running a program against pre-built documents).
+    """
+    env = env if env is not None else Environment()
+    for statement in program:
+        if isinstance(statement, AssignStmt):
+            env.trees[statement.target] = statement.literal.copy()
+        elif isinstance(statement, ReadStmt):
+            tree = env.tree(statement.source)
+            nodes = Read(statement.pattern).apply(tree)
+            env.reads[statement.target] = ReadResult(
+                statement.source, frozenset(nodes)
+            )
+        elif isinstance(statement, InsertStmt):
+            tree = env.tree(statement.source)
+            Insert(statement.pattern, statement.literal).apply_in_place(tree)
+        elif isinstance(statement, DeleteStmt):
+            tree = env.tree(statement.source)
+            Delete(statement.pattern).apply_in_place(tree)
+        else:  # pragma: no cover - exhaustive match
+            raise ProgramRuntimeError(f"unknown statement {statement!r}")
+    return env

@@ -1,0 +1,98 @@
+"""Parser for the pidgin update language.
+
+Line-oriented; ``#`` starts a comment.  Statement forms::
+
+    x = <doc><B/></doc>          # assign a tree literal
+    y = read $x//A               # read
+    insert $x/B, <C/>            # insert
+    delete $x//D                 # delete
+
+A path after ``$var`` must start with ``/`` or ``//`` (or be empty, which
+selects the document root — useful for whole-document reads).  It compiles
+to a tree pattern with a wildcard root standing for the variable's root.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ProgramParseError
+from repro.lang.ast import AssignStmt, DeleteStmt, InsertStmt, Program, ReadStmt
+from repro.patterns.pattern import TreePattern, WILDCARD
+from repro.patterns.xpath import parse_xpath
+from repro.xml.parser import parse as parse_xml
+
+__all__ = ["parse_program"]
+
+_ASSIGN_READ = re.compile(r"^(\w+)\s*=\s*read\s+\$(\w+)(\S*)\s*$")
+_ASSIGN_TREE = re.compile(r"^(\w+)\s*=\s*(<.*)$")
+_INSERT = re.compile(r"^insert\s+\$(\w+)(\S*)\s*,\s*(<.*)$")
+_DELETE = re.compile(r"^delete\s+\$(\w+)(\S*)\s*$")
+
+
+def parse_program(text: str) -> Program:
+    """Parse ``text`` into a :class:`Program`.
+
+    Raises :class:`~repro.errors.ProgramParseError` with a line number on
+    malformed input.
+    """
+    statements = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        statements.append(_parse_statement(line, number))
+    return Program(statements)
+
+
+def _parse_statement(line: str, number: int):  # type: ignore[no-untyped-def]
+    match = _ASSIGN_READ.match(line)
+    if match:
+        target, source, path = match.groups()
+        return ReadStmt(target, source, _compile_path(path, number), line=number)
+    match = _INSERT.match(line)
+    if match:
+        source, path, literal = match.groups()
+        return InsertStmt(
+            source,
+            _compile_path(path, number),
+            _compile_literal(literal, number),
+            line=number,
+        )
+    match = _DELETE.match(line)
+    if match:
+        source, path = match.groups()
+        pattern = _compile_path(path, number)
+        if pattern.output == pattern.root:
+            raise ProgramParseError(
+                "a delete path must select below the document root", number
+            )
+        return DeleteStmt(source, pattern, line=number)
+    match = _ASSIGN_TREE.match(line)
+    if match:
+        target, literal = match.groups()
+        return AssignStmt(target, _compile_literal(literal, number), line=number)
+    raise ProgramParseError(f"unrecognized statement: {line!r}", number)
+
+
+def _compile_path(path: str, number: int) -> TreePattern:
+    """``$x`` paths: wildcard root for the variable's document root."""
+    path = path.strip()
+    if not path:
+        pattern = TreePattern(WILDCARD)
+        return pattern
+    if not path.startswith("/"):
+        raise ProgramParseError(
+            f"a path after $var must start with '/' or '//': {path!r}", number
+        )
+    try:
+        return parse_xpath(WILDCARD + path)
+    except Exception as exc:
+        raise ProgramParseError(f"bad path {path!r}: {exc}", number) from exc
+
+
+def _compile_literal(literal: str, number: int):  # type: ignore[no-untyped-def]
+    try:
+        return parse_xml(literal.strip())
+    except Exception as exc:
+        raise ProgramParseError(f"bad XML literal: {exc}", number) from exc

@@ -1,0 +1,5 @@
+"""Update operations with the paper's reference-based semantics."""
+
+from repro.operations.ops import Delete, Insert, Read, UpdateOp, UpdateResult
+
+__all__ = ["Read", "Insert", "Delete", "UpdateResult", "UpdateOp"]

@@ -1,0 +1,57 @@
+"""Tree patterns, XPath parsing, embedding evaluation, and containment."""
+
+from repro.patterns.containment import (
+    contains,
+    contains_bruteforce,
+    contains_no_wildcard,
+    homomorphism_exists,
+)
+from repro.patterns.incremental import IncrementalEvaluator
+from repro.patterns.upward import (
+    UpwardAxis,
+    UpwardPattern,
+    evaluate_upward,
+    find_model_upward,
+    is_satisfiable_upward,
+    satisfiability_via_conflict_upward,
+)
+from repro.patterns.embedding import (
+    embeds,
+    embeds_at,
+    enumerate_embeddings,
+    evaluate,
+    evaluate_subtrees,
+    find_embedding,
+    match_sets,
+)
+from repro.patterns.pattern import WILDCARD, Axis, PNodeId, TreePattern, ValueTest, fresh_label
+from repro.patterns.xpath import parse_xpath, to_xpath
+
+__all__ = [
+    "TreePattern",
+    "Axis",
+    "ValueTest",
+    "WILDCARD",
+    "PNodeId",
+    "fresh_label",
+    "parse_xpath",
+    "to_xpath",
+    "evaluate",
+    "evaluate_subtrees",
+    "embeds",
+    "embeds_at",
+    "find_embedding",
+    "enumerate_embeddings",
+    "match_sets",
+    "contains",
+    "contains_bruteforce",
+    "contains_no_wildcard",
+    "homomorphism_exists",
+    "IncrementalEvaluator",
+    "UpwardPattern",
+    "UpwardAxis",
+    "evaluate_upward",
+    "find_model_upward",
+    "is_satisfiable_upward",
+    "satisfiability_via_conflict_upward",
+]

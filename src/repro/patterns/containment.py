@@ -1,0 +1,252 @@
+"""Containment of tree patterns (Definition 11; Miklau & Suciu).
+
+``p ⊆ p'`` holds when every tree satisfying ``p`` also satisfies ``p'``
+(boolean satisfaction — an embedding exists).  The paper's NP-hardness
+theorems (4 and 6) reduce *non*-containment to conflict detection, so this
+module is the oracle used to validate those reductions experimentally.
+
+Three deciders, strongest last:
+
+* :func:`homomorphism_exists` — existence of a pattern homomorphism from
+  ``p'`` to ``p``.  Sound for containment (a homomorphism implies
+  ``p ⊆ p'``) and polynomial, but incomplete when ``//``, ``[]`` and ``*``
+  mix (Miklau & Suciu's counterexamples).
+* :func:`contains` — **exact** containment via canonical models.  The
+  canonical models of ``p`` are obtained by replacing every wildcard with a
+  fresh symbol ``z`` and expanding every descendant edge into a chain of
+  ``0..k+1`` fresh ``z`` nodes, where ``k = STAR-LENGTH(p')``.  ``p ⊆ p'``
+  iff ``p'`` embeds into every such model.  Correctness of the ``k+1``
+  truncation follows from the paper's own reparenting lemma (Lemma 9):
+  shrinking a chain of fresh-labeled nodes to length ``k+1`` cannot destroy
+  the *absence* of an embedding of ``p'``.  Exponential in the number of
+  descendant edges — as expected, the problem is coNP-complete.
+* :func:`contains_bruteforce` — ground-truth oracle over an explicit
+  enumeration of small trees; used by the test suite to validate the other
+  two.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+
+from repro.errors import SearchBudgetExceeded
+from repro.patterns.embedding import embeds
+from repro.patterns.pattern import WILDCARD, Axis, PNodeId, TreePattern, fresh_label
+from repro.xml.enumerate import enumerate_trees
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = [
+    "homomorphism_exists",
+    "contains",
+    "contains_no_wildcard",
+    "canonical_models",
+    "contains_bruteforce",
+]
+
+
+def homomorphism_exists(source: TreePattern, target: TreePattern) -> bool:
+    """Is there a pattern homomorphism ``h : source -> target``?
+
+    A homomorphism maps the root to the root, preserves labels (a
+    non-wildcard source node must land on a target node with the *same
+    concrete* label), maps child edges to child edges, and descendant edges
+    to proper target ancestor/descendant pairs (any mix of edge kinds).
+
+    ``homomorphism_exists(p', p)`` implies ``p ⊆ p'``; the converse can
+    fail for ``P^{//,[],*}``.
+    """
+    # ok[s][u] — can the subpattern of `source` at s map with s -> u?
+    ok: dict[PNodeId, set[PNodeId]] = {}
+    target_nodes = list(target.nodes())
+    for s in source.postorder():
+        candidates = {
+            u for u in target_nodes if _hom_label_ok(source, s, target, u)
+        }
+        for child in source.children(s):
+            axis = source.axis(child)
+            assert axis is not None
+            if axis is Axis.CHILD:
+                # A child edge must land on a *child* edge of the target:
+                # a descendant edge of the target can be stretched by an
+                # instantiation, which would break the child constraint.
+                allowed = {
+                    target.parent(u)
+                    for u in ok[child]
+                    if target.parent(u) is not None
+                    and target.axis(u) is Axis.CHILD
+                }
+            else:
+                allowed = set()
+                for u in ok[child]:
+                    current = target.parent(u)
+                    while current is not None:
+                        allowed.add(current)
+                        current = target.parent(current)
+            candidates &= allowed
+            if not candidates:
+                break
+        ok[s] = candidates
+    return target.root in ok[source.root]
+
+
+def _hom_label_ok(
+    source: TreePattern, s: PNodeId, target: TreePattern, u: PNodeId
+) -> bool:
+    label = source.label(s)
+    if label == WILDCARD:
+        return True
+    return target.label(u) == label and not target.is_wildcard(u)
+
+
+def contains_no_wildcard(p: TreePattern, p_prime: TreePattern) -> bool:
+    """PTIME containment for the wildcard-free fragment ``P^{//,[]}``.
+
+    Section 6 of the paper points out that containment for ``P^{//,[]}``
+    (branching and descendant edges, but no ``*``) is decidable in
+    polynomial time — for that fragment the homomorphism criterion is not
+    just sound but **complete** (Amer-Yahia, Cho, Lakshmanan & Srivastava;
+    Miklau & Suciu).  Wildcards are what break completeness, so this entry
+    point insists the inputs are wildcard-free.
+
+    Raises:
+        PatternError: when either pattern contains a wildcard.
+    """
+    from repro.errors import PatternError
+
+    for pattern, name in ((p, "p"), (p_prime, "p'")):
+        if any(pattern.is_wildcard(n) for n in pattern.nodes()):
+            raise PatternError(
+                f"contains_no_wildcard requires wildcard-free patterns; "
+                f"{name} uses '*' (use contains() for the full fragment)"
+            )
+    return homomorphism_exists(p_prime, p)
+
+
+def canonical_models(
+    pattern: TreePattern,
+    max_gap: int,
+    z_label: str | None = None,
+) -> "list[XMLTree]":
+    """All canonical models of ``pattern`` with descendant gaps ``0..max_gap``.
+
+    Each descendant edge is expanded into a chain of ``j`` fresh ``z``-
+    labeled nodes (``0 <= j <= max_gap``) followed by the child; wildcards
+    are relabeled ``z``.  The model count is ``(max_gap+1)^d`` for ``d``
+    descendant edges.
+    """
+    if z_label is None:
+        z_label = fresh_label(pattern.labels())
+    descendant_edges = [
+        node
+        for node in pattern.preorder()
+        if pattern.axis(node) is Axis.DESCENDANT
+    ]
+    models: list[XMLTree] = []
+    for gaps in itertools.product(range(max_gap + 1), repeat=len(descendant_edges)):
+        gap_of = dict(zip(descendant_edges, gaps))
+        models.append(_build_model(pattern, gap_of, z_label))
+    return models
+
+
+def _build_model(
+    pattern: TreePattern, gap_of: dict[PNodeId, int], z_label: str
+) -> XMLTree:
+    def concrete(node: PNodeId) -> str:
+        label = pattern.label(node)
+        return z_label if label == WILDCARD else label
+
+    tree = XMLTree(concrete(pattern.root))
+    placed: dict[PNodeId, NodeId] = {pattern.root: tree.root}
+    for node in pattern.preorder():
+        if node == pattern.root:
+            continue
+        parent = pattern.parent(node)
+        assert parent is not None
+        anchor = placed[parent]
+        for _ in range(gap_of.get(node, 0)):
+            anchor = tree.add_child(anchor, z_label)
+        placed[node] = tree.add_child(anchor, concrete(node))
+    return tree
+
+
+def contains(
+    p: TreePattern,
+    p_prime: TreePattern,
+    model_budget: int | None = 200_000,
+) -> bool:
+    """Exact containment test ``p ⊆ p'`` via canonical models.
+
+    Args:
+        p, p_prime: the two patterns.
+        model_budget: safety cap on the number of canonical models examined
+            (the count is exponential in the number of ``//`` edges of
+            ``p``).  Raises :class:`SearchBudgetExceeded` when the cap would
+            be exceeded; pass ``None`` for no cap.
+
+    Returns True iff every tree with an embedding of ``p`` also has an
+    embedding of ``p'``.
+    """
+    max_gap = p_prime.star_length() + 1
+    descendant_edges = sum(
+        1 for node in p.preorder() if p.axis(node) is Axis.DESCENDANT
+    )
+    total = (max_gap + 1) ** descendant_edges
+    if model_budget is not None and total > model_budget:
+        raise SearchBudgetExceeded(
+            f"containment check needs {total} canonical models "
+            f"(budget {model_budget})",
+            explored=0,
+        )
+    z_label = fresh_label(p.labels() | p_prime.labels())
+    for model in canonical_models(p, max_gap, z_label):
+        if not embeds(p_prime, model):
+            return False
+    return True
+
+
+def non_containment_witness(
+    p: TreePattern,
+    p_prime: TreePattern,
+    model_budget: int | None = 200_000,
+) -> XMLTree | None:
+    """A tree satisfying ``p`` but not ``p'``, or ``None`` when ``p ⊆ p'``."""
+    max_gap = p_prime.star_length() + 1
+    z_label = fresh_label(p.labels() | p_prime.labels())
+    descendant_edges = sum(
+        1 for node in p.preorder() if p.axis(node) is Axis.DESCENDANT
+    )
+    total = (max_gap + 1) ** descendant_edges
+    if model_budget is not None and total > model_budget:
+        raise SearchBudgetExceeded(
+            f"containment check needs {total} canonical models "
+            f"(budget {model_budget})",
+            explored=0,
+        )
+    for model in canonical_models(p, max_gap, z_label):
+        if not embeds(p_prime, model):
+            return model
+    return None
+
+
+def contains_bruteforce(
+    p: TreePattern,
+    p_prime: TreePattern,
+    max_size: int,
+    alphabet: Sequence[str] | None = None,
+) -> bool:
+    """Ground-truth containment over explicitly enumerated small trees.
+
+    Checks every unordered labeled tree (up to isomorphism) with at most
+    ``max_size`` nodes over ``alphabet`` (default: the patterns' labels plus
+    one fresh symbol).  Sound only up to the size bound — a counterexample
+    larger than ``max_size`` escapes it — so the test suite pairs it with
+    :func:`contains` on instances whose minimal counterexamples are small.
+    """
+    if alphabet is None:
+        labels = p.labels() | p_prime.labels()
+        alphabet = tuple(sorted(labels | {fresh_label(labels)}))
+    for tree in enumerate_trees(max_size, alphabet):
+        if embeds(p, tree) and not embeds(p_prime, tree):
+            return False
+    return True

@@ -1,0 +1,254 @@
+"""Patterns with upward axes — the fragment where satisfiability bites.
+
+Section 6 of the paper observes that its fragment ``P^{//,[],*}`` is
+always satisfiable, but that "for subsets of XPath that can result in
+unsatisfiable tree patterns (for example, those involving parent or
+ancestor), this reduction [satisfiability ⇔ conflict with a universal
+read] may be useful."  This module realizes that subset so the remark can
+be exercised end to end:
+
+* :class:`UpwardPattern` — pattern trees whose edges may additionally be
+  ``parent`` or ``ancestor`` constraints (the child-in-the-pattern's image
+  must be the parent / a proper ancestor of its pattern-parent's image);
+* :func:`evaluate_upward` — embedding-based evaluation (backtracking; the
+  structure is no longer a downward tree, so the two-phase evaluator does
+  not apply);
+* :func:`is_satisfiable_upward` — exact satisfiability by bounded model
+  search.  A satisfiable pattern has a model with at most ``|p|`` nodes:
+  take any witness embedding, drop every non-image node (re-attaching
+  children to the nearest surviving ancestor) — images preserve all four
+  constraint kinds under deletions, so the image set itself models ``p``;
+* :func:`satisfiability_via_conflict_upward` — the Section 6 encoding:
+  the universal read conflicts with ``DELETE_p`` iff ``p`` is satisfiable
+  (by a document where the deletion selects below the root), demonstrated
+  constructively.
+
+Upward patterns are deliberately separate from :class:`TreePattern` — the
+paper's algorithms (matching, trunk reduction, Lemma 11 bounds) are proved
+for the downward fragment only and do not transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import PatternError
+from repro.patterns.pattern import WILDCARD, fresh_label
+from repro.xml.enumerate import enumerate_trees
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = [
+    "UpwardAxis",
+    "UpwardPattern",
+    "evaluate_upward",
+    "find_model_upward",
+    "is_satisfiable_upward",
+    "satisfiability_via_conflict_upward",
+]
+
+
+class UpwardAxis(enum.Enum):
+    """Edge kinds for the extended fragment."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+    PARENT = "/.."
+    ANCESTOR = "//.."
+
+
+@dataclass
+class _UNode:
+    label: str
+    parent: int | None
+    axis: UpwardAxis | None
+    children: list[int] = field(default_factory=list)
+
+
+class UpwardPattern:
+    """A pattern tree over child/descendant/parent/ancestor edges.
+
+    The *pattern* is still a tree (each node constrained relative to its
+    pattern-parent), but an edge may point the image **upward**: with a
+    ``PARENT`` edge the child node's image must be the exact parent of its
+    pattern-parent's image.  That makes unsatisfiable patterns expressible
+    — e.g. a root labeled ``a`` whose child-edge child carries a
+    ``PARENT`` edge to a node labeled ``b``: the ``b`` image would have to
+    be the root's parent, which does not exist.
+    """
+
+    def __init__(self, root_label: str) -> None:
+        self._nodes: dict[int, _UNode] = {0: _UNode(root_label, None, None)}
+        self._next = 1
+        self.output = 0
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def add_child(self, parent: int, label: str, axis: UpwardAxis) -> int:
+        if parent not in self._nodes:
+            raise PatternError(f"unknown pattern node {parent}")
+        node = self._next
+        self._next += 1
+        self._nodes[node] = _UNode(label, parent, axis)
+        self._nodes[parent].children.append(node)
+        return node
+
+    def set_output(self, node: int) -> None:
+        if node not in self._nodes:
+            raise PatternError(f"unknown pattern node {node}")
+        self.output = node
+
+    def label(self, node: int) -> str:
+        return self._nodes[node].label
+
+    def axis(self, node: int) -> UpwardAxis | None:
+        return self._nodes[node].axis
+
+    def children(self, node: int) -> tuple[int, ...]:
+        return tuple(self._nodes[node].children)
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._nodes)
+
+    def labels(self) -> set[str]:
+        return {
+            rec.label for rec in self._nodes.values() if rec.label != WILDCARD
+        }
+
+    def preorder(self) -> Iterator[int]:
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._nodes[node].children))
+
+    def has_upward_edges(self) -> bool:
+        return any(
+            rec.axis in (UpwardAxis.PARENT, UpwardAxis.ANCESTOR)
+            for rec in self._nodes.values()
+        )
+
+
+def _label_ok(pattern: UpwardPattern, pnode: int, tree: XMLTree, tnode: NodeId) -> bool:
+    label = pattern.label(pnode)
+    return label == WILDCARD or tree.label(tnode) == label
+
+
+def enumerate_upward_embeddings(
+    pattern: UpwardPattern, tree: XMLTree, limit: int | None = None
+) -> Iterator[dict[int, NodeId]]:
+    """All embeddings of an upward pattern (backtracking)."""
+    order = list(pattern.preorder())
+    count = 0
+
+    def candidates(pnode: int, assignment: dict[int, NodeId]) -> Iterator[NodeId]:
+        parent = pattern._nodes[pnode].parent  # noqa: SLF001 - internal
+        if parent is None:
+            yield tree.root
+            return
+        base = assignment[parent]
+        axis = pattern.axis(pnode)
+        if axis is UpwardAxis.CHILD:
+            yield from tree.children(base)
+        elif axis is UpwardAxis.DESCENDANT:
+            yield from tree.descendants(base)
+        elif axis is UpwardAxis.PARENT:
+            up = tree.parent(base)
+            if up is not None:
+                yield up
+        else:  # ANCESTOR
+            yield from tree.ancestors(base)
+
+    def extend(index: int, assignment: dict[int, NodeId]) -> Iterator[dict[int, NodeId]]:
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if index == len(order):
+            count += 1
+            yield dict(assignment)
+            return
+        pnode = order[index]
+        for tnode in candidates(pnode, assignment):
+            if _label_ok(pattern, pnode, tree, tnode):
+                assignment[pnode] = tnode
+                yield from extend(index + 1, assignment)
+                del assignment[pnode]
+
+    yield from extend(0, {})
+
+
+def evaluate_upward(pattern: UpwardPattern, tree: XMLTree) -> set[NodeId]:
+    """``[[p]](t)`` for the extended fragment."""
+    return {
+        assignment[pattern.output]
+        for assignment in enumerate_upward_embeddings(pattern, tree)
+    }
+
+
+def find_model_upward(
+    pattern: UpwardPattern, require_nonroot_output: bool = False
+) -> XMLTree | None:
+    """A smallest model of the pattern, or ``None`` when unsatisfiable.
+
+    Exact: a satisfiable upward pattern has a model with at most ``|p|``
+    nodes over ``Σ_p`` plus one fresh label (drop the non-image nodes of
+    any witness; all four edge kinds are preserved under that deletion).
+    The search enumerates canonical trees up to that bound.
+
+    Args:
+        require_nonroot_output: demand an embedding whose output image is
+            not the document root (what the deletion encoding needs —
+            with upward axes, ``O(p) != ROOT(p)`` alone no longer
+            guarantees this).
+    """
+    labels = pattern.labels()
+    alphabet = tuple(sorted(labels | {fresh_label(labels)}))
+    for candidate in enumerate_trees(pattern.size, alphabet):
+        for assignment in enumerate_upward_embeddings(pattern, candidate):
+            if (
+                not require_nonroot_output
+                or assignment[pattern.output] != candidate.root
+            ):
+                return candidate
+    return None
+
+
+def is_satisfiable_upward(pattern: UpwardPattern) -> bool:
+    """Exact satisfiability for the extended fragment (bounded search)."""
+    return find_model_upward(pattern) is not None
+
+
+def satisfiability_via_conflict_upward(
+    pattern: UpwardPattern,
+) -> tuple[bool, XMLTree | None]:
+    """The Section 6 encoding, on the fragment it was suggested for.
+
+    ``DELETE_p`` conflicts with the universal read iff ``p`` can select a
+    **non-root** node of some document: there the deletion removes the
+    selected subtree, whose nodes the universal read had selected.  In the
+    downward fragment ``O(p) != ROOT(p)`` guarantees non-root selection;
+    with upward axes it does not (an ancestor edge can point the output
+    back at the root), so the encoding decides exactly
+    *non-root-satisfiability* — the well-formedness condition a deletion
+    needs anyway.
+
+    Returns ``(deletable_somewhere, witness_document_or_None)``; on a
+    returned witness the conflict manifests concretely.
+    """
+    if pattern.output == pattern.root:
+        raise PatternError(
+            "the deletion encoding requires O(p) != ROOT(p), as in the paper"
+        )
+    model = find_model_upward(pattern, require_nonroot_output=True)
+    if model is None:
+        return False, None
+    selected = evaluate_upward(pattern, model)
+    assert any(node != model.root for node in selected)
+    return True, model

@@ -1,0 +1,31 @@
+"""Schema (DTD) substrate and schema-constrained conflict detection."""
+
+from repro.schema.conflicts import (
+    breaks_validity,
+    decide_conflict_under_schema,
+    find_schema_witness,
+)
+from repro.schema.dtd import DTD, DTDSyntaxError, ElementDecl, Occurrence, UNBOUNDED
+from repro.schema.generator import (
+    SchemaGenerationError,
+    enumerate_valid_trees,
+    random_valid_tree,
+)
+from repro.schema.validator import Violation, is_valid, validate
+
+__all__ = [
+    "DTD",
+    "ElementDecl",
+    "Occurrence",
+    "UNBOUNDED",
+    "DTDSyntaxError",
+    "validate",
+    "is_valid",
+    "Violation",
+    "random_valid_tree",
+    "enumerate_valid_trees",
+    "SchemaGenerationError",
+    "find_schema_witness",
+    "decide_conflict_under_schema",
+    "breaks_validity",
+]

@@ -1,0 +1,122 @@
+"""Schema-constrained conflict detection (the Section 6 open problem).
+
+The paper leaves open "the complexity of conflicts when schema information
+(for example, DTDs) is available", noting only that schemas tend to raise
+complexities.  The *semantic* question is crisp, though: do the operations
+conflict **on some document valid with respect to the DTD**?  A schema can
+silence a conflict (no valid document realizes the witness shape) — the
+phenomenon this module lets users and experiments explore.
+
+Following the convention of the schema-containment literature, only the
+*input* document is required to be valid; updates are allowed to take the
+document out of the schema (revalidation is its own problem, cf. the
+authors' EDBT 2004 paper).  :func:`breaks_validity` is provided for
+callers who also want that second question answered.
+
+The decision procedure mirrors the unconstrained engine: a heuristic pass
+over schema-valid candidates (random samples from the DTD), then
+exhaustive enumeration of valid trees up to a size cap.  No analogue of
+the Lemma 11 bound is proved for the schema case (the paper leaves the
+problem open), so absence of a witness yields ``UNKNOWN`` — unless the
+cap exhausts the finite space of valid trees, which the enumerator can
+detect for saturating caps.
+"""
+
+from __future__ import annotations
+
+from repro.conflicts.semantics import (
+    ConflictKind,
+    ConflictReport,
+    Verdict,
+    is_witness,
+)
+from repro.operations.ops import Read, UpdateOp
+from repro.schema.dtd import DTD
+from repro.schema.generator import (
+    SchemaGenerationError,
+    enumerate_valid_trees,
+    random_valid_tree,
+)
+from repro.schema.validator import is_valid
+
+__all__ = [
+    "find_schema_witness",
+    "decide_conflict_under_schema",
+    "breaks_validity",
+]
+
+
+def find_schema_witness(
+    read: Read,
+    update: UpdateOp,
+    dtd: DTD,
+    kind: ConflictKind = ConflictKind.NODE,
+    max_size: int = 8,
+    random_probes: int = 25,
+):  # type: ignore[no-untyped-def]
+    """A *valid* witness tree, or ``None`` if none was found.
+
+    Random valid documents are probed first (cheap, catches most real
+    conflicts), then all valid trees up to ``max_size`` nodes are
+    enumerated.
+    """
+    for seed in range(random_probes):
+        try:
+            candidate = random_valid_tree(dtd, seed=seed, max_depth=6)
+        except SchemaGenerationError:
+            break
+        if candidate.size <= 4 * max_size and is_witness(
+            candidate, read, update, kind
+        ):
+            return candidate
+    for candidate in enumerate_valid_trees(dtd, max_size):
+        if is_witness(candidate, read, update, kind):
+            return candidate
+    return None
+
+
+def decide_conflict_under_schema(
+    read: Read,
+    update: UpdateOp,
+    dtd: DTD,
+    kind: ConflictKind = ConflictKind.NODE,
+    max_size: int = 8,
+) -> ConflictReport:
+    """Do the operations conflict on some ``dtd``-valid document?
+
+    Returns ``CONFLICT`` with a valid witness, or ``UNKNOWN`` when no
+    witness of at most ``max_size`` nodes exists (the schema-constrained
+    problem has no proved witness-size bound).  A useful companion fact:
+    if the *unconstrained* detector already says ``NO_CONFLICT``, that
+    verdict carries over — valid documents are documents — so callers
+    should consult :class:`~repro.conflicts.detector.ConflictDetector`
+    first for definitive negatives.
+    """
+    witness = find_schema_witness(read, update, dtd, kind, max_size)
+    if witness is not None:
+        return ConflictReport(
+            Verdict.CONFLICT,
+            kind,
+            witness=witness,
+            method="schema-search",
+        )
+    return ConflictReport(
+        Verdict.UNKNOWN,
+        kind,
+        method="schema-search",
+        notes=[
+            f"no valid witness with <= {max_size} nodes; larger valid "
+            "witnesses remain possible (no witness bound is known for the "
+            "schema-constrained problem)"
+        ],
+    )
+
+
+def breaks_validity(update: UpdateOp, tree, dtd: DTD) -> bool:  # type: ignore[no-untyped-def]
+    """Does applying ``update`` to the valid ``tree`` leave the schema?
+
+    The revalidation companion question (cf. the paper's reference [14]).
+    """
+    if not is_valid(tree, dtd):
+        raise ValueError("breaks_validity expects a valid input tree")
+    return not is_valid(update.apply(tree).tree, dtd)

@@ -1,0 +1,266 @@
+"""A DTD-style schema formalism for unordered labeled trees.
+
+Section 6 of the paper raises conflict detection *in the presence of
+schema information* as an open problem, noting that DTDs tend to raise
+complexities (containment under DTDs is coNP-complete).  This subpackage
+supplies the substrate needed to explore that question experimentally: a
+schema language, a validator, generators of valid documents, and a
+schema-constrained conflict decision procedure
+(:mod:`repro.schema.conflicts`).
+
+**Substitution note** (recorded in DESIGN.md): real DTDs constrain the
+*sequence* of children; the paper's data model is unordered, so ordered
+content models are unexpressible.  We interpret a DTD content model as
+per-label **occurrence bounds** on the multiset of children:
+
+* ``(title, publisher?, quantity)``  →  exactly one ``title``, at most one
+  ``publisher``, exactly one ``quantity``, nothing else;
+* ``(book*)``  →  any number of ``book`` children, nothing else;
+* ``(a | b)``  →  at most one of each, at least one in total;
+* ``(#PCDATA)`` / mixed content  →  text children permitted;
+* ``EMPTY``  →  no children;  ``ANY``  →  unconstrained.
+
+This preserves exactly the part of DTD expressiveness that is meaningful
+for unordered trees, which is what the conflict semantics can observe.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["DTD", "ElementDecl", "Occurrence", "DTDSyntaxError", "UNBOUNDED"]
+
+#: Marker for "no upper bound" in occurrence constraints.
+UNBOUNDED = math.inf
+
+
+class DTDSyntaxError(ReproError):
+    """Malformed DTD text."""
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """Occurrence bounds for one child label: ``min <= count <= max``."""
+
+    min: int
+    max: float  # int or UNBOUNDED
+
+    def allows(self, count: int) -> bool:
+        return self.min <= count <= self.max
+
+    def __str__(self) -> str:
+        if self.min == 1 and self.max == 1:
+            return "1"
+        if (self.min, self.max) == (0, 1):
+            return "?"
+        if (self.min, self.max) == (0, UNBOUNDED):
+            return "*"
+        if (self.min, self.max) == (1, UNBOUNDED):
+            return "+"
+        upper = "inf" if self.max is UNBOUNDED else int(self.max)
+        return f"{self.min}..{upper}"
+
+
+#: Shorthand strings accepted wherever an :class:`Occurrence` is expected.
+_SHORTHAND = {
+    "1": Occurrence(1, 1),
+    "?": Occurrence(0, 1),
+    "*": Occurrence(0, UNBOUNDED),
+    "+": Occurrence(1, UNBOUNDED),
+}
+
+
+@dataclass
+class ElementDecl:
+    """Declaration of one element label.
+
+    Attributes:
+        label: the element name.
+        children: allowed child labels with their occurrence bounds.
+        allows_text: whether ``#text:...`` children are permitted
+            (``#PCDATA`` in DTD syntax).
+        any_content: ``ANY`` — children unconstrained (overrides the rest).
+        min_total: minimum number of (element) children in total; used to
+            encode choice groups (``(a|b)`` requires at least one child).
+    """
+
+    label: str
+    children: dict[str, Occurrence] = field(default_factory=dict)
+    allows_text: bool = False
+    any_content: bool = False
+    min_total: int = 0
+
+    def allowed_child_labels(self) -> set[str]:
+        return set(self.children)
+
+
+class DTD:
+    """A schema: a set of element declarations plus a root label.
+
+    Build programmatically::
+
+        dtd = DTD(root="bib")
+        dtd.element("bib", {"book": "*"})
+        dtd.element("book", {"title": "1", "quantity": "1", "publisher": "?"})
+        dtd.element("title", text=True)
+        ...
+
+    or parse DTD-ish text with :meth:`DTD.parse`.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._decls: dict[str, ElementDecl] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def element(
+        self,
+        label: str,
+        children: dict[str, Occurrence | str] | None = None,
+        text: bool = False,
+        any_content: bool = False,
+        min_total: int = 0,
+    ) -> "DTD":
+        """Declare an element; returns self for chaining."""
+        normalized: dict[str, Occurrence] = {}
+        for child, occurrence in (children or {}).items():
+            if isinstance(occurrence, str):
+                occurrence = _SHORTHAND[occurrence]
+            normalized[child] = occurrence
+        self._decls[label] = ElementDecl(
+            label, normalized, text, any_content, min_total
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def declaration(self, label: str) -> ElementDecl | None:
+        """The declaration for ``label``, or ``None`` when undeclared.
+
+        Undeclared elements are treated by the validator as
+        content-free leaves (the strictest reading).
+        """
+        return self._decls.get(label)
+
+    def labels(self) -> set[str]:
+        """All declared element labels."""
+        return set(self._decls)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._decls
+
+    def __repr__(self) -> str:
+        return f"DTD(root={self.root!r}, elements={sorted(self._decls)})"
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+
+    _ELEMENT_RE = re.compile(
+        r"<!ELEMENT\s+([\w.:-]+)\s+(EMPTY|ANY|\([^>]*\)\s*[?*+]?)\s*>",
+        re.DOTALL,
+    )
+
+    @classmethod
+    def parse(cls, text: str, root: str | None = None) -> "DTD":
+        """Parse ``<!ELEMENT ...>`` declarations into a DTD.
+
+        Args:
+            text: DTD source; only element declarations are read
+                (``<!ATTLIST``/``<!ENTITY`` are ignored).
+            root: document root label; defaults to the first declared
+                element.
+
+        Content models are interpreted per the module docstring's
+        unordered reading.
+        """
+        matches = cls._ELEMENT_RE.findall(text)
+        if not matches:
+            raise DTDSyntaxError("no <!ELEMENT ...> declarations found")
+        dtd = cls(root if root is not None else matches[0][0])
+        for label, model in matches:
+            decl = _parse_content_model(label, model.strip())
+            dtd._decls[label] = decl
+        if dtd.root not in dtd._decls:
+            raise DTDSyntaxError(f"root element {dtd.root!r} is not declared")
+        return dtd
+
+
+def _parse_content_model(label: str, model: str) -> ElementDecl:
+    if model == "EMPTY":
+        return ElementDecl(label)
+    if model == "ANY":
+        return ElementDecl(label, any_content=True)
+    group_suffix = ""
+    if model and model[-1] in "?*+":
+        group_suffix = model[-1]
+        model = model[:-1].rstrip()
+    if not (model.startswith("(") and model.endswith(")")):
+        raise DTDSyntaxError(f"bad content model for {label!r}: {model!r}")
+    body = model[1:-1].strip()
+    decl = ElementDecl(label)
+    if body:
+        # Mixed content: (#PCDATA) or (#PCDATA | a | b)*
+        if body.startswith("#PCDATA"):
+            decl.allows_text = True
+            rest = body[len("#PCDATA"):].strip()
+            for item in filter(None, (s.strip() for s in rest.split("|"))):
+                name, _ = _split_occurrence(item)
+                decl.children[name] = Occurrence(0, UNBOUNDED)
+        # Choice group: (a | b | c)  -> each 0..max, at least one in total.
+        elif "|" in body and "," not in body:
+            for item in (s.strip() for s in body.split("|")):
+                name, occ = _split_occurrence(item)
+                decl.children[name] = Occurrence(0, occ.max)
+            decl.min_total = 1
+        # Sequence group: (a, b?, c*) -> per-label bounds.
+        else:
+            for item in (s.strip() for s in body.split(",")):
+                name, occ = _split_occurrence(item)
+                if name in decl.children:
+                    prev = decl.children[name]
+                    occ = Occurrence(prev.min + occ.min, prev.max + occ.max)
+                decl.children[name] = occ
+    return _apply_group_suffix(decl, group_suffix)
+
+
+def _apply_group_suffix(decl: ElementDecl, suffix: str) -> ElementDecl:
+    """Apply a ``?``/``*``/``+`` suffix on a whole content group.
+
+    ``?`` makes all content optional; ``*`` additionally unbounds every
+    label; ``+`` unbounds labels but keeps the minima.
+    """
+    if not suffix:
+        return decl
+    if suffix in "?*":
+        decl.children = {
+            name: Occurrence(0, UNBOUNDED if suffix == "*" else occ.max)
+            for name, occ in decl.children.items()
+        }
+        decl.min_total = 0
+    else:  # '+'
+        decl.children = {
+            name: Occurrence(occ.min, UNBOUNDED)
+            for name, occ in decl.children.items()
+        }
+    return decl
+
+
+def _split_occurrence(item: str) -> tuple[str, Occurrence]:
+    item = item.strip()
+    if not item:
+        raise DTDSyntaxError("empty item in content model")
+    suffix = item[-1]
+    if suffix in "?*+":
+        name = item[:-1].strip().strip("()")
+        return name, _SHORTHAND[suffix]
+    return item.strip("()"), _SHORTHAND["1"]

@@ -1,0 +1,284 @@
+"""Generating and enumerating schema-valid documents.
+
+Two producers back the schema-aware experiments:
+
+* :func:`random_valid_tree` — a seeded sampler of documents conforming to
+  a DTD, used for workload generation (the DTD must be *well-founded*:
+  required content must be satisfiable within the depth budget);
+* :func:`enumerate_valid_trees` — every valid unordered tree up to a size
+  bound, one per isomorphism class; this is the candidate stream for the
+  schema-constrained conflict search (the schema analogue of Lemma 11's
+  guess-and-check).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.errors import ReproError
+from repro.schema.dtd import DTD, UNBOUNDED
+from repro.schema.validator import is_valid
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = ["random_valid_tree", "enumerate_valid_trees", "SchemaGenerationError"]
+
+
+class SchemaGenerationError(ReproError):
+    """The DTD's required content cannot be satisfied within the budget."""
+
+
+def random_valid_tree(
+    dtd: DTD,
+    seed: int | random.Random | None = None,
+    max_depth: int = 8,
+    expansion_bias: float = 0.4,
+    optional_cap: int = 3,
+) -> XMLTree:
+    """Sample a random document valid w.r.t. ``dtd``.
+
+    Args:
+        dtd: the schema; its required content must be satisfiable within
+            ``max_depth`` levels or :class:`SchemaGenerationError` raises.
+        seed: RNG seed or instance.
+        max_depth: recursion budget.  Near the budget only *required*
+            children are emitted, so recursive DTDs terminate whenever
+            their mandatory core is non-recursive.
+        expansion_bias: probability of emitting an optional child.
+        optional_cap: cap on repetitions of unbounded child labels.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    tree = XMLTree(dtd.root)
+    _fill(tree, tree.root, dtd, rng, max_depth, expansion_bias, optional_cap)
+    if not is_valid(tree, dtd):  # pragma: no cover - defensive
+        raise SchemaGenerationError("generator produced an invalid tree")
+    return tree
+
+
+def _fill(
+    tree: XMLTree,
+    node: NodeId,
+    dtd: DTD,
+    rng: random.Random,
+    depth_left: int,
+    expansion_bias: float,
+    optional_cap: int,
+) -> None:
+    label = tree.label(node)
+    decl = dtd.declaration(label)
+    if decl is None or decl.any_content:
+        return  # leaves / unconstrained
+    if depth_left <= 0:
+        if any(occ.min > 0 for occ in decl.children.values()) or decl.min_total:
+            raise SchemaGenerationError(
+                f"required content of <{label}> does not fit in the depth budget"
+            )
+        return
+    emitted_total = 0
+    for child_label in sorted(decl.children):
+        occurrence = decl.children[child_label]
+        count = occurrence.min
+        ceiling = (
+            optional_cap + occurrence.min
+            if occurrence.max is UNBOUNDED
+            else int(occurrence.max)
+        )
+        while count < ceiling and rng.random() < expansion_bias:
+            count += 1
+        for _ in range(count):
+            child = tree.add_child(node, child_label)
+            _fill(
+                tree, child, dtd, rng, depth_left - 1, expansion_bias, optional_cap
+            )
+        emitted_total += count
+    # Choice groups: ensure the minimum total (pick required-free labels).
+    attempts = 0
+    while emitted_total < decl.min_total:
+        attempts += 1
+        if attempts > 10 * decl.min_total:  # pragma: no cover - defensive
+            raise SchemaGenerationError(
+                f"cannot satisfy the choice group of <{label}>"
+            )
+        child_label = rng.choice(sorted(decl.children))
+        occurrence = decl.children[child_label]
+        current = sum(
+            1 for c in tree.children(node) if tree.label(c) == child_label
+        )
+        if not occurrence.allows(current + 1):
+            continue
+        child = tree.add_child(node, child_label)
+        _fill(tree, child, dtd, rng, depth_left - 1, expansion_bias, optional_cap)
+        emitted_total += 1
+    if decl.allows_text and rng.random() < expansion_bias:
+        tree.add_child(node, f"#text:{rng.randrange(1000)}")
+
+
+def enumerate_valid_trees(
+    dtd: DTD,
+    max_size: int,
+    extra_labels: tuple[str, ...] = (),
+) -> Iterator[XMLTree]:
+    """Every valid element tree with at most ``max_size`` nodes, up to iso.
+
+    The enumeration is **schema-driven**: candidate trees are constructed
+    from the DTD's content models directly, so only valid trees are ever
+    materialized.  (A naive filter over all labeled trees would scan
+    millions of candidates to find a handful of valid ones — the schema
+    typically prunes the space by many orders of magnitude; experiment E11
+    quantifies this.)
+
+    Scope notes:
+
+    * only element structure is enumerated — text children are omitted
+      (they are never *required* by a DTD content model, and the conflict
+      engine strips value tests, so they cannot affect structural
+      conflict search);
+    * ``extra_labels`` (e.g. a conflict alphabet) can appear only where
+      the schema allows unconstrained content (``ANY``), as empty leaves —
+      anywhere else they would be validator violations.
+
+    Trees are yielded in increasing size, one per isomorphism class, and
+    every yielded tree satisfies :func:`repro.schema.validator.is_valid`.
+    """
+    extras = tuple(sorted(set(extra_labels) - dtd.labels()))
+    for size in range(1, max_size + 1):
+        for spec in _valid_specs(dtd, dtd.root, size, extras, {}):
+            yield _materialize_spec(spec)
+
+
+# A spec is a nested tuple (label, child_spec, ...), children sorted
+# non-increasingly by `_spec_key` so each unordered tree appears once.
+_Spec = tuple
+
+
+def _spec_size(spec: _Spec) -> int:
+    return 1 + sum(_spec_size(child) for child in spec[1:])
+
+
+def _spec_key(spec: _Spec) -> tuple:
+    return (_spec_size(spec), spec)
+
+
+def _valid_specs(
+    dtd: DTD,
+    label: str,
+    size: int,
+    extras: tuple[str, ...],
+    memo: dict,
+) -> list[_Spec]:
+    """All valid subtrees rooted at ``label`` with exactly ``size`` nodes."""
+    key = (label, size)
+    if key in memo:
+        return memo[key]
+    out: list[_Spec] = []
+    decl = dtd.declaration(label)
+    if decl is None:
+        # Undeclared elements (incl. extra labels) must be empty leaves.
+        if size == 1:
+            out.append((label,))
+    elif decl.any_content:
+        # ANY: children are any multiset of valid declared-label trees or
+        # extra-label leaves.
+        child_labels = tuple(sorted(dtd.labels() | set(extras)))
+        for forest in _any_forests(dtd, child_labels, size - 1, extras, memo, None):
+            out.append((label, *forest))
+    else:
+        for forest in _declared_forests(dtd, decl, size - 1, extras, memo):
+            out.append((label, *forest))
+    memo[key] = out
+    return out
+
+
+def _any_forests(
+    dtd: DTD,
+    child_labels: tuple[str, ...],
+    total: int,
+    extras: tuple[str, ...],
+    memo: dict,
+    bound: _Spec | None,
+) -> Iterator[tuple[_Spec, ...]]:
+    """Non-increasing multisets of valid trees with sizes summing to total."""
+    if total == 0:
+        yield ()
+        return
+    for head_size in range(total, 0, -1):
+        for label in child_labels:
+            for head in _valid_specs(dtd, label, head_size, extras, memo):
+                if bound is not None and _spec_key(head) > _spec_key(bound):
+                    continue
+                for tail in _any_forests(
+                    dtd, child_labels, total - head_size, extras, memo, head
+                ):
+                    yield (head, *tail)
+
+
+def _declared_forests(
+    dtd: DTD,
+    decl,  # type: ignore[no-untyped-def]
+    total: int,
+    extras: tuple[str, ...],
+    memo: dict,
+) -> Iterator[tuple[_Spec, ...]]:
+    """Child forests satisfying the declaration's occurrence bounds."""
+    labels = sorted(decl.children)
+
+    def assign(index: int, size_left: int, count_so_far: int) -> Iterator[tuple[_Spec, ...]]:
+        if index == len(labels):
+            if size_left == 0 and count_so_far >= decl.min_total:
+                yield ()
+            return
+        label = labels[index]
+        occurrence = decl.children[label]
+        max_count = size_left if occurrence.max is UNBOUNDED else int(occurrence.max)
+        max_count = min(max_count, size_left)
+        for count in range(occurrence.min, max_count + 1):
+            if count > size_left:
+                break
+            for group, used in _label_groups(dtd, label, count, size_left, extras, memo):
+                for rest in assign(index + 1, size_left - used, count_so_far + count):
+                    yield (*group, *rest)
+
+    yield from assign(0, total, 0)
+
+
+def _label_groups(
+    dtd: DTD,
+    label: str,
+    count: int,
+    size_budget: int,
+    extras: tuple[str, ...],
+    memo: dict,
+) -> Iterator[tuple[tuple[_Spec, ...], int]]:
+    """Multisets of exactly ``count`` valid ``label`` trees within budget.
+
+    Yields ``(group, total_size)`` pairs; groups are non-increasing in
+    spec key, so same-label siblings never repeat up to isomorphism.
+    """
+
+    def build(
+        remaining: int, budget: int, bound: _Spec | None
+    ) -> Iterator[tuple[tuple[_Spec, ...], int]]:
+        if remaining == 0:
+            yield ((), 0)
+            return
+        # Each remaining sibling needs at least one node.
+        for head_size in range(budget - (remaining - 1), 0, -1):
+            for head in _valid_specs(dtd, label, head_size, extras, memo):
+                if bound is not None and _spec_key(head) > _spec_key(bound):
+                    continue
+                for tail, tail_size in build(
+                    remaining - 1, budget - head_size, head
+                ):
+                    yield ((head, *tail), head_size + tail_size)
+
+    yield from build(count, size_budget, None)
+
+
+def _materialize_spec(spec: _Spec) -> XMLTree:
+    tree = XMLTree(spec[0])
+    stack = [(tree.root, child) for child in spec[1:]]
+    while stack:
+        parent, child_spec = stack.pop()
+        node = tree.add_child(parent, child_spec[0])
+        stack.extend((node, grandchild) for grandchild in child_spec[1:])
+    return tree

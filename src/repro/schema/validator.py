@@ -1,0 +1,115 @@
+"""Validation of trees against a :class:`~repro.schema.dtd.DTD`.
+
+The validator applies the unordered reading of content models documented
+in :mod:`repro.schema.dtd`: per-label occurrence bounds on each node's
+children, text-permission, and the root-label constraint.  It reports
+*all* violations (useful in tests and for the incremental-validation
+experiment), with :func:`is_valid` as the boolean shortcut.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.schema.dtd import DTD
+from repro.xml.parser import TEXT_PREFIX
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = ["Violation", "validate", "is_valid"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One schema violation at one node."""
+
+    node: NodeId
+    label: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"node {self.node} <{self.label}>: {self.message}"
+
+
+def validate(tree: XMLTree, dtd: DTD) -> list[Violation]:
+    """All violations of ``dtd`` in ``tree`` (empty list = valid)."""
+    violations: list[Violation] = []
+    root_label = tree.label(tree.root)
+    if root_label != dtd.root:
+        violations.append(
+            Violation(tree.root, root_label, f"root must be <{dtd.root}>")
+        )
+    for node in tree.preorder():
+        label = tree.label(node)
+        if label.startswith(TEXT_PREFIX):
+            continue  # text nodes are judged at their parent
+        violations.extend(_check_node(tree, node, label, dtd))
+    return violations
+
+
+def _check_node(tree: XMLTree, node: NodeId, label: str, dtd: DTD) -> list[Violation]:
+    decl = dtd.declaration(label)
+    out: list[Violation] = []
+    element_children: Counter[str] = Counter()
+    text_children = 0
+    for child in tree.children(node):
+        child_label = tree.label(child)
+        if child_label.startswith(TEXT_PREFIX):
+            text_children += 1
+        else:
+            element_children[child_label] += 1
+
+    if decl is None:
+        # Undeclared elements must be childless leaves (strict reading).
+        if element_children or text_children:
+            out.append(
+                Violation(node, label, "undeclared element must be empty")
+            )
+        return out
+
+    if decl.any_content:
+        return out
+
+    if text_children and not decl.allows_text:
+        out.append(Violation(node, label, "text content not allowed"))
+
+    for child_label, count in element_children.items():
+        occurrence = decl.children.get(child_label)
+        if occurrence is None:
+            out.append(
+                Violation(node, label, f"child <{child_label}> not allowed")
+            )
+        elif not occurrence.allows(count):
+            out.append(
+                Violation(
+                    node,
+                    label,
+                    f"child <{child_label}> occurs {count}, allowed {occurrence}",
+                )
+            )
+    for child_label, occurrence in decl.children.items():
+        if occurrence.min > 0 and element_children[child_label] < occurrence.min:
+            out.append(
+                Violation(
+                    node,
+                    label,
+                    f"child <{child_label}> occurs "
+                    f"{element_children[child_label]}, requires at least "
+                    f"{occurrence.min}",
+                )
+            )
+    total = sum(element_children.values())
+    if total < decl.min_total:
+        out.append(
+            Violation(
+                node,
+                label,
+                f"requires at least {decl.min_total} children, has {total}",
+            )
+        )
+    return out
+
+
+def is_valid(tree: XMLTree, dtd: DTD) -> bool:
+    """True when ``tree`` conforms to ``dtd``."""
+    return not validate(tree, dtd)

@@ -1,0 +1,21 @@
+"""Workload generators used by the experiment suite."""
+
+from repro.workloads.generators import (
+    containment_pair,
+    random_branching_pattern,
+    random_delete,
+    random_insert,
+    random_linear_pattern,
+    random_program,
+    random_read,
+)
+
+__all__ = [
+    "random_linear_pattern",
+    "random_branching_pattern",
+    "random_read",
+    "random_insert",
+    "random_delete",
+    "containment_pair",
+    "random_program",
+]

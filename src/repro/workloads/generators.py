@@ -1,0 +1,275 @@
+"""Seeded workload generators for tests, experiments, and benchmarks.
+
+Every experiment in EXPERIMENTS.md draws its inputs from these generators,
+so runs are reproducible end to end from the seed recorded with each
+experiment.  The families:
+
+* linear patterns (``P^{//,*}``) with tunable length, wildcard rate, and
+  descendant-edge rate — inputs to the PTIME scaling experiments;
+* branching patterns (``P^{//,[],*}``) with tunable size and branch factor
+  — inputs to the NP-side experiments;
+* random operations (reads/inserts/deletes) built from those patterns;
+* containment instance pairs with a bias toward the interesting region
+  (generalization pairs that *do* contain, perturbed pairs that mostly do
+  not) — inputs to the reduction-validation experiment;
+* random pidgin programs — inputs to the program-analysis experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.lang.ast import (
+    AssignStmt,
+    DeleteStmt,
+    InsertStmt,
+    Program,
+    ReadStmt,
+)
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.pattern import WILDCARD, Axis, PNodeId, TreePattern
+from repro.xml.random_trees import DEFAULT_ALPHABET, random_tree
+
+__all__ = [
+    "random_linear_pattern",
+    "random_branching_pattern",
+    "random_read",
+    "random_insert",
+    "random_delete",
+    "containment_pair",
+    "random_program",
+]
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _pick_label(rng: random.Random, alphabet: Sequence[str], p_wildcard: float) -> str:
+    if rng.random() < p_wildcard:
+        return WILDCARD
+    return rng.choice(alphabet)
+
+
+def random_linear_pattern(
+    length: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    p_wildcard: float = 0.2,
+    p_descendant: float = 0.4,
+    seed: int | random.Random | None = None,
+) -> TreePattern:
+    """A random pattern in ``P^{//,*}`` with ``length`` nodes.
+
+    Each non-root node independently uses the descendant axis with
+    probability ``p_descendant`` and the wildcard label with probability
+    ``p_wildcard``; the output node is the leaf (by definition of the
+    linear class).
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = _rng(seed)
+    pattern = TreePattern(_pick_label(rng, alphabet, p_wildcard))
+    node = pattern.root
+    for _ in range(length - 1):
+        axis = Axis.DESCENDANT if rng.random() < p_descendant else Axis.CHILD
+        node = pattern.add_child(node, _pick_label(rng, alphabet, p_wildcard), axis)
+    pattern.set_output(node)
+    return pattern
+
+
+def random_branching_pattern(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    p_wildcard: float = 0.2,
+    p_descendant: float = 0.4,
+    max_children: int = 3,
+    seed: int | random.Random | None = None,
+    output: str = "leaf",
+) -> TreePattern:
+    """A random pattern in ``P^{//,[],*}`` with ``size`` nodes.
+
+    Grown by uniform attachment subject to ``max_children``.  The output
+    node is a random leaf (``output="leaf"``), a random non-root node
+    (``"any"``), or the root (``"root"``).
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    rng = _rng(seed)
+    pattern = TreePattern(_pick_label(rng, alphabet, p_wildcard))
+    nodes: list[PNodeId] = [pattern.root]
+    while pattern.size < size:
+        candidates = [n for n in nodes if len(pattern.children(n)) < max_children]
+        parent = rng.choice(candidates if candidates else nodes)
+        axis = Axis.DESCENDANT if rng.random() < p_descendant else Axis.CHILD
+        node = pattern.add_child(
+            parent, _pick_label(rng, alphabet, p_wildcard), axis
+        )
+        nodes.append(node)
+    if output == "root" or pattern.size == 1:
+        pattern.set_output(pattern.root)
+    elif output == "leaf":
+        leaves = [n for n in nodes if not pattern.children(n)]
+        pattern.set_output(rng.choice(leaves))
+    elif output == "any":
+        pattern.set_output(rng.choice(nodes[1:]))
+    else:
+        raise ValueError(f"unknown output policy {output!r}")
+    return pattern
+
+
+def random_read(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    linear: bool = True,
+    seed: int | random.Random | None = None,
+    **kwargs: float,
+) -> Read:
+    """A random read operation (linear by default)."""
+    rng = _rng(seed)
+    if linear:
+        return Read(random_linear_pattern(size, alphabet, seed=rng, **kwargs))
+    return Read(random_branching_pattern(size, alphabet, seed=rng, **kwargs))
+
+
+def random_insert(
+    size: int,
+    subtree_size: int = 3,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    linear: bool = False,
+    seed: int | random.Random | None = None,
+    **kwargs: float,
+) -> Insert:
+    """A random insert with a random inserted tree of ``subtree_size`` nodes."""
+    rng = _rng(seed)
+    if linear:
+        pattern = random_linear_pattern(size, alphabet, seed=rng, **kwargs)
+    else:
+        pattern = random_branching_pattern(size, alphabet, seed=rng, **kwargs)
+    subtree = random_tree(subtree_size, alphabet, seed=rng)
+    return Insert(pattern, subtree)
+
+
+def random_delete(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    linear: bool = False,
+    seed: int | random.Random | None = None,
+    **kwargs: float,
+) -> Delete:
+    """A random delete (its pattern never selects the root, as required)."""
+    rng = _rng(seed)
+    size = max(size, 2)  # output must differ from the root
+    if linear:
+        pattern = random_linear_pattern(size, alphabet, seed=rng, **kwargs)
+    else:
+        pattern = random_branching_pattern(size, alphabet, seed=rng, **kwargs)
+        if pattern.output == pattern.root:
+            leaf = next(n for n in pattern.preorder() if n != pattern.root)
+            pattern.set_output(leaf)
+    return Delete(pattern)
+
+
+def containment_pair(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    seed: int | random.Random | None = None,
+    related_bias: float = 0.5,
+) -> tuple[TreePattern, TreePattern]:
+    """A pattern pair ``(p, p')`` for containment/reduction experiments.
+
+    With probability ``related_bias`` the second pattern is a
+    *generalization* of the first — produced by relaxing child edges to
+    descendant edges, relabeling nodes to wildcards, and pruning branches —
+    so ``p ⊆ p'`` holds by construction.  Otherwise both patterns are
+    drawn independently, which almost always yields non-containment.  The
+    mix keeps both answers well represented in experiment E5.
+    """
+    rng = _rng(seed)
+    p = random_branching_pattern(size, alphabet, seed=rng, output="root")
+    if rng.random() < related_bias:
+        return p, _generalize(p, rng)
+    q = random_branching_pattern(size, alphabet, seed=rng, output="root")
+    return p, q
+
+
+def _generalize(pattern: TreePattern, rng: random.Random) -> TreePattern:
+    """A random generalization of ``pattern`` (always contains it)."""
+    out = TreePattern(
+        WILDCARD if rng.random() < 0.3 else pattern.label(pattern.root)
+    )
+    mapping = {pattern.root: out.root}
+    for node in pattern.preorder():
+        if node == pattern.root:
+            continue
+        parent = pattern.parent(node)
+        assert parent is not None
+        if parent not in mapping:
+            continue
+        # Randomly prune branches (fewer constraints = more general).
+        if rng.random() < 0.25 and node != pattern.output:
+            continue
+        axis = pattern.axis(node)
+        assert axis is not None
+        if axis is Axis.CHILD and rng.random() < 0.4:
+            axis = Axis.DESCENDANT  # relaxing / to // generalizes
+        label = pattern.label(node)
+        if rng.random() < 0.3:
+            label = WILDCARD  # relaxing a label generalizes
+        mapping[node] = out.add_child(mapping[parent], label, axis)
+    out.set_output(out.root)
+    return out
+
+
+def random_program(
+    statements: int,
+    variables: int = 2,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    pattern_size: int = 3,
+    seed: int | random.Random | None = None,
+) -> Program:
+    """A random straight-line pidgin program.
+
+    Begins by assigning a random document to each variable, then mixes
+    reads, inserts, and deletes over them.  Read targets are ``r0, r1, ...``
+    so repeated patterns create CSE opportunities for the optimizer
+    experiments.
+    """
+    rng = _rng(seed)
+    names = [f"x{i}" for i in range(variables)]
+    body: list = []
+    for line, name in enumerate(names, start=1):
+        body.append(
+            AssignStmt(name, random_tree(8, alphabet, seed=rng), line=line)
+        )
+    pattern_pool = [
+        random_linear_pattern(pattern_size, alphabet, seed=rng) for _ in range(4)
+    ]
+    read_index = 0
+    for line in range(len(names) + 1, len(names) + statements + 1):
+        source = rng.choice(names)
+        roll = rng.random()
+        if roll < 0.5:
+            body.append(
+                ReadStmt(
+                    f"r{read_index}", source, rng.choice(pattern_pool), line=line
+                )
+            )
+            read_index += 1
+        elif roll < 0.8:
+            body.append(
+                InsertStmt(
+                    source,
+                    rng.choice(pattern_pool),
+                    random_tree(2, alphabet, seed=rng),
+                    line=line,
+                )
+            )
+        else:
+            pattern = random_linear_pattern(
+                max(2, pattern_size), alphabet, seed=rng
+            )
+            body.append(DeleteStmt(source, pattern, line=line))
+    return Program(body)

@@ -1,0 +1,35 @@
+"""XML tree substrate: trees, parsing, serialization, isomorphism, generators."""
+
+from repro.xml.enumerate import count_trees, enumerate_trees
+from repro.xml.isomorphism import (
+    canonical_form,
+    canonical_forms_of_set,
+    isomorphic,
+    multisets_isomorphic,
+    sets_isomorphic,
+)
+from repro.xml.parser import ATTR_PREFIX, TEXT_PREFIX, parse
+from repro.xml.random_trees import auction_site, bookstore, random_path, random_tree
+from repro.xml.serializer import serialize
+from repro.xml.tree import NodeId, XMLTree, build_tree
+
+__all__ = [
+    "XMLTree",
+    "NodeId",
+    "build_tree",
+    "parse",
+    "serialize",
+    "TEXT_PREFIX",
+    "ATTR_PREFIX",
+    "canonical_form",
+    "canonical_forms_of_set",
+    "isomorphic",
+    "sets_isomorphic",
+    "multisets_isomorphic",
+    "enumerate_trees",
+    "count_trees",
+    "random_tree",
+    "random_path",
+    "bookstore",
+    "auction_site",
+]

@@ -1,0 +1,138 @@
+"""Exhaustive enumeration of unordered labeled trees up to isomorphism.
+
+The NP-membership theorems (Theorems 3 and 5) bound the size of a minimal
+conflict witness, so a *complete* decision procedure for the branching case
+may enumerate all candidate trees up to that bound and check each one
+(Lemma 1 makes the per-candidate check polynomial).  Enumerating *ordered*
+trees would redundantly revisit exponentially many sibling permutations of
+the same unordered tree; this module enumerates each isomorphism class of
+unordered labeled trees exactly once by generating only *canonically sorted*
+trees.
+
+The construction: a canonical tree of size ``n`` with alphabet ``A`` is a
+root label plus a **non-increasing multiset** of canonical child subtrees
+(non-increasing with respect to the subtree canonical encoding).  Generating
+children in non-increasing encoding order makes each unordered tree appear
+exactly once.
+
+Counts grow fast — e.g. over a 3-letter alphabet there are 3, 9, 54, 405,
+3402, ... canonical trees of sizes 1, 2, 3, 4, 5 — which is the experimental
+signature of the problem's NP-completeness (experiment E4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from functools import lru_cache
+
+from repro.xml.tree import XMLTree
+
+__all__ = ["enumerate_trees", "count_trees"]
+
+# A canonical tree is represented compactly during generation as a nested
+# tuple ``(label, child, child, ...)`` with the children sorted
+# non-increasingly by their own encoding; it is converted to an XMLTree only
+# when yielded.
+_Spec = tuple
+
+
+def enumerate_trees(
+    max_size: int,
+    alphabet: Sequence[str],
+    min_size: int = 1,
+) -> Iterator[XMLTree]:
+    """Yield one representative per isomorphism class of labeled trees.
+
+    Args:
+        max_size: inclusive upper bound on node count.
+        alphabet: allowed labels (order is normalized internally).
+        min_size: inclusive lower bound on node count (default 1).
+
+    Trees are yielded in increasing size.  Each unordered labeled tree over
+    the alphabet with ``min_size <= size <= max_size`` appears exactly once
+    up to isomorphism.
+    """
+    labels = tuple(sorted(set(alphabet)))
+    if not labels:
+        raise ValueError("alphabet must be non-empty")
+    if max_size < min_size:
+        return
+    for size in range(max(1, min_size), max_size + 1):
+        for spec in _trees_of_size(size, labels):
+            yield _materialize(spec)
+
+
+def count_trees(max_size: int, alphabet: Sequence[str]) -> int:
+    """Number of isomorphism classes of trees with ``size <= max_size``.
+
+    Used by the NP experiments to report search-space sizes without
+    materializing the trees.
+    """
+    labels = tuple(sorted(set(alphabet)))
+    return sum(
+        _count_of_size(size, labels) for size in range(1, max_size + 1)
+    )
+
+
+def _trees_of_size(size: int, labels: tuple[str, ...]) -> Iterator[_Spec]:
+    """All canonical trees with exactly ``size`` nodes."""
+    if size == 1:
+        for label in labels:
+            yield (label,)
+        return
+    for label in labels:
+        # Children form a non-increasing sequence of canonical subtrees
+        # whose sizes sum to size - 1.
+        for children in _forests(size - 1, labels, bound=None):
+            yield (label, *children)
+
+
+def _forests(
+    total: int,
+    labels: tuple[str, ...],
+    bound: _Spec | None,
+) -> Iterator[tuple[_Spec, ...]]:
+    """Non-increasing sequences of canonical trees with sizes summing to ``total``.
+
+    ``bound`` is an exclusive-upper sentinel: every generated first element
+    must be <= bound (in encoding order) so sequences stay sorted.  ``None``
+    means unbounded.
+    """
+    if total == 0:
+        yield ()
+        return
+    for head_size in range(total, 0, -1):
+        for head in _trees_of_size(head_size, labels):
+            if bound is not None and _key(head) > _key(bound):
+                continue
+            for tail in _forests(total - head_size, labels, bound=head):
+                yield (head, *tail)
+
+
+def _key(spec: _Spec) -> tuple:
+    """Total order on canonical specs: by size descending handled by caller,
+    here a deterministic structural order."""
+    return (_size(spec), spec)
+
+
+@lru_cache(maxsize=None)
+def _count_memo(size: int, labels: tuple[str, ...]) -> int:
+    return sum(1 for _ in _trees_of_size(size, labels))
+
+
+def _count_of_size(size: int, labels: tuple[str, ...]) -> int:
+    return _count_memo(size, labels)
+
+
+def _size(spec: _Spec) -> int:
+    return 1 + sum(_size(child) for child in spec[1:])
+
+
+def _materialize(spec: _Spec) -> XMLTree:
+    tree = XMLTree(spec[0])
+    stack = [(tree.root, child) for child in spec[1:]]
+    while stack:
+        parent, child_spec = stack.pop()
+        node = tree.add_child(parent, child_spec[0])
+        stack.extend((node, grandchild) for grandchild in child_spec[1:])
+    return tree

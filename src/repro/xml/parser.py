@@ -1,0 +1,238 @@
+"""A small, dependency-free parser for the XML subset the paper needs.
+
+The paper's data model keeps only element structure: labels, parent/child
+edges, no attributes, no text semantics, no order.  This parser accepts a
+practical subset of XML syntax —
+
+* elements: ``<a> ... </a>`` and self-closing ``<restock/>``
+* attributes are parsed and **recorded as leaf children** labeled
+  ``@name=value`` so documents round-trip understandably, or discarded when
+  ``keep_attributes=False``
+* text content becomes leaf children labeled ``#text:<content>`` (or is
+  discarded with ``keep_text=False``) — the paper's example
+  ``//book[.//quantity < 10]`` treats values as uninterpreted labels, and
+  this representation preserves them as labels
+* comments ``<!-- ... -->``, processing instructions ``<? ... ?>`` and a
+  leading ``<!DOCTYPE ...>`` are skipped
+
+and produces an :class:`~repro.xml.tree.XMLTree`.  The serializer in
+:mod:`repro.xml.serializer` inverts it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = ["parse", "TEXT_PREFIX", "ATTR_PREFIX"]
+
+#: Label prefix for leaf nodes holding element text content.
+TEXT_PREFIX = "#text:"
+#: Label prefix for leaf nodes holding attributes.
+ATTR_PREFIX = "@"
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character-level cursor over the input text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise XMLParseError(f"expected {token!r}", self.pos)
+        self.pos += len(token)
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or self.peek() not in _NAME_START:
+            raise XMLParseError("expected an XML name", self.pos)
+        while not self.eof() and self.peek() in _NAME_CHARS:
+            self.advance()
+        return self.text[start:self.pos]
+
+    def skip_until(self, token: str) -> None:
+        index = self.text.find(token, self.pos)
+        if index < 0:
+            raise XMLParseError(f"unterminated construct; expected {token!r}", self.pos)
+        self.pos = index + len(token)
+
+
+def parse(text: str, keep_text: bool = True, keep_attributes: bool = True) -> XMLTree:
+    """Parse XML ``text`` into an :class:`XMLTree`.
+
+    Args:
+        text: the document source.  Must contain exactly one root element.
+        keep_text: when True, non-whitespace text content becomes leaf nodes
+            labeled ``#text:<content>``; when False it is discarded.
+        keep_attributes: when True, attributes become leaf nodes labeled
+            ``@name=value``; when False they are discarded.
+
+    Raises:
+        XMLParseError: on malformed input or trailing content.
+    """
+    scanner = _Scanner(text)
+    _skip_prolog(scanner)
+    scanner.skip_whitespace()
+    if not scanner.startswith("<"):
+        raise XMLParseError("expected a root element", scanner.pos)
+    tree, _ = _parse_element(scanner, None, None, keep_text, keep_attributes)
+    assert tree is not None
+    _skip_misc(scanner)
+    scanner.skip_whitespace()
+    if not scanner.eof():
+        raise XMLParseError("trailing content after the root element", scanner.pos)
+    return tree
+
+
+def _skip_prolog(scanner: _Scanner) -> None:
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<?"):
+            scanner.skip_until("?>")
+        elif scanner.startswith("<!--"):
+            scanner.skip_until("-->")
+        elif scanner.startswith("<!DOCTYPE"):
+            scanner.skip_until(">")
+        else:
+            return
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<?"):
+            scanner.skip_until("?>")
+        elif scanner.startswith("<!--"):
+            scanner.skip_until("-->")
+        else:
+            return
+
+
+def _parse_element(
+    scanner: _Scanner,
+    tree: XMLTree | None,
+    parent: NodeId | None,
+    keep_text: bool,
+    keep_attributes: bool,
+) -> tuple[XMLTree | None, NodeId | None]:
+    """Parse one element.  When ``tree`` is None, creates the root tree."""
+    scanner.expect("<")
+    name = scanner.read_name()
+    if tree is None:
+        tree = XMLTree(name)
+        node: NodeId = tree.root
+    else:
+        assert parent is not None
+        node = tree.add_child(parent, name)
+
+    attributes = _parse_attributes(scanner)
+    if keep_attributes:
+        for key, value in attributes:
+            tree.add_child(node, f"{ATTR_PREFIX}{key}={value}")
+
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        return tree, node
+    scanner.expect(">")
+    _parse_content(scanner, tree, node, name, keep_text, keep_attributes)
+    return tree, node
+
+
+def _parse_attributes(scanner: _Scanner) -> list[tuple[str, str]]:
+    attributes: list[tuple[str, str]] = []
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof() or scanner.peek() in {">", "/"}:
+            return attributes
+        key = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in {'"', "'"}:
+            raise XMLParseError("attribute value must be quoted", scanner.pos)
+        scanner.advance()
+        start = scanner.pos
+        end = scanner.text.find(quote, start)
+        if end < 0:
+            raise XMLParseError("unterminated attribute value", start)
+        attributes.append((key, _unescape(scanner.text[start:end])))
+        scanner.pos = end + 1
+
+
+def _parse_content(
+    scanner: _Scanner,
+    tree: XMLTree,
+    node: NodeId,
+    name: str,
+    keep_text: bool,
+    keep_attributes: bool,
+) -> None:
+    buffer: list[str] = []
+
+    def flush_text() -> None:
+        if not keep_text:
+            buffer.clear()
+            return
+        text = "".join(buffer).strip()
+        buffer.clear()
+        if text:
+            tree.add_child(node, f"{TEXT_PREFIX}{_unescape(text)}")
+
+    while True:
+        if scanner.eof():
+            raise XMLParseError(f"unterminated element <{name}>", scanner.pos)
+        if scanner.startswith("</"):
+            flush_text()
+            scanner.advance(2)
+            closing = scanner.read_name()
+            if closing != name:
+                raise XMLParseError(
+                    f"mismatched closing tag </{closing}> for <{name}>", scanner.pos
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            return
+        if scanner.startswith("<!--"):
+            flush_text()
+            scanner.skip_until("-->")
+        elif scanner.startswith("<?"):
+            flush_text()
+            scanner.skip_until("?>")
+        elif scanner.startswith("<"):
+            flush_text()
+            _parse_element(scanner, tree, node, keep_text, keep_attributes)
+        else:
+            buffer.append(scanner.peek())
+            scanner.advance()
+
+
+_ENTITIES = {"&lt;": "<", "&gt;": ">", "&amp;": "&", "&quot;": '"', "&apos;": "'"}
+
+
+def _unescape(text: str) -> str:
+    for entity, char in _ENTITIES.items():
+        text = text.replace(entity, char)
+    return text

@@ -1,0 +1,193 @@
+"""Seeded random document generators for tests and benchmarks.
+
+The paper evaluates nothing empirically, so every input in this repository
+is synthetic by construction.  These generators produce the three document
+families used across the experiment suite:
+
+* :func:`random_tree` — uniform attachment trees over a given alphabet, the
+  generic workload for scaling experiments;
+* :func:`random_path` — degenerate chains, the worst case for descendant
+  axes;
+* :func:`bookstore` — documents shaped like Figure 1 of the paper
+  (``bib/book/{title, publisher/name, quantity}``), the motivating example
+  workload.
+
+All generators take an explicit :class:`random.Random` instance or seed so
+results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.xml.parser import ATTR_PREFIX, TEXT_PREFIX
+from repro.xml.tree import XMLTree
+
+__all__ = [
+    "random_tree",
+    "random_path",
+    "bookstore",
+    "auction_site",
+    "DEFAULT_ALPHABET",
+]
+
+#: Alphabet used when none is supplied.
+DEFAULT_ALPHABET: tuple[str, ...] = ("a", "b", "c", "d")
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_tree(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    seed: int | random.Random | None = None,
+    max_depth: int | None = None,
+) -> XMLTree:
+    """A uniformly grown random tree with ``size`` nodes.
+
+    Each new node picks a uniformly random existing node as its parent
+    (optionally restricted to nodes above ``max_depth``) and a uniformly
+    random label.  This yields trees whose expected depth is ``O(log n)``,
+    a reasonable stand-in for real document shapes.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    rng = _rng(seed)
+    tree = XMLTree(rng.choice(alphabet))
+    depths = {tree.root: 0}
+    candidates = [tree.root]
+    while tree.size < size:
+        parent = rng.choice(candidates)
+        node = tree.add_child(parent, rng.choice(alphabet))
+        depths[node] = depths[parent] + 1
+        if max_depth is None or depths[node] < max_depth:
+            candidates.append(node)
+    return tree
+
+
+def random_path(
+    length: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    seed: int | random.Random | None = None,
+) -> XMLTree:
+    """A chain of ``length`` nodes with random labels (worst case for ``//``)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = _rng(seed)
+    tree = XMLTree(rng.choice(alphabet))
+    node = tree.root
+    for _ in range(length - 1):
+        node = tree.add_child(node, rng.choice(alphabet))
+    return tree
+
+
+def bookstore(
+    books: int,
+    low_stock_fraction: float = 0.3,
+    seed: int | random.Random | None = None,
+    nested_quantity: bool = True,
+) -> XMLTree:
+    """A Figure-1-style bookstore document.
+
+    Produces ``bib`` with ``books`` children labeled ``book``; each book has
+    a ``title``, a ``publisher/name`` pair, and a ``quantity`` leaf whose
+    text encodes the stock level.  With probability ``low_stock_fraction``
+    the quantity is below 10, so the paper's motivating update
+    ``insert //book[.//quantity]/restock`` has work to do.
+
+    Args:
+        books: number of ``book`` elements.
+        low_stock_fraction: fraction of books with quantity < 10.
+        seed: RNG seed or instance.
+        nested_quantity: when True, half the quantities sit under an extra
+            ``stock`` wrapper so ``.//quantity`` genuinely needs the
+            descendant axis.
+    """
+    rng = _rng(seed)
+    tree = XMLTree("bib")
+    for index in range(books):
+        book = tree.add_child(tree.root, "book")
+        title = tree.add_child(book, "title")
+        tree.add_child(title, f"{TEXT_PREFIX}Book {index}")
+        publisher = tree.add_child(book, "publisher")
+        name = tree.add_child(publisher, "name")
+        tree.add_child(name, f"{TEXT_PREFIX}Press {index % 7}")
+        if rng.random() < low_stock_fraction:
+            quantity_value = rng.randrange(0, 10)
+        else:
+            quantity_value = rng.randrange(10, 500)
+        holder = book
+        if nested_quantity and rng.random() < 0.5:
+            holder = tree.add_child(book, "stock")
+        quantity = tree.add_child(holder, "quantity")
+        tree.add_child(quantity, f"{TEXT_PREFIX}{quantity_value}")
+    return tree
+
+
+def auction_site(
+    items: int = 20,
+    people: int = 10,
+    seed: int | random.Random | None = None,
+) -> XMLTree:
+    """An XMark-flavored auction document (``site/regions|people|open_auctions``).
+
+    A second realistic document family, deeper and more heterogeneous than
+    the bookstore: items nest descriptions with parlist/listitem recursion,
+    people carry optional profiles, and open auctions cross-reference both
+    via ``itemref``/``bidder`` leaves.  Used by the scaling experiments to
+    confirm the shapes measured on bookstores are not bookstore artifacts.
+    """
+    rng = _rng(seed)
+    site = XMLTree("site")
+    regions = site.add_child(site.root, "regions")
+    region_names = ("africa", "asia", "europe", "namerica")
+    region_nodes = {
+        name: site.add_child(regions, name) for name in region_names
+    }
+    for index in range(items):
+        region = region_nodes[region_names[index % len(region_names)]]
+        item = site.add_child(region, "item")
+        site.add_child(item, f"{ATTR_PREFIX}id=item{index}")
+        name = site.add_child(item, "name")
+        site.add_child(name, f"{TEXT_PREFIX}Item {index}")
+        description = site.add_child(item, "description")
+        _fill_parlist(site, description, rng, depth=rng.randint(1, 3))
+        if rng.random() < 0.4:
+            site.add_child(item, "reserve")
+    people_node = site.add_child(site.root, "people")
+    for index in range(people):
+        person = site.add_child(people_node, "person")
+        name = site.add_child(person, "name")
+        site.add_child(name, f"{TEXT_PREFIX}Person {index}")
+        if rng.random() < 0.5:
+            profile = site.add_child(person, "profile")
+            interest = site.add_child(profile, "interest")
+            site.add_child(interest, f"{TEXT_PREFIX}category{rng.randrange(5)}")
+    auctions = site.add_child(site.root, "open_auctions")
+    for index in range(max(1, items // 2)):
+        auction = site.add_child(auctions, "open_auction")
+        itemref = site.add_child(auction, "itemref")
+        site.add_child(itemref, f"{TEXT_PREFIX}item{rng.randrange(items)}")
+        for _ in range(rng.randint(0, 3)):
+            bidder = site.add_child(auction, "bidder")
+            increase = site.add_child(bidder, "increase")
+            site.add_child(increase, f"{TEXT_PREFIX}{rng.randrange(1, 50)}")
+        current = site.add_child(auction, "current")
+        site.add_child(current, f"{TEXT_PREFIX}{rng.randrange(10, 1000)}")
+    return site
+
+
+def _fill_parlist(tree: XMLTree, parent, rng: random.Random, depth: int) -> None:
+    parlist = tree.add_child(parent, "parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = tree.add_child(parlist, "listitem")
+        if depth > 0 and rng.random() < 0.4:
+            _fill_parlist(tree, listitem, rng, depth - 1)
+        else:
+            text = tree.add_child(listitem, "text")
+            tree.add_child(text, f"{TEXT_PREFIX}lorem {rng.randrange(100)}")

@@ -1,0 +1,100 @@
+"""Serialize :class:`~repro.xml.tree.XMLTree` values back to XML text.
+
+Inverts :mod:`repro.xml.parser`: leaf nodes labeled ``#text:...`` become
+text content, leaves labeled ``@name=value`` become attributes, everything
+else becomes elements.  Children that cannot be rendered as attributes/text
+are rendered as child elements in stored order.
+"""
+
+from __future__ import annotations
+
+from repro.xml.parser import ATTR_PREFIX, TEXT_PREFIX
+from repro.xml.tree import NodeId, XMLTree
+
+__all__ = ["serialize"]
+
+
+def serialize(tree: XMLTree, node: NodeId | None = None, indent: int | None = None) -> str:
+    """Render ``tree`` (or the subtree rooted at ``node``) as XML text.
+
+    Args:
+        tree: the tree to render.
+        node: subtree root; defaults to the tree root.
+        indent: when given, pretty-print with this many spaces per level;
+            when ``None``, produce compact single-line output.
+    """
+    node = tree.root if node is None else node
+    pieces: list[str] = []
+    _render(tree, node, pieces, indent, 0)
+    return "".join(pieces) if indent is None else "\n".join(pieces)
+
+
+def _render(
+    tree: XMLTree,
+    node: NodeId,
+    pieces: list[str],
+    indent: int | None,
+    depth: int,
+) -> None:
+    label = tree.label(node)
+    pad = "" if indent is None else " " * (indent * depth)
+
+    if label.startswith(TEXT_PREFIX):
+        pieces.append(pad + _escape(label[len(TEXT_PREFIX):]))
+        return
+    if label.startswith(ATTR_PREFIX):
+        # An attribute node rendered standalone (should normally be folded
+        # into its parent's start tag); render as an element with a
+        # sanitized name so no information — including any children — is
+        # lost.
+        name = _escape_name(label)
+        children = tree.children(node)
+        if not children:
+            pieces.append(pad + f"<{name}/>")
+            return
+        pieces.append(pad + f"<{name}>")
+        for child in children:
+            _render(tree, child, pieces, indent, depth + 1)
+        if indent is None:
+            pieces.append(f"</{name}>")
+        else:
+            pieces.append(pad + f"</{name}>")
+        return
+
+    attributes: list[str] = []
+    content: list[NodeId] = []
+    for child in tree.children(node):
+        child_label = tree.label(child)
+        if child_label.startswith(ATTR_PREFIX) and tree.is_leaf(child):
+            name, _, value = child_label[len(ATTR_PREFIX):].partition("=")
+            attributes.append(f' {name}="{_escape(value)}"')
+        else:
+            content.append(child)
+
+    open_tag = f"<{label}{''.join(attributes)}"
+    if not content:
+        pieces.append(pad + open_tag + "/>")
+        return
+
+    pieces.append(pad + open_tag + ">")
+    for child in content:
+        _render(tree, child, pieces, indent, depth + 1)
+    if indent is None:
+        pieces.append(f"</{label}>")
+    else:
+        pieces.append(pad + f"</{label}>")
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _escape_name(label: str) -> str:
+    # Attribute-style labels contain characters invalid in element names;
+    # keep only a safe approximation for standalone rendering.
+    return "".join(ch if ch.isalnum() or ch in "._-" else "_" for ch in label)

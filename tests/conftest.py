@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.xml.tree import XMLTree, build_tree
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def figure1_tree() -> XMLTree:
+    """The bookstore document of Figure 1 (structure approximated).
+
+    bib
+    ├── book ── title, publisher ── name, quantity(3)
+    └── book ── title, quantity(50)
+    """
+    return build_tree(
+        (
+            "bib",
+            (
+                "book",
+                ("title", "#text:TCP/IP Illustrated"),
+                ("publisher", ("name", "#text:Addison")),
+                ("quantity", "#text:3"),
+            ),
+            (
+                "book",
+                ("title", "#text:Data on the Web"),
+                ("quantity", "#text:50"),
+            ),
+        )
+    )
+
+
+@pytest.fixture
+def figure2_tree() -> XMLTree:
+    """A tree embedding the Figure 2 pattern ``a[.//c]/b[d][*//f]``."""
+    return build_tree(
+        ("a", ("x", "c"), ("b", "d", ("g", ("h", "f"))))
+    )

@@ -1,0 +1,100 @@
+"""Tests for the auction-site workload and detector caching behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.semantics import Verdict
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.embedding import evaluate
+from repro.patterns.xpath import parse_xpath
+from repro.xml.random_trees import auction_site
+from repro.xml.serializer import serialize
+from repro.xml.parser import parse
+
+
+class TestAuctionSite:
+    def test_shape(self):
+        doc = auction_site(items=8, people=4, seed=1)
+        doc.validate()
+        top = sorted(doc.label(c) for c in doc.children(doc.root))
+        assert top == ["open_auctions", "people", "regions"]
+
+    def test_item_count(self):
+        doc = auction_site(items=12, people=3, seed=2)
+        items = evaluate(parse_xpath("//item"), doc)
+        assert len(items) == 12
+
+    def test_people_count(self):
+        doc = auction_site(items=4, people=9, seed=3)
+        persons = evaluate(parse_xpath("site/people/person"), doc)
+        assert len(persons) == 9
+
+    def test_deterministic(self):
+        assert auction_site(seed=4).equivalent(auction_site(seed=4))
+
+    def test_nested_parlists_exist(self):
+        doc = auction_site(items=30, people=2, seed=5)
+        nested = evaluate(parse_xpath("//parlist//parlist"), doc)
+        assert nested, "recursive descriptions should occur at this size"
+
+    def test_round_trips_through_xml(self):
+        doc = auction_site(items=3, people=2, seed=6)
+        from repro.xml.isomorphism import isomorphic
+
+        assert isomorphic(doc, parse(serialize(doc)))
+
+    def test_conflict_analysis_on_auctions(self):
+        detector = ConflictDetector()
+        close_auctions = Delete("site/open_auctions/open_auction")
+        read_bidders = Read("//bidder/increase")
+        read_people = Read("site/people/person/name")
+        assert (
+            detector.read_delete(read_bidders, close_auctions).verdict
+            is Verdict.CONFLICT
+        )
+        assert (
+            detector.read_delete(read_people, close_auctions).verdict
+            is Verdict.NO_CONFLICT
+        )
+
+
+class TestDetectorCache:
+    def test_cache_hit_on_repeat_query(self):
+        detector = ConflictDetector()
+        read, insert = Read("a/b"), Insert("a", "<b/>")
+        first = detector.read_insert(read, insert)
+        hits_before = detector.cache_hits
+        second = detector.read_insert(Read("a/b"), Insert("a", "<b/>"))
+        assert detector.cache_hits == hits_before + 1
+        assert first.verdict == second.verdict
+
+    def test_cache_respects_structure_not_identity(self):
+        detector = ConflictDetector()
+        detector.read_insert(Read("a/b"), Insert("a", "<b/>"))
+        # Same structure built differently must hit.
+        pattern = parse_xpath("a/b")
+        detector.read_insert(Read(pattern), Insert(parse_xpath("a"), parse("<b/>")))
+        assert detector.cache_hits >= 1
+
+    def test_different_x_misses(self):
+        detector = ConflictDetector()
+        detector.read_insert(Read("a//b"), Insert("a", "<b/>"))
+        misses = detector.cache_misses
+        detector.read_insert(Read("a//b"), Insert("a", "<c/>"))
+        assert detector.cache_misses == misses + 1
+
+    def test_cache_can_be_disabled(self):
+        detector = ConflictDetector(cache=False)
+        detector.read_insert(Read("a/b"), Insert("a", "<b/>"))
+        detector.read_insert(Read("a/b"), Insert("a", "<b/>"))
+        assert detector.cache_hits == 0
+
+    def test_cached_reports_are_independent(self):
+        """Mutating one returned report must not corrupt the cache."""
+        detector = ConflictDetector()
+        first = detector.read_insert(Read("a/b"), Insert("a", "<b/>"))
+        first.notes.append("caller scribbles")
+        second = detector.read_insert(Read("a/b"), Insert("a", "<b/>"))
+        assert "caller scribbles" not in second.notes

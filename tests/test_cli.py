@@ -1,0 +1,212 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+BOOK_XML = (
+    "<bib><book><title>T</title><quantity>5</quantity></book>"
+    "<book><quantity>50</quantity></book></bib>"
+)
+
+BOOK_DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title?, quantity)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+"""
+
+PROGRAM = """
+x = <doc><B/><A/></doc>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//C
+u = read $x//A
+"""
+
+
+class TestEval:
+    def test_eval_inline(self, capsys):
+        code = main(["eval", "--xpath", "bib/book", "--xml-text", BOOK_XML])
+        assert code == 0
+        assert "2 node(s) selected" in capsys.readouterr().out
+
+    def test_eval_file(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(BOOK_XML)
+        code = main(["eval", "--xpath", "//quantity", "--file", str(doc)])
+        assert code == 0
+        assert "2 node(s)" in capsys.readouterr().out
+
+    def test_eval_subtrees(self, capsys):
+        code = main(
+            ["eval", "--xpath", "bib/book[.//quantity < 10]",
+             "--xml-text", BOOK_XML, "--subtrees"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 node(s)" in out
+        assert "<book>" in out
+
+
+class TestCheck:
+    def test_conflict_exit_code(self, capsys):
+        code = main(
+            ["check", "--read", "*//C", "--insert", "*/B", "--xml", "<C/>"]
+        )
+        assert code == 1
+        assert "conflict" in capsys.readouterr().out
+
+    def test_no_conflict_exit_code(self, capsys):
+        code = main(
+            ["check", "--read", "*//A", "--insert", "*/B", "--xml", "<C/>"]
+        )
+        assert code == 0
+        assert "no-conflict" in capsys.readouterr().out
+
+    def test_delete_check(self):
+        assert main(["check", "--read", "a//c", "--delete", "a/b"]) == 1
+
+    def test_witness_printed(self, capsys):
+        code = main(
+            ["check", "--read", "a//c", "--delete", "a/b", "--witness"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "witness document" in out
+        assert "as XML:" in out
+
+    def test_kind_flag(self, capsys):
+        # Node-silent but tree-loud instance.
+        node_code = main(["check", "--read", "a", "--insert", "a/B"])
+        tree_code = main(
+            ["check", "--read", "a", "--insert", "a/B", "--kind", "tree"]
+        )
+        assert node_code == 0
+        assert tree_code == 1
+
+    def test_unknown_exit_code(self):
+        code = main(
+            ["check", "--read", "a[b][c]/d/e", "--delete", "q/r/s/t",
+             "--budget", "2"]
+        )
+        assert code == 2
+
+    def test_bad_xpath_reports_error(self, capsys):
+        code = main(["check", "--read", "][", "--delete", "a/b"])
+        assert code == 64
+        assert "error:" in capsys.readouterr().err
+
+    def test_schema_constrained_check(self, tmp_path):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text(BOOK_DTD)
+        # Nested books: conflicts unconstrained, silenced by the schema.
+        plain = main(["check", "--read", "bib/book/book", "--delete", "bib/book"])
+        constrained = main(
+            ["check", "--read", "bib/book/book", "--delete", "bib/book",
+             "--schema", str(dtd)]
+        )
+        assert plain == 1
+        assert constrained == 2  # no valid witness within the budget
+
+    def test_schema_constrained_conflict_persists(self, tmp_path, capsys):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text(BOOK_DTD)
+        code = main(
+            ["check", "--read", "//quantity", "--delete", "bib/book",
+             "--schema", str(dtd), "--witness"]
+        )
+        assert code == 1
+        assert "witness document" in capsys.readouterr().out
+
+
+class TestCommute:
+    def test_conflicting_inserts(self):
+        code = main(
+            ["commute", "--insert1", "a/b", "--xml1", "<c/>",
+             "--insert2", "a/b/c", "--xml2", "<d/>"]
+        )
+        assert code == 1
+
+    def test_commuting_pair_is_unknown(self):
+        # The engine cannot prove commutation (no witness bound), so 2.
+        code = main(
+            ["commute", "--insert1", "a/b", "--xml1", "<x/>",
+             "--insert2", "a/d", "--xml2", "<y/>", "--budget", "3"]
+        )
+        assert code == 2
+
+    def test_insert_delete_pair(self):
+        code = main(
+            ["commute", "--insert1", "a/b", "--xml1", "<c/>",
+             "--delete2", "a/b/c"]
+        )
+        assert code == 1
+
+
+class TestAnalyze:
+    def test_analysis_output(self, tmp_path, capsys):
+        source = tmp_path / "prog.xup"
+        source.write_text(PROGRAM)
+        code = main(["analyze", str(source)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "read-insert" in out
+        assert "redundant read" in out
+
+    def test_optimize_flag(self, tmp_path, capsys):
+        source = tmp_path / "prog.xup"
+        source.write_text(PROGRAM)
+        code = main(["analyze", str(source), "--optimize"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimized program" in out
+        assert "aliases: {'u': 'y'}" in out
+
+    def test_hoist_flag(self, tmp_path, capsys):
+        source = tmp_path / "prog.xup"
+        source.write_text(
+            "x = <doc><B/><A/></doc>\ninsert $x/B, <C/>\ny = read $x//A\n"
+        )
+        code = main(["analyze", str(source), "--hoist"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hoisted program" in out
+        assert "moves" in out
+
+
+class TestValidate:
+    def test_valid_document(self, tmp_path, capsys):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text(BOOK_DTD)
+        code = main(
+            ["validate", "--dtd", str(dtd), "--xml-text", BOOK_XML]
+        )
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_document(self, tmp_path, capsys):
+        dtd = tmp_path / "schema.dtd"
+        dtd.write_text(BOOK_DTD)
+        code = main(
+            ["validate", "--dtd", str(dtd), "--xml-text", "<bib><pirate/></bib>"]
+        )
+        assert code == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check",
+             "--read", "*//C", "--insert", "*/B", "--xml", "<C/>"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "conflict" in proc.stdout

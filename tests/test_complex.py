@@ -1,0 +1,124 @@
+"""Tests for update-update commutativity conflicts (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.complex import (
+    detect_update_update,
+    find_commutativity_witness_exhaustive,
+    is_commutativity_witness,
+)
+from repro.conflicts.semantics import Verdict
+from repro.operations.ops import Delete, Insert
+from repro.xml.tree import build_tree
+
+
+class TestWitnessCheck:
+    def test_identical_inserts_commute(self):
+        """The paper's motivating point: identical inserts must not conflict
+        under value semantics (reference semantics would false-positive)."""
+        t = build_tree(("a", "b"))
+        ins = Insert("a/b", "<x/>")
+        other = Insert("a/b", "<x/>")
+        assert not is_commutativity_witness(t, ins, other)
+
+    def test_insert_enables_insert(self):
+        t = build_tree(("a", "b"))
+        first = Insert("a/b", "<c/>")
+        second = Insert("a/b/c", "<d/>")
+        # Order matters: second fires only after first created the c.
+        assert is_commutativity_witness(t, first, second)
+
+    def test_delete_then_insert_vs_insert_then_delete(self):
+        t = build_tree(("a", "b"))
+        delete = Delete("a/b")
+        insert = Insert("a/b", "<c/>")
+        # delete-first removes b so the insert is a no-op; insert-first
+        # grafts c under b and then the delete removes both: results equal
+        # (both end at bare a)?  insert(delete(t)) = a; delete(insert(t)) =
+        # a.  Isomorphic -> not a witness.
+        assert not is_commutativity_witness(t, delete, insert)
+
+    def test_delete_insert_genuine_conflict(self):
+        t = build_tree(("a", "b"))
+        delete = Delete("a/b/c")  # only fires after the insert adds c
+        insert = Insert("a/b", "<c/>")
+        # insert-then-delete: c added then removed -> a(b).
+        # delete-then-insert: delete no-op, insert adds c -> a(b(c)).
+        assert is_commutativity_witness(t, insert, delete)
+
+    def test_disjoint_updates_commute(self):
+        t = build_tree(("a", "b", "d"))
+        assert not is_commutativity_witness(
+            t, Insert("a/b", "<x/>"), Insert("a/d", "<y/>")
+        )
+
+    def test_delete_delete_overlap_commutes(self):
+        """Deletions commute even when nested (both orders yield the same)."""
+        t = build_tree(("a", ("b", "c")))
+        d1 = Delete("a/b")
+        d2 = Delete("a/b/c")
+        assert not is_commutativity_witness(t, d1, d2)
+
+
+class TestExhaustiveSearch:
+    def test_finds_insert_insert_conflict(self):
+        first = Insert("a/b", "<c/>")
+        second = Insert("a/b/c", "<d/>")
+        witness = find_commutativity_witness_exhaustive(first, second, max_size=3)
+        assert witness is not None
+        assert is_commutativity_witness(witness, first, second)
+
+    def test_no_witness_for_commuting_pair(self):
+        first = Insert("a/b", "<x/>")
+        second = Insert("a/d", "<y/>")
+        witness = find_commutativity_witness_exhaustive(first, second, max_size=4)
+        assert witness is None
+
+
+class TestDetect:
+    def test_conflict_detected(self):
+        report = detect_update_update(
+            Insert("a/b", "<c/>"), Insert("a/b/c", "<d/>")
+        )
+        assert report.verdict is Verdict.CONFLICT
+        assert report.witness is not None
+
+    def test_unknown_for_commuting_pair(self):
+        """No witness-size bound is proved, so the engine cannot say NO."""
+        report = detect_update_update(
+            Insert("a/b", "<x/>"), Insert("a/d", "<y/>"), exhaustive_cap=3
+        )
+        assert report.verdict is Verdict.UNKNOWN
+        assert report.notes
+
+    def test_heuristic_path(self):
+        report = detect_update_update(
+            Insert("a/b", "<c/>"),
+            Delete("a/b/c"),
+            exhaustive_cap=None,
+        )
+        assert report.verdict in (Verdict.CONFLICT, Verdict.UNKNOWN)
+        if report.verdict is Verdict.CONFLICT:
+            assert report.method == "heuristic"
+
+
+class TestReductionStyleInstances:
+    """Insert-insert conflicts built from containment instances (§6 remark)."""
+
+    @pytest.mark.parametrize(
+        "p,q,contained",
+        [("a/b", "a//b", True), ("a//b", "a/b", False)],
+    )
+    def test_gadget_like_pair(self, p, q, contained):
+        """I1 inserts a marker where p holds; I2 inserts where p' holds then
+        reads... simplified: I2's pattern extends I1's marker, so conflict
+        arises exactly when I1 can fire where I2's pattern then applies."""
+        first = Insert(f"{p}", "<marker/>")
+        second = Insert(f"{q}/marker", "<inner/>")
+        witness = find_commutativity_witness_exhaustive(first, second, max_size=4)
+        # first-then-second nests inner under marker; second-then-first
+        # leaves inner out.  This requires p to fire somewhere q also
+        # fires, which holds for both orientations here.
+        assert witness is not None

@@ -1,0 +1,144 @@
+"""Tests for the update-update NP-hardness gadgets (Section 6)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conflicts.complex import (
+    find_commutativity_witness_exhaustive,
+    is_commutativity_witness,
+)
+from repro.conflicts.complex_reductions import (
+    commutativity_witness_from_noncontainment,
+    insert_delete_gadget,
+    insert_insert_gadget,
+)
+from repro.patterns.containment import contains, non_containment_witness
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import containment_pair
+
+#: Pairs with known containment status and small counterexamples.
+KNOWN = [
+    ("a/b", "a//b", True),
+    ("a//b", "a/b", False),
+    ("a/b", "a/*", True),
+    ("a/*", "a/b", False),
+    ("a[b][c]", "a[b]", True),
+    ("a[b]", "a[b][c]", False),
+    ("a/b/c", "a//c", True),
+    ("a//c", "a/b/c", False),
+]
+
+
+class TestInsertInsertGadget:
+    @pytest.mark.parametrize("p,q,contained", KNOWN)
+    def test_noncontainment_implies_conflict(self, p, q, contained):
+        pp, qq = parse_xpath(p), parse_xpath(q)
+        first, second, labels = insert_insert_gadget(pp, qq)
+        if contained:
+            return
+        t_p = non_containment_witness(pp, qq)
+        witness = commutativity_witness_from_noncontainment(
+            t_p, qq.model(), labels
+        )
+        assert is_commutativity_witness(witness, first, second), (
+            f"p={p} p'={q}: the gadget inserts must fail to commute"
+        )
+
+    @pytest.mark.parametrize(
+        "p,q", [(p, q) for p, q, contained in KNOWN if contained]
+    )
+    def test_containment_implies_commutation(self, p, q):
+        """When p ⊆ p', no small tree separates the two orders."""
+        pp, qq = parse_xpath(p), parse_xpath(q)
+        first, second, _ = insert_insert_gadget(pp, qq)
+        witness = find_commutativity_witness_exhaustive(first, second, max_size=4)
+        assert witness is None, (
+            f"p={p} ⊆ p'={q} but the gadget inserts conflict:\n"
+            f"{witness and witness.sketch()}"
+        )
+
+    def test_orders_differ_concretely(self):
+        pp, qq = parse_xpath("a//b"), parse_xpath("a/b")
+        first, second, labels = insert_insert_gadget(pp, qq)
+        t_p = non_containment_witness(pp, qq)
+        witness = commutativity_witness_from_noncontainment(t_p, qq.model(), labels)
+        order_a = second.apply(first.apply(witness).tree).tree
+        order_b = first.apply(second.apply(witness).tree).tree
+        deltas_a = sum(
+            1 for n in order_a.children(order_a.root)
+            if order_a.label(n) == labels.delta
+        )
+        deltas_b = sum(
+            1 for n in order_b.children(order_b.root)
+            if order_b.label(n) == labels.delta
+        )
+        assert deltas_a == deltas_b + 1  # I1-first enables the δ insertion
+
+
+class TestInsertDeleteGadget:
+    @pytest.mark.parametrize("p,q,contained", KNOWN)
+    def test_noncontainment_implies_conflict(self, p, q, contained):
+        pp, qq = parse_xpath(p), parse_xpath(q)
+        first, second, labels = insert_delete_gadget(pp, qq)
+        if contained:
+            return
+        t_p = non_containment_witness(pp, qq)
+        witness = commutativity_witness_from_noncontainment(
+            t_p, qq.model(), labels
+        )
+        assert is_commutativity_witness(witness, first, second), (
+            f"p={p} p'={q}: the insert/delete pair must fail to commute"
+        )
+
+    @pytest.mark.parametrize(
+        "p,q", [(p, q) for p, q, contained in KNOWN if contained]
+    )
+    def test_containment_implies_commutation(self, p, q):
+        pp, qq = parse_xpath(p), parse_xpath(q)
+        first, second, _ = insert_delete_gadget(pp, qq)
+        witness = find_commutativity_witness_exhaustive(first, second, max_size=4)
+        assert witness is None, (
+            f"p={p} ⊆ p'={q} but the gadget pair conflicts:\n"
+            f"{witness and witness.sketch()}"
+        )
+
+    def test_delete_fires_only_after_insert(self):
+        pp, qq = parse_xpath("a//b"), parse_xpath("a/b")
+        first, second, labels = insert_delete_gadget(pp, qq)
+        t_p = non_containment_witness(pp, qq)
+        witness = commutativity_witness_from_noncontainment(t_p, qq.model(), labels)
+        # insert-then-delete removes the δ child; delete-then-insert keeps it.
+        after_id = second.apply(first.apply(witness).tree).tree
+        after_di = first.apply(second.apply(witness).tree).tree
+        has_delta = lambda t: any(  # noqa: E731
+            t.label(n) == labels.delta for n in t.children(t.root)
+        )
+        assert not has_delta(after_id)
+        assert has_delta(after_di)
+
+
+class TestRandomizedGadgets:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_insert_insert_random(self, seed):
+        rng = random.Random(seed)
+        p, q = containment_pair(rng.randint(1, 3), ("a", "b"), seed=rng)
+        if contains(p, q):
+            return
+        first, second, labels = insert_insert_gadget(p, q)
+        t_p = non_containment_witness(p, q)
+        witness = commutativity_witness_from_noncontainment(t_p, q.model(), labels)
+        assert is_commutativity_witness(witness, first, second), f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_insert_delete_random(self, seed):
+        rng = random.Random(seed + 400)
+        p, q = containment_pair(rng.randint(1, 3), ("a", "b"), seed=rng)
+        if contains(p, q):
+            return
+        first, second, labels = insert_delete_gadget(p, q)
+        t_p = non_containment_witness(p, q)
+        witness = commutativity_witness_from_noncontainment(t_p, q.model(), labels)
+        assert is_commutativity_witness(witness, first, second), f"seed {seed}"

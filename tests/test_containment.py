@@ -1,0 +1,147 @@
+"""Unit tests for pattern containment (:mod:`repro.patterns.containment`).
+
+Cross-validates three deciders on randomized instances: the exact
+canonical-model test, the sound homomorphism test, and a brute-force oracle
+over enumerated small trees.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SearchBudgetExceeded
+from repro.patterns.containment import (
+    canonical_models,
+    contains,
+    contains_bruteforce,
+    homomorphism_exists,
+    non_containment_witness,
+)
+from repro.patterns.embedding import embeds
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import containment_pair
+
+
+class TestContainsKnownCases:
+    @pytest.mark.parametrize(
+        "p,q,expected",
+        [
+            ("a/b", "a//b", True),
+            ("a//b", "a/b", False),
+            ("a/b", "a/*", True),
+            ("a/*", "a/b", False),
+            ("a/b/c", "a//c", True),
+            ("a//c", "a/b/c", False),
+            ("a[b][c]", "a[b]", True),
+            ("a[b]", "a[b][c]", False),
+            ("a/b", "a", True),
+            ("a", "b", False),
+            ("a//b//c", "a//c", True),
+            ("a/*/*", "a//*", True),
+            ("a//*", "a/*/*", False),
+            ("a[b/c]", "a[b]", True),
+            ("a[.//c]", "a[c]", False),
+            ("a[c]", "a[.//c]", True),
+            ("a/b", "a/b", True),
+            ("*", "*", True),
+            ("a", "*", True),
+            ("*", "a", False),
+        ],
+    )
+    def test_cases(self, p, q, expected):
+        assert contains(parse_xpath(p), parse_xpath(q)) is expected
+
+    def test_miklau_suciu_star_interaction(self):
+        """The classic subtlety: // with * interacting.
+
+        ``a/*//b ⊆ a//*/b``?  Both require b at depth >= 3 below... check
+        against brute force rather than trusting intuition.
+        """
+        p = parse_xpath("a/*//b")
+        q = parse_xpath("a//*/b")
+        assert contains(p, q) == contains_bruteforce(p, q, max_size=5)
+
+    def test_non_containment_witness_is_separating(self):
+        p, q = parse_xpath("a//b"), parse_xpath("a/b")
+        witness = non_containment_witness(p, q)
+        assert witness is not None
+        assert embeds(p, witness) and not embeds(q, witness)
+
+    def test_containment_has_no_witness(self):
+        assert non_containment_witness(parse_xpath("a/b"), parse_xpath("a//b")) is None
+
+
+class TestCanonicalModels:
+    def test_pattern_embeds_in_all_its_models(self):
+        p = parse_xpath("a//b[.//c]/d")
+        for model in canonical_models(p, max_gap=2):
+            assert embeds(p, model)
+
+    def test_model_count(self):
+        p = parse_xpath("a//b//c")  # two descendant edges
+        assert len(canonical_models(p, max_gap=2)) == 9
+
+    def test_no_descendant_edges_single_model(self):
+        assert len(canonical_models(parse_xpath("a/b[c]"), max_gap=3)) == 1
+
+    def test_budget_exceeded(self):
+        p = parse_xpath("a//b//c//d//e//f//g")
+        with pytest.raises(SearchBudgetExceeded):
+            contains(p, parse_xpath("a/*/*//z"), model_budget=10)
+
+
+class TestHomomorphismSoundness:
+    @pytest.mark.parametrize(
+        "p,q",
+        [
+            ("a/b", "a//b"),
+            ("a/b/c", "a//c"),
+            ("a[b][c]", "a[b]"),
+            ("a/b", "a/*"),
+        ],
+    )
+    def test_hom_implies_containment(self, p, q):
+        """hom(q -> p) implies p ⊆ q; verify both facts on known pairs."""
+        pp, qq = parse_xpath(p), parse_xpath(q)
+        assert homomorphism_exists(qq, pp)
+        assert contains(pp, qq)
+
+    def test_hom_absent_on_noncontainment(self):
+        assert not homomorphism_exists(parse_xpath("a/b"), parse_xpath("a//b"))
+
+
+class TestRandomizedCrossValidation:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_exact_matches_bruteforce(self, seed):
+        """contains() must agree with the enumeration oracle.
+
+        Instances are kept tiny so the brute-force bound (5 nodes) is
+        conclusive relative to the canonical-model sizes involved.
+        """
+        rng = random.Random(seed)
+        p, q = containment_pair(rng.randint(1, 3), ("a", "b"), seed=rng)
+        exact = contains(p, q)
+        brute = contains_bruteforce(p, q, max_size=5)
+        if exact:
+            assert brute, f"seed {seed}: exact says contained, brute found counterexample"
+        else:
+            witness = non_containment_witness(p, q)
+            assert witness is not None
+            assert embeds(p, witness) and not embeds(q, witness), f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_hom_soundness_random(self, seed):
+        rng = random.Random(seed + 500)
+        p, q = containment_pair(rng.randint(1, 4), ("a", "b", "c"), seed=rng)
+        if homomorphism_exists(q, p):
+            assert contains(p, q), f"seed {seed}: hom exists but not contained"
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_generalization_pairs_always_contained(self, seed):
+        rng = random.Random(seed + 900)
+        p, q = containment_pair(
+            rng.randint(2, 4), ("a", "b"), seed=rng, related_bias=1.0
+        )
+        assert contains(p, q), f"seed {seed}: generalization must contain"

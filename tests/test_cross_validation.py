@@ -1,0 +1,178 @@
+"""Integration: cross-validate the PTIME algorithms against exhaustive search.
+
+This is the strongest correctness evidence in the suite: on randomized
+small instances, Theorem 1/2's polynomial algorithms must agree with the
+ground truth obtained by enumerating every candidate witness up to a bound
+that is conclusive for these instance sizes (via Lemma 11).
+
+Two one-sided checks apply at every instance:
+
+* PTIME says CONFLICT  -> its constructed witness passes the Lemma 1 check
+  (verified inside the algorithm, re-verified here);
+* PTIME says NO_CONFLICT -> exhaustive search up to the Lemma 11 bound
+  (capped for tractability; instances are sized so the cap >= bound where
+  feasible, otherwise the exhaustive search is still a strong refutation
+  attempt) finds no witness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conflicts.general import find_witness_exhaustive, witness_size_bound
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.semantics import ConflictKind, Verdict, is_witness
+from repro.operations.ops import Delete, Insert, Read
+from repro.workloads.generators import random_linear_pattern
+from repro.xml.random_trees import random_tree
+
+ALPHABET = ("a", "b")
+SEARCH_CAP = 5
+
+
+def _random_read(rng: random.Random) -> Read:
+    return Read(
+        random_linear_pattern(
+            rng.randint(1, 3), ALPHABET, p_wildcard=0.25, p_descendant=0.4, seed=rng
+        )
+    )
+
+
+def _random_insert(rng: random.Random) -> Insert:
+    pattern = random_linear_pattern(
+        rng.randint(1, 2), ALPHABET, p_wildcard=0.2, p_descendant=0.3, seed=rng
+    )
+    subtree = random_tree(rng.randint(1, 2), ALPHABET, seed=rng)
+    return Insert(pattern, subtree)
+
+
+def _random_delete(rng: random.Random) -> Delete:
+    pattern = random_linear_pattern(
+        rng.randint(2, 3), ALPHABET, p_wildcard=0.2, p_descendant=0.3, seed=rng
+    )
+    return Delete(pattern)
+
+
+class TestReadInsertAgreement:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_ptime_vs_exhaustive(self, seed):
+        rng = random.Random(seed)
+        read = _random_read(rng)
+        insert = _random_insert(rng)
+        report = detect_read_insert_linear(read, insert, ConflictKind.NODE)
+        cap = min(SEARCH_CAP, witness_size_bound(read, insert))
+        witness = find_witness_exhaustive(
+            read, insert, ConflictKind.NODE, max_size=cap
+        )
+        if report.verdict is Verdict.CONFLICT:
+            assert is_witness(report.witness, read, insert, ConflictKind.NODE), (
+                f"seed {seed}: reported witness fails Lemma 1 check"
+            )
+        else:
+            assert witness is None, (
+                f"seed {seed}: PTIME says no conflict but search found a "
+                f"witness:\n{witness.sketch()}"
+            )
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_exhaustive_conflicts_are_detected(self, seed):
+        """If a small witness exists, PTIME must say CONFLICT."""
+        rng = random.Random(seed + 7_000)
+        read = _random_read(rng)
+        insert = _random_insert(rng)
+        witness = find_witness_exhaustive(
+            read, insert, ConflictKind.NODE, max_size=4
+        )
+        if witness is not None:
+            report = detect_read_insert_linear(read, insert, ConflictKind.NODE)
+            assert report.verdict is Verdict.CONFLICT, (
+                f"seed {seed}: witness exists but PTIME says no conflict:\n"
+                f"{witness.sketch()}"
+            )
+
+
+class TestReadDeleteAgreement:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_ptime_vs_exhaustive(self, seed):
+        rng = random.Random(seed + 100_000)
+        read = _random_read(rng)
+        delete = _random_delete(rng)
+        report = detect_read_delete_linear(read, delete, ConflictKind.NODE)
+        cap = min(SEARCH_CAP, witness_size_bound(read, delete))
+        witness = find_witness_exhaustive(
+            read, delete, ConflictKind.NODE, max_size=cap
+        )
+        if report.verdict is Verdict.CONFLICT:
+            assert is_witness(report.witness, read, delete, ConflictKind.NODE)
+        else:
+            assert witness is None, (
+                f"seed {seed}: PTIME says no conflict but search found a "
+                f"witness:\n{witness.sketch()}"
+            )
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_exhaustive_conflicts_are_detected(self, seed):
+        rng = random.Random(seed + 170_000)
+        read = _random_read(rng)
+        delete = _random_delete(rng)
+        witness = find_witness_exhaustive(
+            read, delete, ConflictKind.NODE, max_size=4
+        )
+        if witness is not None:
+            report = detect_read_delete_linear(read, delete, ConflictKind.NODE)
+            assert report.verdict is Verdict.CONFLICT, (
+                f"seed {seed}: witness exists but PTIME says no conflict:\n"
+                f"{witness.sketch()}"
+            )
+
+
+class TestTreeSemanticsAgreement:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_tree_kind_insert(self, seed):
+        rng = random.Random(seed + 300_000)
+        read = _random_read(rng)
+        insert = _random_insert(rng)
+        report = detect_read_insert_linear(read, insert, ConflictKind.TREE)
+        witness = find_witness_exhaustive(
+            read, insert, ConflictKind.TREE, max_size=4
+        )
+        if report.verdict is Verdict.NO_CONFLICT:
+            assert witness is None, f"seed {seed}"
+        elif witness is not None:
+            assert report.verdict is Verdict.CONFLICT, f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_tree_kind_delete(self, seed):
+        rng = random.Random(seed + 400_000)
+        read = _random_read(rng)
+        delete = _random_delete(rng)
+        report = detect_read_delete_linear(read, delete, ConflictKind.TREE)
+        witness = find_witness_exhaustive(
+            read, delete, ConflictKind.TREE, max_size=4
+        )
+        if report.verdict is Verdict.NO_CONFLICT:
+            assert witness is None, f"seed {seed}"
+        elif witness is not None:
+            assert report.verdict is Verdict.CONFLICT, f"seed {seed}"
+
+
+class TestValueSemanticsAgreement:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_value_kind_delete(self, seed):
+        """Value-conflict decisions vs exhaustive value-witness search."""
+        rng = random.Random(seed + 500_000)
+        read = _random_read(rng)
+        delete = _random_delete(rng)
+        report = detect_read_delete_linear(read, delete, ConflictKind.VALUE)
+        witness = find_witness_exhaustive(
+            read, delete, ConflictKind.VALUE, max_size=4
+        )
+        if report.verdict is Verdict.NO_CONFLICT:
+            assert witness is None, f"seed {seed}"
+        elif witness is not None:
+            assert report.verdict is Verdict.CONFLICT, f"seed {seed}"

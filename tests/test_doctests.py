@@ -1,0 +1,28 @@
+"""Execute the library's docstring examples (guards against docstring rot)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.patterns.pattern
+import repro.patterns.xpath
+import repro.xml.isomorphism
+import repro.xml.tree
+
+MODULES = [
+    repro.xml.tree,
+    repro.xml.isomorphism,
+    repro.patterns.pattern,
+    repro.patterns.xpath,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tried = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert tried > 0, f"{module.__name__} should contain doctest examples"
+    assert failures == 0, f"{failures} doctest failure(s) in {module.__name__}"

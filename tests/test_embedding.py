@@ -1,0 +1,224 @@
+"""Unit tests for embedding evaluation (:mod:`repro.patterns.embedding`).
+
+Includes a brute-force cross-validation: the efficient two-phase evaluator
+must agree with exhaustive embedding enumeration on randomized instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.patterns.embedding import (
+    embeds,
+    embeds_at,
+    enumerate_embeddings,
+    evaluate,
+    evaluate_bruteforce,
+    evaluate_subtrees,
+    find_embedding,
+    match_sets,
+)
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import random_branching_pattern, random_linear_pattern
+from repro.xml.random_trees import random_tree
+from repro.xml.tree import build_tree
+
+
+class TestEvaluateBasics:
+    def test_root_only_pattern(self):
+        t = build_tree(("a", "b"))
+        assert evaluate(parse_xpath("a"), t) == {t.root}
+        assert evaluate(parse_xpath("b"), t) == set()
+
+    def test_wildcard_root(self):
+        t = build_tree(("anything", "b"))
+        assert evaluate(parse_xpath("*"), t) == {t.root}
+
+    def test_child_axis(self):
+        t = build_tree(("a", "b", ("c", "b")))
+        result = evaluate(parse_xpath("a/b"), t)
+        assert result == {t.children(t.root)[0]}
+
+    def test_descendant_axis_is_proper(self):
+        t = build_tree(("a", ("a", "x")))
+        inner = t.children(t.root)[0]
+        # a//a: only the inner 'a' is a proper descendant.
+        assert evaluate(parse_xpath("a//a"), t) == {inner}
+
+    def test_descendant_finds_deep_nodes(self):
+        t = build_tree(("a", ("x", ("y", ("z", "b")))))
+        result = evaluate(parse_xpath("a//b"), t)
+        assert len(result) == 1
+
+    def test_predicate_filters(self):
+        t = build_tree(("a", ("b", "c"), "b"))
+        with_c, without_c = t.children(t.root)
+        assert evaluate(parse_xpath("a/b[c]"), t) == {with_c}
+
+    def test_descendant_predicate(self):
+        t = build_tree(("a", ("b", ("x", "c")), "b"))
+        target = t.children(t.root)[0]
+        assert evaluate(parse_xpath("a/b[.//c]"), t) == {target}
+
+    def test_multiple_results(self):
+        t = build_tree(("a", "b", "b", ("c", "b")))
+        assert len(evaluate(parse_xpath("a//b"), t)) == 3
+
+    def test_figure2(self, figure2_tree):
+        p = parse_xpath("a[.//c]/b[d][*//f]")
+        result = evaluate(p, figure2_tree)
+        assert len(result) == 1
+        (selected,) = result
+        assert figure2_tree.label(selected) == "b"
+
+    def test_internal_output_node(self):
+        # Select 'b' nodes that have a 'c' below: output mid-pattern.
+        p = parse_xpath("a/b/c")
+        p.set_output(p.spine()[1])
+        t = build_tree(("a", ("b", "c"), "b"))
+        assert evaluate(p, t) == {t.children(t.root)[0]}
+
+    def test_value_test_filters(self):
+        t = build_tree(("a", ("q", "#text:5"), ("q", "#text:50")))
+        p = parse_xpath("a[q < 10]")
+        assert evaluate(p, t) == {t.root}
+        p_high = parse_xpath("a[q > 100]")
+        assert evaluate(p_high, t) == set()
+
+    def test_value_test_on_non_numeric_text_fails(self):
+        t = build_tree(("a", ("q", "#text:hello")))
+        assert evaluate(parse_xpath("a[q < 10]"), t) == set()
+
+
+class TestMatchSets:
+    def test_match_ignores_ancestors(self):
+        t = build_tree(("r", ("a", "b")))
+        p = parse_xpath("a/b")
+        sets = match_sets(p, t)
+        a_node = t.children(t.root)[0]
+        assert a_node in sets[p.root]
+
+    def test_match_respects_subtree_constraints(self):
+        t = build_tree(("r", ("a", "b"), "a"))
+        p = parse_xpath("a/b")
+        sets = match_sets(p, t)
+        with_b, without_b = t.children(t.root)
+        assert with_b in sets[p.root]
+        assert without_b not in sets[p.root]
+
+
+class TestEmbedsAt:
+    def test_root_anchored(self):
+        t = build_tree(("a", "b"))
+        assert embeds(parse_xpath("a/b"), t)
+        assert not embeds(parse_xpath("b"), t)
+
+    def test_anchored_at_inner_node(self):
+        t = build_tree(("r", ("a", "b")))
+        a = t.children(t.root)[0]
+        assert embeds_at(parse_xpath("a/b"), t, root_at=a)
+        assert not embeds_at(parse_xpath("a/b"), t, root_at=t.root)
+
+    def test_anywhere(self):
+        t = build_tree(("r", ("x", ("a", "b"))))
+        assert embeds_at(parse_xpath("a/b"), t, anywhere=True)
+        assert not embeds_at(parse_xpath("a/z"), t, anywhere=True)
+
+
+class TestFindEmbedding:
+    def test_embedding_is_valid(self, figure2_tree):
+        p = parse_xpath("a[.//c]/b[d][*//f]")
+        emb = find_embedding(p, figure2_tree)
+        assert emb is not None
+        _assert_valid_embedding(p, figure2_tree, emb)
+
+    def test_output_pinning(self):
+        t = build_tree(("a", "b", "b"))
+        p = parse_xpath("a/b")
+        first, second = t.children(t.root)
+        for target in (first, second):
+            emb = find_embedding(p, t, output_at=target)
+            assert emb is not None and emb[p.output] == target
+
+    def test_impossible_pin_returns_none(self):
+        t = build_tree(("a", "b"))
+        assert find_embedding(parse_xpath("a/b"), t, output_at=t.root) is None
+
+    def test_no_embedding_returns_none(self):
+        t = build_tree(("a", "b"))
+        assert find_embedding(parse_xpath("x/y"), t) is None
+
+    def test_descendant_spine_pin(self):
+        t = build_tree(("a", ("x", ("b", "c"))))
+        p = parse_xpath("a//b/c")
+        deep_b = t.children(t.children(t.root)[0])[0]
+        emb = find_embedding(p, t)
+        assert emb is not None
+        assert emb[p.spine()[1]] == deep_b
+
+
+class TestEnumerateEmbeddings:
+    def test_counts_all(self):
+        t = build_tree(("a", "b", "b"))
+        embeddings = list(enumerate_embeddings(parse_xpath("a/b"), t))
+        assert len(embeddings) == 2
+
+    def test_limit(self):
+        t = build_tree(("a", "b", "b", "b"))
+        embeddings = list(enumerate_embeddings(parse_xpath("a/b"), t, limit=2))
+        assert len(embeddings) == 2
+
+    def test_each_is_valid(self, figure2_tree):
+        p = parse_xpath("a[.//c]/b[d][*//f]")
+        for emb in enumerate_embeddings(p, figure2_tree):
+            _assert_valid_embedding(p, figure2_tree, emb)
+
+
+class TestCrossValidation:
+    """The efficient evaluator must agree with brute-force enumeration."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_linear_patterns_random(self, seed):
+        rng = random.Random(seed)
+        t = random_tree(rng.randint(1, 12), ("a", "b", "c"), seed=rng)
+        p = random_linear_pattern(rng.randint(1, 4), ("a", "b", "c"), seed=rng)
+        assert evaluate(p, t) == evaluate_bruteforce(p, t), f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_branching_patterns_random(self, seed):
+        rng = random.Random(seed + 1000)
+        t = random_tree(rng.randint(1, 10), ("a", "b"), seed=rng)
+        p = random_branching_pattern(
+            rng.randint(1, 5), ("a", "b"), seed=rng, output="any"
+        )
+        assert evaluate(p, t) == evaluate_bruteforce(p, t), f"seed {seed}"
+
+
+class TestEvaluateSubtrees:
+    def test_subtrees_preserve_ids(self):
+        t = build_tree(("a", ("b", "c")))
+        subtrees = evaluate_subtrees(parse_xpath("a/b"), t)
+        assert len(subtrees) == 1
+        sub = subtrees[0]
+        assert sub.root == t.children(t.root)[0]
+        assert sub.size == 2
+
+
+def _assert_valid_embedding(pattern, tree, embedding):
+    from repro.patterns.pattern import Axis
+
+    assert embedding[pattern.root] == tree.root
+    for pnode in pattern.nodes():
+        tnode = embedding[pnode]
+        if not pattern.is_wildcard(pnode):
+            assert pattern.label(pnode) == tree.label(tnode)
+        parent = pattern.parent(pnode)
+        if parent is None:
+            continue
+        axis = pattern.axis(pnode)
+        if axis is Axis.CHILD:
+            assert tree.parent(tnode) == embedding[parent]
+        else:
+            assert tree.is_ancestor(embedding[parent], tnode)

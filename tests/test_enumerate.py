@@ -1,0 +1,104 @@
+"""Unit tests for canonical tree enumeration (:mod:`repro.xml.enumerate`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml.enumerate import count_trees, enumerate_trees
+from repro.xml.isomorphism import canonical_form
+
+
+def _labeled_ordered_count(size: int, k: int) -> int:
+    """Number of isomorphism classes of labeled unordered trees, brute math.
+
+    For a sanity cross-check we compute the count independently via the
+    recurrence: t(1) = k; a tree of size n is a root label (k choices)
+    together with a multiset of subtrees of total size n-1.
+    """
+    from functools import lru_cache
+    from itertools import combinations_with_replacement
+
+    @lru_cache(maxsize=None)
+    def classes(size_: int) -> int:
+        if size_ == 1:
+            return k
+        total = 0
+        # Partition n-1 into multisets of class-counted subtrees: count
+        # multisets of classes with sizes summing to size_-1.  We count by
+        # dynamic programming over sizes.
+        total = k * forests(size_ - 1, size_ - 1)
+        return total
+
+    @lru_cache(maxsize=None)
+    def forests(total_: int, max_part: int) -> int:
+        """Multisets of trees with sizes summing to total_, parts <= max_part."""
+        if total_ == 0:
+            return 1
+        out = 0
+        for part in range(min(total_, max_part), 0, -1):
+            c = classes(part)
+            # Choose m >= 1 trees of size `part` (multiset from c classes),
+            # then fill the rest with strictly smaller parts.
+            for m in range(1, total_ // part + 1):
+                ways = _multichoose(c, m)
+                out += ways * forests(total_ - m * part, part - 1)
+        return out
+
+    def _multichoose(n: int, r: int) -> int:
+        from math import comb
+
+        return comb(n + r - 1, r)
+
+    return classes(size)
+
+
+class TestEnumeration:
+    def test_size_one(self):
+        trees = list(enumerate_trees(1, ("a", "b")))
+        assert len(trees) == 2
+        assert {t.label(t.root) for t in trees} == {"a", "b"}
+
+    def test_all_within_bounds(self):
+        for t in enumerate_trees(4, ("a", "b")):
+            assert 1 <= t.size <= 4
+            t.validate()
+
+    def test_min_size_respected(self):
+        sizes = {t.size for t in enumerate_trees(4, ("a",), min_size=3)}
+        assert sizes == {3, 4}
+
+    def test_no_isomorphic_duplicates(self):
+        forms = [canonical_form(t) for t in enumerate_trees(5, ("a", "b"))]
+        assert len(forms) == len(set(forms))
+
+    @pytest.mark.parametrize("size,k", [(1, 1), (2, 1), (3, 1), (4, 1), (3, 2), (4, 2), (3, 3)])
+    def test_counts_match_independent_recurrence(self, size, k):
+        alphabet = tuple("abcdef"[:k])
+        ours = sum(1 for t in enumerate_trees(size, alphabet) if t.size == size)
+        assert ours == _labeled_ordered_count(size, k)
+
+    def test_unlabeled_tree_counts_oeis(self):
+        """With one label, counts must match OEIS A000081 (rooted trees)."""
+        expected = [1, 1, 2, 4, 9, 20]  # sizes 1..6
+        for size, want in zip(range(1, 7), expected):
+            got = sum(1 for t in enumerate_trees(size, ("a",)) if t.size == size)
+            assert got == want, f"size {size}"
+
+    def test_count_trees_matches_enumeration(self):
+        alphabet = ("a", "b")
+        assert count_trees(4, alphabet) == sum(
+            1 for _ in enumerate_trees(4, alphabet)
+        )
+
+    def test_exhaustive_coverage_small(self):
+        """Every 2-node labeled tree over {a,b} appears: 4 classes."""
+        twos = [t for t in enumerate_trees(2, ("a", "b")) if t.size == 2]
+        forms = {canonical_form(t) for t in twos}
+        assert len(forms) == 4
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_trees(2, ()))
+
+    def test_max_below_min_yields_nothing(self):
+        assert list(enumerate_trees(1, ("a",), min_size=2)) == []

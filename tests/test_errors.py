@@ -1,0 +1,100 @@
+"""Tests for the exception hierarchy (:mod:`repro.errors`)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConflictEngineError,
+    LanguageError,
+    NodeNotFoundError,
+    NotLinearError,
+    OperationError,
+    PatternError,
+    ProgramParseError,
+    ProgramRuntimeError,
+    ReproError,
+    SearchBudgetExceeded,
+    TreeStructureError,
+    XMLError,
+    XMLParseError,
+    XPathSyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            XMLError,
+            XMLParseError,
+            NodeNotFoundError,
+            TreeStructureError,
+            PatternError,
+            XPathSyntaxError,
+            NotLinearError,
+            OperationError,
+            ConflictEngineError,
+            SearchBudgetExceeded,
+            LanguageError,
+            ProgramParseError,
+            ProgramRuntimeError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_xml_subtree(self):
+        assert issubclass(XMLParseError, XMLError)
+        assert issubclass(NodeNotFoundError, XMLError)
+        assert issubclass(TreeStructureError, XMLError)
+
+    def test_pattern_subtree(self):
+        assert issubclass(XPathSyntaxError, PatternError)
+        assert issubclass(NotLinearError, PatternError)
+
+    def test_language_subtree(self):
+        assert issubclass(ProgramParseError, LanguageError)
+        assert issubclass(ProgramRuntimeError, LanguageError)
+
+
+class TestErrorPayloads:
+    def test_xml_parse_error_position(self):
+        error = XMLParseError("boom", position=17)
+        assert error.position == 17
+        assert "offset 17" in str(error)
+
+    def test_xml_parse_error_without_position(self):
+        assert XMLParseError("boom").position is None
+
+    def test_xpath_error_position(self):
+        error = XPathSyntaxError("bad", position=3)
+        assert error.position == 3
+        assert "offset 3" in str(error)
+
+    def test_program_parse_error_line(self):
+        error = ProgramParseError("nope", line=4)
+        assert error.line == 4
+        assert str(error).startswith("line 4:")
+
+    def test_search_budget_carries_count(self):
+        error = SearchBudgetExceeded("too big", explored=123)
+        assert error.explored == 123
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_library(self):
+        """The API-boundary pattern: catch ReproError once."""
+        failures = 0
+        for action in (
+            lambda: repro.parse("<unclosed>"),
+            lambda: repro.parse_xpath("]["),
+            lambda: repro.Delete("a"),
+            lambda: repro.build_tree((1, 2)),  # type: ignore[arg-type]
+        ):
+            try:
+                action()
+            except ReproError:
+                failures += 1
+        assert failures == 4

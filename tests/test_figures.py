@@ -1,0 +1,212 @@
+"""Executable versions of every figure in the paper (F1–F8 in DESIGN.md).
+
+The paper is a theory paper: its figures are worked examples and proof
+gadgets rather than measurement plots.  Each test here reconstructs a
+figure programmatically and asserts the behavior the surrounding text
+claims for it, making the figures part of the regression suite.
+"""
+
+from __future__ import annotations
+
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.reductions import (
+    read_delete_gadget,
+    read_delete_witness_from_noncontainment,
+    read_insert_gadget,
+    read_insert_witness_from_noncontainment,
+)
+from repro.conflicts.semantics import (
+    ConflictKind,
+    Verdict,
+    is_node_conflict_witness,
+    is_value_conflict_witness,
+    is_witness,
+)
+from repro.conflicts.witness_min import reparent
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.containment import contains, non_containment_witness
+from repro.patterns.embedding import enumerate_embeddings, evaluate
+from repro.patterns.xpath import parse_xpath
+from repro.xml.tree import XMLTree, build_tree
+
+
+class TestFigure1:
+    """Figure 1 + the Section 1 insert: restock low-stock books."""
+
+    def test_insert_restock(self, figure1_tree):
+        insert = Insert("bib/book[.//quantity < 10]", "<restock/>")
+        result = insert.apply(figure1_tree)
+        assert len(result.points) == 1
+        (low_stock_book,) = result.points
+        child_labels = {
+            result.tree.label(c) for c in result.tree.children(low_stock_book)
+        }
+        assert "restock" in child_labels
+
+    def test_descendant_axis_version(self, figure1_tree):
+        # //book[...] with the implicit wildcard root behaves identically
+        # on this document.
+        a = Insert("//book[.//quantity < 10]", "<restock/>").apply(figure1_tree)
+        b = Insert("bib/book[.//quantity < 10]", "<restock/>").apply(figure1_tree)
+        assert a.points == b.points
+
+
+class TestFigure2:
+    """Figure 2: pattern a[.//c]/b[d][*//f] embeds into the shown tree."""
+
+    PATTERN = "a[.//c]/b[d][*//f]"
+
+    def test_evaluation_selects_b(self, figure2_tree):
+        result = evaluate(parse_xpath(self.PATTERN), figure2_tree)
+        assert len(result) == 1
+        assert figure2_tree.label(result.pop()) == "b"
+
+    def test_embedding_exists_and_is_unique(self, figure2_tree):
+        embeddings = list(
+            enumerate_embeddings(parse_xpath(self.PATTERN), figure2_tree)
+        )
+        assert len(embeddings) == 1
+
+    def test_tree_is_model_of_pattern(self):
+        """Section 2.3 points out the figure's tree is a model for p."""
+        p = parse_xpath(self.PATTERN)
+        model = p.model()
+        assert evaluate(p, model)
+
+
+class TestFigure3:
+    """Figure 3: a delete conflicting under reference but not value semantics."""
+
+    def _setup(self):
+        # Root with a δ child whose γ subtree duplicates a sibling γ subtree.
+        w = build_tree(
+            ("root", ("delta", ("gamma", "leaf")), ("gamma", "leaf"))
+        )
+        read = Read("root//gamma")
+        delete = Delete("root/delta")
+        return w, read, delete
+
+    def test_node_conflict_under_reference_semantics(self):
+        w, read, delete = self._setup()
+        assert is_node_conflict_witness(w, read, delete)
+
+    def test_no_conflict_under_value_semantics(self):
+        w, read, delete = self._setup()
+        assert not is_value_conflict_witness(w, read, delete)
+
+
+class TestFigure4:
+    """Figure 4: structure of read-insert conflicts (cut edge)."""
+
+    def test_node_conflict_structure(self):
+        # R = a//v reaching into X, I inserts X below a matched point.
+        read = Read("a//v")
+        insert = Insert("a/b", "<x><v/></x>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.verdict is Verdict.CONFLICT
+        witness = report.witness
+        assert witness is not None
+        # The witness has the figure's shape: the read result appears only
+        # after insertion.
+        assert not evaluate(read.pattern, witness)
+        after = insert.apply(witness).tree
+        assert evaluate(read.pattern, after)
+
+    def test_tree_conflict_structure(self):
+        # Part (b): v' above the insertion point; subtree modified.
+        read = Read("a/b")
+        insert = Insert("a/b/c", "<x/>")
+        report = detect_read_insert_linear(read, insert, ConflictKind.TREE)
+        assert report.verdict is Verdict.CONFLICT
+
+
+class TestFigure5:
+    """Figure 5: structure of read-delete node conflicts."""
+
+    def test_conflict_structure(self):
+        read = Read("a//v")
+        delete = Delete("a/b")
+        report = detect_read_delete_linear(read, delete)
+        assert report.verdict is Verdict.CONFLICT
+        witness = report.witness
+        assert witness is not None
+        before = evaluate(read.pattern, witness)
+        after_tree = delete.apply(witness).tree
+        after = evaluate(read.pattern, after_tree)
+        assert before - after, "some read result must be deleted"
+
+
+class TestFigure6:
+    """Figure 6: the reparent operation's shape and Lemma 9 guarantee."""
+
+    def test_reparent_shape(self):
+        # A chain a - m*8 - v; reparent v w.r.t. the root with k=2.
+        t = XMLTree("a")
+        node = t.root
+        for _ in range(8):
+            node = t.add_child(node, "m")
+        v = t.add_child(node, "v")
+        out = reparent(t, t.root, v, star_length=2, alpha="alpha")
+        path_labels = [out.label(n) for n in out.path_from_root(v)]
+        assert path_labels == ["a", "alpha", "alpha", "alpha", "v"]
+
+    def test_lemma9_containment(self):
+        t = XMLTree("a")
+        node = t.root
+        for _ in range(8):
+            node = t.add_child(node, "m")
+        v = t.add_child(node, "v")
+        pattern = parse_xpath("a//v")
+        out = reparent(t, t.root, v, star_length=pattern.star_length(), alpha="Z")
+        new_results = evaluate(pattern, out)
+        old_results = evaluate(pattern, t)
+        assert new_results & set(t.nodes()) <= old_results
+
+
+class TestFigure7:
+    """Figure 7: the read-insert NP-hardness gadget, both directions."""
+
+    def test_noncontained_pair_conflicts(self):
+        p, q = parse_xpath("a//b"), parse_xpath("a/b")
+        assert not contains(p, q)
+        read, insert, labels = read_insert_gadget(p, q)
+        t_p = non_containment_witness(p, q)
+        witness = read_insert_witness_from_noncontainment(t_p, q.model(), labels)
+        assert is_witness(witness, read, insert, ConflictKind.NODE)
+        # And the figure's specifics: R is empty before, selects the root after.
+        assert evaluate(read.pattern, witness) == set()
+        after = insert.apply(witness).tree
+        assert evaluate(read.pattern, after) == {witness.root}
+
+    def test_contained_pair_gadget_silent(self):
+        from repro.conflicts.general import find_witness_exhaustive
+
+        p, q = parse_xpath("a/b"), parse_xpath("a//b")
+        assert contains(p, q)
+        read, insert, _ = read_insert_gadget(p, q)
+        assert find_witness_exhaustive(read, insert, max_size=5) is None
+
+
+class TestFigure8:
+    """Figure 8: the read-delete NP-hardness gadget."""
+
+    def test_noncontained_pair_conflicts(self):
+        p, q = parse_xpath("a//b"), parse_xpath("a/b")
+        read, delete, labels = read_delete_gadget(p, q)
+        t_p = non_containment_witness(p, q)
+        witness = read_delete_witness_from_noncontainment(t_p, q.model(), labels)
+        assert is_witness(witness, read, delete, ConflictKind.NODE)
+        # Figure's specifics: R selects the root before, nothing after.
+        assert evaluate(read.pattern, witness) == {witness.root}
+        after = delete.apply(witness).tree
+        assert evaluate(read.pattern, after) == set()
+
+    def test_contained_pair_gadget_silent(self):
+        from repro.conflicts.general import find_witness_exhaustive
+
+        p, q = parse_xpath("a/b"), parse_xpath("a//b")
+        read, delete, _ = read_delete_gadget(p, q)
+        assert find_witness_exhaustive(read, delete, max_size=5) is None

@@ -1,0 +1,73 @@
+"""Tests for the wildcard-free fragment P^{//,[]} (Section 6).
+
+For patterns without ``*``, the homomorphism criterion decides containment
+exactly in PTIME.  These tests validate the claim against the exact
+canonical-model oracle and brute force on randomized wildcard-free pairs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.containment import (
+    contains,
+    contains_bruteforce,
+    contains_no_wildcard,
+)
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import containment_pair, random_branching_pattern
+
+
+class TestKnownCases:
+    @pytest.mark.parametrize(
+        "p,q,expected",
+        [
+            ("a/b", "a//b", True),
+            ("a//b", "a/b", False),
+            ("a/b/c", "a//c", True),
+            ("a[b][c]", "a[b]", True),
+            ("a[b]", "a[b][c]", False),
+            ("a[b/c]", "a[.//c]", True),
+            ("a[.//c]", "a[b/c]", False),
+            ("a//b//c", "a//c", True),
+            ("a[b][b/c]", "a[b/c]", True),
+        ],
+    )
+    def test_cases(self, p, q, expected):
+        assert contains_no_wildcard(parse_xpath(p), parse_xpath(q)) is expected
+
+    def test_wildcards_rejected(self):
+        with pytest.raises(PatternError):
+            contains_no_wildcard(parse_xpath("a/*"), parse_xpath("a/b"))
+        with pytest.raises(PatternError):
+            contains_no_wildcard(parse_xpath("a/b"), parse_xpath("a/*"))
+
+
+class TestAgainstExactOracle:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_matches_canonical_model_containment(self, seed):
+        rng = random.Random(seed)
+        p, q = containment_pair(rng.randint(1, 4), ("a", "b", "c"), seed=rng)
+        if any(p.is_wildcard(n) for n in p.nodes()):
+            return
+        if any(q.is_wildcard(n) for n in q.nodes()):
+            return
+        assert contains_no_wildcard(p, q) == contains(p, q), f"seed {seed}"
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed + 777)
+        p = random_branching_pattern(
+            rng.randint(1, 3), ("a", "b"), p_wildcard=0.0, seed=rng, output="root"
+        )
+        q = random_branching_pattern(
+            rng.randint(1, 3), ("a", "b"), p_wildcard=0.0, seed=rng, output="root"
+        )
+        fast = contains_no_wildcard(p, q)
+        if fast:
+            assert contains_bruteforce(p, q, max_size=5), f"seed {seed}"
+        else:
+            assert not contains(p, q), f"seed {seed}"

@@ -1,0 +1,106 @@
+"""Tests for read hoisting (code motion, Section 1's optimization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.analysis import hoist_reads
+from repro.lang.ast import ReadStmt
+from repro.lang.interp import run_program
+from repro.lang.parser import parse_program
+from repro.workloads.generators import random_program
+
+
+class TestHoisting:
+    def test_safe_read_moves_above_insert(self):
+        program = parse_program(
+            """
+            x = <doc><B/><A/></doc>
+            insert $x/B, <C/>
+            y = read $x//A
+            """
+        )
+        result = hoist_reads(program)
+        kinds = [type(s).__name__ for s in result.program]
+        assert kinds == ["AssignStmt", "ReadStmt", "InsertStmt"]
+        assert result.moves  # something moved
+
+    def test_conflicting_read_stays_put(self):
+        program = parse_program(
+            """
+            x = <doc><B/></doc>
+            insert $x/B, <C/>
+            z = read $x//C
+            """
+        )
+        result = hoist_reads(program)
+        kinds = [type(s).__name__ for s in result.program]
+        assert kinds == ["AssignStmt", "InsertStmt", "ReadStmt"]
+        assert not result.moves
+
+    def test_read_never_crosses_assignment(self):
+        program = parse_program(
+            """
+            x = <doc><A/></doc>
+            y = read $x//A
+            """
+        )
+        result = hoist_reads(program)
+        assert not result.moves
+
+    def test_same_target_reads_keep_order(self):
+        program = parse_program(
+            """
+            x = <doc><A/><B/></doc>
+            y = read $x//A
+            y = read $x//B
+            """
+        )
+        result = hoist_reads(program)
+        reads = [s for s in result.program if isinstance(s, ReadStmt)]
+        assert [str(r.pattern.label(r.pattern.output)) for r in reads] == ["A", "B"]
+
+    def test_semantics_preserved_on_paper_fragment(self):
+        program = parse_program(
+            """
+            x = <doc><B/><A/></doc>
+            insert $x/B, <C/>
+            y = read $x//A
+            z = read $x//C
+            delete $x//C
+            w = read $x//A
+            """
+        )
+        result = hoist_reads(program)
+        original = run_program(program)
+        hoisted = run_program(result.program)
+        for name in original.reads:
+            assert original.reads[name] == hoisted.reads[name], name
+        assert original.trees["x"].equivalent(hoisted.trees["x"])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_semantics_preserved_on_random_programs(self, seed):
+        program = random_program(8, variables=2, seed=seed)
+        result = hoist_reads(program)
+        original = run_program(program)
+        hoisted = run_program(result.program)
+        for name in original.reads:
+            assert original.reads[name] == hoisted.reads[name], (
+                f"seed {seed}: read {name} diverged after hoisting"
+            )
+        for name in original.trees:
+            assert original.trees[name].equivalent(hoisted.trees[name]), (
+                f"seed {seed}: tree {name} diverged after hoisting"
+            )
+
+    def test_moves_map_is_consistent(self):
+        program = parse_program(
+            """
+            x = <doc><B/><A/></doc>
+            insert $x/B, <C/>
+            y = read $x//A
+            """
+        )
+        result = hoist_reads(program)
+        # The read (old index 2) moved to slot 1; the insert to slot 2.
+        assert result.moves == {2: 1, 1: 2}

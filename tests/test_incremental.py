@@ -1,0 +1,138 @@
+"""Tests for the incremental evaluator (:mod:`repro.patterns.incremental`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.patterns.embedding import evaluate
+from repro.patterns.incremental import IncrementalEvaluator
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import random_branching_pattern, random_linear_pattern
+from repro.xml.random_trees import random_tree
+from repro.xml.tree import build_tree
+
+
+class TestBasics:
+    def test_initial_state_matches_evaluation(self):
+        tree = build_tree(("a", ("b", "c"), "b"))
+        ev = IncrementalEvaluator(parse_xpath("a/b[c]"), tree)
+        assert ev.results == evaluate(ev.pattern, tree)
+        ev.verify()
+
+    def test_insert_adds_result(self):
+        tree = build_tree(("a", "b"))
+        ev = IncrementalEvaluator(parse_xpath("a//c"), tree)
+        assert ev.results == set()
+        b = tree.children(tree.root)[0]
+        mapping = ev.insert_subtree(b, build_tree("c"))
+        assert ev.results == set(mapping.values())
+        ev.verify()
+
+    def test_insert_enables_predicate(self):
+        tree = build_tree(("a", "b"))
+        ev = IncrementalEvaluator(parse_xpath("a[b/c]"), tree)
+        assert ev.results == set()
+        b = tree.children(tree.root)[0]
+        ev.insert_subtree(b, build_tree("c"))
+        assert ev.results == {tree.root}
+        ev.verify()
+
+    def test_delete_removes_result(self):
+        tree = build_tree(("a", ("b", "c")))
+        ev = IncrementalEvaluator(parse_xpath("a//c"), tree)
+        assert len(ev.results) == 1
+        b = tree.children(tree.root)[0]
+        ev.delete_subtree(b)
+        assert ev.results == set()
+        ev.verify()
+
+    def test_delete_disables_predicate(self):
+        tree = build_tree(("a", ("b", "c")))
+        ev = IncrementalEvaluator(parse_xpath("a[b/c]"), tree)
+        assert ev.results == {tree.root}
+        b = tree.children(tree.root)[0]
+        c = tree.children(b)[0]
+        ev.delete_subtree(c)
+        assert ev.results == set()
+        ev.verify()
+
+    def test_delete_root_rejected(self):
+        tree = build_tree("a")
+        ev = IncrementalEvaluator(parse_xpath("a"), tree)
+        with pytest.raises(ValueError):
+            ev.delete_subtree(tree.root)
+
+    def test_multiple_updates_stay_consistent(self):
+        tree = build_tree(("a", "b"))
+        ev = IncrementalEvaluator(parse_xpath("a//b"), tree)
+        b = tree.children(tree.root)[0]
+        m1 = ev.insert_subtree(b, build_tree(("b", "b")))
+        ev.verify()
+        ev.insert_subtree(tree.root, build_tree("b"))
+        ev.verify()
+        ev.delete_subtree(m1[0])  # remove the first grafted copy
+        ev.verify()
+        assert ev.results == evaluate(ev.pattern, tree)
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_update_sequences(self, seed):
+        """Random patterns, random trees, random update sequences —
+        the evaluator must track from-scratch evaluation exactly."""
+        rng = random.Random(seed)
+        tree = random_tree(rng.randint(2, 10), ("a", "b", "c"), seed=rng)
+        if rng.random() < 0.5:
+            pattern = random_linear_pattern(rng.randint(1, 4), ("a", "b", "c"), seed=rng)
+        else:
+            pattern = random_branching_pattern(
+                rng.randint(1, 5), ("a", "b", "c"), seed=rng, output="any"
+            )
+        ev = IncrementalEvaluator(pattern, tree)
+        for step in range(8):
+            nodes = list(tree.nodes())
+            if rng.random() < 0.6 or len(nodes) <= 2:
+                point = rng.choice(nodes)
+                ev.insert_subtree(
+                    point, random_tree(rng.randint(1, 3), ("a", "b", "c"), seed=rng)
+                )
+            else:
+                victims = [n for n in nodes if n != tree.root]
+                ev.delete_subtree(rng.choice(victims))
+            assert ev.results == evaluate(pattern, tree), (
+                f"seed {seed} step {step}"
+            )
+        ev.verify()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_counters_consistent_after_heavy_churn(self, seed):
+        rng = random.Random(seed + 10_000)
+        tree = random_tree(6, ("a", "b"), seed=rng)
+        pattern = parse_xpath("a[.//b]//a")
+        ev = IncrementalEvaluator(pattern, tree)
+        for _ in range(12):
+            nodes = [n for n in tree.nodes() if n != tree.root]
+            if nodes and rng.random() < 0.4:
+                ev.delete_subtree(rng.choice(nodes))
+            else:
+                ev.insert_subtree(
+                    rng.choice(list(tree.nodes())),
+                    random_tree(2, ("a", "b"), seed=rng),
+                )
+        ev.verify()
+
+
+class TestDeepDocuments:
+    def test_deep_chain_update(self):
+        """The intended use case: local updates on deep documents."""
+        from repro.xml.random_trees import random_path
+
+        tree = random_path(200, ("a", "b"), seed=1)
+        pattern = parse_xpath("*//b")
+        ev = IncrementalEvaluator(pattern, tree)
+        leaf = max(tree.nodes(), key=tree.depth)
+        ev.insert_subtree(leaf, build_tree("b"))
+        assert ev.results == evaluate(pattern, tree)
+        ev.verify()

@@ -1,0 +1,106 @@
+"""Unit tests for labeled-tree isomorphism (Definition 1)."""
+
+from __future__ import annotations
+
+from repro.xml.isomorphism import (
+    canonical_form,
+    canonical_forms_of_set,
+    isomorphic,
+    multisets_isomorphic,
+    sets_isomorphic,
+)
+from repro.xml.tree import build_tree
+
+
+class TestCanonicalForm:
+    def test_invariant_under_sibling_order(self):
+        a = build_tree(("r", "x", ("y", "z")))
+        b = build_tree(("r", ("y", "z"), "x"))
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_distinguishes_labels(self):
+        assert canonical_form(build_tree("a")) != canonical_form(build_tree("b"))
+
+    def test_distinguishes_depth(self):
+        flat = build_tree(("a", "b", "b"))
+        deep = build_tree(("a", ("b", "b")))
+        assert canonical_form(flat) != canonical_form(deep)
+
+    def test_label_length_prefix_prevents_collisions(self):
+        # labels "a" with child "bc" vs "ab" with child "c" must differ.
+        one = build_tree(("a", "bc"))
+        two = build_tree(("ab", "c"))
+        assert canonical_form(one) != canonical_form(two)
+
+    def test_subtree_form(self):
+        t = build_tree(("r", ("a", "b")))
+        a = t.children(t.root)[0]
+        assert canonical_form(t, a) == canonical_form(build_tree(("a", "b")))
+
+
+class TestIsomorphic:
+    def test_reflexive(self):
+        t = build_tree(("a", ("b", "c"), "d"))
+        assert isomorphic(t, t.copy())
+
+    def test_sibling_permutation(self):
+        a = build_tree(("a", ("b", "x"), ("b", "y")))
+        b = build_tree(("a", ("b", "y"), ("b", "x")))
+        assert isomorphic(a, b)
+
+    def test_multiplicity_matters(self):
+        one = build_tree(("a", "b"))
+        two = build_tree(("a", "b", "b"))
+        assert not isomorphic(one, two)
+
+    def test_deep_difference_detected(self):
+        a = build_tree(("a", ("b", ("c", "d"))))
+        b = build_tree(("a", ("b", ("c", "e"))))
+        assert not isomorphic(a, b)
+
+
+class TestSetIsomorphism:
+    def test_sets_of_subtrees(self):
+        t = build_tree(("r", ("a", "x"), ("a", "x"), ("b", "y")))
+        kids = list(t.children(t.root))
+        # The two ('a','x') subtrees collapse in set semantics.
+        assert sets_isomorphic(t, kids[:2], t, kids[:1])
+
+    def test_sets_differ_on_extra_class(self):
+        t = build_tree(("r", ("a", "x"), ("b", "y")))
+        kids = list(t.children(t.root))
+        assert not sets_isomorphic(t, kids, t, kids[:1])
+
+    def test_paper_figure3_scenario(self):
+        """Figure 3: deleting one of two isomorphic subtrees is value-silent.
+
+        The read selects both γ-subtrees; after deleting one, the *set* of
+        result trees (up to isomorphism) is unchanged.
+        """
+        w = build_tree(("r", ("d", ("c", "x")), ("c", "x")))
+        d_node = w.children(w.root)[0]
+        gamma_inner = w.children(d_node)[0]
+        gamma_outer = w.children(w.root)[1]
+        after = w.copy()
+        after.delete_subtree(d_node)
+        assert sets_isomorphic(
+            w, [gamma_inner, gamma_outer], after, [gamma_outer]
+        )
+
+    def test_multiset_variant_counts(self):
+        t = build_tree(("r", ("a", "x"), ("a", "x")))
+        kids = list(t.children(t.root))
+        assert multisets_isomorphic(t, kids, t, kids)
+        assert not multisets_isomorphic(t, kids, t, kids[:1])
+
+    def test_empty_sets(self):
+        t = build_tree("a")
+        assert sets_isomorphic(t, [], t, [])
+        assert canonical_forms_of_set(t, []) == frozenset()
+
+    def test_forms_of_set_matches_individual_forms(self):
+        t = build_tree(("r", ("a", "b"), "c"))
+        nodes = [t.root, *t.children(t.root)]
+        bulk = canonical_forms_of_set(t, nodes)
+        individual = {canonical_form(t, n) for n in nodes}
+        assert bulk == individual

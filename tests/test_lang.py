@@ -1,0 +1,231 @@
+"""Tests for the pidgin language: parser, interpreter, dependence analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramParseError, ProgramRuntimeError
+from repro.lang.analysis import (
+    can_swap,
+    dependence_graph,
+    find_redundant_reads,
+    optimize,
+)
+from repro.lang.ast import AssignStmt, DeleteStmt, InsertStmt, ReadStmt
+from repro.lang.interp import Environment, run_program
+from repro.lang.parser import parse_program
+from repro.workloads.generators import random_program
+
+PAPER_FRAGMENT = """
+# The imperative fragment from Section 1 of the paper.
+x = <doc><B/><A/></doc>
+y = read $x//A
+insert $x/B, <C/>
+z = read $x//C
+"""
+
+
+class TestParser:
+    def test_paper_fragment_parses(self):
+        program = parse_program(PAPER_FRAGMENT)
+        assert len(program) == 4
+        assert isinstance(program.statements[0], AssignStmt)
+        assert isinstance(program.statements[1], ReadStmt)
+        assert isinstance(program.statements[2], InsertStmt)
+        assert isinstance(program.statements[3], ReadStmt)
+
+    def test_read_statement_fields(self):
+        program = parse_program("x = <a/>\ny = read $x//A")
+        read = program.statements[1]
+        assert isinstance(read, ReadStmt)
+        assert read.target == "y" and read.source == "x"
+        assert read.pattern.size == 2  # wildcard root + A
+
+    def test_delete_statement(self):
+        program = parse_program("delete $x//junk")
+        assert isinstance(program.statements[0], DeleteStmt)
+
+    def test_delete_of_root_rejected(self):
+        with pytest.raises(ProgramParseError):
+            parse_program("delete $x")
+
+    def test_comments_and_blanks_skipped(self):
+        program = parse_program("\n# comment only\n\nx = <a/>  # trailing\n")
+        assert len(program) == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "y = read x//A",        # missing $
+            "insert $x/B <C/>",     # missing comma
+            "y = read $x A",        # path must start with /
+            "what is this",
+            "x = not xml",
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(ProgramParseError):
+            parse_program(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ProgramParseError) as info:
+            parse_program("x = <a/>\nbad line here")
+        assert info.value.line == 2
+
+    def test_statements_render_back(self):
+        program = parse_program(PAPER_FRAGMENT)
+        rendered = str(program)
+        reparsed = parse_program(rendered)
+        assert len(reparsed) == len(program)
+
+
+class TestInterpreter:
+    def test_paper_fragment_semantics(self):
+        env = run_program(parse_program(PAPER_FRAGMENT))
+        x = env.trees["x"]
+        # The insert added a C under the B child.
+        b = next(n for n in x.nodes() if x.label(n) == "B")
+        assert [x.label(c) for c in x.children(b)] == ["C"]
+        # y saw the A node; z saw the fresh C node.
+        assert len(env.reads["y"].nodes) == 1
+        assert len(env.reads["z"].nodes) == 1
+
+    def test_order_sensitivity(self):
+        """Reading //C before vs after the insert differs — the conflict."""
+        before = run_program(
+            parse_program("x = <doc><B/></doc>\nz = read $x//C\ninsert $x/B, <C/>")
+        )
+        after = run_program(
+            parse_program("x = <doc><B/></doc>\ninsert $x/B, <C/>\nz = read $x//C")
+        )
+        assert before.reads["z"].nodes == frozenset()
+        assert len(after.reads["z"].nodes) == 1
+
+    def test_delete_execution(self):
+        env = run_program(
+            parse_program("x = <a><b><c/></b></a>\ndelete $x/b\ny = read $x//c")
+        )
+        assert env.trees["x"].size == 1
+        assert env.reads["y"].nodes == frozenset()
+
+    def test_undefined_variable(self):
+        with pytest.raises(ProgramRuntimeError):
+            run_program(parse_program("y = read $nope//A"))
+
+    def test_whole_document_read(self):
+        env = run_program(parse_program("x = <a><b/></a>\ny = read $x"))
+        assert len(env.reads["y"].nodes) == 1  # the root
+
+    def test_snapshot_equality(self):
+        program = parse_program(PAPER_FRAGMENT)
+        assert run_program(program).snapshot_equal(run_program(program))
+
+
+class TestDependenceAnalysis:
+    def test_paper_fragment_edges(self):
+        program = parse_program(PAPER_FRAGMENT)
+        report = dependence_graph(program)
+        # read //A (1) vs insert (2): no conflict -> swappable.
+        assert not report.conflicts_between(1, 2)
+        assert can_swap(report, 1)
+        # insert (2) vs read //C (3): conflict -> not swappable.
+        assert report.conflicts_between(2, 3)
+        assert not can_swap(report, 2)
+
+    def test_different_variables_never_conflict(self):
+        program = parse_program(
+            "x = <a><b/></a>\ny = <a><b/></a>\nr = read $x//b\ndelete $y/b"
+        )
+        report = dependence_graph(program)
+        assert not report.conflicts_between(2, 3)
+
+    def test_assignment_blocks_everything(self):
+        program = parse_program("x = <a/>\nr = read $x//b")
+        report = dependence_graph(program)
+        assert report.conflicts_between(0, 1)
+
+    def test_reads_never_conflict_with_reads(self):
+        program = parse_program(
+            "x = <a><b/></a>\nr1 = read $x//b\nr2 = read $x//b"
+        )
+        report = dependence_graph(program)
+        assert not report.conflicts_between(1, 2)
+
+    def test_swap_bounds_checked(self):
+        report = dependence_graph(parse_program("x = <a/>"))
+        with pytest.raises(IndexError):
+            can_swap(report, 0)
+
+
+class TestOptimizer:
+    def test_finds_duplicate_read(self):
+        program = parse_program(
+            """
+            x = <doc><A/><B/></doc>
+            y = read $x//A
+            insert $x/B, <C/>
+            u = read $x//A
+            """
+        )
+        report = dependence_graph(program)
+        redundant = find_redundant_reads(report)
+        assert len(redundant) == 1
+        assert (redundant[0].original, redundant[0].duplicate) == (1, 3)
+
+    def test_conflicting_update_blocks_cse(self):
+        program = parse_program(
+            """
+            x = <doc><B/></doc>
+            y = read $x//C
+            insert $x/B, <C/>
+            u = read $x//C
+            """
+        )
+        report = dependence_graph(program)
+        assert find_redundant_reads(report) == []
+
+    def test_optimize_preserves_semantics(self):
+        source = """
+        x = <doc><A/><B/></doc>
+        y = read $x//A
+        insert $x/B, <C/>
+        u = read $x//A
+        z = read $x//C
+        """
+        program = parse_program(source)
+        original = run_program(program)
+        result = optimize(program)
+        assert result.aliases == {"u": "y"}
+        optimized = run_program(result.program)
+        # Aliased reads must equal the originals they replace.
+        for dropped, kept in result.aliases.items():
+            assert original.reads[dropped] == optimized.reads[kept]
+        # All other state identical.
+        assert original.trees["x"].equivalent(optimized.trees["x"])
+        for name, value in optimized.reads.items():
+            assert original.reads[name] == value
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimize_sound_on_random_programs(self, seed):
+        program = random_program(6, variables=2, seed=seed)
+        original = run_program(program)
+        result = optimize(program)
+        optimized = run_program(result.program)
+        for name in optimized.reads:
+            assert original.reads[name] == optimized.reads[name], (
+                f"seed {seed}: read {name} diverged"
+            )
+        for dropped, kept in result.aliases.items():
+            assert original.reads[dropped] == optimized.reads[kept], (
+                f"seed {seed}: alias {dropped}->{kept} unsound"
+            )
+        for name in original.trees:
+            assert original.trees[name].equivalent(optimized.trees[name]), (
+                f"seed {seed}: tree {name} diverged"
+            )
+
+
+class TestEnvironment:
+    def test_tree_lookup_error(self):
+        with pytest.raises(ProgramRuntimeError):
+            Environment().tree("ghost")

@@ -1,0 +1,151 @@
+"""Tests for the PTIME read-delete algorithm (Theorem 1, Corollary 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.linear import detect_read_delete_linear
+from repro.conflicts.semantics import ConflictKind, Verdict, is_witness
+from repro.errors import NotLinearError
+from repro.operations.ops import Delete, Read
+
+
+class TestKnownNodeConflicts:
+    @pytest.mark.parametrize(
+        "read,delete,expected",
+        [
+            # Deleting exactly what is read.
+            ("a/b", "a/b", True),
+            # Deleting an ancestor of what is read.
+            ("a/b/c", "a/b", True),
+            # Read descendants swept away by a subtree delete.
+            ("a//c", "a/b", True),
+            # Disjoint labels, child-only: no overlap possible.
+            ("a/b", "a/c", False),
+            # Same label, different depth, child-only edges.
+            ("a/b", "a/c/b", False),
+            # Descendant read can reach below any deletion point.
+            ("a//b", "a//c", True),
+            # Deletion of a leaf cannot affect a read of a different leaf
+            # unless the read passes through it; sibling reads are safe.
+            ("a/b", "a/b/c", False),
+            # Wildcards make everything reachable.
+            ("a/*", "a/b", True),
+            ("a//*", "a/b", True),
+            # Root read never conflicts (deletes cannot remove the root).
+            ("a", "a/b", False),
+            # Deeper mixed case.
+            ("a/b//d", "a//c", True),
+            ("a/b/c", "x/y", False),  # roots can never both match
+        ],
+    )
+    def test_cases(self, read, delete, expected):
+        report = detect_read_delete_linear(Read(read), Delete(delete))
+        assert report.verdict is (
+            Verdict.CONFLICT if expected else Verdict.NO_CONFLICT
+        ), f"read={read} delete={delete}"
+
+    def test_witness_returned_and_valid(self):
+        read, delete = Read("a//c"), Delete("a/b")
+        report = detect_read_delete_linear(read, delete)
+        assert report.verdict is Verdict.CONFLICT
+        assert report.witness is not None
+        assert is_witness(report.witness, read, delete, ConflictKind.NODE)
+
+    def test_method_tag(self):
+        report = detect_read_delete_linear(Read("a/b"), Delete("a/b"))
+        assert report.method == "linear-ptime"
+
+
+class TestBranchingDeletePattern:
+    """Corollary 1: the delete may branch; only the read must be linear."""
+
+    def test_branching_delete_conflict(self):
+        read = Read("a//c")
+        delete = Delete("a[x]/b[y]")  # trunk a/b with predicates
+        report = detect_read_delete_linear(read, delete)
+        assert report.verdict is Verdict.CONFLICT
+        assert report.witness is not None
+        assert is_witness(report.witness, read, delete, ConflictKind.NODE)
+
+    def test_branching_delete_no_conflict(self):
+        read = Read("a/b")
+        delete = Delete("a[x]/c[y]")
+        report = detect_read_delete_linear(read, delete)
+        assert report.verdict is Verdict.NO_CONFLICT
+
+    def test_branching_read_rejected(self):
+        with pytest.raises(NotLinearError):
+            detect_read_delete_linear(Read("a[x]/b"), Delete("a/b"))
+
+    def test_deep_predicates(self):
+        read = Read("a/b/c")
+        delete = Delete("a[p[q]]/b[.//r]")
+        report = detect_read_delete_linear(read, delete)
+        assert report.verdict is Verdict.CONFLICT
+        assert is_witness(report.witness, read, delete, ConflictKind.NODE)
+
+
+class TestTreeSemantics:
+    def test_delete_below_read_result(self):
+        """No node conflict, but the selected subtree is modified."""
+        read = Read("a/b")
+        delete = Delete("a/b/c")
+        node_report = detect_read_delete_linear(read, delete, ConflictKind.NODE)
+        tree_report = detect_read_delete_linear(read, delete, ConflictKind.TREE)
+        assert node_report.verdict is Verdict.NO_CONFLICT
+        assert tree_report.verdict is Verdict.CONFLICT
+        assert is_witness(tree_report.witness, read, delete, ConflictKind.TREE)
+
+    def test_disjoint_delete_no_tree_conflict(self):
+        read = Read("a/b")
+        delete = Delete("a/c/d")
+        report = detect_read_delete_linear(read, delete, ConflictKind.TREE)
+        assert report.verdict is Verdict.NO_CONFLICT
+
+    def test_node_conflict_is_tree_conflict(self):
+        read = Read("a/b")
+        delete = Delete("a/b")
+        report = detect_read_delete_linear(read, delete, ConflictKind.TREE)
+        assert report.verdict is Verdict.CONFLICT
+
+
+class TestValueSemantics:
+    def test_value_matches_tree_decision_linear(self):
+        """Lemma 2: tree and value conflicts coincide for linear patterns."""
+        pairs = [
+            ("a/b", "a/b"),
+            ("a/b", "a/b/c"),
+            ("a//c", "a/b"),
+            ("a/b", "a/c"),
+            ("a", "a/b"),
+            ("a//*", "a/b"),
+        ]
+        for read_path, delete_path in pairs:
+            read, delete = Read(read_path), Delete(delete_path)
+            tree_v = detect_read_delete_linear(read, delete, ConflictKind.TREE).verdict
+            value_v = detect_read_delete_linear(read, delete, ConflictKind.VALUE).verdict
+            assert tree_v == value_v, f"{read_path} vs {delete_path}"
+
+    def test_value_witness_verified(self):
+        read, delete = Read("a/b"), Delete("a/b/c")
+        report = detect_read_delete_linear(read, delete, ConflictKind.VALUE)
+        assert report.verdict is Verdict.CONFLICT
+        if report.witness is not None:
+            assert is_witness(report.witness, read, delete, ConflictKind.VALUE)
+
+
+class TestEdgeCases:
+    def test_single_node_read(self):
+        report = detect_read_delete_linear(Read("*"), Delete("a/b"))
+        assert report.verdict is Verdict.NO_CONFLICT
+
+    def test_wildcard_heavy(self):
+        report = detect_read_delete_linear(Read("*//*"), Delete("*/x"))
+        assert report.verdict is Verdict.CONFLICT
+
+    def test_long_chains(self):
+        read = Read("a/" + "/".join("b" * 1 for _ in range(10)))
+        delete = Delete("a//b")
+        report = detect_read_delete_linear(read, delete)
+        assert report.verdict is Verdict.CONFLICT

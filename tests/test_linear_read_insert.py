@@ -1,0 +1,176 @@
+"""Tests for the PTIME read-insert algorithm (Theorem 2, Corollary 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.linear import detect_read_insert_linear, find_cut_edge
+from repro.conflicts.semantics import ConflictKind, Verdict, is_witness
+from repro.errors import NotLinearError
+from repro.operations.ops import Insert, Read
+from repro.patterns.xpath import parse_xpath
+from repro.xml.parser import parse
+
+
+class TestKnownNodeConflicts:
+    @pytest.mark.parametrize(
+        "read,insert_path,x,expected",
+        [
+            # The paper's running example: insert <C/> under B children.
+            ("*//C", "*/B", "<C/>", True),
+            ("*//A", "*/B", "<C/>", False),
+            ("*//D", "*/B", "<C/>", False),
+            # Functional example: */A grandchildren; insert under B child
+            # adds C at depth 2 but labeled C, not A.
+            ("*/*/A", "*/B", "<C/>", False),
+            ("*/*/C", "*/B", "<C/>", True),  # C lands exactly at depth 2
+            ("*/B/C", "*/B", "<C/>", True),
+            ("*/D/C", "*/B", "<C/>", False),  # C's parent is B, not D
+            # Reads that need structure deeper than X provides.
+            ("*//C/d", "*/B", "<C/>", False),
+            ("*//C/d", "*/B", "<C><d/></C>", True),
+            # Descendant reads reach into deep X.
+            ("a//z", "a/b", "<x><y><z/></y></x>", True),
+            # Child-edge read into X needs the match at X's root.
+            ("a/b/x", "a/b", "<x><y/></x>", True),
+            ("a/b/y", "a/b", "<x><y/></x>", False),
+            ("a//y", "a/b", "<x><y/></x>", True),
+            # Insertion point unreachable by the read prefix.
+            ("q/r", "a/b", "<r/>", False),
+        ],
+    )
+    def test_cases(self, read, insert_path, x, expected):
+        report = detect_read_insert_linear(Read(read), Insert(insert_path, x))
+        assert report.verdict is (
+            Verdict.CONFLICT if expected else Verdict.NO_CONFLICT
+        ), f"read={read} insert={insert_path},{x}"
+
+    def test_witness_returned_and_valid(self):
+        read = Read("*//C")
+        insert = Insert("*/B", "<C/>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.witness is not None
+        assert is_witness(report.witness, read, insert, ConflictKind.NODE)
+
+    def test_branching_read_rejected(self):
+        with pytest.raises(NotLinearError):
+            detect_read_insert_linear(Read("a[x]/b"), Insert("a/b", "<c/>"))
+
+
+class TestCutEdge:
+    def test_cut_edge_found(self):
+        rp = parse_xpath("a//c")
+        trunk = parse_xpath("a/b")
+        x = parse("<c/>")
+        cut = find_cut_edge(rp, trunk, x)
+        assert cut is not None
+        upper, lower = cut
+        assert rp.label(lower) == "c"
+
+    def test_no_cut_edge(self):
+        rp = parse_xpath("a//d")
+        assert find_cut_edge(rp, parse_xpath("a/b"), parse("<c/>")) is None
+
+    def test_child_edge_requires_root_match(self):
+        rp = parse_xpath("a/b/y")  # child edge into y
+        trunk = parse_xpath("a/b")
+        x = parse("<x><y/></x>")  # y is not the root of X
+        assert find_cut_edge(rp, trunk, x) is None
+
+    def test_descendant_edge_matches_inside_x(self):
+        rp = parse_xpath("a//y")
+        trunk = parse_xpath("a/b")
+        x = parse("<x><y/></x>")
+        assert find_cut_edge(rp, trunk, x) is not None
+
+
+class TestBranchingInsertPattern:
+    """Corollary 2: the insert pattern may branch."""
+
+    def test_branching_insert_conflict(self):
+        read = Read("a//c")
+        insert = Insert("a[p]/b[q]", "<c/>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.verdict is Verdict.CONFLICT
+        assert is_witness(report.witness, read, insert, ConflictKind.NODE)
+
+    def test_branching_insert_no_conflict(self):
+        read = Read("a/d")
+        insert = Insert("a[p]/b[q]", "<c/>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.verdict is Verdict.NO_CONFLICT
+
+    def test_deep_branching(self):
+        read = Read("a/b//z")
+        insert = Insert("a[.//m]/b[n[o]]", "<q><z/></q>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.verdict is Verdict.CONFLICT
+        assert is_witness(report.witness, read, insert, ConflictKind.NODE)
+
+
+class TestTreeSemantics:
+    def test_paper_section3_example(self):
+        """R returns the root; I inserts below: tree conflict only."""
+        read = Read("a")
+        insert = Insert("a/B", "<x/>")
+        node_report = detect_read_insert_linear(read, insert, ConflictKind.NODE)
+        tree_report = detect_read_insert_linear(read, insert, ConflictKind.TREE)
+        assert node_report.verdict is Verdict.NO_CONFLICT
+        assert tree_report.verdict is Verdict.CONFLICT
+        assert is_witness(tree_report.witness, read, insert, ConflictKind.TREE)
+
+    def test_disjoint_insert_no_tree_conflict(self):
+        read = Read("a/b")
+        insert = Insert("a/c", "<x/>")
+        report = detect_read_insert_linear(read, insert, ConflictKind.TREE)
+        assert report.verdict is Verdict.NO_CONFLICT
+
+    def test_insert_below_read_result(self):
+        read = Read("a/b")
+        insert = Insert("a/b/c", "<x/>")
+        report = detect_read_insert_linear(read, insert, ConflictKind.TREE)
+        assert report.verdict is Verdict.CONFLICT
+
+
+class TestValueSemantics:
+    def test_value_matches_tree_decision_linear(self):
+        pairs = [
+            ("a", "a/B"),
+            ("a/b", "a/b/c"),
+            ("a/b", "a/c"),
+            ("*//C", "*/B"),
+            ("a//z", "a/b"),
+        ]
+        for read_path, insert_path in pairs:
+            read = Read(read_path)
+            insert = Insert(insert_path, "<C/>")
+            tree_v = detect_read_insert_linear(read, insert, ConflictKind.TREE).verdict
+            value_v = detect_read_insert_linear(read, insert, ConflictKind.VALUE).verdict
+            assert tree_v == value_v, f"{read_path} vs {insert_path}"
+
+    def test_value_witness_verified(self):
+        read = Read("a/b")
+        insert = Insert("a/b/c", "<x/>")
+        report = detect_read_insert_linear(read, insert, ConflictKind.VALUE)
+        assert report.verdict is Verdict.CONFLICT
+        if report.witness is not None:
+            assert is_witness(report.witness, read, insert, ConflictKind.VALUE)
+
+
+class TestEdgeCases:
+    def test_single_node_read_never_node_conflicts(self):
+        report = detect_read_insert_linear(Read("a"), Insert("a//b", "<a/>"))
+        assert report.verdict is Verdict.NO_CONFLICT
+
+    def test_inserting_tree_matching_whole_read(self):
+        read = Read("a/b/c/d")
+        insert = Insert("a", "<b><c><d/></c></b>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.verdict is Verdict.CONFLICT
+        assert is_witness(report.witness, read, insert, ConflictKind.NODE)
+
+    def test_wildcard_x_interaction(self):
+        read = Read("*/*/*")
+        insert = Insert("*/*", "<anything/>")
+        report = detect_read_insert_linear(read, insert)
+        assert report.verdict is Verdict.CONFLICT

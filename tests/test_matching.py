@@ -1,0 +1,168 @@
+"""Unit tests for weak/strong matching of linear patterns (Definition 7).
+
+Cross-validates three independent implementations:
+
+* the NFA-intersection decision (the paper's construction),
+* the dynamic-programming matcher (:func:`match_dp`),
+* a brute-force check on explicitly enumerated chain trees.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.automata.matching import (
+    linear_pattern_nfa,
+    match_dp,
+    match_strongly,
+    match_weakly,
+    matching_alphabet,
+    matching_word,
+)
+from repro.errors import NotLinearError
+from repro.patterns.embedding import evaluate
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import random_linear_pattern
+from repro.xml.tree import XMLTree
+
+
+def _chain(labels: list[str]) -> XMLTree:
+    tree = XMLTree(labels[0])
+    node = tree.root
+    for label in labels[1:]:
+        node = tree.add_child(node, label)
+    return tree
+
+
+def _bruteforce_match(left, right, weak: bool, max_len: int = 6) -> bool:
+    """Ground truth: try every chain over the joint alphabet up to max_len."""
+    import itertools
+
+    alphabet = matching_alphabet(left, right)
+    for length in range(1, max_len + 1):
+        for labels in itertools.product(alphabet, repeat=length):
+            chain = _chain(list(labels))
+            left_hits = evaluate(left.copy(), chain)
+            right_hits = evaluate(right.copy(), chain)
+            for lnode in left_hits:
+                for rnode in right_hits:
+                    if lnode == rnode:
+                        return True
+                    if weak and chain.is_ancestor(rnode, lnode):
+                        return True
+    return False
+
+
+class TestKnownCases:
+    @pytest.mark.parametrize(
+        "l,r,strong,weak",
+        [
+            ("a", "a", True, True),
+            ("a", "b", False, False),
+            ("a", "*", True, True),
+            ("a/b", "a/b", True, True),
+            ("a/b", "a//b", True, True),
+            ("a/b", "a/c", False, False),
+            ("a/b/c", "a/b", False, True),   # c strictly below b
+            ("a/b", "a/b/c", False, False),  # left output above right's
+            ("a//c", "a/b", False, True),
+            ("a/*", "a/b", True, True),
+            ("a//b", "a//c", False, True),   # chain a,c,b: b below c
+            ("x//y", "x/*/y", True, True),
+        ],
+    )
+    def test_cases(self, l, r, strong, weak):
+        left, right = parse_xpath(l), parse_xpath(r)
+        assert match_strongly(left, right) is strong, f"strong({l},{r})"
+        assert match_weakly(left, right) is weak, f"weak({l},{r})"
+
+    def test_descendant_below_c(self):
+        # a//b vs a//c: b can sit below a c (chain a,c,b) -> weak holds.
+        left, right = parse_xpath("a//b"), parse_xpath("a//c")
+        assert match_weakly(left, right)
+        assert not match_strongly(left, right)
+
+    def test_branching_rejected(self):
+        with pytest.raises(NotLinearError):
+            match_strongly(parse_xpath("a[b]/c"), parse_xpath("a"))
+
+
+class TestMatchingWord:
+    def test_word_realizes_strong_match(self):
+        left, right = parse_xpath("a//b"), parse_xpath("a/*/b")
+        word = matching_word(left, right, weak=False)
+        assert word is not None
+        chain = _chain(word)
+        left_out = evaluate(left, chain)
+        right_out = evaluate(right, chain)
+        assert left_out & right_out, "outputs must coincide on the chain"
+
+    def test_word_realizes_weak_match(self):
+        left, right = parse_xpath("a//c"), parse_xpath("a/b")
+        word = matching_word(left, right, weak=True)
+        assert word is not None
+        chain = _chain(word)
+        left_out = evaluate(left, chain)
+        right_out = evaluate(right, chain)
+        ok = any(
+            l == r or chain.is_ancestor(r, l)
+            for l in left_out
+            for r in right_out
+        )
+        assert ok
+
+    def test_no_word_when_unmatched(self):
+        assert matching_word(parse_xpath("a"), parse_xpath("b"), weak=True) is None
+
+    def test_word_is_shortest(self):
+        left, right = parse_xpath("a/*/b"), parse_xpath("a//b")
+        word = matching_word(left, right, weak=False)
+        assert word is not None and len(word) == 3
+
+
+class TestNFAConstruction:
+    def test_pattern_nfa_accepts_spine_labels(self):
+        p = parse_xpath("a/b/c")
+        nfa = linear_pattern_nfa(p, ("a", "b", "c"))
+        assert nfa.accepts(["a", "b", "c"])
+        assert not nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["a", "c", "b"])
+
+    def test_descendant_allows_gaps(self):
+        p = parse_xpath("a//b")
+        nfa = linear_pattern_nfa(p, ("a", "b", "z"))
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["a", "z", "z", "b"])
+        assert not nfa.accepts(["a"])
+
+    def test_wildcard_accepts_anything(self):
+        p = parse_xpath("*/b")
+        nfa = linear_pattern_nfa(p, ("a", "b"))
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["b", "b"])
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_nfa_vs_dp(self, seed):
+        rng = random.Random(seed)
+        left = random_linear_pattern(rng.randint(1, 4), ("a", "b"), seed=rng)
+        right = random_linear_pattern(rng.randint(1, 4), ("a", "b"), seed=rng)
+        for weak in (False, True):
+            nfa_answer = matching_word(left, right, weak=weak) is not None
+            dp_answer = match_dp(left, right, weak=weak)
+            assert nfa_answer == dp_answer, (
+                f"seed {seed} weak={weak}: NFA={nfa_answer} DP={dp_answer}"
+            )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_nfa_vs_bruteforce(self, seed):
+        rng = random.Random(seed + 10_000)
+        left = random_linear_pattern(rng.randint(1, 3), ("a", "b"), seed=rng)
+        right = random_linear_pattern(rng.randint(1, 3), ("a", "b"), seed=rng)
+        for weak in (False, True):
+            fast = matching_word(left, right, weak=weak) is not None
+            slow = _bruteforce_match(left, right, weak, max_len=6)
+            assert fast == slow, f"seed {seed} weak={weak}"

@@ -1,0 +1,145 @@
+"""Coverage sweep: small behaviors not exercised elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.lang.ast import DeleteStmt, InsertStmt, ReadStmt
+from repro.lang.parser import parse_program
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.pattern import Axis, TreePattern
+from repro.patterns.xpath import parse_xpath
+from repro.xml.serializer import serialize
+from repro.xml.tree import XMLTree, build_tree
+
+
+class TestSketches:
+    def test_pattern_sketch_marks_output_and_axes(self):
+        p = parse_xpath("a[.//b]/c")
+        sketch = p.sketch()
+        assert "<== output" in sketch
+        assert "// b" in sketch
+
+    def test_pattern_sketch_shows_value_test(self):
+        p = parse_xpath("a[b < 5]")
+        assert "< 5" in p.sketch()
+
+    def test_tree_sketch_ids(self):
+        t = build_tree(("a", "b"))
+        assert "#0" in t.sketch()
+
+
+class TestSerializerCorners:
+    def test_attribute_node_rendered_standalone(self):
+        t = XMLTree("@weird=1")
+        out = serialize(t)
+        assert out.startswith("<") and out.endswith("/>")
+
+    def test_attr_with_children_rendered_as_element(self):
+        t = XMLTree("a")
+        holder = t.add_child(t.root, "@x=1")
+        t.add_child(holder, "y")
+        out = serialize(t)
+        assert "y" in out  # information preserved, not folded to attribute
+
+    def test_pretty_print_nested(self):
+        t = build_tree(("a", ("b", "c"), "d"))
+        out = serialize(t, indent=4)
+        assert out.count("\n") >= 4
+
+
+class TestStatementRendering:
+    def test_each_statement_kind_renders(self):
+        program = parse_program(
+            "x = <a/>\n"
+            "y = read $x//b\n"
+            "insert $x/b, <c/>\n"
+            "delete $x//c\n"
+        )
+        texts = [str(s) for s in program]
+        assert texts[1] == "y = read $x//b"
+        assert texts[2] == "insert $x/b, <c/>"
+        assert texts[3] == "delete $x//c"
+
+    def test_statement_dataclasses_expose_fields(self):
+        program = parse_program("y = read $x//b")
+        read = program.statements[0]
+        assert isinstance(read, ReadStmt)
+        assert (read.target, read.source) == ("y", "x")
+
+    def test_whole_document_path_renders_empty(self):
+        program = parse_program("x = <a/>\ny = read $x")
+        assert str(program.statements[1]) == "y = read $x"
+
+
+class TestCliCorners:
+    def test_commute_delete_first(self):
+        code = main(
+            ["commute", "--delete1", "a/b/c", "--insert2", "a/b",
+             "--xml2", "<c/>"]
+        )
+        assert code == 1  # the §6 insert-enables-delete conflict
+
+    def test_eval_missing_document_args_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["eval", "--xpath", "a"])
+
+    def test_analyze_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("x = <a/>\ny = read $x//b\n"))
+        assert main(["analyze", "-"]) == 0
+
+
+class TestOperationReprs:
+    def test_insert_repr_contains_both_parts(self):
+        text = repr(Insert("a/b", "<c/>"))
+        assert "a/b" in text and "<c/>" in text
+
+    def test_delete_repr(self):
+        assert "a/b" in repr(Delete("a/b"))
+
+
+class TestPatternCorners:
+    def test_pattern_repr_is_xpath(self):
+        assert "a//b" in repr(parse_xpath("a//b"))
+
+    def test_graft_preserves_value_tests(self):
+        from repro.patterns.pattern import ValueTest
+
+        host = TreePattern("a")
+        guest = TreePattern("q")
+        guest.set_value_test(guest.root, ValueTest("<", 5))
+        mapping = host.graft(host.root, guest, Axis.CHILD)
+        grafted = mapping[guest.root]
+        assert host.value_test(grafted) is not None
+
+    def test_axis_str(self):
+        assert str(Axis.CHILD) == "/"
+        assert str(Axis.DESCENDANT) == "//"
+
+    def test_depth_helper(self):
+        p = parse_xpath("a/b/c")
+        assert p.depth(p.spine()[2]) == 2
+
+
+class TestTreeCorners:
+    def test_degree(self):
+        t = build_tree(("a", "b", "c"))
+        assert t.degree(t.root) == 2
+
+    def test_len_and_contains(self):
+        t = build_tree(("a", "b"))
+        assert len(t) == 2
+
+    def test_path_labels_root(self):
+        t = build_tree("solo")
+        assert t.path_labels(t.root) == ["solo"]
+
+
+class TestReadEdge:
+    def test_read_on_whole_document_pattern(self):
+        t = build_tree(("a", "b"))
+        result = Read(parse_xpath("*")).apply(t)
+        assert result == {t.root}

@@ -1,0 +1,127 @@
+"""Unit tests for the NFA substrate (:mod:`repro.automata.nfa`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA
+
+
+def _literal_nfa(word: str, alphabet: tuple[str, ...]) -> NFA:
+    nfa = NFA(alphabet)
+    state = nfa.add_state(start=True)
+    for symbol in word:
+        nxt = nfa.add_state()
+        nfa.add_transition(state, symbol, nxt)
+        state = nxt
+    nfa.accepting.add(state)
+    return nfa
+
+
+class TestBasics:
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            NFA([])
+
+    def test_accepts_literal(self):
+        nfa = _literal_nfa("ab", ("a", "b"))
+        assert nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["a"])
+        assert not nfa.accepts(["b", "a"])
+        assert not nfa.accepts(["a", "b", "a"])
+
+    def test_accepts_requires_start(self):
+        nfa = NFA(("a",))
+        with pytest.raises(ValueError):
+            nfa.accepts(["a"])
+
+    def test_unknown_symbol_rejected(self):
+        nfa = NFA(("a",))
+        s = nfa.add_state(start=True)
+        with pytest.raises(ValueError):
+            nfa.add_transition(s, "z", s)
+
+    def test_any_transitions_cover_alphabet(self):
+        nfa = NFA(("a", "b"))
+        s = nfa.add_state(start=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_any_transitions(s, t)
+        assert nfa.accepts(["a"]) and nfa.accepts(["b"])
+
+
+class TestEmptinessAndWitness:
+    def test_empty_language(self):
+        nfa = NFA(("a",))
+        nfa.add_state(start=True)
+        nfa.add_state(accepting=True)  # unreachable
+        assert nfa.is_empty()
+        assert nfa.shortest_accepted_word() is None
+
+    def test_epsilon_acceptance(self):
+        nfa = NFA(("a",))
+        nfa.add_state(start=True, accepting=True)
+        assert nfa.shortest_accepted_word() == []
+
+    def test_shortest_word_is_shortest(self):
+        # Accepts a+ ; shortest is ["a"].
+        nfa = NFA(("a",))
+        s = nfa.add_state(start=True)
+        t = nfa.add_state(accepting=True)
+        nfa.add_transition(s, "a", t)
+        nfa.add_transition(t, "a", t)
+        assert nfa.shortest_accepted_word() == ["a"]
+
+    def test_witness_is_accepted(self):
+        nfa = _literal_nfa("abba", ("a", "b"))
+        word = nfa.shortest_accepted_word()
+        assert word is not None
+        assert nfa.accepts(word)
+
+
+class TestIntersection:
+    def test_disjoint_literals(self):
+        a = _literal_nfa("ab", ("a", "b"))
+        b = _literal_nfa("ba", ("a", "b"))
+        assert a.intersect(b).is_empty()
+
+    def test_common_word(self):
+        a = _literal_nfa("ab", ("a", "b"))
+        b = _literal_nfa("ab", ("a", "b"))
+        inter = a.intersect(b)
+        assert inter.shortest_accepted_word() == ["a", "b"]
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _literal_nfa("a", ("a",)).intersect(_literal_nfa("a", ("a", "b")))
+
+    def test_star_intersection(self):
+        # L1 = a(.)*  ; L2 = (.)*b  over {a,b}; intersection: a...b.
+        alphabet = ("a", "b")
+        l1 = NFA(alphabet)
+        s0 = l1.add_state(start=True)
+        s1 = l1.add_state(accepting=True)
+        l1.add_transition(s0, "a", s1)
+        l1.add_any_transitions(s1, s1)
+
+        l2 = NFA(alphabet)
+        t0 = l2.add_state(start=True)
+        t1 = l2.add_state(accepting=True)
+        l2.add_any_transitions(t0, t0)
+        l2.add_transition(t0, "b", t1)
+
+        word = l1.intersect(l2).shortest_accepted_word()
+        assert word == ["a", "b"]
+
+
+class TestAnySuffix:
+    def test_extends_language(self):
+        nfa = _literal_nfa("ab", ("a", "b"))
+        ext = nfa.with_any_suffix()
+        assert ext.accepts(["a", "b"])
+        assert ext.accepts(["a", "b", "a", "a"])
+        assert not ext.accepts(["a"])
+
+    def test_original_not_mutated(self):
+        nfa = _literal_nfa("a", ("a",))
+        nfa.with_any_suffix()
+        assert not nfa.accepts(["a", "a"])

@@ -1,0 +1,55 @@
+"""Smoke tests for the top-level public API (the README quickstart)."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart(self):
+        detector = repro.ConflictDetector()
+        report = detector.read_insert(
+            repro.Read("*//C"), repro.Insert("*/B", "<C/>")
+        )
+        assert report.verdict is repro.Verdict.CONFLICT
+        assert report.witness is not None
+        assert repro.is_witness(
+            report.witness,
+            repro.Read("*//C"),
+            repro.Insert("*/B", "<C/>"),
+            repro.ConflictKind.NODE,
+        )
+
+    def test_parse_and_evaluate(self):
+        doc = repro.parse("<bib><book/><book/></bib>")
+        pattern = repro.parse_xpath("bib/book")
+        assert len(repro.evaluate(pattern, doc)) == 2
+
+    def test_build_and_serialize(self):
+        tree = repro.build_tree(("a", "b"))
+        assert repro.serialize(tree) == "<a><b/></a>"
+
+    def test_minimize_witness_roundtrip(self):
+        read = repro.Read("a//c")
+        delete = repro.Delete("a/b")
+        report = repro.ConflictDetector().read_delete(read, delete)
+        witness = report.witness
+        bloated = witness.copy()
+        bloated.add_child(bloated.root, "noise")
+        small = repro.minimize_witness(bloated, read, delete)
+        assert small.size <= bloated.size
+
+    def test_error_hierarchy(self):
+        import pytest
+
+        with pytest.raises(repro.ReproError):
+            repro.parse_xpath("][")
+        with pytest.raises(repro.ReproError):
+            repro.parse("<oops>")

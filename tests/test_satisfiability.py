@@ -1,0 +1,54 @@
+"""Tests for satisfiability and its conflict encoding (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.satisfiability import (
+    is_satisfiable,
+    satisfiability_via_conflict,
+    universal_read,
+)
+from repro.conflicts.semantics import ConflictKind, is_witness
+from repro.operations.ops import Delete
+from repro.patterns.embedding import embeds, evaluate
+from repro.patterns.xpath import parse_xpath
+from repro.xml.tree import build_tree
+
+
+class TestIsSatisfiable:
+    @pytest.mark.parametrize(
+        "xpath", ["a", "a/b", "a//b[c]", "*//*", "a[.//b][c/d]//e"]
+    )
+    def test_always_satisfiable_with_model(self, xpath):
+        pattern = parse_xpath(xpath)
+        ok, model = is_satisfiable(pattern)
+        assert ok
+        assert embeds(pattern, model)
+
+
+class TestUniversalRead:
+    def test_selects_every_non_root_node(self):
+        t = build_tree(("a", ("b", "c"), "d"))
+        result = universal_read().apply(t)
+        assert result == set(t.nodes()) - {t.root}
+
+    def test_single_node_tree(self):
+        assert universal_read().apply(build_tree("x")) == set()
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("xpath", ["a/b", "a//b", "*/x[y]", "a[b]/c//d"])
+    def test_every_delete_conflicts_with_universal_read(self, xpath):
+        """Section 6: in this fragment every deletion pattern is
+        satisfiable, so the universal read always conflicts with it."""
+        delete = Delete(xpath)
+        satisfiable, witness = satisfiability_via_conflict(delete)
+        assert satisfiable
+        assert witness is not None
+        assert is_witness(witness, universal_read(), delete, ConflictKind.NODE)
+
+    def test_witness_is_deletion_model(self):
+        delete = Delete("a/b")
+        _, witness = satisfiability_via_conflict(delete)
+        assert evaluate(delete.pattern, witness)

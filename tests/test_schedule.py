@@ -1,0 +1,141 @@
+"""Tests for conflict matrices and parallel scheduling."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.schedule import conflict_matrix, parallel_schedule
+from repro.conflicts.semantics import Verdict
+from repro.operations.ops import Delete, Insert, Read
+from repro.xml.isomorphism import isomorphic
+from repro.xml.random_trees import bookstore
+
+#: Shared detector so the expensive update-update answers are cached
+#: across tests (the cache is keyed by canonical forms).
+DETECTOR = ConflictDetector(exhaustive_cap=4)
+
+OPERATIONS = {
+    "titles": Read("bib/book/title"),
+    "quantities": Read("//quantity"),
+    "restock": Insert("bib/book", "<restock/>"),
+    "purge": Delete("bib/book"),
+    "strip-markers": Delete("bib/book/restock"),
+}
+
+
+class TestConflictMatrix:
+    def test_reads_never_conflict(self):
+        matrix = conflict_matrix(
+            {"r1": Read("a/b"), "r2": Read("a/b"), "r3": Read("//x")}
+        )
+        for a, b in itertools.combinations(["r1", "r2", "r3"], 2):
+            assert matrix.verdict(a, b) is Verdict.NO_CONFLICT
+
+    def test_symmetry(self):
+        matrix = conflict_matrix(OPERATIONS, DETECTOR)
+        for a in OPERATIONS:
+            for b in OPERATIONS:
+                assert matrix.verdict(a, b) == matrix.verdict(b, a)
+
+    def test_self_pairs_compatible(self):
+        matrix = conflict_matrix(OPERATIONS, DETECTOR)
+        for name in OPERATIONS:
+            assert matrix.verdict(name, name) is Verdict.NO_CONFLICT
+
+    def test_known_verdicts(self):
+        matrix = conflict_matrix(OPERATIONS, DETECTOR)
+        # Purging books removes titles and quantities.
+        assert matrix.verdict("titles", "purge") is Verdict.CONFLICT
+        assert matrix.verdict("quantities", "purge") is Verdict.CONFLICT
+        # Restock markers do not touch titles.
+        assert matrix.verdict("titles", "restock") is Verdict.NO_CONFLICT
+
+    def test_compatible_with(self):
+        matrix = conflict_matrix(OPERATIONS, DETECTOR)
+        assert "restock" in matrix.compatible_with("titles")
+        assert "purge" not in matrix.compatible_with("titles")
+
+    def test_render_contains_all_names(self):
+        matrix = conflict_matrix(OPERATIONS, DETECTOR)
+        text = matrix.render()
+        for name in OPERATIONS:
+            assert name[:8] in text
+
+
+class TestParallelSchedule:
+    def test_batches_partition_operations(self):
+        batches = parallel_schedule(OPERATIONS, DETECTOR)
+        flat = [name for batch in batches for name in batch]
+        assert sorted(flat) == sorted(OPERATIONS)
+
+    def test_batches_internally_conflict_free(self):
+        matrix = conflict_matrix(OPERATIONS, DETECTOR)
+        for batch in parallel_schedule(OPERATIONS, DETECTOR):
+            for a, b in itertools.combinations(batch, 2):
+                assert not matrix.may_conflict(a, b), (a, b)
+
+    def test_compatible_reads_share_a_batch(self):
+        batches = parallel_schedule(
+            {"r1": Read("a/b"), "r2": Read("a//c"), "r3": Read("//d")}
+        )
+        assert len(batches) == 1
+
+    def test_conflicting_operations_separated(self):
+        batches = parallel_schedule(
+            {"read": Read("//quantity"), "purge": Delete("bib/book")}
+        )
+        assert len(batches) == 2
+
+    def test_batch_members_commute_on_a_real_document(self):
+        """Executing a batch's updates in any order gives isomorphic trees."""
+        operations = {
+            "restock": Insert("bib/book[.//quantity]", "<restock/>"),
+            "tag": Insert("bib/book/title", "<checked/>"),
+        }
+        matrix = conflict_matrix(operations, DETECTOR)
+        if matrix.may_conflict("restock", "tag"):
+            pytest.skip("detector could not prove compatibility")
+        doc = bookstore(10, seed=3)
+        order_a = operations["tag"].apply(
+            operations["restock"].apply(doc).tree
+        ).tree
+        order_b = operations["restock"].apply(
+            operations["tag"].apply(doc).tree
+        ).tree
+        assert isomorphic(order_a, order_b)
+
+    def test_detector_cache_reused(self):
+        detector = ConflictDetector()
+        conflict_matrix(OPERATIONS, detector)
+        before = detector.cache_misses
+        conflict_matrix(OPERATIONS, detector)
+        assert detector.cache_misses == before  # all answers cached
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_catalogues_schedule_validly(self, seed):
+        from repro.workloads.generators import random_delete, random_insert, random_read
+
+        rng = random.Random(seed)
+        operations = {}
+        for index in range(5):
+            roll = rng.random()
+            if roll < 0.4:
+                operations[f"op{index}"] = random_read(3, ("a", "b"), seed=rng)
+            elif roll < 0.7:
+                operations[f"op{index}"] = random_insert(
+                    2, alphabet=("a", "b"), seed=rng, linear=True
+                )
+            else:
+                operations[f"op{index}"] = random_delete(
+                    2, ("a", "b"), seed=rng, linear=True
+                )
+        detector = ConflictDetector(exhaustive_cap=3)
+        matrix = conflict_matrix(operations, detector)
+        batches = parallel_schedule(operations, detector)
+        for batch in batches:
+            for a, b in itertools.combinations(batch, 2):
+                assert not matrix.may_conflict(a, b), f"seed {seed}"

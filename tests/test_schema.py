@@ -1,0 +1,262 @@
+"""Tests for the schema subsystem (DTDs, validation, schema-aware conflicts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.semantics import ConflictKind, Verdict, is_witness
+from repro.operations.ops import Delete, Insert, Read
+from repro.schema.dtd import DTD, DTDSyntaxError, Occurrence, UNBOUNDED
+from repro.schema.generator import (
+    SchemaGenerationError,
+    enumerate_valid_trees,
+    random_valid_tree,
+)
+from repro.schema.conflicts import (
+    breaks_validity,
+    decide_conflict_under_schema,
+    find_schema_witness,
+)
+from repro.schema.validator import is_valid, validate
+from repro.xml.tree import build_tree
+
+BOOKSTORE_DTD = """
+<!ELEMENT bib (book*)>
+<!ELEMENT book (title, publisher?, quantity)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT publisher (name)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+"""
+
+
+@pytest.fixture
+def bookstore_dtd() -> DTD:
+    return DTD.parse(BOOKSTORE_DTD)
+
+
+class TestOccurrence:
+    def test_bounds(self):
+        assert Occurrence(1, 1).allows(1)
+        assert not Occurrence(1, 1).allows(0)
+        assert not Occurrence(1, 1).allows(2)
+        assert Occurrence(0, UNBOUNDED).allows(100)
+
+    @pytest.mark.parametrize(
+        "occ,text",
+        [
+            (Occurrence(1, 1), "1"),
+            (Occurrence(0, 1), "?"),
+            (Occurrence(0, UNBOUNDED), "*"),
+            (Occurrence(1, UNBOUNDED), "+"),
+            (Occurrence(2, 3), "2..3"),
+        ],
+    )
+    def test_str(self, occ, text):
+        assert str(occ) == text
+
+
+class TestDTDParse:
+    def test_bookstore_parses(self, bookstore_dtd):
+        assert bookstore_dtd.root == "bib"
+        assert bookstore_dtd.labels() == {
+            "bib", "book", "title", "publisher", "name", "quantity",
+        }
+
+    def test_sequence_model(self, bookstore_dtd):
+        book = bookstore_dtd.declaration("book")
+        assert book.children["title"] == Occurrence(1, 1)
+        assert book.children["publisher"] == Occurrence(0, 1)
+        assert book.children["quantity"] == Occurrence(1, 1)
+
+    def test_star_model(self, bookstore_dtd):
+        bib = bookstore_dtd.declaration("bib")
+        assert bib.children["book"] == Occurrence(0, UNBOUNDED)
+
+    def test_pcdata_sets_text_flag(self, bookstore_dtd):
+        assert bookstore_dtd.declaration("title").allows_text
+
+    def test_empty_and_any(self):
+        dtd = DTD.parse("<!ELEMENT a EMPTY><!ELEMENT b ANY>", root="a")
+        assert dtd.declaration("a").children == {}
+        assert dtd.declaration("b").any_content
+
+    def test_choice_group(self):
+        dtd = DTD.parse("<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        decl = dtd.declaration("a")
+        assert decl.min_total == 1
+        assert decl.children["b"].min == 0
+
+    def test_repeated_label_in_sequence(self):
+        dtd = DTD.parse("<!ELEMENT a (b, b)><!ELEMENT b EMPTY>")
+        assert dtd.declaration("a").children["b"] == Occurrence(2, 2)
+
+    def test_mixed_content(self):
+        dtd = DTD.parse("<!ELEMENT a (#PCDATA | b)*><!ELEMENT b EMPTY>")
+        decl = dtd.declaration("a")
+        assert decl.allows_text
+        assert decl.children["b"].max is UNBOUNDED
+
+    def test_missing_declarations_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            DTD.parse("not a dtd")
+
+    def test_undeclared_root_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            DTD.parse("<!ELEMENT a EMPTY>", root="zzz")
+
+    def test_programmatic_construction(self):
+        dtd = DTD("r").element("r", {"x": "*"}).element("x", text=True)
+        assert dtd.declaration("r").children["x"].max is UNBOUNDED
+
+
+class TestValidator:
+    def test_valid_document(self, bookstore_dtd):
+        doc = build_tree(
+            ("bib", ("book", ("title", "#text:T"), ("quantity", "#text:5")))
+        )
+        assert is_valid(doc, bookstore_dtd)
+
+    def test_wrong_root(self, bookstore_dtd):
+        doc = build_tree("book")
+        assert any("root" in str(v) for v in validate(doc, bookstore_dtd))
+
+    def test_missing_required_child(self, bookstore_dtd):
+        doc = build_tree(("bib", ("book", ("quantity", "#text:5"))))
+        violations = validate(doc, bookstore_dtd)
+        assert any("title" in str(v) for v in violations)
+
+    def test_excess_child(self, bookstore_dtd):
+        doc = build_tree(
+            (
+                "bib",
+                (
+                    "book",
+                    ("title", "#text:a"),
+                    ("title", "#text:b"),
+                    ("quantity", "#text:1"),
+                ),
+            )
+        )
+        violations = validate(doc, bookstore_dtd)
+        assert any("occurs 2" in str(v) for v in violations)
+
+    def test_undeclared_child(self, bookstore_dtd):
+        doc = build_tree(
+            ("bib", ("book", ("title", "#text:a"), ("quantity", "#text:1"), "pirate"))
+        )
+        assert any("not allowed" in str(v) for v in validate(doc, bookstore_dtd))
+
+    def test_text_where_forbidden(self, bookstore_dtd):
+        doc = build_tree(("bib", "#text:hello"))
+        assert any("text" in str(v) for v in validate(doc, bookstore_dtd))
+
+    def test_undeclared_element_must_be_leaf(self):
+        dtd = DTD.parse("<!ELEMENT a ANY>")
+        doc = build_tree(("a", ("mystery", "deep")))
+        assert not is_valid(doc, dtd)
+
+    def test_any_content_accepts_everything(self):
+        dtd = DTD.parse("<!ELEMENT a ANY><!ELEMENT b EMPTY>")
+        doc = build_tree(("a", "b", "b", "#text:x"))
+        assert is_valid(doc, dtd)
+
+    def test_choice_minimum(self):
+        dtd = DTD.parse("<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        assert not is_valid(build_tree("a"), dtd)
+        assert is_valid(build_tree(("a", "b")), dtd)
+
+
+class TestGenerator:
+    def test_random_valid_trees_are_valid(self, bookstore_dtd):
+        for seed in range(20):
+            tree = random_valid_tree(bookstore_dtd, seed=seed)
+            assert is_valid(tree, bookstore_dtd), f"seed {seed}"
+
+    def test_deterministic(self, bookstore_dtd):
+        a = random_valid_tree(bookstore_dtd, seed=5)
+        b = random_valid_tree(bookstore_dtd, seed=5)
+        assert a.equivalent(b)
+
+    def test_unsatisfiable_depth_raises(self):
+        # a requires b requires a requires ... never bottoms out.
+        dtd = DTD.parse("<!ELEMENT a (b)><!ELEMENT b (a)>")
+        with pytest.raises(SchemaGenerationError):
+            random_valid_tree(dtd, seed=0, max_depth=4)
+
+    def test_enumeration_is_valid_and_deduplicated(self, bookstore_dtd):
+        from repro.xml.isomorphism import canonical_form
+
+        forms = set()
+        for tree in enumerate_valid_trees(bookstore_dtd, 6):
+            assert is_valid(tree, bookstore_dtd)
+            form = canonical_form(tree)
+            assert form not in forms
+            forms.add(form)
+
+    def test_enumeration_matches_filter_semantics(self):
+        dtd = DTD.parse("<!ELEMENT a (b*)><!ELEMENT b EMPTY>")
+        trees = list(enumerate_valid_trees(dtd, 4))
+        # valid trees: a, a(b), a(b,b), a(b,b,b) -> 4 classes.
+        assert len(trees) == 4
+
+
+class TestSchemaConflicts:
+    def test_schema_silences_structural_conflict(self, bookstore_dtd):
+        """Nested books are impossible under the DTD, so the conflict that
+        exists unconstrained vanishes under the schema."""
+        read = Read("bib/book/book")
+        delete = Delete("bib/book")
+        assert ConflictDetector().read_delete(read, delete).verdict is Verdict.CONFLICT
+        report = decide_conflict_under_schema(read, delete, bookstore_dtd, max_size=7)
+        assert report.verdict is Verdict.UNKNOWN  # no valid witness found
+
+    def test_conflict_persists_under_schema(self, bookstore_dtd):
+        read = Read("//quantity")
+        delete = Delete("bib/book")
+        report = decide_conflict_under_schema(read, delete, bookstore_dtd, max_size=7)
+        assert report.verdict is Verdict.CONFLICT
+        assert is_valid(report.witness, bookstore_dtd)
+        assert is_witness(report.witness, read, delete, ConflictKind.NODE)
+
+    def test_insert_conflict_under_schema(self, bookstore_dtd):
+        read = Read("//publisher/name")
+        insert = Insert("bib/book", "<publisher><name/></publisher>")
+        report = decide_conflict_under_schema(read, insert, bookstore_dtd, max_size=6)
+        assert report.verdict is Verdict.CONFLICT
+        assert is_valid(report.witness, bookstore_dtd)
+
+    def test_find_schema_witness_none_for_disjoint(self, bookstore_dtd):
+        read = Read("bib/ghost")
+        delete = Delete("bib/book")
+        assert (
+            find_schema_witness(read, delete, bookstore_dtd, max_size=5) is None
+        )
+
+    def test_tree_semantics_under_schema(self, bookstore_dtd):
+        read = Read("bib/book")
+        insert = Insert("bib/book/title", "<x/>")
+        report = decide_conflict_under_schema(
+            read, insert, bookstore_dtd, ConflictKind.TREE, max_size=5
+        )
+        assert report.verdict is Verdict.CONFLICT
+
+
+class TestBreaksValidity:
+    def test_delete_required_child_breaks(self, bookstore_dtd):
+        tree = random_valid_tree(bookstore_dtd, seed=3)
+        if not any(tree.label(n) == "title" for n in tree.nodes()):
+            pytest.skip("sample has no title")
+        assert breaks_validity(Delete("bib/book/title"), tree, bookstore_dtd)
+
+    def test_harmless_update_keeps_validity(self, bookstore_dtd):
+        tree = build_tree(
+            ("bib", ("book", ("title", "#text:T"), ("quantity", "#text:3")))
+        )
+        insert = Insert("bib/book", "<publisher><name/></publisher>")
+        assert not breaks_validity(insert, tree, bookstore_dtd)
+
+    def test_requires_valid_input(self, bookstore_dtd):
+        with pytest.raises(ValueError):
+            breaks_validity(Delete("bib/book"), build_tree("oops"), bookstore_dtd)

@@ -1,0 +1,95 @@
+"""Property-based tests for the schema subsystem."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.schema.dtd import DTD, Occurrence, UNBOUNDED
+from repro.schema.generator import enumerate_valid_trees, random_valid_tree
+from repro.schema.validator import is_valid, validate
+from repro.xml.isomorphism import canonical_form
+
+LABELS = ("r", "a", "b", "c")
+
+
+@st.composite
+def dtds(draw) -> DTD:
+    """Random well-founded DTDs rooted at 'r'.
+
+    Element i may only require elements with larger index (so required
+    content always bottoms out), keeping every generated DTD satisfiable
+    within a shallow depth budget.
+    """
+    dtd = DTD("r")
+    for index, label in enumerate(LABELS):
+        children: dict[str, Occurrence] = {}
+        for child in LABELS[index + 1:]:
+            kind = draw(st.sampled_from(["absent", "?", "*", "1", "+"]))
+            if kind == "absent":
+                continue
+            children[child] = {
+                "?": Occurrence(0, 1),
+                "*": Occurrence(0, UNBOUNDED),
+                "1": Occurrence(1, 1),
+                "+": Occurrence(1, UNBOUNDED),
+            }[kind]
+        dtd.element(label, children, text=draw(st.booleans()))
+    return dtd
+
+
+class TestGeneratorProperties:
+    @given(dtds(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_random_valid_trees_validate(self, dtd, seed):
+        tree = random_valid_tree(dtd, seed=seed, max_depth=len(LABELS) + 1)
+        assert is_valid(tree, dtd), "\n".join(
+            str(v) for v in validate(tree, dtd)
+        )
+
+    @given(dtds(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_yields_only_valid_trees(self, dtd, max_size):
+        for tree in enumerate_valid_trees(dtd, max_size):
+            assert tree.size <= max_size
+            assert is_valid(tree, dtd)
+
+    @given(dtds(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_enumeration_has_no_duplicates(self, dtd, max_size):
+        forms = [
+            canonical_form(t) for t in enumerate_valid_trees(dtd, max_size)
+        ]
+        assert len(forms) == len(set(forms))
+
+    @given(dtds(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_enumeration_complete_vs_filter(self, dtd, max_size):
+        """Schema-driven enumeration finds exactly the valid trees that a
+        brute-force filter over all labeled trees finds."""
+        from repro.xml.enumerate import enumerate_trees
+
+        direct = {
+            canonical_form(t) for t in enumerate_valid_trees(dtd, max_size)
+        }
+        filtered = {
+            canonical_form(t)
+            for t in enumerate_trees(max_size, LABELS)
+            if t.label(t.root) == dtd.root and is_valid(t, dtd)
+        }
+        assert direct == filtered
+
+
+class TestValidatorProperties:
+    @given(dtds(), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_undeclared_child_breaks_validity(self, dtd, seed):
+        tree = random_valid_tree(dtd, seed=seed, max_depth=len(LABELS) + 1)
+        tree.add_child(tree.root, "pirate")
+        assert not is_valid(tree, dtd)
+
+    @given(dtds(), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_relabeling_root_breaks_validity(self, dtd, seed):
+        tree = random_valid_tree(dtd, seed=seed, max_depth=len(LABELS) + 1)
+        tree.relabel(tree.root, "zzz")
+        assert not is_valid(tree, dtd)

@@ -1,0 +1,164 @@
+"""Unit tests for conflict semantics and witness checking (Lemma 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conflicts.semantics import (
+    ConflictKind,
+    ConflictReport,
+    Verdict,
+    check_monotonicity,
+    is_node_conflict_witness,
+    is_tree_conflict_witness,
+    is_value_conflict_witness,
+    is_witness,
+)
+from repro.operations.ops import Delete, Insert, Read
+from repro.workloads.generators import random_delete, random_insert, random_read
+from repro.xml.random_trees import random_tree
+from repro.xml.tree import build_tree
+
+
+class TestNodeConflictWitness:
+    def test_insert_creates_read_result(self):
+        t = build_tree(("a", "b"))
+        read = Read("a/b/c")
+        insert = Insert("a/b", "<c/>")
+        assert is_node_conflict_witness(t, read, insert)
+
+    def test_insert_unrelated_no_conflict(self):
+        t = build_tree(("a", "b"))
+        read = Read("a//d")
+        insert = Insert("a/b", "<c/>")
+        assert not is_node_conflict_witness(t, read, insert)
+
+    def test_insert_enables_predicate(self):
+        """Branching subtlety: inserts can select *old* nodes via predicates."""
+        t = build_tree(("a", "b"))
+        read = Read("a[b/c]")  # selects the root once b has a c child
+        insert = Insert("a/b", "<c/>")
+        assert is_node_conflict_witness(t, read, insert)
+
+    def test_delete_removes_read_result(self):
+        t = build_tree(("a", ("b", "c")))
+        read = Read("a//c")
+        delete = Delete("a/b")
+        assert is_node_conflict_witness(t, read, delete)
+
+    def test_delete_disables_predicate(self):
+        t = build_tree(("a", ("b", "c")))
+        read = Read("a[b/c]")
+        delete = Delete("a/b/c")
+        assert is_node_conflict_witness(t, read, delete)
+
+    def test_non_witness(self):
+        t = build_tree(("a", "b"))
+        assert not is_node_conflict_witness(t, Read("a//z"), Delete("a/b"))
+
+
+class TestTreeConflictWitness:
+    def test_paper_example_root_read_vs_child_insert(self):
+        """Section 3's example: node semantics silent, tree semantics loud.
+
+        R returns the root; I inserts under a B child.  No node conflict
+        (the root survives), but the root's subtree is modified.
+        """
+        t = build_tree(("a", "B"))
+        read = Read("a")
+        insert = Insert("a/B", "<x/>")
+        assert not is_node_conflict_witness(t, read, insert)
+        assert is_tree_conflict_witness(t, read, insert)
+
+    def test_node_conflict_implies_tree_conflict(self):
+        t = build_tree(("a", "b"))
+        read = Read("a/b/c")
+        insert = Insert("a/b", "<c/>")
+        assert is_node_conflict_witness(t, read, insert)
+        assert is_tree_conflict_witness(t, read, insert)
+
+    def test_disjoint_modification_no_tree_conflict(self):
+        t = build_tree(("a", "b", "d"))
+        read = Read("a/d")
+        insert = Insert("a/b", "<x/>")
+        assert not is_tree_conflict_witness(t, read, insert)
+
+    def test_delete_below_read_result(self):
+        t = build_tree(("a", ("b", "c")))
+        read = Read("a/b")
+        delete = Delete("a/b/c")
+        assert not is_node_conflict_witness(t, read, delete)
+        assert is_tree_conflict_witness(t, read, delete)
+
+
+class TestValueConflictWitness:
+    def test_figure3_value_silent_delete(self):
+        """Figure 3: reference semantics conflicts, value semantics doesn't.
+
+        The read selects all γ descendants; the delete removes a δ child
+        whose γ subtree is isomorphic to a surviving one.
+        """
+        w = build_tree(("r", ("d", ("c", "x")), ("c", "x")))
+        read = Read("r//c")
+        delete = Delete("r/d")
+        assert is_node_conflict_witness(w, read, delete)
+        assert is_tree_conflict_witness(w, read, delete)
+        assert not is_value_conflict_witness(w, read, delete)
+
+    def test_value_conflict_when_subtree_unique(self):
+        w = build_tree(("r", ("d", ("c", "x")), ("c", "y")))
+        read = Read("r//c")
+        delete = Delete("r/d")
+        assert is_value_conflict_witness(w, read, delete)
+
+    def test_insert_changes_selected_subtree_value(self):
+        t = build_tree(("a", ("b", "c")))
+        read = Read("a/b")
+        insert = Insert("a/b/c", "<x/>")
+        assert is_value_conflict_witness(t, read, insert)
+
+    def test_insert_into_duplicate_still_value_conflict(self):
+        """Inserting into one of two isomorphic selected subtrees.
+
+        After insertion the set of forms grows: {b(c)} vs {b(c), b(c(x))}.
+        """
+        t = build_tree(("a", ("b", "c"), ("b", "c")))
+        read = Read("a/b")
+        insert = Insert("a/*/c", "<x/>")
+        # Both subtrees get the insert -> both forms change identically;
+        # the before/after form-sets differ, so a value conflict.
+        assert is_value_conflict_witness(t, read, insert)
+
+
+class TestDispatch:
+    def test_is_witness_dispatch(self):
+        t = build_tree(("a", "B"))
+        read = Read("a")
+        insert = Insert("a/B", "<x/>")
+        assert not is_witness(t, read, insert, ConflictKind.NODE)
+        assert is_witness(t, read, insert, ConflictKind.TREE)
+        assert is_witness(t, read, insert, ConflictKind.VALUE)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_insert_grows_delete_shrinks(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng.randint(1, 10), ("a", "b", "c"), seed=rng)
+        read = random_read(rng.randint(1, 4), ("a", "b", "c"), seed=rng)
+        insert = random_insert(rng.randint(1, 3), alphabet=("a", "b", "c"), seed=rng)
+        delete = random_delete(rng.randint(2, 4), ("a", "b", "c"), seed=rng)
+        assert check_monotonicity(tree, read, insert), f"seed {seed} (insert)"
+        assert check_monotonicity(tree, read, delete), f"seed {seed} (delete)"
+
+
+class TestConflictReport:
+    def test_conflict_property(self):
+        yes = ConflictReport(Verdict.CONFLICT, ConflictKind.NODE)
+        no = ConflictReport(Verdict.NO_CONFLICT, ConflictKind.NODE)
+        unknown = ConflictReport(Verdict.UNKNOWN, ConflictKind.NODE)
+        assert yes.conflict and not no.conflict
+        with pytest.raises(ValueError):
+            _ = unknown.conflict

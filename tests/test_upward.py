@@ -1,0 +1,155 @@
+"""Tests for the upward-axes fragment (§6's satisfiability remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.pattern import WILDCARD
+from repro.patterns.upward import (
+    UpwardAxis,
+    UpwardPattern,
+    enumerate_upward_embeddings,
+    evaluate_upward,
+    find_model_upward,
+    is_satisfiable_upward,
+    satisfiability_via_conflict_upward,
+)
+from repro.xml.tree import build_tree
+
+
+def _unsatisfiable_parent_of_root() -> UpwardPattern:
+    """Root labeled a; its child must have the root itself as image's
+    parent... i.e. a PARENT edge from the root demands a parent of the
+    document root: impossible."""
+    p = UpwardPattern("a")
+    node = p.add_child(p.root, "b", UpwardAxis.PARENT)
+    p.set_output(node)
+    return p
+
+
+def _label_clash() -> UpwardPattern:
+    """x child of root a, whose parent must be labeled b — but the parent
+    is the root, labeled a: unsatisfiable."""
+    p = UpwardPattern("a")
+    x = p.add_child(p.root, WILDCARD, UpwardAxis.CHILD)
+    clash = p.add_child(x, "b", UpwardAxis.PARENT)
+    p.set_output(clash)
+    return p
+
+
+class TestEvaluation:
+    def test_parent_axis(self):
+        t = build_tree(("a", ("b", "c")))
+        p = UpwardPattern("a")
+        b = p.add_child(p.root, "b", UpwardAxis.CHILD)
+        c = p.add_child(b, "c", UpwardAxis.CHILD)
+        back = p.add_child(c, "b", UpwardAxis.PARENT)
+        p.set_output(back)
+        result = evaluate_upward(p, t)
+        b_node = t.children(t.root)[0]
+        assert result == {b_node}
+
+    def test_ancestor_axis(self):
+        t = build_tree(("a", ("b", ("c", "d"))))
+        p = UpwardPattern("a")
+        d = p.add_child(p.root, "d", UpwardAxis.DESCENDANT)
+        anc = p.add_child(d, "b", UpwardAxis.ANCESTOR)
+        p.set_output(anc)
+        result = evaluate_upward(p, t)
+        assert len(result) == 1
+        assert t.label(result.pop()) == "b"
+
+    def test_downward_axes_agree_with_core_evaluator(self):
+        from repro.patterns.embedding import evaluate
+        from repro.patterns.xpath import parse_xpath
+
+        t = build_tree(("a", ("b", "c"), "b"))
+        upward = UpwardPattern("a")
+        b = upward.add_child(upward.root, "b", UpwardAxis.CHILD)
+        c = upward.add_child(b, "c", UpwardAxis.CHILD)
+        upward.set_output(c)
+        core = parse_xpath("a/b/c")
+        assert evaluate_upward(upward, t) == evaluate(core, t)
+
+    def test_embedding_enumeration_limit(self):
+        t = build_tree(("a", "b", "b"))
+        p = UpwardPattern("a")
+        b = p.add_child(p.root, "b", UpwardAxis.CHILD)
+        p.set_output(b)
+        assert len(list(enumerate_upward_embeddings(p, t))) == 2
+        assert len(list(enumerate_upward_embeddings(p, t, limit=1))) == 1
+
+
+class TestSatisfiability:
+    def test_downward_patterns_always_satisfiable(self):
+        p = UpwardPattern("a")
+        b = p.add_child(p.root, "b", UpwardAxis.DESCENDANT)
+        p.set_output(b)
+        assert is_satisfiable_upward(p)
+
+    def test_parent_of_root_unsatisfiable(self):
+        assert not is_satisfiable_upward(_unsatisfiable_parent_of_root())
+
+    def test_label_clash_unsatisfiable(self):
+        assert not is_satisfiable_upward(_label_clash())
+
+    def test_consistent_upward_pattern_satisfiable(self):
+        # x below a, with an ancestor labeled a: the root itself works.
+        p = UpwardPattern("a")
+        x = p.add_child(p.root, "x", UpwardAxis.DESCENDANT)
+        anc = p.add_child(x, "a", UpwardAxis.ANCESTOR)
+        p.set_output(anc)
+        model = find_model_upward(p)
+        assert model is not None
+        assert evaluate_upward(p, model)
+
+    def test_model_size_bound(self):
+        p = UpwardPattern("a")
+        x = p.add_child(p.root, "x", UpwardAxis.DESCENDANT)
+        back = p.add_child(x, WILDCARD, UpwardAxis.PARENT)
+        p.set_output(back)
+        model = find_model_upward(p)
+        assert model is not None
+        assert model.size <= p.size
+
+
+class TestConflictEncoding:
+    def test_satisfiable_pattern_yields_conflict_witness(self):
+        from repro.conflicts.satisfiability import universal_read
+
+        p = UpwardPattern("a")
+        x = p.add_child(p.root, "x", UpwardAxis.DESCENDANT)
+        p.set_output(x)
+        ok, witness = satisfiability_via_conflict_upward(p)
+        assert ok and witness is not None
+        # Demonstrate the conflict concretely: delete the selected subtree
+        # and watch the universal read lose nodes.
+        read = universal_read()
+        before = read.apply(witness)
+        target = next(iter(evaluate_upward(p, witness)))
+        pruned = witness.copy()
+        pruned.delete_subtree(target)
+        after = read.apply(pruned)
+        assert before != after
+
+    def test_unsatisfiable_pattern_yields_no_conflict(self):
+        ok, witness = satisfiability_via_conflict_upward(_label_clash())
+        assert not ok and witness is None
+
+    def test_root_output_rejected(self):
+        p = UpwardPattern("a")
+        with pytest.raises(PatternError):
+            satisfiability_via_conflict_upward(p)
+
+    def test_ancestor_output_needs_nonroot_selection(self):
+        # Output can only ever be the root -> the deletion encoding says no.
+        p = UpwardPattern("a")
+        x = p.add_child(p.root, "x", UpwardAxis.CHILD)
+        anc = p.add_child(x, "a", UpwardAxis.ANCESTOR)
+        p.set_output(anc)
+        assert is_satisfiable_upward(p)  # satisfiable in itself...
+        ok, _ = satisfiability_via_conflict_upward(p)
+        # ...but the only possible output image is the root, which a
+        # deletion may not remove.
+        assert not ok

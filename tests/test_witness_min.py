@@ -1,0 +1,175 @@
+"""Tests for witness minimization (Definitions 9-10, Lemmas 9-11)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conflicts.general import witness_size_bound
+from repro.conflicts.semantics import ConflictKind, is_witness
+from repro.conflicts.witness_min import (
+    mark_witness_nodes,
+    minimize_witness,
+    reparent,
+)
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.embedding import evaluate
+from repro.patterns.xpath import parse_xpath
+from repro.xml.tree import XMLTree, build_tree
+
+
+def _chain_tree(labels: list[str]) -> XMLTree:
+    t = XMLTree(labels[0])
+    node = t.root
+    for label in labels[1:]:
+        node = t.add_child(node, label)
+    return t
+
+
+class TestReparent:
+    def test_structure(self):
+        t = _chain_tree(["a"] + ["m"] * 8 + ["v"])
+        v = t.path_from_root(max(t.nodes()))[-1]
+        out = reparent(t, t.root, v, star_length=1, alpha="Z")
+        # v now hangs k+1=2 alpha nodes below the root.
+        path = out.path_from_root(v)
+        assert [out.label(n) for n in path] == ["a", "Z", "Z", "v"]
+        out.validate()
+
+    def test_requires_long_path(self):
+        t = _chain_tree(["a", "b", "v"])
+        v = [n for n in t.nodes() if t.label(n) == "v"][0]
+        with pytest.raises(ValueError):
+            reparent(t, t.root, v, star_length=1, alpha="Z")
+
+    def test_requires_proper_ancestor(self):
+        t = _chain_tree(["a", "b"])
+        with pytest.raises(ValueError):
+            reparent(t, t.root, t.root, star_length=0, alpha="Z")
+
+    def test_lemma9_no_new_results(self):
+        """Lemma 9: reparenting adds no new results among original nodes."""
+        rng = random.Random(7)
+        for _ in range(20):
+            labels = ["a"] + [rng.choice("bc") for _ in range(8)] + ["v"]
+            t = _chain_tree(labels)
+            v = t.path_from_root(max(t.nodes()))[-1]
+            pattern = parse_xpath(rng.choice(["a//v", "a//b//v", "*//*", "a//*"]))
+            k = pattern.star_length()
+            out = reparent(t, t.root, v, star_length=k, alpha="ZZ")
+            before = evaluate(pattern, t)
+            after = evaluate(pattern, out)
+            original_nodes = set(t.nodes())
+            assert after & original_nodes <= before, f"labels={labels}"
+
+
+class TestMarking:
+    def test_marking_read_insert(self):
+        t = build_tree(("a", "b"))
+        read = Read("a/b/c")
+        insert = Insert("a/b", "<c/>")
+        marked = mark_witness_nodes(t, read, insert)
+        assert marked is not None
+        assert t.root in marked
+        b = t.children(t.root)[0]
+        assert b in marked
+
+    def test_marking_read_delete(self):
+        t = build_tree(("a", ("b", "c")))
+        read = Read("a//c")
+        delete = Delete("a/b")
+        marked = mark_witness_nodes(t, read, delete)
+        assert marked is not None
+        assert t.root in marked
+
+    def test_marking_bound(self):
+        """At most |R| * |U| nodes are marked (Definition 9)."""
+        t = build_tree(("a", ("b", ("c", "d"))))
+        read = Read("a//d")
+        delete = Delete("a/b")
+        marked = mark_witness_nodes(t, read, delete)
+        assert marked is not None
+        assert len(marked) <= read.pattern.size * delete.pattern.size + 1
+
+    def test_marking_none_for_non_witness(self):
+        t = build_tree(("a", "b"))
+        assert mark_witness_nodes(t, Read("a//z"), Delete("a/b")) is None
+
+    def test_marking_tree_conflict_case(self):
+        t = build_tree(("a", "B"))
+        read = Read("a")
+        insert = Insert("a/B", "<x/>")
+        marked = mark_witness_nodes(t, read, insert, ConflictKind.TREE)
+        assert marked is not None
+
+
+class TestMinimize:
+    def test_rejects_non_witness(self):
+        with pytest.raises(ValueError):
+            minimize_witness(build_tree("a"), Read("a//z"), Delete("a/b"))
+
+    def test_minimized_is_still_witness(self):
+        # A deliberately bloated witness.
+        t = build_tree(
+            (
+                "a",
+                ("b", "junk1", ("junk2", "junk3")),
+                ("noise", ("more", "noise2")),
+                "junk4",
+            )
+        )
+        read = Read("a/b/c")
+        insert = Insert("a/b", "<c/>")
+        assert is_witness(t, read, insert, ConflictKind.NODE)
+        small = minimize_witness(t, read, insert)
+        assert is_witness(small, read, insert, ConflictKind.NODE)
+        assert small.size <= t.size
+
+    def test_minimized_within_lemma11_bound(self):
+        t = build_tree(
+            ("a", ("b", "x", "y", ("z", "w")), ("c", "q"), "r", "s")
+        )
+        read = Read("a//c")
+        delete = Delete("a/b")
+        # Make it a witness: c under b.
+        b = t.children(t.root)[0]
+        t.add_child(b, "c")
+        assert is_witness(t, read, delete, ConflictKind.NODE)
+        small = minimize_witness(t, read, delete)
+        assert small.size <= witness_size_bound(read, delete)
+
+    def test_long_chain_gets_shrunk(self):
+        """A witness with a long irrelevant chain shrinks below it."""
+        t = _chain_tree(["a"] + ["m"] * 12 + ["b"])
+        read = Read("a//b")
+        delete = Delete("a//b")
+        assert is_witness(t, read, delete, ConflictKind.NODE)
+        small = minimize_witness(t, read, delete)
+        assert small.size < t.size
+        assert is_witness(small, read, delete, ConflictKind.NODE)
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_witnesses_minimize_validly(self, seed):
+        from repro.conflicts.general import find_witness_exhaustive
+        from repro.workloads.generators import random_linear_pattern
+        from repro.xml.random_trees import random_tree
+
+        rng = random.Random(seed)
+        read = Read(random_linear_pattern(rng.randint(2, 3), ("a", "b"), seed=rng))
+        insert = Insert(
+            random_linear_pattern(rng.randint(1, 2), ("a", "b"), seed=rng),
+            random_tree(1, ("a", "b"), seed=rng),
+        )
+        witness = find_witness_exhaustive(read, insert, max_size=4)
+        if witness is None:
+            return
+        # Bloat it, then minimize.
+        bloated = witness.copy()
+        for node in list(bloated.nodes())[:3]:
+            bloated.add_child(node, "junk")
+        if not is_witness(bloated, read, insert, ConflictKind.NODE):
+            return
+        small = minimize_witness(bloated, read, insert)
+        assert is_witness(small, read, insert, ConflictKind.NODE)
+        assert small.size <= witness_size_bound(read, insert)

@@ -1,0 +1,143 @@
+"""Tests for workload generators and the random-document module."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.patterns.embedding import evaluate
+from repro.patterns.pattern import WILDCARD
+from repro.patterns.xpath import parse_xpath
+from repro.workloads.generators import (
+    containment_pair,
+    random_branching_pattern,
+    random_delete,
+    random_insert,
+    random_linear_pattern,
+    random_program,
+    random_read,
+)
+from repro.xml.random_trees import bookstore, random_path, random_tree
+
+
+class TestRandomTrees:
+    def test_random_tree_size_and_validity(self):
+        t = random_tree(25, seed=1)
+        assert t.size == 25
+        t.validate()
+
+    def test_random_tree_deterministic_by_seed(self):
+        a = random_tree(15, seed=7)
+        b = random_tree(15, seed=7)
+        assert a.equivalent(b)
+
+    def test_random_tree_max_depth(self):
+        t = random_tree(30, seed=2, max_depth=3)
+        assert t.height() <= 3
+
+    def test_random_tree_rejects_zero(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+    def test_random_path_is_chain(self):
+        t = random_path(10, seed=3)
+        assert t.size == 10
+        assert t.height() == 9
+
+    def test_bookstore_shape(self):
+        t = bookstore(10, seed=4)
+        books = [n for n in t.nodes() if t.label(n) == "book"]
+        assert len(books) == 10
+        quantities = [n for n in t.nodes() if t.label(n) == "quantity"]
+        assert len(quantities) == 10
+
+    def test_bookstore_low_stock_fraction(self):
+        t = bookstore(200, low_stock_fraction=1.0, seed=5)
+        low = evaluate(parse_xpath("//book[.//quantity < 10]"), t)
+        assert len(low) == 200
+        t2 = bookstore(200, low_stock_fraction=0.0, seed=5)
+        low2 = evaluate(parse_xpath("//book[.//quantity < 10]"), t2)
+        assert len(low2) == 0
+
+
+class TestPatternGenerators:
+    def test_linear_pattern_length_and_linearity(self):
+        p = random_linear_pattern(6, seed=1)
+        assert p.size == 6
+        assert p.is_linear
+
+    def test_linear_pattern_probabilities(self):
+        rng = random.Random(0)
+        all_wild = random_linear_pattern(20, p_wildcard=1.0, seed=rng)
+        assert all(all_wild.label(n) == WILDCARD for n in all_wild.nodes())
+        no_wild = random_linear_pattern(20, p_wildcard=0.0, seed=rng)
+        assert all(no_wild.label(n) != WILDCARD for n in no_wild.nodes())
+
+    def test_branching_pattern_size(self):
+        p = random_branching_pattern(8, seed=2)
+        assert p.size == 8
+
+    def test_branching_output_policies(self):
+        leaf_p = random_branching_pattern(6, seed=3, output="leaf")
+        assert not leaf_p.children(leaf_p.output)
+        root_p = random_branching_pattern(6, seed=3, output="root")
+        assert root_p.output == root_p.root
+        with pytest.raises(ValueError):
+            random_branching_pattern(3, seed=3, output="bogus")
+
+    def test_deterministic_by_seed(self):
+        assert random_linear_pattern(5, seed=11) == random_linear_pattern(5, seed=11)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            random_linear_pattern(0)
+        with pytest.raises(ValueError):
+            random_branching_pattern(0)
+
+
+class TestOperationGenerators:
+    def test_random_read_linear(self):
+        read = random_read(4, seed=1)
+        assert read.pattern.is_linear
+
+    def test_random_insert_has_subtree(self):
+        insert = random_insert(3, subtree_size=4, seed=2)
+        assert insert.subtree.size == 4
+
+    def test_random_delete_never_selects_root(self):
+        for seed in range(20):
+            delete = random_delete(3, seed=seed)
+            assert delete.pattern.output != delete.pattern.root
+
+
+class TestContainmentPairs:
+    def test_related_pairs_contained(self):
+        from repro.patterns.containment import contains
+
+        for seed in range(10):
+            p, q = containment_pair(3, seed=seed, related_bias=1.0)
+            assert contains(p, q), f"seed {seed}"
+
+    def test_pair_determinism(self):
+        a = containment_pair(3, seed=42)
+        b = containment_pair(3, seed=42)
+        assert a[0] == b[0] and a[1] == b[1]
+
+
+class TestProgramGenerator:
+    def test_program_runs(self):
+        from repro.lang.interp import run_program
+
+        program = random_program(10, variables=2, seed=1)
+        env = run_program(program)
+        assert len(env.trees) == 2
+
+    def test_program_statement_count(self):
+        program = random_program(7, variables=3, seed=2)
+        assert len(program) == 10  # 3 assigns + 7 body statements
+
+    def test_program_deterministic(self):
+        a = random_program(5, seed=9)
+        b = random_program(5, seed=9)
+        assert str(a) == str(b)

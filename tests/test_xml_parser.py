@@ -1,0 +1,136 @@
+"""Unit tests for the XML parser and serializer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xml.parser import ATTR_PREFIX, TEXT_PREFIX, parse
+from repro.xml.serializer import serialize
+from repro.xml.isomorphism import isomorphic
+
+
+class TestParseBasics:
+    def test_single_element(self):
+        t = parse("<a/>")
+        assert t.size == 1
+        assert t.label(t.root) == "a"
+
+    def test_nested_elements(self):
+        t = parse("<a><b/><c><d/></c></a>")
+        assert t.size == 4
+        labels = sorted(t.label(c) for c in t.children(t.root))
+        assert labels == ["b", "c"]
+
+    def test_open_close_empty(self):
+        t = parse("<a></a>")
+        assert t.size == 1
+
+    def test_whitespace_tolerated(self):
+        t = parse("  <a>\n  <b/>\n</a>  ")
+        assert t.size == 2
+
+    def test_text_content_becomes_text_node(self):
+        t = parse("<a>hello</a>")
+        assert t.size == 2
+        child = t.children(t.root)[0]
+        assert t.label(child) == f"{TEXT_PREFIX}hello"
+
+    def test_text_can_be_discarded(self):
+        t = parse("<a>hello</a>", keep_text=False)
+        assert t.size == 1
+
+    def test_mixed_content(self):
+        t = parse("<a>one<b/>two</a>")
+        labels = {t.label(c) for c in t.children(t.root)}
+        assert f"{TEXT_PREFIX}one" in labels
+        assert f"{TEXT_PREFIX}two" in labels
+        assert "b" in labels
+
+    def test_attributes_become_children(self):
+        t = parse('<a x="1" y="two"/>')
+        labels = sorted(t.label(c) for c in t.children(t.root))
+        assert labels == [f"{ATTR_PREFIX}x=1", f"{ATTR_PREFIX}y=two"]
+
+    def test_attributes_can_be_discarded(self):
+        t = parse('<a x="1"/>', keep_attributes=False)
+        assert t.size == 1
+
+    def test_entities_unescaped(self):
+        t = parse("<a>&lt;tag&gt; &amp; more</a>")
+        child = t.children(t.root)[0]
+        assert t.label(child) == f"{TEXT_PREFIX}<tag> & more"
+
+    def test_comments_and_pis_skipped(self):
+        t = parse("<?xml version='1.0'?><!-- hi --><a><!-- inner --><b/></a>")
+        assert t.size == 2
+
+    def test_doctype_skipped(self):
+        t = parse("<!DOCTYPE a><a/>")
+        assert t.size == 1
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a x=1/>",
+            '<a x="1/>',
+            "<a/>trailing",
+        ],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(XMLParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLParseError) as info:
+            parse("<a></b>")
+        assert info.value.position is not None
+
+
+class TestSerializeRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            "<a><b/><c/></a>",
+            "<a>text</a>",
+            '<a x="1"><b/></a>',
+            "<bib><book><title>T</title><quantity>5</quantity></book></bib>",
+        ],
+    )
+    def test_parse_serialize_parse_is_isomorphic(self, text):
+        first = parse(text)
+        second = parse(serialize(first))
+        assert isomorphic(first, second)
+
+    def test_serialize_compact_single_line(self):
+        out = serialize(parse("<a><b/></a>"))
+        assert "\n" not in out
+        assert out == "<a><b/></a>"
+
+    def test_serialize_pretty_has_indentation(self):
+        out = serialize(parse("<a><b><c/></b></a>"), indent=2)
+        lines = out.splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1].startswith("  ")
+
+    def test_serialize_subtree(self):
+        t = parse("<a><b><c/></b></a>")
+        b = t.children(t.root)[0]
+        assert serialize(t, node=b) == "<b><c/></b>"
+
+    def test_text_escaped_on_output(self):
+        t = parse("<a>&lt;x&gt;</a>")
+        assert "&lt;x&gt;" in serialize(t)
+
+    def test_attribute_rendering(self):
+        out = serialize(parse('<a x="v"/>'))
+        assert out == '<a x="v"/>'
