@@ -35,6 +35,8 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.automata.nfa import NFA
+from repro.obs import enabled as obs_enabled
+from repro.obs import global_metrics, span
 from repro.patterns.pattern import WILDCARD, Axis, PNodeId, TreePattern, fresh_label
 
 __all__ = [
@@ -83,6 +85,13 @@ def linear_pattern_nfa(pattern: TreePattern, alphabet: tuple[str, ...]) -> NFA:
             _symbol_transitions(nfa, loop, pattern, pnode, target)
         _symbol_transitions(nfa, current, pattern, pnode, target)
         current = target
+    # Per-inner-call instrument: NFA builds run many times per query, so
+    # the counters only tick while observability is switched on (see
+    # docs/OBSERVABILITY.md, "always-on vs gated instruments").
+    if obs_enabled():
+        metrics = global_metrics()
+        metrics.inc("nfa.built")
+        metrics.inc("nfa.states_built", nfa.state_count)
     return nfa
 
 
@@ -116,6 +125,23 @@ def matching_word(
     and ``right`` embeds with its output at the final node (strong) or at
     some node of the chain at or above it (weak).
     """
+    # Hot inner primitive: the span (and its eagerly evaluated attribute
+    # kwargs) only exists while observability is on; the fast path costs a
+    # single flag check.
+    if not obs_enabled():
+        return _matching_word_impl(left, right, weak)
+    with span(
+        "matching.word", left_size=left.size, right_size=right.size, weak=weak
+    ) as sp:
+        word = _matching_word_impl(left, right, weak)
+        global_metrics().inc("matching.words_computed")
+        sp.set("found", word is not None)
+        return word
+
+
+def _matching_word_impl(
+    left: TreePattern, right: TreePattern, weak: bool
+) -> list[str] | None:
     alphabet = matching_alphabet(left, right)
     left_nfa = linear_pattern_nfa(left, alphabet)
     right_nfa = linear_pattern_nfa(right, alphabet)

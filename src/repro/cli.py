@@ -10,6 +10,15 @@ Five subcommands expose the library's main entry points:
 
 Exit codes for the decision commands: ``0`` = no conflict / valid,
 ``1`` = conflict / invalid, ``2`` = undecided within the search budget.
+
+Every subcommand additionally accepts the observability flags
+(``docs/OBSERVABILITY.md``):
+
+* ``--stats`` — after the command, print the per-query breakdown: which
+  algorithm path ran, the tracing spans at or above ``--stats-min-ms``,
+  and a counter snapshot (detector-local + engine-global);
+* ``--trace FILE`` — write every tracing span as one JSON object per line
+  to ``FILE`` (append mode).
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.conflicts.detector import ConflictDetector
 from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
 from repro.errors import ReproError
@@ -42,11 +52,70 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    try:
-        return args.handler(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 64
+    sinks: list = []
+    ring: obs.RingBufferSink | None = None
+    if args.trace:
+        try:
+            sinks.append(obs.JsonlSink(args.trace))
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 64
+    if args.stats:
+        ring = obs.RingBufferSink()
+        sinks.append(ring)
+    if not sinks:
+        try:
+            return args.handler(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 64
+    with obs.tracing(*sinks):
+        try:
+            code = args.handler(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 64
+        if ring is not None:
+            _print_stats(args, ring)
+    return code
+
+
+def _print_stats(args: argparse.Namespace, ring: obs.RingBufferSink) -> None:
+    """The ``--stats`` per-query breakdown (path, spans, counters)."""
+    detector: ConflictDetector | None = getattr(args, "_detector", None)
+    print("--- stats ---")
+    if detector is not None:
+        counters = detector.metrics()["counters"]
+        paths = sorted(
+            key.split("path=", 1)[1].rstrip("}")
+            for key in counters
+            if key.startswith("conflict.queries_total{")
+        )
+        if paths:
+            print(f"path: {', '.join(paths)}")
+    threshold = args.stats_min_ms
+    print(f"spans (>= {threshold:g} ms):")
+    shown = 0
+    for record in ring.spans():
+        if record["dur_ms"] < threshold:
+            continue
+        shown += 1
+        indent = "  " * record["depth"]
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(record["attrs"].items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        print(f"  {indent}{record['name']:<28} {record['dur_ms']:8.3f} ms{suffix}")
+    if not shown:
+        print("  (none)")
+    merged = obs.global_metrics().snapshot()
+    if detector is not None:
+        merged = obs.global_metrics().merged_with(detector.metrics_registry)
+    print("counters:")
+    if not merged["counters"]:
+        print("  (none)")
+    for key in sorted(merged["counters"]):
+        print(f"  {key:<44} {merged['counters'][key]}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,9 +124,32 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Conflict detection for XPath-driven XML updates "
         "(Raghavachari & Shmueli, EDBT 2006).",
     )
-    sub = parser.add_subparsers(required=True)
+    # Observability flags, shared by every subcommand via a parent parser.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a per-query breakdown after the command (path taken, "
+        "tracing spans, counter snapshot)",
+    )
+    common.add_argument(
+        "--stats-min-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="only show spans at least this long in --stats output",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="append tracing spans to FILE as JSON-lines",
+    )
+    sub = parser.add_subparsers(required=True, parser_class=argparse.ArgumentParser)
 
-    p_eval = sub.add_parser("eval", help="evaluate an XPath pattern on a document")
+    def add_command(name: str, **kwargs):  # type: ignore[no-untyped-def]
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p_eval = add_command("eval", help="evaluate an XPath pattern on a document")
     p_eval.add_argument("--xpath", required=True)
     _add_document_args(p_eval)
     p_eval.add_argument(
@@ -65,7 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_eval.set_defaults(handler=_cmd_eval)
 
-    p_check = sub.add_parser("check", help="decide a read-update conflict")
+    p_check = add_command("check", help="decide a read-update conflict")
     p_check.add_argument("--read", required=True, help="read XPath")
     group = p_check.add_mutually_exclusive_group(required=True)
     group.add_argument("--insert", help="insert XPath")
@@ -94,7 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_check.set_defaults(handler=_cmd_check)
 
-    p_commute = sub.add_parser("commute", help="decide whether two updates commute")
+    p_commute = add_command("commute", help="decide whether two updates commute")
     for index in ("1", "2"):
         group2 = p_commute.add_mutually_exclusive_group(required=True)
         group2.add_argument(f"--insert{index}", help=f"update {index}: insert XPath")
@@ -106,7 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_commute.add_argument("--witness", action="store_true")
     p_commute.set_defaults(handler=_cmd_commute)
 
-    p_analyze = sub.add_parser("analyze", help="analyze a pidgin update program")
+    p_analyze = add_command("analyze", help="analyze a pidgin update program")
     p_analyze.add_argument("program", help="path to the program ('-' for stdin)")
     p_analyze.add_argument(
         "--optimize", action="store_true", help="apply read-CSE and print the result"
@@ -117,7 +209,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.set_defaults(handler=_cmd_analyze)
 
-    p_validate = sub.add_parser("validate", help="validate a document against a DTD")
+    p_validate = add_command("validate", help="validate a document against a DTD")
     p_validate.add_argument("--dtd", required=True, help="path to DTD text")
     _add_document_args(p_validate)
     p_validate.set_defaults(handler=_cmd_validate)
@@ -189,12 +281,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     detector = ConflictDetector(
         kind=ConflictKind(args.kind), exhaustive_cap=args.budget
     )
+    args._detector = detector  # _print_stats reads its metrics for --stats
     report = detector.read_update(read, update)
     return _report_exit(report, args.witness)
 
 
 def _cmd_commute(args: argparse.Namespace) -> int:
     detector = ConflictDetector(exhaustive_cap=args.budget)
+    args._detector = detector  # _print_stats reads its metrics for --stats
     first = _make_update(args.insert1, args.delete1, args.xml1)
     second = _make_update(args.insert2, args.delete2, args.xml2)
     report = detector.update_update(first, second)

@@ -19,6 +19,7 @@ containment fails.
 
 from __future__ import annotations
 
+from repro.obs import span
 from repro.conflicts.general import DEFAULT_EXHAUSTIVE_CAP, SearchStats
 from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
 from repro.operations.ops import Insert, UpdateOp
@@ -101,21 +102,46 @@ def detect_update_update(
     yields ``UNKNOWN`` rather than ``NO_CONFLICT``.
     """
     stats = SearchStats()
-    if use_heuristics:
-        for candidate in _heuristic_candidates(op1, op2):
-            stats.heuristic_candidates += 1
-            if is_commutativity_witness(candidate, op1, op2):
-                return ConflictReport(
-                    Verdict.CONFLICT,
-                    ConflictKind.VALUE,
-                    witness=candidate,
-                    method="heuristic",
-                    stats={"heuristic_candidates": stats.heuristic_candidates},
-                )
-    if exhaustive_cap is not None:
-        witness = find_commutativity_witness_exhaustive(
-            op1, op2, max_size=exhaustive_cap, stats=stats
+    try:
+        return _detect_update_update(
+            op1, op2, exhaustive_cap, use_heuristics, stats
         )
+    finally:
+        stats.publish()
+
+
+def _detect_update_update(
+    op1: UpdateOp,
+    op2: UpdateOp,
+    exhaustive_cap: int | None,
+    use_heuristics: bool,
+    stats: SearchStats,
+) -> ConflictReport:
+    if use_heuristics:
+        with span("complex.heuristic") as sp:
+            witness = None
+            for candidate in _heuristic_candidates(op1, op2):
+                stats.heuristic_candidates += 1
+                if is_commutativity_witness(candidate, op1, op2):
+                    witness = candidate
+                    break
+            sp.set("candidates", stats.heuristic_candidates)
+            sp.set("found", witness is not None)
+        if witness is not None:
+            return ConflictReport(
+                Verdict.CONFLICT,
+                ConflictKind.VALUE,
+                witness=witness,
+                method="heuristic",
+                stats={"heuristic_candidates": stats.heuristic_candidates},
+            )
+    if exhaustive_cap is not None:
+        with span("complex.exhaustive", cap=exhaustive_cap) as sp:
+            witness = find_commutativity_witness_exhaustive(
+                op1, op2, max_size=exhaustive_cap, stats=stats
+            )
+            sp.set("candidates", stats.candidates_checked)
+            sp.set("found", witness is not None)
         if witness is not None:
             return ConflictReport(
                 Verdict.CONFLICT,

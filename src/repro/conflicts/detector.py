@@ -27,6 +27,7 @@ Typical use::
 
 from __future__ import annotations
 
+from repro import obs
 from repro.conflicts.complex import detect_update_update
 from repro.conflicts.general import DEFAULT_EXHAUSTIVE_CAP, decide_conflict
 from repro.conflicts.linear import (
@@ -34,6 +35,7 @@ from repro.conflicts.linear import (
     detect_read_insert_linear,
 )
 from repro.conflicts.semantics import ConflictKind, ConflictReport
+from repro.obs.metrics import MetricsRegistry
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
 
 __all__ = ["ConflictDetector"]
@@ -57,6 +59,15 @@ class ConflictDetector:
             marking/reparenting minimizer (Lemmas 9-11) before reporting.
             Off by default — minimization costs several re-checks — but
             valuable when witnesses are shown to humans.
+        registry: metrics registry receiving this detector's counters
+            (``conflict.queries_total{path=...}``, ``cache.hits``, ...).
+            Each detector gets a private registry by default so two
+            instances never mix statistics; pass
+            :func:`repro.obs.global_metrics` to pool them.
+        trace: turn the process-wide tracing switch on (equivalent to
+            :func:`repro.obs.enable`; the ``REPRO_TRACE`` env var is the
+            non-invasive alternative).  ``False`` leaves the current
+            state untouched rather than disabling it.
     """
 
     def __init__(
@@ -66,14 +77,45 @@ class ConflictDetector:
         use_heuristics: bool = True,
         cache: bool = True,
         minimize_witnesses: bool = False,
+        registry: MetricsRegistry | None = None,
+        trace: bool = False,
     ) -> None:
         self.kind = kind
         self.exhaustive_cap = exhaustive_cap
         self.use_heuristics = use_heuristics
         self.minimize_witnesses = minimize_witnesses
         self._cache: dict[tuple, ConflictReport] | None = {} if cache else None
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._metrics = registry if registry is not None else MetricsRegistry()
+        if trace:
+            obs.enable()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The live registry behind :meth:`metrics` (shared, not a copy)."""
+        return self._metrics
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of queries answered from the cache (read-only)."""
+        return self._metrics.counter("cache.hits")
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of enabled-cache lookups that missed (read-only)."""
+        return self._metrics.counter("cache.misses")
+
+    def metrics(self) -> dict:
+        """Snapshot of this detector's metrics registry.
+
+        Shape as :meth:`repro.obs.MetricsRegistry.snapshot`: counters
+        include ``conflict.queries_total{path=linear|general|complex}``,
+        ``cache.hits`` and ``cache.misses``.
+        """
+        return self._metrics.snapshot()
 
     # ------------------------------------------------------------------
     # Read-update queries
@@ -121,50 +163,67 @@ class ConflictDetector:
 
     def update_update(self, op1: UpdateOp, op2: UpdateOp) -> ConflictReport:
         """May the two updates fail to commute (value semantics)?"""
-        op1_stripped, op2_stripped, notes = self._strip(op1, op2)
-        key = self._cache_key("update-update", op1_stripped, op2_stripped)
-        report = self._cache_get(key)
-        if report is None:
-            report = detect_update_update(
-                op1_stripped,
-                op2_stripped,
-                exhaustive_cap=self.exhaustive_cap,
-                use_heuristics=self.use_heuristics,
-            )
-            self._cache_put(key, report)
-        report.notes.extend(notes)
-        return report
+        with obs.span("detector.dispatch", path="complex") as sp:
+            self._metrics.inc("conflict.queries_total", path="complex")
+            op1_stripped, op2_stripped, notes = self._strip(op1, op2)
+            key = self._cache_key("update-update", op1_stripped, op2_stripped)
+            report = self._cache_get(key)
+            if report is None:
+                report = detect_update_update(
+                    op1_stripped,
+                    op2_stripped,
+                    exhaustive_cap=self.exhaustive_cap,
+                    use_heuristics=self.use_heuristics,
+                )
+                self._cache_put(key, report)
+            else:
+                sp.set("cached", True)
+            sp.set("verdict", report.verdict.value)
+            report.notes.extend(notes)
+            return report
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
     def _dispatch(self, read: Read, update: UpdateOp) -> ConflictReport:
-        key = self._cache_key("read-update", read, update)
-        cached = self._cache_get(key)
-        if cached is not None:
-            return cached
-        if read.pattern.is_linear:
-            if isinstance(update, Insert):
-                report = detect_read_insert_linear(read, update, self.kind)
+        path = "linear" if read.pattern.is_linear else "general"
+        with obs.span(
+            "detector.dispatch",
+            path=path,
+            read_size=read.pattern.size,
+            update_size=update.pattern.size,
+        ) as sp:
+            self._metrics.inc("conflict.queries_total", path=path)
+            key = self._cache_key("read-update", read, update)
+            cached = self._cache_get(key)
+            if cached is not None:
+                sp.set("cached", True)
+                sp.set("verdict", cached.verdict.value)
+                return cached
+            if read.pattern.is_linear:
+                if isinstance(update, Insert):
+                    report = detect_read_insert_linear(read, update, self.kind)
+                else:
+                    report = detect_read_delete_linear(read, update, self.kind)
             else:
-                report = detect_read_delete_linear(read, update, self.kind)
-        else:
-            report = decide_conflict(
-                read,
-                update,
-                self.kind,
-                exhaustive_cap=self.exhaustive_cap,
-                use_heuristics=self.use_heuristics,
-            )
-        if self.minimize_witnesses and report.witness is not None:
-            from repro.conflicts.witness_min import minimize_witness
+                report = decide_conflict(
+                    read,
+                    update,
+                    self.kind,
+                    exhaustive_cap=self.exhaustive_cap,
+                    use_heuristics=self.use_heuristics,
+                )
+            if self.minimize_witnesses and report.witness is not None:
+                from repro.conflicts.witness_min import minimize_witness
 
-            report.witness = minimize_witness(
-                report.witness, read, update, self.kind
-            )
-        self._cache_put(key, report)
-        return report
+                with obs.span("detector.minimize_witness"):
+                    report.witness = minimize_witness(
+                        report.witness, read, update, self.kind
+                    )
+            self._cache_put(key, report)
+            sp.set("verdict", report.verdict.value)
+            return report
 
     # ------------------------------------------------------------------
     # Query cache
@@ -198,25 +257,35 @@ class ConflictDetector:
         )
 
     def _cache_get(self, key: tuple | None) -> ConflictReport | None:
+        # ``key is None`` means caching is disabled for this detector; such
+        # lookups are neither hits nor misses and must not move counters.
         if key is None or self._cache is None:
             return None
-        hit = self._cache.get(key)
-        if hit is None:
-            self.cache_misses += 1
-            return None
-        self.cache_hits += 1
-        return self._copy_report(hit)
+        with obs.span("detector.cache.lookup") as sp:
+            hit = self._cache.get(key)
+            if hit is None:
+                self._metrics.inc("cache.misses")
+                sp.set("outcome", "miss")
+                return None
+            self._metrics.inc("cache.hits")
+            sp.set("outcome", "hit")
+            return self._copy_report(hit)
 
     def _cache_put(self, key: tuple | None, report: ConflictReport) -> None:
         if key is not None and self._cache is not None:
-            self._cache[key] = self._copy_report(report)
+            with obs.span("detector.cache.store"):
+                self._metrics.inc("cache.stores")
+                self._cache[key] = self._copy_report(report)
 
     @staticmethod
     def _copy_report(report: ConflictReport) -> ConflictReport:
+        # The witness tree is copied too: reports cross the cache boundary
+        # in both directions, and a caller mutating a returned witness must
+        # not be able to poison the cached original (or vice versa).
         return ConflictReport(
             verdict=report.verdict,
             kind=report.kind,
-            witness=report.witness,
+            witness=report.witness.copy() if report.witness is not None else None,
             method=report.method,
             notes=list(report.notes),
             stats=dict(report.stats),

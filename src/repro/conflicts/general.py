@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import global_metrics, span
 from repro.conflicts.semantics import (
     ConflictKind,
     ConflictReport,
@@ -57,12 +58,27 @@ DEFAULT_EXHAUSTIVE_CAP = 5
 
 @dataclass
 class SearchStats:
-    """Counters from a witness search (exposed in ``ConflictReport.stats``)."""
+    """Counters from a witness search (exposed in ``ConflictReport.stats``).
+
+    Besides feeding the per-report ``stats`` dict (a stable, backward-
+    compatible contract — see ``tests/test_obs.py``), a ``SearchStats``
+    doubles as the *batching buffer* for the metrics registry: the tight
+    enumeration loops bump these plain attributes, and :meth:`publish`
+    adds the totals to :func:`repro.obs.global_metrics` once per search.
+    """
 
     candidates_checked: int = 0
     heuristic_candidates: int = 0
     cap_used: int = 0
     bound: int = 0
+
+    def publish(self) -> None:
+        """Batch-add these counters into the global metrics registry."""
+        metrics = global_metrics()
+        if self.candidates_checked:
+            metrics.inc("search.candidates_checked", self.candidates_checked)
+        if self.heuristic_candidates:
+            metrics.inc("search.heuristic_candidates", self.heuristic_candidates)
 
 
 def witness_size_bound(read: Read, update: UpdateOp) -> int:
@@ -227,12 +243,20 @@ def decide_conflict(
     keeps the procedure sound (over-approximating) and is recorded in the
     report's notes.
     """
-    read, update, strip_notes = _strip_value_tests(read, update)
-    report = _decide_conflict_stripped(
-        read, update, kind, exhaustive_cap, use_heuristics
-    )
-    report.notes.extend(strip_notes)
-    return report
+    with span(
+        "general.decide",
+        read_size=read.pattern.size,
+        update_size=update.pattern.size,
+        kind=kind.value,
+    ) as sp:
+        read, update, strip_notes = _strip_value_tests(read, update)
+        report = _decide_conflict_stripped(
+            read, update, kind, exhaustive_cap, use_heuristics
+        )
+        report.notes.extend(strip_notes)
+        sp.set("verdict", report.verdict.value)
+        sp.set("method", report.method)
+        return report
 
 
 def _strip_value_tests(
@@ -265,8 +289,27 @@ def _decide_conflict_stripped(
     use_heuristics: bool,
 ) -> ConflictReport:
     stats = SearchStats(bound=witness_size_bound(read, update))
+    try:
+        return _run_search(read, update, kind, exhaustive_cap, use_heuristics, stats)
+    finally:
+        # One batched registry update per query, win or lose, so counter
+        # totals match what the reports saw even on early returns.
+        stats.publish()
+
+
+def _run_search(
+    read: Read,
+    update: UpdateOp,
+    kind: ConflictKind,
+    exhaustive_cap: int | None,
+    use_heuristics: bool,
+    stats: SearchStats,
+) -> ConflictReport:
     if use_heuristics:
-        witness = find_witness_heuristic(read, update, kind, stats=stats)
+        with span("general.heuristic", bound=stats.bound) as sp:
+            witness = find_witness_heuristic(read, update, kind, stats=stats)
+            sp.set("candidates", stats.heuristic_candidates)
+            sp.set("found", witness is not None)
         if witness is not None:
             return ConflictReport(
                 Verdict.CONFLICT,
@@ -285,9 +328,12 @@ def _decide_conflict_stripped(
         )
     cap = min(exhaustive_cap, stats.bound)
     stats.cap_used = cap
-    witness = find_witness_exhaustive(
-        read, update, kind, max_size=cap, stats=stats
-    )
+    with span("general.exhaustive", cap=cap, bound=stats.bound) as sp:
+        witness = find_witness_exhaustive(
+            read, update, kind, max_size=cap, stats=stats
+        )
+        sp.set("candidates", stats.candidates_checked)
+        sp.set("found", witness is not None)
     if witness is not None:
         return ConflictReport(
             Verdict.CONFLICT,

@@ -30,6 +30,7 @@ linear patterns value conflicts coincide with tree conflicts (Lemma 2).
 
 from __future__ import annotations
 
+from repro.obs import span
 from repro.conflicts.semantics import (
     ConflictKind,
     ConflictReport,
@@ -66,28 +67,37 @@ def detect_read_delete_linear(
     """
     rp = read.pattern
     rp.require_linear("read pattern")
-    trunk = delete.pattern.trunk()
+    with span(
+        "linear.read_delete",
+        read_size=rp.size,
+        update_size=delete.pattern.size,
+        kind=kind.value,
+    ):
+        trunk = delete.pattern.trunk()
 
-    node_hit = _read_delete_node_edge(rp, trunk)
-    if kind is ConflictKind.NODE:
-        if node_hit is None:
-            return ConflictReport(Verdict.NO_CONFLICT, kind, method="linear-ptime")
-        witness = _build_delete_witness(rp, delete, trunk, *node_hit)
-        return _report_with_witness(witness, read, delete, kind)
+        node_hit = _read_delete_node_edge(rp, trunk)
+        if kind is ConflictKind.NODE:
+            if node_hit is None:
+                return ConflictReport(
+                    Verdict.NO_CONFLICT, kind, method="linear-ptime"
+                )
+            witness = _build_delete_witness(rp, delete, trunk, *node_hit)
+            return _report_with_witness(witness, read, delete, kind)
 
-    # Tree / value semantics: node conflict OR the deletion point can land
-    # at-or-below a read result (weak match of trunk against the full read).
-    if node_hit is not None:
-        witness = _build_delete_witness(rp, delete, trunk, *node_hit)
-        return _report_with_witness(witness, read, delete, kind)
-    if match_weakly(trunk, rp):
-        word = matching_word(trunk, rp, weak=True)
-        assert word is not None
-        witness = _augment_with_side_branches(
-            _chain_from_word(word), delete.pattern, extra_avoid=rp.labels()
-        )
-        return _report_with_witness(witness, read, delete, kind)
-    return ConflictReport(Verdict.NO_CONFLICT, kind, method="linear-ptime")
+        # Tree / value semantics: node conflict OR the deletion point can
+        # land at-or-below a read result (weak match of trunk against the
+        # full read).
+        if node_hit is not None:
+            witness = _build_delete_witness(rp, delete, trunk, *node_hit)
+            return _report_with_witness(witness, read, delete, kind)
+        if match_weakly(trunk, rp):
+            word = matching_word(trunk, rp, weak=True)
+            assert word is not None
+            witness = _augment_with_side_branches(
+                _chain_from_word(word), delete.pattern, extra_avoid=rp.labels()
+            )
+            return _report_with_witness(witness, read, delete, kind)
+        return ConflictReport(Verdict.NO_CONFLICT, kind, method="linear-ptime")
 
 
 def _read_delete_node_edge(
@@ -152,26 +162,35 @@ def detect_read_insert_linear(
     """
     rp = read.pattern
     rp.require_linear("read pattern")
-    trunk = insert.pattern.trunk()
+    with span(
+        "linear.read_insert",
+        read_size=rp.size,
+        update_size=insert.pattern.size,
+        x_size=insert.subtree.size,
+        kind=kind.value,
+    ):
+        trunk = insert.pattern.trunk()
 
-    cut = find_cut_edge(rp, trunk, insert.subtree)
-    if kind is ConflictKind.NODE:
-        if cut is None:
-            return ConflictReport(Verdict.NO_CONFLICT, kind, method="linear-ptime")
-        witness = _build_insert_witness(rp, insert, trunk, *cut)
-        return _report_with_witness(witness, read, insert, kind)
+        cut = find_cut_edge(rp, trunk, insert.subtree)
+        if kind is ConflictKind.NODE:
+            if cut is None:
+                return ConflictReport(
+                    Verdict.NO_CONFLICT, kind, method="linear-ptime"
+                )
+            witness = _build_insert_witness(rp, insert, trunk, *cut)
+            return _report_with_witness(witness, read, insert, kind)
 
-    if cut is not None:
-        witness = _build_insert_witness(rp, insert, trunk, *cut)
-        return _report_with_witness(witness, read, insert, kind)
-    if match_weakly(trunk, rp):
-        word = matching_word(trunk, rp, weak=True)
-        assert word is not None
-        witness = _augment_with_side_branches(
-            _chain_from_word(word), insert.pattern, extra_avoid=rp.labels()
-        )
-        return _report_with_witness(witness, read, insert, kind)
-    return ConflictReport(Verdict.NO_CONFLICT, kind, method="linear-ptime")
+        if cut is not None:
+            witness = _build_insert_witness(rp, insert, trunk, *cut)
+            return _report_with_witness(witness, read, insert, kind)
+        if match_weakly(trunk, rp):
+            word = matching_word(trunk, rp, weak=True)
+            assert word is not None
+            witness = _augment_with_side_branches(
+                _chain_from_word(word), insert.pattern, extra_avoid=rp.labels()
+            )
+            return _report_with_witness(witness, read, insert, kind)
+        return ConflictReport(Verdict.NO_CONFLICT, kind, method="linear-ptime")
 
 
 def find_cut_edge(

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.conflicts.detector import ConflictDetector
 from repro.conflicts.semantics import Verdict
+from repro.obs import global_metrics, span
 from repro.lang.ast import (
     AssignStmt,
     DeleteStmt,
@@ -117,15 +118,21 @@ def dependence_graph(
         detector = ConflictDetector(exhaustive_cap=4)
     report = DependenceReport(program)
     statements = program.statements
-    for j, later in enumerate(statements):
-        for i in range(j):
-            earlier = statements[i]
-            variable = _variable_of(earlier)
-            if variable is None or variable != _variable_of(later):
-                continue
-            reason = _pair_conflict(earlier, later, detector)
-            if reason is not None:
-                report.edges.append(DependenceEdge(i, j, variable, reason))
+    with span("analysis.dependence_graph", statements=len(statements)) as sp:
+        pairs_checked = 0
+        for j, later in enumerate(statements):
+            for i in range(j):
+                earlier = statements[i]
+                variable = _variable_of(earlier)
+                if variable is None or variable != _variable_of(later):
+                    continue
+                pairs_checked += 1
+                reason = _pair_conflict(earlier, later, detector)
+                if reason is not None:
+                    report.edges.append(DependenceEdge(i, j, variable, reason))
+        global_metrics().inc("analysis.pairs_checked", pairs_checked)
+        sp.set("pairs_checked", pairs_checked)
+        sp.set("edges", len(report.edges))
     return report
 
 

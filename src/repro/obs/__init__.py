@@ -1,0 +1,69 @@
+"""Unified observability for the conflict engine: spans, metrics, sinks.
+
+Three pieces, documented in ``docs/OBSERVABILITY.md``:
+
+* :mod:`repro.obs.trace` — nested tracing spans with a thread-local stack
+  and near-zero disabled overhead (:func:`span`, :func:`enable`,
+  :func:`tracing`);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  snapshot/reset (:class:`MetricsRegistry`, :func:`global_metrics`);
+* :mod:`repro.obs.sinks` — where finished spans go (ring buffer,
+  JSON-lines file, null).
+
+Quick start::
+
+    from repro import obs
+
+    with obs.tracing() as ring:
+        detector.read_insert(read, insert)
+    for record in ring.spans():
+        print(record["name"], record["dur_ms"])
+
+    print(detector.metrics()["counters"])
+    print(obs.global_metrics().snapshot()["counters"])
+
+Or from the shell: every CLI subcommand takes ``--stats`` (print a
+per-query breakdown) and ``--trace FILE`` (write JSON-lines spans), and
+``REPRO_TRACE=trace.jsonl python -m repro ...`` enables tracing without
+touching the command line.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_metrics,
+    metric_key,
+    reset_global_metrics,
+)
+from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink, SpanSink
+from repro.obs.trace import (
+    Span,
+    active_sinks,
+    disable,
+    enable,
+    enabled,
+    span,
+    tracing,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "span",
+    "enabled",
+    "enable",
+    "disable",
+    "tracing",
+    "active_sinks",
+    # metrics
+    "MetricsRegistry",
+    "metric_key",
+    "global_metrics",
+    "reset_global_metrics",
+    # sinks
+    "SpanSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "NullSink",
+]

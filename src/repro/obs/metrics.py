@@ -1,0 +1,173 @@
+"""Named counters, gauges and histograms for the conflict engine.
+
+The engine's telemetry used to be scattered — ``SearchStats`` dataclasses
+threaded through the general engine, bare ``cache_hits`` attributes on the
+detector, ad-hoc ``ConflictReport.stats`` dicts.  This module gives all of
+it one home: a :class:`MetricsRegistry` of named instruments with optional
+``{label=value}`` dimensions, a process-wide default registry for
+module-level code, and per-instance registries where isolation matters
+(each :class:`~repro.conflicts.detector.ConflictDetector` owns one, so two
+detectors never mix their cache statistics).
+
+Metric names follow a ``subsystem.metric`` convention; dimensions are
+rendered Prometheus-style into the key (``conflict.queries_total{path=linear}``).
+The well-known names are catalogued in ``docs/OBSERVABILITY.md``.
+
+Design constraints:
+
+* **Zero dependencies** — plain dicts, no client library.
+* **Cheap increments** — ``inc``/``observe`` take no lock; CPython dict
+  operations are GIL-atomic, and the worst a cross-thread race can do is
+  drop an increment, which is acceptable for telemetry.  ``snapshot`` and
+  ``reset`` do lock so exports are internally consistent.
+* **Batched hot loops** — code that counts per-candidate or per-node
+  events accumulates locally (e.g. in ``SearchStats``) and adds once per
+  query, so the registry never sits inside a tight loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "MetricsRegistry",
+    "metric_key",
+    "global_metrics",
+    "reset_global_metrics",
+]
+
+
+def metric_key(name: str, labels: dict[str, object] | None = None) -> str:
+    """Render ``name`` plus label dimensions into a registry key.
+
+    ``metric_key("q", {"path": "linear"})`` → ``"q{path=linear}"``.
+    Labels are sorted so the same dimensions always yield the same key.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1, **labels: object) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0 on first use)."""
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one observation into the histogram ``name``.
+
+        Histograms keep ``count``/``sum``/``min``/``max`` — enough for
+        mean and range without committing to a bucket layout.
+        """
+        key = metric_key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            self._histograms[key] = {
+                "count": 1,
+                "sum": value,
+                "min": value,
+                "max": value,
+            }
+            return
+        hist["count"] += 1
+        hist["sum"] += value
+        if value < hist["min"]:
+            hist["min"] = value
+        if value > hist["max"]:
+            hist["max"] = value
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(metric_key(name, labels), 0)
+
+    def gauge(self, name: str, **labels: object) -> float | None:
+        """Current value of a gauge, or ``None`` if never set."""
+        return self._gauges.get(metric_key(name, labels))
+
+    def histogram(self, name: str, **labels: object) -> dict[str, float] | None:
+        """Summary dict of a histogram, or ``None`` if never observed."""
+        hist = self._histograms.get(metric_key(name, labels))
+        return dict(hist) if hist is not None else None
+
+    def snapshot(self) -> dict:
+        """A consistent, detached export of every instrument.
+
+        Shape::
+
+            {"counters": {key: int},
+             "gauges": {key: float},
+             "histograms": {key: {"count", "sum", "min", "max"}}}
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {k: dict(v) for k, v in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        """Drop every instrument back to its initial (absent) state."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def merged_with(self, other: "MetricsRegistry") -> dict:
+        """Snapshot of ``self`` overlaid with ``other`` (counters summed).
+
+        Used by the CLI to print one unified table from the global registry
+        plus a detector's private one.
+        """
+        mine = self.snapshot()
+        theirs = other.snapshot()
+        for key, value in theirs["counters"].items():
+            mine["counters"][key] = mine["counters"].get(key, 0) + value
+        mine["gauges"].update(theirs["gauges"])
+        for key, hist in theirs["histograms"].items():
+            if key in mine["histograms"]:
+                base = mine["histograms"][key]
+                base["count"] += hist["count"]
+                base["sum"] += hist["sum"]
+                base["min"] = min(base["min"], hist["min"])
+                base["max"] = max(base["max"], hist["max"])
+            else:
+                mine["histograms"][key] = dict(hist)
+        return mine
+
+
+#: Process-wide default registry.  Module-level engine code (matching,
+#: embedding, the general search) records here; per-detector state lives
+#: in each detector's own registry.
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL
+
+
+def reset_global_metrics() -> None:
+    """Reset the process-wide registry (tests, benchmark isolation)."""
+    _GLOBAL.reset()

@@ -1,0 +1,102 @@
+"""Span sinks — where finished tracing spans go.
+
+A sink is anything with an ``emit(record)`` method taking the plain-dict
+form of a finished span (see :meth:`repro.obs.trace.Span.to_dict`) and an
+optional ``close()``.  Three implementations cover the practical cases:
+
+* :class:`RingBufferSink` — keep the last *N* spans in memory; the default
+  when tracing is enabled programmatically, and what ``--stats`` uses to
+  print a per-query breakdown after a CLI run.
+* :class:`JsonlSink` — append one JSON object per line to a file (the
+  ``--trace FILE`` format).  JSON-lines was chosen over a single JSON
+  document so a crashed or killed process still leaves a parseable prefix.
+* :class:`NullSink` — swallow everything; useful to measure the
+  enabled-path overhead without I/O.
+
+Sinks must tolerate being called from multiple threads: the tracing layer
+serializes emission per thread but not across threads.  ``RingBufferSink``
+and ``JsonlSink`` therefore guard their mutable state with a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import IO, Protocol
+
+__all__ = ["SpanSink", "RingBufferSink", "JsonlSink", "NullSink"]
+
+
+class SpanSink(Protocol):
+    """Structural type for span sinks."""
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class NullSink:
+    """Discard every span (overhead-measurement baseline)."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` finished spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._buffer: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        with self._lock:
+            self._buffer.append(record)
+
+    def spans(self) -> list[dict]:
+        """The buffered spans, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+class JsonlSink:
+    """Append spans as JSON-lines to a path or an open text stream.
+
+    Records are flushed per emit — traces are usually read while (or right
+    after) the traced process runs, and the per-span volume is low enough
+    that buffering buys nothing.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_handle:
+                self._handle.close()

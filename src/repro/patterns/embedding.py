@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.obs import enabled as obs_enabled
+from repro.obs import global_metrics
 from repro.patterns.pattern import Axis, PNodeId, TreePattern, ValueTest
 from repro.xml.parser import TEXT_PREFIX
 from repro.xml.tree import NodeId, XMLTree
@@ -149,6 +151,11 @@ def _spine_ok_sets(
 
 def evaluate(pattern: TreePattern, tree: XMLTree) -> set[NodeId]:
     """``[[p]](t)`` — the set of tree nodes selected by the pattern."""
+    # Counter only, no span, and gated: evaluations run thousands of
+    # times per exhaustive search, so the instrument only ticks while
+    # observability is switched on.
+    if obs_enabled():
+        global_metrics().inc("embedding.evaluations")
     match = match_sets(pattern, tree)
     layers = _spine_ok_sets(pattern, tree, match)
     current: set[NodeId] = set()

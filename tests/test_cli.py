@@ -210,3 +210,46 @@ class TestModuleEntryPoint:
         )
         assert proc.returncode == 1
         assert "conflict" in proc.stdout
+
+
+class TestObservabilityFlags:
+    """Tier-1 smoke coverage for --stats / --trace (details in test_obs.py)."""
+
+    def test_stats_smoke_in_process(self, capsys):
+        code = main(
+            ["check", "--read", "*//C", "--insert", "*/B", "--xml", "<C/>",
+             "--stats"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "--- stats ---" in out
+        assert "path: linear" in out
+        assert "detector.dispatch" in out
+        assert "conflict.queries_total{path=linear}" in out
+
+    def test_stats_smoke_subprocess(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "check",
+             "--read", "*//C", "--insert", "*/B", "--xml", "<C/>", "--stats"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "--- stats ---" in proc.stdout
+        assert "conflict.queries_total{path=linear}" in proc.stdout
+
+    def test_trace_smoke_jsonl(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["check", "--read", "*//C", "--insert", "*/B", "--xml", "<C/>",
+             "--trace", str(path)]
+        )
+        assert code == 1
+        names = {json.loads(line)["name"] for line in path.read_text().splitlines()}
+        assert {"detector.dispatch", "linear.read_insert",
+                "detector.cache.lookup"} <= names

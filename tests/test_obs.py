@@ -1,0 +1,468 @@
+"""Tests for the observability layer (:mod:`repro.obs`) and its hooks.
+
+Covers the tracing spans (nesting, timing, sinks), the metrics registry
+(counters/gauges/histograms, snapshot/reset), the engine instrumentation
+(detector dispatch paths, cache counters, general-engine search counters),
+the backward-compatibility contract on ``ConflictReport.stats``, and the
+``--stats`` / ``--trace`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.general import decide_conflict
+from repro.conflicts.semantics import Verdict
+from repro.obs import trace as trace_module
+from repro.operations.ops import Delete, Insert, Read
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with tracing off and global metrics clear."""
+    obs.disable()
+    obs.reset_global_metrics()
+    yield
+    obs.disable()
+    obs.reset_global_metrics()
+
+
+# ----------------------------------------------------------------------
+# Tracing spans
+# ----------------------------------------------------------------------
+
+class TestSpans:
+    def test_disabled_by_default_returns_noop(self):
+        assert not obs.enabled()
+        sp = obs.span("anything", a=1)
+        assert sp is obs.span("something-else")  # the shared no-op singleton
+
+    def test_noop_span_accepts_the_full_interface(self):
+        with obs.span("x", a=1) as sp:
+            sp.set("k", "v")  # must not raise and must not record
+
+    def test_span_records_name_attrs_and_duration(self):
+        with obs.tracing() as ring:
+            with obs.span("unit.work", size=3) as sp:
+                time.sleep(0.002)
+                sp.set("late", True)
+        (record,) = ring.spans()
+        assert record["name"] == "unit.work"
+        assert record["attrs"] == {"size": 3, "late": True}
+        assert record["dur_ms"] >= 1.0
+        assert record["depth"] == 0
+
+    def test_span_nesting_depths(self):
+        with obs.tracing() as ring:
+            with obs.span("outer"):
+                with obs.span("middle"):
+                    with obs.span("inner"):
+                        pass
+        by_name = {r["name"]: r for r in ring.spans()}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["middle"]["depth"] == 1
+        assert by_name["inner"]["depth"] == 2
+        # Emission order is completion order: inner closes first.
+        assert [r["name"] for r in ring.spans()] == ["inner", "middle", "outer"]
+
+    def test_exception_inside_span_is_recorded_and_stack_unwound(self):
+        with obs.tracing() as ring:
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("x")
+            with obs.span("after"):
+                pass
+        records = ring.spans()
+        assert records[0]["attrs"]["error"] == "ValueError"
+        assert records[1]["depth"] == 0  # stack unwound despite the raise
+
+    def test_tracing_context_restores_prior_state(self):
+        assert not obs.enabled()
+        with obs.tracing():
+            assert obs.enabled()
+            with obs.tracing():  # nested scope, still fine
+                assert obs.enabled()
+        assert not obs.enabled()
+        assert obs.active_sinks() == ()
+
+    def test_enable_disable_and_sinks(self):
+        ring = obs.RingBufferSink()
+        obs.enable(ring)
+        assert obs.enabled()
+        assert obs.active_sinks() == (ring,)
+        with obs.span("one"):
+            pass
+        obs.disable()
+        assert not obs.enabled()
+        with obs.span("two"):
+            pass
+        assert [r["name"] for r in ring.spans()] == ["one"]
+
+    def test_env_var_initialization(self, tmp_path):
+        path = str(tmp_path / "envtrace.jsonl")
+        trace_module._init_from_env(path)
+        try:
+            assert obs.enabled()
+            with obs.span("from-env"):
+                pass
+        finally:
+            obs.disable()
+        lines = open(path).read().splitlines()
+        assert json.loads(lines[0])["name"] == "from-env"
+
+    def test_env_var_memory_mode(self):
+        trace_module._init_from_env("1")
+        try:
+            assert obs.enabled()
+            assert isinstance(obs.active_sinks()[0], obs.RingBufferSink)
+        finally:
+            obs.disable()
+
+    def test_env_var_unset_is_noop(self):
+        trace_module._init_from_env(None)
+        trace_module._init_from_env("")
+        assert not obs.enabled()
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+class TestSinks:
+    def test_jsonl_sink_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.tracing(obs.JsonlSink(path)):
+            with obs.span("alpha", n=1):
+                with obs.span("beta", deep=True):
+                    pass
+        records = [json.loads(line) for line in open(path)]
+        assert [r["name"] for r in records] == ["beta", "alpha"]
+        assert records[0]["attrs"] == {"deep": True}
+        assert records[1]["attrs"] == {"n": 1}
+        for record in records:
+            assert set(record) == {
+                "name", "start", "dur_ms", "depth", "thread", "attrs"
+            }
+
+    def test_jsonl_sink_accepts_stream(self):
+        buffer = io.StringIO()
+        sink = obs.JsonlSink(buffer)
+        sink.emit({"name": "x", "attrs": {}})
+        sink.close()  # must not close a caller-owned stream
+        assert json.loads(buffer.getvalue()) == {"name": "x", "attrs": {}}
+
+    def test_ring_buffer_capacity(self):
+        ring = obs.RingBufferSink(capacity=3)
+        for index in range(5):
+            ring.emit({"name": str(index)})
+        assert [r["name"] for r in ring.spans()] == ["2", "3", "4"]
+        assert len(ring) == 3
+        ring.clear()
+        assert ring.spans() == []
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_inc_and_read(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("q")
+        reg.inc("q", 4)
+        assert reg.counter("q") == 5
+        assert reg.counter("absent") == 0
+
+    def test_labeled_counters_are_distinct(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("queries", path="linear")
+        reg.inc("queries", path="general")
+        reg.inc("queries", path="linear")
+        assert reg.counter("queries", path="linear") == 2
+        assert reg.counter("queries", path="general") == 1
+        snap = reg.snapshot()["counters"]
+        assert snap["queries{path=linear}"] == 2
+
+    def test_metric_key_sorts_labels(self):
+        assert obs.metric_key("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"
+        assert obs.metric_key("m") == "m"
+
+    def test_gauges_and_histograms(self):
+        reg = obs.MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        reg.set_gauge("depth", 7)
+        assert reg.gauge("depth") == 7
+        assert reg.gauge("absent") is None
+        for value in (2.0, 5.0, 3.0):
+            reg.observe("latency", value)
+        hist = reg.histogram("latency")
+        assert hist == {"count": 3, "sum": 10.0, "min": 2.0, "max": 5.0}
+
+    def test_snapshot_is_detached_and_reset_clears(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        snap["counters"]["c"] = 999
+        assert reg.counter("c") == 1
+        reg.reset()
+        assert reg.counter("c") == 0
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merged_with_sums_counters(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.inc("shared", 2)
+        b.inc("shared", 3)
+        b.inc("only-b")
+        merged = a.merged_with(b)
+        assert merged["counters"]["shared"] == 5
+        assert merged["counters"]["only-b"] == 1
+
+
+# ----------------------------------------------------------------------
+# Engine instrumentation
+# ----------------------------------------------------------------------
+
+class TestDetectorInstrumentation:
+    def test_per_path_query_counters(self):
+        detector = ConflictDetector()
+        detector.read_insert(Read("a/b"), Insert("a/c", "<b/>"))       # linear
+        detector.read_insert(Read("a[b]/c"), Insert("a/c", "<c/>"))    # general
+        detector.update_update(Insert("a/b", "<x/>"), Delete("a/b"))   # complex
+        counters = detector.metrics()["counters"]
+        assert counters["conflict.queries_total{path=linear}"] == 1
+        assert counters["conflict.queries_total{path=general}"] == 1
+        assert counters["conflict.queries_total{path=complex}"] == 1
+
+    def test_cache_counters_and_readonly_properties(self):
+        detector = ConflictDetector()
+        query = (Read("a//b"), Delete("a/b"))
+        detector.read_delete(*query)
+        detector.read_delete(*query)
+        assert detector.cache_misses == 1
+        assert detector.cache_hits == 1
+        with pytest.raises(AttributeError):
+            detector.cache_hits = 5  # read-only property now
+        assert detector.metrics()["counters"]["cache.hits"] == 1
+
+    def test_disabled_cache_counts_neither_hits_nor_misses(self):
+        detector = ConflictDetector(cache=False)
+        query = (Read("a//b"), Delete("a/b"))
+        detector.read_delete(*query)
+        detector.read_delete(*query)
+        assert detector.cache_hits == 0
+        assert detector.cache_misses == 0
+        assert "cache.misses" not in detector.metrics()["counters"]
+
+    def test_detectors_have_isolated_registries(self):
+        one, two = ConflictDetector(), ConflictDetector()
+        one.read_delete(Read("a/b"), Delete("a/b"))
+        assert two.metrics()["counters"] == {}
+
+    def test_shared_registry_opt_in(self):
+        shared = obs.MetricsRegistry()
+        one = ConflictDetector(registry=shared)
+        two = ConflictDetector(registry=shared)
+        one.read_delete(Read("a/b"), Delete("a/b"))
+        two.read_delete(Read("a/c"), Delete("a/c"))
+        assert shared.counter("conflict.queries_total", path="linear") == 2
+
+    def test_cached_witness_is_detached(self):
+        """Mutating a returned witness must not poison the cache."""
+        detector = ConflictDetector()
+        query = (Read("a//b"), Delete("a//b"))
+        first = detector.read_delete(*query)
+        assert first.verdict is Verdict.CONFLICT and first.witness is not None
+        size_before = first.witness.size
+        first.witness.add_child(first.witness.root, "poison")
+        second = detector.read_delete(*query)
+        assert detector.cache_hits == 1
+        assert second.witness is not None
+        assert second.witness.size == size_before
+        assert "poison" not in second.witness.labels()
+
+    def test_spans_cover_dispatch_algorithm_and_cache(self):
+        with obs.tracing() as ring:
+            detector = ConflictDetector()
+            detector.read_insert(Read("a/b"), Insert("a/c", "<b/>"))
+        names = {r["name"] for r in ring.spans()}
+        assert "detector.dispatch" in names
+        assert "linear.read_insert" in names
+        assert "detector.cache.lookup" in names
+        assert "detector.cache.store" in names
+
+    def test_general_path_search_counters_batch_to_global(self):
+        # search.* counters are batched per query and always on;
+        # embedding.evaluations is a gated per-inner-call instrument.
+        with obs.tracing():
+            detector = ConflictDetector(use_heuristics=False, exhaustive_cap=3)
+            detector.read_insert(Read("a[b]/c"), Insert("a/d", "<e/>"))
+        counters = obs.global_metrics().snapshot()["counters"]
+        assert counters.get("search.candidates_checked", 0) > 0
+        assert counters.get("embedding.evaluations", 0) > 0
+
+    def test_search_counters_always_on(self):
+        assert not obs.enabled()
+        detector = ConflictDetector(use_heuristics=False, exhaustive_cap=3)
+        detector.read_insert(Read("a[b]/c"), Insert("a/d", "<e/>"))
+        counters = obs.global_metrics().snapshot()["counters"]
+        assert counters.get("search.candidates_checked", 0) > 0
+
+    def test_gated_instruments_silent_when_disabled(self):
+        assert not obs.enabled()
+        detector = ConflictDetector(cache=False)
+        detector.read_delete(Read("a//b"), Delete("a/b"))
+        counters = obs.global_metrics().snapshot()["counters"]
+        assert "nfa.built" not in counters
+        assert "embedding.evaluations" not in counters
+
+    def test_nfa_counters(self):
+        with obs.tracing():
+            detector = ConflictDetector(cache=False)
+            detector.read_delete(Read("a//b"), Delete("a/b"))
+        counters = obs.global_metrics().snapshot()["counters"]
+        assert counters.get("nfa.built", 0) >= 1
+        assert counters.get("nfa.states_built", 0) >= counters["nfa.built"]
+
+
+class TestStatsBackwardCompat:
+    """``ConflictReport.stats`` keys are a stable contract across the refactor."""
+
+    GENERAL_KEYS = {"candidates_checked", "heuristic_candidates", "cap_used", "bound"}
+
+    def test_general_conflict_report_keys(self):
+        report = decide_conflict(Read("a[b]//c"), Insert("a/c", "<c/>"))
+        assert report.verdict is Verdict.CONFLICT
+        assert self.GENERAL_KEYS <= set(report.stats)
+
+    def test_general_unknown_report_keys(self):
+        report = decide_conflict(
+            Read("a[b]//c"), Insert("a/d", "<e/>"), exhaustive_cap=2
+        )
+        assert self.GENERAL_KEYS <= set(report.stats)
+        assert report.stats["cap_used"] == 2
+        assert report.stats["bound"] > 2
+
+    def test_heuristics_disabled_report_keys(self):
+        report = decide_conflict(
+            Read("a[b]//c"), Insert("a/c", "<c/>"), use_heuristics=False
+        )
+        assert self.GENERAL_KEYS <= set(report.stats)
+        assert report.stats["heuristic_candidates"] == 0
+
+    def test_stats_survive_the_detector_cache(self):
+        detector = ConflictDetector()
+        query = (Read("a[b]//c"), Insert("a/c", "<c/>"))
+        first = detector.read_insert(*query)
+        second = detector.read_insert(*query)  # cached copy
+        assert set(first.stats) == set(second.stats)
+        assert self.GENERAL_KEYS <= set(second.stats)
+
+
+# ----------------------------------------------------------------------
+# Disabled-mode overhead
+# ----------------------------------------------------------------------
+
+class TestDisabledOverhead:
+    def test_noop_span_is_cheap(self):
+        """The disabled span path must stay within a few microseconds."""
+        assert not obs.enabled()
+        iterations = 50_000
+
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("hot.loop", k=1):
+                pass
+        per_call = (time.perf_counter() - start) / iterations
+        # Generous CI-safe bound; the real figure is ~0.5 µs
+        # (benchmarks/bench_obs.py measures it precisely).
+        assert per_call < 50e-6
+
+    def test_disabled_tracing_emits_nothing(self):
+        ring = obs.RingBufferSink()
+        obs.enable(ring)
+        obs.disable()
+        with obs.span("invisible"):
+            pass
+        assert ring.spans() == []
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+class TestCliObservability:
+    def test_check_stats_breakdown(self, capsys):
+        code = main(
+            ["check", "--read", "a/*/A", "--insert", "a/B", "--xml", "<C/>",
+             "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "--- stats ---" in out
+        assert "path: linear" in out
+        assert "detector.dispatch" in out
+        assert "conflict.queries_total{path=linear}" in out
+        assert "cache.misses" in out
+
+    def test_check_stats_general_path(self, capsys):
+        code = main(
+            ["check", "--read", "a[b]//c", "--insert", "a/c", "--xml", "<c/>",
+             "--stats"]
+        )
+        assert code == 1  # conflict
+        out = capsys.readouterr().out
+        assert "path: general" in out
+        assert "general.heuristic" in out
+
+    def test_stats_min_ms_filters_spans(self, capsys):
+        code = main(
+            ["check", "--read", "a/b", "--insert", "a/c", "--stats",
+             "--stats-min-ms", "10000"]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "(none)" in out  # nothing takes ten seconds
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        path = str(tmp_path / "out.jsonl")
+        code = main(
+            ["check", "--read", "a/*/A", "--insert", "a/B", "--xml", "<C/>",
+             "--trace", path]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in open(path)]
+        names = {r["name"] for r in records}
+        assert "detector.dispatch" in names        # dispatch phase
+        assert "linear.read_insert" in names       # algorithm phase
+        assert "detector.cache.lookup" in names    # cache phase
+        for record in records:
+            assert isinstance(record["dur_ms"], float)
+            assert isinstance(record["attrs"], dict)
+
+    def test_trace_and_stats_together(self, tmp_path, capsys):
+        path = str(tmp_path / "both.jsonl")
+        code = main(
+            ["commute", "--insert1", "a/b", "--delete2", "a/b",
+             "--stats", "--trace", path]
+        )
+        assert code in (0, 1, 2)
+        out = capsys.readouterr().out
+        assert "path: complex" in out
+        assert open(path).read().strip()
+
+    def test_tracing_state_restored_after_cli_run(self, capsys):
+        main(["check", "--read", "a/b", "--insert", "a/c", "--stats"])
+        capsys.readouterr()
+        assert not obs.enabled()
+
+    def test_commands_without_flags_stay_quiet(self, capsys):
+        code = main(["check", "--read", "a/b", "--insert", "a/c"])
+        assert code in (0, 1)
+        assert "--- stats ---" not in capsys.readouterr().out
