@@ -1,0 +1,215 @@
+"""Batch engine headline: 64-operation catalogue, batch vs serial reference.
+
+The acceptance bar for the batch conflict-analysis engine
+(:mod:`repro.conflicts.batch`) is a >= 3x wall-clock win on a
+64-operation catalogue at ``jobs=8`` over the serial per-pair reference
+loop (:func:`reference_matrix` — exactly what :func:`conflict_matrix`
+did before the engine existed), with *identical verdicts* — checked
+pair-for-pair inside the benchmark before any timing is trusted.
+
+Where the win comes from (all honest, none depends on core count):
+
+* the reference loop canonicalizes both operands per query to build the
+  detector's cache key — for a catalogue that is O(n^2) canonicalizations,
+  including the insert fragments (hundreds of nodes each); the batch
+  engine canonicalizes each operation exactly once at ingestion;
+* realistic catalogues repeat structurally identical operations (the
+  repo's compiler-analysis docs make the same point about repeated
+  reads), so the ~2000 pairs collapse to a few dozen unique decisions;
+* the verdict cache stores bare verdicts, not deep-copied reports.
+
+Emits ``BENCH_matrix.json`` next to this file (override with
+``BENCH_MATRIX_OUT``).  ``BENCH_SMOKE=1`` shrinks the workload for CI
+smoke runs and skips the speedup floor (equivalence is still enforced).
+
+Run with ``PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_matrix.py -s``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+
+from bench_utils import measure, print_series
+from repro.conflicts.batch import BatchAnalyzer, VerdictCache, reference_matrix
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.operations.ops import Delete, Insert, Read
+from repro.xml.random_trees import random_tree
+from repro.xml.serializer import serialize
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: Catalogue shape: 64 named operations built from a handful of unique
+#: structures, the way compiler-extracted catalogues look (the same read
+#: appears at many program points; a few insert/delete shapes repeat).
+TOTAL_OPS = 12 if SMOKE else 64
+FRAGMENT_NODES = 30 if SMOKE else 800
+JOBS = 2 if SMOKE else 8
+
+#: Budget 1 keeps update-update decisions sound-but-fast (UNKNOWN when
+#: the bounded search cannot prove commutativity) — the catalogue
+#: consumer's usual trade: schedule conservatively, decide quickly.  All
+#: the catalogue's reads are linear, so read-update verdicts stay exact
+#: (the PTIME path ignores the budget).
+CONFIG = DetectorConfig(exhaustive_cap=1)
+
+READ_SHAPES = [
+    "bib/book/title",
+    "bib//quantity",
+    "bib/book/price",
+    "//title",
+    "bib/book",
+    "bib//book/extra",
+]
+
+
+def _fragment(seed: int) -> str:
+    alphabet = ("book", "title", "quantity", "price", "extra", "note")
+    return serialize(random_tree(FRAGMENT_NODES, alphabet, seed=seed))
+
+
+def build_catalogue() -> dict:
+    """~66% duplicated reads, ~25% inserts (2 shapes), ~9% deletes."""
+    reads = max(1, int(TOTAL_OPS * 0.66))
+    inserts = max(1, int(TOTAL_OPS * 0.25))
+    deletes = TOTAL_OPS - reads - inserts
+    insert_shapes = [
+        Insert("bib/book", _fragment(11)),
+        Insert("bib", _fragment(12)),
+    ]
+    catalogue = {}
+    for index in range(reads):
+        catalogue[f"r{index:02d}"] = Read(READ_SHAPES[index % len(READ_SHAPES)])
+    for index in range(inserts):
+        catalogue[f"i{index:02d}"] = insert_shapes[index % len(insert_shapes)]
+    for index in range(deletes):
+        catalogue[f"d{index:02d}"] = Delete("bib/book/stale")
+    assert len(catalogue) == TOTAL_OPS
+    return catalogue
+
+
+def assert_identical_verdicts(reference, candidate) -> None:
+    assert sorted(reference.names) == sorted(candidate.names)
+    for a, b in itertools.combinations(reference.names, 2):
+        assert reference.verdict(a, b) is candidate.verdict(a, b), (
+            a, b, reference.verdict(a, b), candidate.verdict(a, b),
+        )
+
+
+def _emit(payload: dict) -> None:
+    default = os.path.join(os.path.dirname(__file__), "BENCH_matrix.json")
+    path = os.environ.get("BENCH_MATRIX_OUT", default)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+
+
+def test_batch_vs_serial_64_op_catalogue(benchmark):
+    """The headline: serial reference vs batch at jobs=1 and jobs=8.
+
+    Every timed run starts cold (fresh detector / fresh analyzer with a
+    fresh verdict cache) so the comparison is end-to-end work, not cache
+    residue.  Verdict identity against the reference is asserted for
+    both batch configurations before the speedup is computed.
+    """
+    catalogue = build_catalogue()
+    reference = reference_matrix(catalogue, ConflictDetector(config=CONFIG))
+
+    def run_serial() -> None:
+        reference_matrix(catalogue, ConflictDetector(config=CONFIG))
+
+    def run_batch(jobs: int):
+        def run() -> None:
+            BatchAnalyzer(CONFIG, jobs=jobs, cache=VerdictCache()).analyze(
+                catalogue
+            )
+
+        return run
+
+    # Correctness first: both batch modes reproduce the reference matrix.
+    serial_batch = BatchAnalyzer(CONFIG, jobs=1, cache=VerdictCache()).analyze(
+        catalogue
+    )
+    parallel_batch = BatchAnalyzer(
+        CONFIG, jobs=JOBS, cache=VerdictCache()
+    ).analyze(catalogue)
+    assert_identical_verdicts(reference, serial_batch)
+    assert_identical_verdicts(reference, parallel_batch)
+
+    def sweep() -> dict:
+        return {
+            "serial_reference_s": measure(run_serial, repeat=3),
+            "batch_jobs1_s": measure(run_batch(1), repeat=3),
+            f"batch_jobs{JOBS}_s": measure(run_batch(JOBS), repeat=3),
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedup = result["serial_reference_s"] / max(
+        result[f"batch_jobs{JOBS}_s"], 1e-12
+    )
+    speedup_serial_batch = result["serial_reference_s"] / max(
+        result["batch_jobs1_s"], 1e-12
+    )
+    print_series(
+        "64-op catalogue: serial reference vs batch",
+        list(result),
+        list(result.values()),
+    )
+    print(f"speedup (reference / batch@{JOBS}): {speedup:.2f}x")
+    counts = reference.counts()
+    _emit(
+        {
+            "workload": {
+                "operations": TOTAL_OPS,
+                "fragment_nodes": FRAGMENT_NODES,
+                "exhaustive_cap": CONFIG.exhaustive_cap,
+                "pairs": TOTAL_OPS * (TOTAL_OPS - 1) // 2,
+                "verdict_counts": counts,
+                "smoke": SMOKE,
+            },
+            "timings_s": result,
+            "speedup_batch_jobs1": speedup_serial_batch,
+            f"speedup_batch_jobs{JOBS}": speedup,
+            "verdicts_identical": True,
+        }
+    )
+    if not SMOKE:
+        assert speedup >= 3, (
+            f"batch@{JOBS} only {speedup:.2f}x over serial: {result}"
+        )
+
+
+def test_incremental_add_vs_reanalyze(benchmark):
+    """add_op decides one row (n-1 pairs), not the whole n^2/2 matrix."""
+    catalogue = build_catalogue()
+
+    def sweep() -> dict:
+        analyzer = BatchAnalyzer(CONFIG, cache=VerdictCache())
+        analyzer.analyze(catalogue)
+
+        def incremental() -> None:
+            analyzer.add_op("probe", Read("bib/book/isbn"))
+            analyzer.remove_op("probe")
+
+        def reanalyze() -> None:
+            extended = dict(catalogue)
+            extended["probe"] = Read("bib/book/isbn")
+            BatchAnalyzer(CONFIG, cache=VerdictCache()).analyze(extended)
+
+        return {
+            "incremental_add_s": measure(incremental, repeat=3),
+            "full_reanalyze_s": measure(reanalyze, repeat=3),
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratio = result["full_reanalyze_s"] / max(result["incremental_add_s"], 1e-12)
+    print_series(
+        "incremental add_op vs full re-analysis",
+        list(result),
+        list(result.values()),
+    )
+    print(f"incremental advantage: {ratio:.1f}x")
+    # One row out of a 64-op matrix must be decisively cheaper than
+    # rebuilding it (loose bound; smoke catalogues are tiny).
+    assert ratio > (1 if SMOKE else 3), result

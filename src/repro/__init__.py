@@ -17,6 +17,21 @@ Quick start::
     assert report.verdict is Verdict.CONFLICT
     print(report.witness.sketch())   # a concrete document showing it
 
+Whole catalogues (the Section 7 compiler question) go through the batch
+engine — one call decides every pair, with canonical-form dedup, a
+shareable verdict cache, and an optional worker pool::
+
+    from repro import BatchAnalyzer, Read, Insert, Delete
+
+    analyzer = BatchAnalyzer(jobs=4)
+    matrix = analyzer.analyze({
+        "titles": Read("bib/book/title"),
+        "restock": Insert("bib/book", "<restock/>"),
+        "purge": Delete("bib/book"),
+    })
+    matrix.may_conflict("titles", "purge")    # True
+    analyzer.schedule()                        # interference-free phases
+
 Package map:
 
 * :mod:`repro.xml` — unordered labeled trees, XML parsing/serialization,
@@ -31,12 +46,19 @@ Package map:
 """
 
 from repro.conflicts import (
+    BatchAnalyzer,
     ConflictDetector,
     ConflictKind,
+    ConflictMatrix,
     ConflictReport,
+    DetectorConfig,
+    Operation,
     Verdict,
+    VerdictCache,
+    conflict_matrix,
     is_witness,
     minimize_witness,
+    parallel_schedule,
 )
 from repro.errors import ReproError
 from repro.operations import Delete, Insert, Read, UpdateResult
@@ -48,9 +70,16 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "ConflictDetector",
+    "DetectorConfig",
     "ConflictKind",
     "ConflictReport",
     "Verdict",
+    "BatchAnalyzer",
+    "VerdictCache",
+    "Operation",
+    "ConflictMatrix",
+    "conflict_matrix",
+    "parallel_schedule",
     "is_witness",
     "minimize_witness",
     "Read",

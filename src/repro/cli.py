@@ -1,15 +1,33 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five subcommands expose the library's main entry points:
+Seven subcommands expose the library's main entry points:
 
 * ``eval``      — evaluate an XPath pattern against a document;
 * ``check``     — decide a read-update conflict (the core question);
 * ``commute``   — decide whether two updates commute;
+* ``matrix``    — decide every pair of a named operation catalogue;
+* ``schedule``  — partition a catalogue into interference-free batches;
 * ``analyze``   — dependence analysis / optimization of a pidgin program;
 * ``validate``  — DTD validation of a document.
 
-Exit codes for the decision commands: ``0`` = no conflict / valid,
-``1`` = conflict / invalid, ``2`` = undecided within the search budget.
+Exit codes for the decision commands (``check``/``commute``/``matrix``):
+``0`` = no conflict / valid, ``1`` = conflict / invalid, ``2`` =
+undecided within the search budget (for ``matrix``: ``1`` if any pair
+conflicts, else ``2`` if any pair is undecided, else ``0``).
+
+``matrix`` and ``schedule`` read the catalogue as JSON — a mapping from
+operation name to spec::
+
+    {"titles":  {"op": "read",   "xpath": "bib/book/title"},
+     "restock": {"op": "insert", "xpath": "bib/book", "xml": "<restock/>"},
+     "purge":   {"op": "delete", "xpath": "bib/book"}}
+
+Both take ``--jobs N`` (decide undecided unique pairs across N worker
+processes; ``0`` = all cores) and ``--cache FILE`` (load a verdict-cache
+snapshot if it exists, save it back after).  ``check``, ``commute``,
+``matrix`` and ``schedule`` accept ``--json`` for machine-readable
+output with a stable schema (verdict, kind, method, notes, witness
+sketch, stats).
 
 Every subcommand additionally accepts the observability flags
 (``docs/OBSERVABILITY.md``):
@@ -24,11 +42,14 @@ Every subcommand additionally accepts the observability flags
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from collections.abc import Sequence
 
 from repro import obs
-from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.batch import BatchAnalyzer, Operation, VerdictCache
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
 from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
 from repro.errors import ReproError
 from repro.lang.analysis import (
@@ -184,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "witnesses (schema-constrained detection; exit 2 when no valid "
         "witness is found within the budget)",
     )
+    _add_json_arg(p_check)
     p_check.set_defaults(handler=_cmd_check)
 
     p_commute = add_command("commute", help="decide whether two updates commute")
@@ -196,7 +218,25 @@ def _build_parser() -> argparse.ArgumentParser:
         )
     p_commute.add_argument("--budget", type=int, default=4)
     p_commute.add_argument("--witness", action="store_true")
+    _add_json_arg(p_commute)
     p_commute.set_defaults(handler=_cmd_commute)
+
+    p_matrix = add_command(
+        "matrix", help="decide every pair of a named operation catalogue"
+    )
+    _add_catalogue_args(p_matrix)
+    p_matrix.add_argument(
+        "--render", action="store_true",
+        help="print the full matrix table (default prints pair verdicts)",
+    )
+    p_matrix.set_defaults(handler=_cmd_matrix)
+
+    p_schedule = add_command(
+        "schedule",
+        help="partition a catalogue into interference-free parallel batches",
+    )
+    _add_catalogue_args(p_schedule)
+    p_schedule.set_defaults(handler=_cmd_schedule)
 
     p_analyze = add_command("analyze", help="analyze a pidgin update program")
     p_analyze.add_argument("program", help="path to the program ('-' for stdin)")
@@ -221,6 +261,40 @@ def _add_document_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--file", help="path to an XML document")
     group.add_argument("--xml-text", help="inline XML document text")
+
+
+def _add_json_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+
+
+def _add_catalogue_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ops", required=True, metavar="FILE",
+        help="JSON catalogue: {name: {op: read|insert|delete, xpath, xml?}} "
+        "('-' reads stdin)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for undecided pairs (1 = serial, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=[k.value for k in ConflictKind],
+        default="node",
+        help="conflict semantics for read-update pairs (default: node)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=5,
+        help="witness-size cap for branching/commutativity queries (default 5)",
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE",
+        help="verdict-cache snapshot: loaded if it exists, saved back after",
+    )
+    _add_json_arg(parser)
 
 
 def _load_document(args: argparse.Namespace):  # type: ignore[no-untyped-def]
@@ -249,7 +323,39 @@ def _make_update(path: str | None, delete_path: str | None, xml: str) -> UpdateO
     return Delete(delete_path)
 
 
-def _report_exit(report: ConflictReport, show_witness: bool) -> int:
+_VERDICT_EXIT = {
+    Verdict.NO_CONFLICT: 0,
+    Verdict.CONFLICT: 1,
+    Verdict.UNKNOWN: 2,
+}
+
+
+def _report_payload(command: str, report: ConflictReport) -> dict:
+    """The stable ``--json`` schema for one conflict decision."""
+    witness = None
+    if report.witness is not None:
+        witness = {
+            "sketch": report.witness.sketch(),
+            "xml": serialize(report.witness),
+        }
+    return {
+        "command": command,
+        "verdict": report.verdict.value,
+        "kind": report.kind.value,
+        "method": report.method,
+        "notes": list(report.notes),
+        "witness": witness,
+        "stats": dict(report.stats),
+    }
+
+
+def _report_exit(
+    report: ConflictReport, show_witness: bool, as_json: bool = False,
+    command: str = "check",
+) -> int:
+    if as_json:
+        print(json.dumps(_report_payload(command, report), indent=2))
+        return _VERDICT_EXIT[report.verdict]
     print(f"verdict: {report.verdict.value}   (method: {report.method})")
     for note in report.notes:
         print(f"note: {note}")
@@ -258,11 +364,7 @@ def _report_exit(report: ConflictReport, show_witness: bool) -> int:
         for line in report.witness.sketch().splitlines():
             print(f"  {line}")
         print(f"as XML: {serialize(report.witness)}")
-    return {
-        Verdict.NO_CONFLICT: 0,
-        Verdict.CONFLICT: 1,
-        Verdict.UNKNOWN: 2,
-    }[report.verdict]
+    return _VERDICT_EXIT[report.verdict]
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -277,13 +379,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
             read, update, dtd, ConflictKind(args.kind),
             max_size=max(args.budget, 6),
         )
-        return _report_exit(report, args.witness)
+        return _report_exit(report, args.witness, args.json)
     detector = ConflictDetector(
         kind=ConflictKind(args.kind), exhaustive_cap=args.budget
     )
     args._detector = detector  # _print_stats reads its metrics for --stats
     report = detector.read_update(read, update)
-    return _report_exit(report, args.witness)
+    return _report_exit(report, args.witness, args.json)
 
 
 def _cmd_commute(args: argparse.Namespace) -> int:
@@ -292,7 +394,112 @@ def _cmd_commute(args: argparse.Namespace) -> int:
     first = _make_update(args.insert1, args.delete1, args.xml1)
     second = _make_update(args.insert2, args.delete2, args.xml2)
     report = detector.update_update(first, second)
-    return _report_exit(report, args.witness)
+    return _report_exit(report, args.witness, args.json, command="commute")
+
+
+def _load_catalogue(path: str) -> dict[str, Operation]:
+    """Parse the ``matrix``/``schedule`` JSON catalogue format."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"catalogue is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ReproError("catalogue must be a JSON object of name -> spec")
+    catalogue: dict[str, Operation] = {}
+    for name, spec in data.items():
+        if not isinstance(spec, dict) or "op" not in spec or "xpath" not in spec:
+            raise ReproError(
+                f"operation {name!r}: spec must be an object with "
+                "'op' and 'xpath' fields"
+            )
+        op_kind = spec["op"]
+        if op_kind == "read":
+            catalogue[name] = Read(spec["xpath"])
+        elif op_kind == "insert":
+            catalogue[name] = Insert(spec["xpath"], spec.get("xml", "<x/>"))
+        elif op_kind == "delete":
+            catalogue[name] = Delete(spec["xpath"])
+        else:
+            raise ReproError(
+                f"operation {name!r}: unknown op {op_kind!r} "
+                "(expected read, insert, or delete)"
+            )
+    return catalogue
+
+
+def _make_analyzer(args: argparse.Namespace) -> BatchAnalyzer:
+    cache = None
+    if args.cache and os.path.exists(args.cache):
+        cache = VerdictCache.load(args.cache)
+    config = DetectorConfig(
+        kind=ConflictKind(args.kind), exhaustive_cap=args.budget
+    )
+    return BatchAnalyzer(config, jobs=args.jobs, cache=cache)
+
+
+def _matrix_exit(matrix) -> int:  # type: ignore[no-untyped-def]
+    counts = matrix.counts()
+    if counts[Verdict.CONFLICT.value]:
+        return 1
+    if counts[Verdict.UNKNOWN.value]:
+        return 2
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    catalogue = _load_catalogue(args.ops)
+    analyzer = _make_analyzer(args)
+    matrix = analyzer.analyze(catalogue)
+    if args.cache:
+        analyzer.cache.save(args.cache)
+    if args.json:
+        payload = {"command": "matrix", "jobs": analyzer.jobs, **matrix.to_dict()}
+        print(json.dumps(payload, indent=2))
+        return _matrix_exit(matrix)
+    counts = matrix.counts()
+    print(
+        f"{len(matrix.names)} operation(s), {len(matrix.verdicts)} pair(s): "
+        f"{counts['conflict']} conflict, {counts['no-conflict']} compatible, "
+        f"{counts['unknown']} unknown"
+    )
+    if args.render:
+        print(matrix.render())
+    else:
+        for (first, second), verdict in sorted(matrix.verdicts.items()):
+            if verdict is not Verdict.NO_CONFLICT:
+                print(f"  {first} <-> {second}: {verdict.value}")
+    return _matrix_exit(matrix)
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    catalogue = _load_catalogue(args.ops)
+    analyzer = _make_analyzer(args)
+    analyzer.analyze(catalogue)
+    if args.cache:
+        analyzer.cache.save(args.cache)
+    batches = analyzer.schedule()
+    if args.json:
+        payload = {
+            "command": "schedule",
+            "jobs": analyzer.jobs,
+            "batches": batches,
+            "stats": {
+                "operations": len(catalogue),
+                "batches": len(batches),
+                "largest_batch": max((len(b) for b in batches), default=0),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{len(batches)} phase(s) for {len(catalogue)} operation(s):")
+    for index, batch in enumerate(batches, start=1):
+        print(f"  phase {index}: {', '.join(batch)}")
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:

@@ -1,11 +1,17 @@
 """Conflict detection between XML update operations — the paper's core."""
 
+from repro.conflicts.batch import (
+    BatchAnalyzer,
+    CanonicalOp,
+    VerdictCache,
+    reference_matrix,
+)
 from repro.conflicts.complex import (
     detect_update_update,
     find_commutativity_witness_exhaustive,
     is_commutativity_witness,
 )
-from repro.conflicts.detector import ConflictDetector
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
 from repro.conflicts.general import (
     decide_conflict,
     enumerate_witnesses,
@@ -38,6 +44,7 @@ from repro.conflicts.reductions import (
 )
 from repro.conflicts.schedule import (
     ConflictMatrix,
+    Operation,
     conflict_matrix,
     parallel_schedule,
 )
@@ -63,6 +70,12 @@ from repro.conflicts.witness_min import (
 
 __all__ = [
     "ConflictDetector",
+    "DetectorConfig",
+    "BatchAnalyzer",
+    "CanonicalOp",
+    "VerdictCache",
+    "reference_matrix",
+    "Operation",
     "ConflictKind",
     "ConflictReport",
     "Verdict",

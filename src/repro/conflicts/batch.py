@@ -1,0 +1,707 @@
+"""Batch conflict analysis: whole-catalogue decisions at scale (Section 7).
+
+The paper's motivating consumer is a compiler asking *set-level*
+questions: given a catalogue of named reads and updates, which pairs may
+interfere?  Deciding the O(n²) pair matrix one
+:class:`~repro.conflicts.detector.ConflictDetector` call at a time
+repeats work the catalogue view makes unnecessary:
+
+* the detector canonicalizes both operands *per query* to build its
+  cache key (it must — callers may mutate trees between calls), so a
+  64-operation catalogue canonicalizes each operation ~63 times;
+* structurally identical pairs are re-looked-up (and their cached
+  reports deep-copied, witness tree included) once per duplicate;
+* nothing runs concurrently.
+
+:class:`BatchAnalyzer` owns the catalogue, so it can do better:
+
+* **canonicalize once** — each operation becomes a picklable
+  :class:`CanonicalOp` at ingestion (O(n) canonicalizations, not O(n²));
+* **dedup** — pairs are grouped by canonical pair key and each unique
+  key is decided exactly once;
+* **share** — verdicts live in a :class:`VerdictCache` that can be
+  exported, merged across analyzers and detectors, and snapshotted to
+  disk, so repeated analyses (and future runs) skip decided pairs;
+* **parallelize** — undecided unique pairs are chunked across a process
+  pool (``jobs`` workers), each worker deciding with its own detector
+  and shipping its metrics back into the parent's ``repro.obs`` registry;
+* **maintain incrementally** — :meth:`BatchAnalyzer.add_op` /
+  :meth:`BatchAnalyzer.remove_op` re-decide only the affected
+  row/column instead of rebuilding the matrix.
+
+:func:`reference_matrix` keeps the straightforward serial per-pair loop:
+it is the ground truth the equivalence tests (and ``bench_matrix.py``)
+compare against, and exactly what this library did before the batch
+engine existed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.conflicts.semantics import Verdict
+from repro.errors import ConflictEngineError
+from repro.obs.metrics import MetricsRegistry
+from repro.operations.ops import Delete, Insert, Read, UpdateOp
+from repro.patterns.xpath import parse_xpath, to_xpath
+from repro.xml.isomorphism import canonical_form
+from repro.xml.parser import parse as parse_xml
+from repro.xml.serializer import serialize
+
+__all__ = [
+    "Operation",
+    "CanonicalOp",
+    "VerdictCache",
+    "ConflictMatrix",
+    "BatchAnalyzer",
+    "reference_matrix",
+]
+
+#: A named operation: any of Read / Insert / Delete.
+Operation = Read | UpdateOp
+
+#: Canonical identity of one operation: ``(type name, pattern form,
+#: subtree form or None)`` — the same triple the detector keys its
+#: query cache by, so verdicts can flow between the two caches.
+OpKey = tuple[str, str, "str | None"]
+
+#: Cache key of one unordered pair under one detector configuration.
+PairKey = tuple[tuple, OpKey, OpKey]
+
+
+@dataclass(frozen=True)
+class CanonicalOp:
+    """A picklable canonical form of one operation.
+
+    Two roles: the canonical strings are the *identity* (structurally
+    identical operations collapse to equal keys, making pair dedup and
+    verdict sharing possible), and the XPath/XML texts are the *transport*
+    (workers in any start method — fork or spawn — reconstruct an
+    equivalent operation from plain strings).
+    """
+
+    kind: str  # "Read" | "Insert" | "Delete"
+    xpath: str
+    pattern_key: str
+    subtree_xml: str | None = None
+    subtree_key: str | None = None
+
+    @classmethod
+    def from_operation(cls, op: Operation) -> "CanonicalOp":
+        """Canonicalize ``op`` (the only time its trees are traversed)."""
+        if isinstance(op, Insert):
+            return cls(
+                kind="Insert",
+                xpath=to_xpath(op.pattern),
+                pattern_key=op.pattern.canonical_form(),
+                subtree_xml=serialize(op.subtree),
+                subtree_key=canonical_form(op.subtree),
+            )
+        if isinstance(op, Read | Delete):
+            return cls(
+                kind=type(op).__name__,
+                xpath=to_xpath(op.pattern),
+                pattern_key=op.pattern.canonical_form(),
+            )
+        raise TypeError(f"not an operation: {type(op).__name__!r}")
+
+    def to_operation(self) -> Operation:
+        """Rebuild an equivalent operation (used by pool workers)."""
+        if self.kind == "Read":
+            return Read(parse_xpath(self.xpath))
+        if self.kind == "Insert":
+            assert self.subtree_xml is not None
+            return Insert(parse_xpath(self.xpath), parse_xml(self.subtree_xml))
+        if self.kind == "Delete":
+            return Delete(parse_xpath(self.xpath))
+        raise ValueError(f"unknown operation kind {self.kind!r}")
+
+    @property
+    def key(self) -> OpKey:
+        return (self.kind, self.pattern_key, self.subtree_key)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == "Read"
+
+
+class VerdictCache:
+    """A shareable store of pair verdicts, keyed by canonical forms.
+
+    Unlike the detector's internal report cache, entries here are bare
+    :class:`Verdict` values (no witness trees), which makes them cheap to
+    hold, trivially picklable, and JSON-serializable.  Every key embeds
+    the deciding configuration's :meth:`DetectorConfig.fingerprint`, so
+    caches built under different budgets or semantics can be merged into
+    one store without ever mixing their answers.
+
+    Thread-safe; share one instance across analyzers to pool verdicts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._verdicts: dict[PairKey, Verdict] = {}
+
+    @staticmethod
+    def pair_key(
+        fingerprint: tuple,
+        first: "CanonicalOp | OpKey",
+        second: "CanonicalOp | OpKey",
+    ) -> PairKey:
+        """The canonical (unordered) key for one pair of operations."""
+        key_a = first.key if isinstance(first, CanonicalOp) else tuple(first)
+        key_b = second.key if isinstance(second, CanonicalOp) else tuple(second)
+        if key_b < key_a:
+            key_a, key_b = key_b, key_a
+        return (tuple(fingerprint), key_a, key_b)
+
+    def get(self, key: PairKey) -> Verdict | None:
+        return self._verdicts.get(key)
+
+    def put(self, key: PairKey, verdict: Verdict) -> None:
+        with self._lock:
+            self._verdicts[key] = verdict
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return key in self._verdicts
+
+    # ------------------------------------------------------------------
+    # Sharing: export / merge / absorb / snapshot
+    # ------------------------------------------------------------------
+
+    def export(self) -> list[dict]:
+        """Detached JSON-able entries (the :meth:`save` wire format)."""
+        with self._lock:
+            return [
+                {
+                    "config": list(fingerprint),
+                    "a": list(key_a),
+                    "b": list(key_b),
+                    "verdict": verdict.value,
+                }
+                for (fingerprint, key_a, key_b), verdict in self._verdicts.items()
+            ]
+
+    def merge(self, entries: "VerdictCache | Iterable[dict]") -> int:
+        """Fold another cache (or exported entries) in; returns new count.
+
+        Existing entries win on collision — both sides decided the same
+        canonical pair under the same fingerprint, so the answers agree
+        and keeping ours avoids churn.
+        """
+        if isinstance(entries, VerdictCache):
+            entries = entries.export()
+        added = 0
+        with self._lock:
+            for entry in entries:
+                key = (
+                    tuple(entry["config"]),
+                    tuple(entry["a"]),
+                    tuple(entry["b"]),
+                )
+                if key not in self._verdicts:
+                    self._verdicts[key] = Verdict(entry["verdict"])
+                    added += 1
+        return added
+
+    def absorb_detector(self, detector: ConflictDetector) -> int:
+        """Import every answer a detector has accumulated in its own cache.
+
+        Lets sequential workflows hand their warm detectors to the batch
+        engine: verdicts decided during ad-hoc queries pre-answer the
+        matching matrix cells.  Returns the number of new entries.
+        """
+        added = 0
+        with self._lock:
+            for fingerprint, key_a, key_b, verdict in detector.cached_entries():
+                key = self.pair_key(fingerprint, key_a, key_b)
+                if key not in self._verdicts:
+                    self._verdicts[key] = verdict
+                    added += 1
+        return added
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Snapshot to ``path`` as JSON (atomic via a temp file + rename)."""
+        payload = {"version": 1, "entries": self.export()}
+        tmp = f"{os.fspath(path)}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "VerdictCache":
+        """Rebuild a cache from a :meth:`save` snapshot."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != 1:
+            raise ConflictEngineError(
+                f"unsupported verdict-cache version {payload.get('version')!r}"
+            )
+        cache = cls()
+        cache.merge(payload["entries"])
+        return cache
+
+
+@dataclass
+class ConflictMatrix:
+    """Pairwise may-conflict verdicts over a named operation set."""
+
+    names: list[str]
+    verdicts: dict[tuple[str, str], Verdict] = field(default_factory=dict)
+
+    def verdict(self, first: str, second: str) -> Verdict:
+        """The verdict for an unordered pair (symmetric)."""
+        if first == second:
+            return Verdict.NO_CONFLICT
+        key = (first, second) if (first, second) in self.verdicts else (second, first)
+        return self.verdicts[key]
+
+    def may_conflict(self, first: str, second: str) -> bool:
+        """True unless the pair is *proved* conflict-free."""
+        return self.verdict(first, second) is not Verdict.NO_CONFLICT
+
+    def compatible_with(self, name: str) -> list[str]:
+        """All operations proved compatible with ``name``."""
+        return [
+            other
+            for other in self.names
+            if other != name and not self.may_conflict(name, other)
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """Tally of stored pair verdicts by outcome."""
+        out = {v.value: 0 for v in Verdict}
+        for verdict in self.verdicts.values():
+            out[verdict.value] += 1
+        return out
+
+    def to_dict(self) -> dict:
+        """A JSON-able view (the CLI's ``--json`` payload)."""
+        return {
+            "names": list(self.names),
+            "verdicts": [
+                {"first": a, "second": b, "verdict": verdict.value}
+                for (a, b), verdict in sorted(self.verdicts.items())
+            ],
+            "stats": {"operations": len(self.names), **self.counts()},
+        }
+
+    def render(self) -> str:
+        """A fixed-width text table (conflict / ``-`` / ``?``)."""
+        mark = {
+            Verdict.CONFLICT: "conflict",
+            Verdict.NO_CONFLICT: "-",
+            Verdict.UNKNOWN: "?",
+        }
+        width = max(len(n) for n in self.names) + 2
+        cell = max(10, width)
+        lines = [
+            " " * width + "".join(f"{name[:cell - 2]:>{cell}}" for name in self.names)
+        ]
+        for row in self.names:
+            cells = [f"{row[:width - 2]:<{width}}"]
+            for col in self.names:
+                cells.append(f"{mark[self.verdict(row, col)]:>{cell}}")
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery (module level so both fork and spawn can pickle
+# the entry points).  Each pool worker builds one detector at startup and
+# keeps it — its query cache persists across chunks — plus a small
+# reconstruction cache so duplicated operands are parsed once per worker.
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+#: Parent-side staging area for the ``fork`` start method: the analyzer
+#: drops its already-parsed operations here (keyed by payload index)
+#: right before creating the pool, so forked workers inherit them
+#: copy-on-write and never re-parse the operand XML.  Under ``spawn``
+#: this is empty in the child and :func:`_worker_op` falls back to
+#: rebuilding from the transported XPath/XML strings.
+_FORK_OPS: dict = {}
+
+
+def _worker_init(config: DetectorConfig, canon_ops: list[CanonicalOp]) -> None:
+    _WORKER["detector"] = ConflictDetector(config=config)
+    _WORKER["canon"] = canon_ops
+    _WORKER["ops"] = dict(_FORK_OPS)
+    _WORKER["counter_base"] = {}
+
+
+def _worker_op(index: int) -> Operation:
+    op = _WORKER["ops"].get(index)
+    if op is None:
+        op = _WORKER["canon"][index].to_operation()
+        _WORKER["ops"][index] = op
+    return op
+
+
+def _decide_chunk(
+    chunk: list[tuple[int, int, int]],
+) -> tuple[list[tuple[int, str]], dict[str, int], int]:
+    """Decide one chunk of ``(pair, op, op)`` index triples.
+
+    Operands travel once per pool (in the initializer payload), so chunks
+    and results are tiny integer tuples — important when operands carry
+    multi-kilobyte document fragments.  Returns verdicts + metric deltas.
+    """
+    detector: ConflictDetector = _WORKER["detector"]
+    out = []
+    for pair_index, index_a, index_b in chunk:
+        report = detector.detect(_worker_op(index_a), _worker_op(index_b))
+        out.append((pair_index, report.verdict.value))
+    counters = detector.metrics()["counters"]
+    base = _WORKER["counter_base"]
+    delta = {k: v - base.get(k, 0) for k, v in counters.items() if v != base.get(k, 0)}
+    _WORKER["counter_base"] = counters
+    return out, delta, os.getpid()
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class BatchAnalyzer:
+    """Whole-catalogue conflict analysis with caching and a worker pool.
+
+    Args:
+        config: detector configuration for every decision (defaults to
+            :class:`DetectorConfig`'s defaults).  Ignored when
+            ``detector`` is given (its configuration is snapshotted).
+        detector: an existing detector to decide with in-process.  Its
+            internal cache is absorbed into the verdict cache up front,
+            so answers it already knows are never recomputed.
+        jobs: worker processes for undecided unique pairs.  ``None`` or
+            ``1`` decides serially in-process; ``0`` or negative means
+            ``os.cpu_count()``.
+        cache: a shared :class:`VerdictCache`; pass one instance to many
+            analyzers (or preload it from disk) to pool verdicts.
+        registry: metrics registry (``batch.*`` counters plus absorbed
+            per-worker detector counters).  Private by default, like the
+            detector's; pass :func:`repro.obs.global_metrics` to pool.
+
+    Typical use::
+
+        analyzer = BatchAnalyzer(jobs=8)
+        matrix = analyzer.analyze(operations)     # dict of name -> op
+        batches = analyzer.schedule()             # interference-free phases
+        analyzer.add_op("audit", Read("bib//price"))   # one new row only
+        analyzer.cache.save("verdicts.json")      # warm-start future runs
+    """
+
+    #: Below this many undecided unique pairs the pool is not worth its
+    #: startup cost and decisions stay in-process.
+    MIN_PARALLEL_PAIRS = 4
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        *,
+        detector: ConflictDetector | None = None,
+        jobs: int | None = None,
+        cache: VerdictCache | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if detector is not None:
+            config = detector.config
+        self.config = config if config is not None else DetectorConfig()
+        self._detector = detector
+        if jobs is None:
+            jobs = 1
+        elif jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.cache = cache if cache is not None else VerdictCache()
+        self._metrics = registry if registry is not None else MetricsRegistry()
+        if detector is not None:
+            self.cache.absorb_detector(detector)
+        self._operations: dict[str, Operation] = {}
+        self._canon: dict[str, CanonicalOp] = {}
+        self._matrix = ConflictMatrix(names=[])
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The live registry (shared, not a copy)."""
+        return self._metrics
+
+    def metrics(self) -> dict:
+        """Snapshot of this analyzer's metrics registry."""
+        return self._metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # The batch API
+    # ------------------------------------------------------------------
+
+    @property
+    def matrix(self) -> ConflictMatrix:
+        """The current matrix (live — maintained by add_op/remove_op)."""
+        return self._matrix
+
+    @property
+    def operations(self) -> dict[str, Operation]:
+        """The current catalogue (a copy; mutate via add_op/remove_op)."""
+        return dict(self._operations)
+
+    def analyze(
+        self,
+        operations: "Mapping[str, Operation] | Iterable[tuple[str, Operation]]",
+    ) -> ConflictMatrix:
+        """Decide every pair of ``operations`` and return the matrix.
+
+        Accepts a mapping or an iterable of ``(name, operation)`` pairs;
+        duplicate names are an error (two different operations would
+        silently shadow each other in the matrix).  Replaces any
+        previously analyzed catalogue.
+        """
+        ops = self._normalize_catalogue(operations)
+        with obs.span("batch.analyze", operations=len(ops), jobs=self.jobs):
+            self._operations = ops
+            self._canon = {
+                name: CanonicalOp.from_operation(op) for name, op in ops.items()
+            }
+            names = list(ops)
+            self._matrix = ConflictMatrix(names=names)
+            pairs = [
+                (names[i], names[j])
+                for i in range(len(names))
+                for j in range(i + 1, len(names))
+            ]
+            self._decide_into_matrix(pairs)
+        return self._matrix
+
+    def add_op(self, name: str, operation: Operation) -> ConflictMatrix:
+        """Add one operation, deciding only its row against the catalogue."""
+        if name in self._operations:
+            raise ConflictEngineError(
+                f"duplicate operation name {name!r}: remove it first or "
+                "pick a distinct name"
+            )
+        with obs.span("batch.add_op", existing=len(self._operations)):
+            self._operations[name] = operation
+            self._canon[name] = CanonicalOp.from_operation(operation)
+            pairs = [
+                (existing, name) for existing in self._matrix.names
+            ]
+            self._matrix.names.append(name)
+            self._decide_into_matrix(pairs)
+            self._metrics.inc("batch.incremental_adds")
+        return self._matrix
+
+    def remove_op(self, name: str) -> ConflictMatrix:
+        """Remove one operation and its row/column from the matrix."""
+        if name not in self._operations:
+            raise ConflictEngineError(f"unknown operation name {name!r}")
+        del self._operations[name]
+        del self._canon[name]
+        self._matrix.names.remove(name)
+        for key in [k for k in self._matrix.verdicts if name in k]:
+            del self._matrix.verdicts[key]
+        self._metrics.inc("batch.incremental_removes")
+        return self._matrix
+
+    def schedule(self) -> list[list[str]]:
+        """Partition the analyzed catalogue into interference-free batches.
+
+        Greedy first-fit coloring of the may-conflict graph in catalogue
+        order: each operation joins the earliest batch containing no
+        operation it may conflict with (``UNKNOWN`` counts as a conflict,
+        so scheduling stays sound).
+        """
+        batches: list[list[str]] = []
+        for name in self._matrix.names:
+            placed = False
+            for batch in batches:
+                if all(
+                    not self._matrix.may_conflict(name, member) for member in batch
+                ):
+                    batch.append(name)
+                    placed = True
+                    break
+            if not placed:
+                batches.append([name])
+        return batches
+
+    # ------------------------------------------------------------------
+    # Decision pipeline: triage -> dedup -> cache -> decide -> fill
+    # ------------------------------------------------------------------
+
+    def _normalize_catalogue(
+        self,
+        operations: "Mapping[str, Operation] | Iterable[tuple[str, Operation]]",
+    ) -> dict[str, Operation]:
+        if isinstance(operations, Mapping):
+            return dict(operations)
+        out: dict[str, Operation] = {}
+        for name, op in operations:
+            if name in out:
+                raise ConflictEngineError(
+                    f"duplicate operation name {name!r} in catalogue"
+                )
+            out[name] = op
+        return out
+
+    def _decide_into_matrix(self, pairs: list[tuple[str, str]]) -> None:
+        fingerprint = self.config.fingerprint()
+        pending: dict[PairKey, list[tuple[str, str]]] = {}
+        trivial = cached = 0
+        for name_a, name_b in pairs:
+            canon_a, canon_b = self._canon[name_a], self._canon[name_b]
+            if canon_a.is_read and canon_b.is_read:
+                self._matrix.verdicts[(name_a, name_b)] = Verdict.NO_CONFLICT
+                trivial += 1
+                continue
+            key = VerdictCache.pair_key(fingerprint, canon_a, canon_b)
+            hit = self.cache.get(key)
+            if hit is not None:
+                self._matrix.verdicts[(name_a, name_b)] = hit
+                cached += 1
+                continue
+            pending.setdefault(key, []).append((name_a, name_b))
+        self._metrics.inc("batch.pairs_total", len(pairs))
+        self._metrics.inc("batch.pairs_trivial", trivial)
+        self._metrics.inc("batch.pairs_cached", cached)
+        self._metrics.inc("batch.pairs_unique", len(pending))
+        decided = self._decide_unique(pending)
+        for key, names in pending.items():
+            verdict = decided[key]
+            self.cache.put(key, verdict)
+            for name_a, name_b in names:
+                self._matrix.verdicts[(name_a, name_b)] = verdict
+
+    def _decide_unique(
+        self, pending: dict[PairKey, list[tuple[str, str]]]
+    ) -> dict[PairKey, Verdict]:
+        if not pending:
+            return {}
+        items = [
+            (key, self._canon[names[0][0]], self._canon[names[0][1]])
+            for key, names in pending.items()
+        ]
+        if self.jobs > 1 and len(items) >= self.MIN_PARALLEL_PAIRS:
+            op_by_key = {
+                self._canon[name].key: self._operations[name]
+                for names in pending.values()
+                for name in names[0]
+            }
+            try:
+                return self._decide_parallel(items, op_by_key)
+            except OSError:  # pool unavailable (sandboxes, process limits)
+                self._metrics.inc("batch.pool_failures")
+        return self._decide_serial(pending)
+
+    def _decide_serial(
+        self, pending: dict[PairKey, list[tuple[str, str]]]
+    ) -> dict[PairKey, Verdict]:
+        if self._detector is None:
+            self._detector = ConflictDetector(config=self.config)
+        out = {}
+        with obs.span("batch.decide_serial", pairs=len(pending)):
+            for key, names in pending.items():
+                name_a, name_b = names[0]
+                report = self._detector.detect(
+                    self._operations[name_a], self._operations[name_b]
+                )
+                out[key] = report.verdict
+        self._metrics.inc("batch.pairs_decided", len(pending))
+        return out
+
+    def _decide_parallel(
+        self,
+        items: list[tuple[PairKey, CanonicalOp, CanonicalOp]],
+        op_by_key: dict[OpKey, Operation],
+    ) -> dict[PairKey, Verdict]:
+        jobs = min(self.jobs, len(items))
+        # Deduplicate operands into one indexed payload shipped with the
+        # pool initializer; chunks and results are integer triples, so
+        # per-chunk IPC stays tiny even with multi-kilobyte fragments.
+        op_indices: dict[OpKey, int] = {}
+        payload_ops: list[CanonicalOp] = []
+        triples: list[tuple[int, int, int]] = []
+        for pair_index, (_, canon_a, canon_b) in enumerate(items):
+            indexes = []
+            for canon in (canon_a, canon_b):
+                index = op_indices.get(canon.key)
+                if index is None:
+                    index = len(payload_ops)
+                    op_indices[canon.key] = index
+                    payload_ops.append(canon)
+                indexes.append(index)
+            triples.append((pair_index, indexes[0], indexes[1]))
+        # Round-robin chunks spread structurally similar (often equally
+        # expensive) neighbors across workers; several chunks per worker
+        # lets fast workers steal the tail.
+        chunk_count = min(len(triples), jobs * 4)
+        chunks: list[list] = [[] for _ in range(chunk_count)]
+        for index, triple in enumerate(triples):
+            chunks[index % chunk_count].append(triple)
+        out: dict[PairKey, Verdict] = {}
+        workers_seen: set[int] = set()
+        with obs.span("batch.decide_parallel", pairs=len(items), jobs=jobs):
+            context = _preferred_context()
+            if context.get_start_method() == "fork":
+                _FORK_OPS.update(
+                    {index: op_by_key[key] for key, index in op_indices.items()}
+                )
+            try:
+                with context.Pool(
+                    processes=jobs,
+                    initializer=_worker_init,
+                    initargs=(self.config, payload_ops),
+                ) as pool:
+                    for verdicts, counters, worker_pid in pool.imap_unordered(
+                        _decide_chunk, chunks
+                    ):
+                        for pair_index, value in verdicts:
+                            out[items[pair_index][0]] = Verdict(value)
+                        self._metrics.absorb_counters(counters)
+                        self._metrics.inc("batch.worker_chunks")
+                        self._metrics.inc(
+                            "batch.worker_pairs", len(verdicts), worker=worker_pid
+                        )
+                        workers_seen.add(worker_pid)
+            finally:
+                _FORK_OPS.clear()
+        self._metrics.set_gauge("batch.workers_used", len(workers_seen))
+        self._metrics.inc("batch.pairs_decided", len(items))
+        return out
+
+
+def reference_matrix(
+    operations: "Mapping[str, Operation]",
+    detector: ConflictDetector | None = None,
+) -> ConflictMatrix:
+    """The serial per-pair reference implementation (ground truth).
+
+    Decides every ordered-relevant pair through one detector call, with
+    no batching, dedup, or verdict sharing — the pre-batch-engine
+    behavior.  The equivalence tests and ``bench_matrix.py`` compare
+    :class:`BatchAnalyzer` output against this, verdict for verdict.
+    """
+    detector = detector if detector is not None else ConflictDetector()
+    names = list(operations)
+    matrix = ConflictMatrix(names=names)
+    for i, first_name in enumerate(names):
+        for second_name in names[i + 1:]:
+            report = detector.detect(
+                operations[first_name], operations[second_name]
+            )
+            matrix.verdicts[(first_name, second_name)] = report.verdict
+    return matrix

@@ -27,6 +27,9 @@ Typical use::
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from dataclasses import dataclass
+
 from repro import obs
 from repro.conflicts.complex import detect_update_update
 from repro.conflicts.general import DEFAULT_EXHAUSTIVE_CAP, decide_conflict
@@ -34,11 +37,43 @@ from repro.conflicts.linear import (
     detect_read_delete_linear,
     detect_read_insert_linear,
 )
-from repro.conflicts.semantics import ConflictKind, ConflictReport
+from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
 from repro.obs.metrics import MetricsRegistry
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
 
-__all__ = ["ConflictDetector"]
+__all__ = ["ConflictDetector", "DetectorConfig"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """The :class:`ConflictDetector` constructor knobs as one value.
+
+    Consolidates the six keyword arguments so configurations can be
+    stored, compared, and shipped across process boundaries (the batch
+    engine sends one to every worker; the dataclass is picklable, unlike
+    a detector with its registry lock).  ``ConflictDetector(config=cfg)``
+    and ``cfg.build()`` both construct an equivalent detector.
+    """
+
+    kind: ConflictKind = ConflictKind.NODE
+    exhaustive_cap: int | None = DEFAULT_EXHAUSTIVE_CAP
+    use_heuristics: bool = True
+    cache: bool = True
+    minimize_witnesses: bool = False
+    trace: bool = False
+
+    def fingerprint(self) -> tuple[str, int | None, bool]:
+        """The knobs that can change a *verdict* (cache-key component).
+
+        ``cache``/``trace``/``minimize_witnesses`` only affect speed and
+        report decoration, so two configs differing only in those may
+        share cached verdicts.
+        """
+        return (self.kind.value, self.exhaustive_cap, self.use_heuristics)
+
+    def build(self, registry: MetricsRegistry | None = None) -> "ConflictDetector":
+        """Construct a detector with this configuration."""
+        return ConflictDetector(config=self, registry=registry)
 
 
 class ConflictDetector:
@@ -68,6 +103,8 @@ class ConflictDetector:
             :func:`repro.obs.enable`; the ``REPRO_TRACE`` env var is the
             non-invasive alternative).  ``False`` leaves the current
             state untouched rather than disabling it.
+        config: a :class:`DetectorConfig` carrying all six knobs at once;
+            when given it overrides the individual keyword arguments.
     """
 
     def __init__(
@@ -79,7 +116,15 @@ class ConflictDetector:
         minimize_witnesses: bool = False,
         registry: MetricsRegistry | None = None,
         trace: bool = False,
+        config: DetectorConfig | None = None,
     ) -> None:
+        if config is not None:
+            kind = config.kind
+            exhaustive_cap = config.exhaustive_cap
+            use_heuristics = config.use_heuristics
+            cache = config.cache
+            minimize_witnesses = config.minimize_witnesses
+            trace = config.trace
         self.kind = kind
         self.exhaustive_cap = exhaustive_cap
         self.use_heuristics = use_heuristics
@@ -88,6 +133,23 @@ class ConflictDetector:
         self._metrics = registry if registry is not None else MetricsRegistry()
         if trace:
             obs.enable()
+
+    @property
+    def config(self) -> DetectorConfig:
+        """This detector's knobs as a :class:`DetectorConfig` snapshot.
+
+        ``trace`` is reported as ``False``: the constructor flag flips a
+        process-wide switch rather than detector state, so rebuilding
+        from the snapshot must not re-flip it.
+        """
+        return DetectorConfig(
+            kind=self.kind,
+            exhaustive_cap=self.exhaustive_cap,
+            use_heuristics=self.use_heuristics,
+            cache=self._cache is not None,
+            minimize_witnesses=self.minimize_witnesses,
+            trace=False,
+        )
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -116,6 +178,44 @@ class ConflictDetector:
         ``cache.hits`` and ``cache.misses``.
         """
         return self._metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # Polymorphic entry point
+    # ------------------------------------------------------------------
+
+    def detect(
+        self, first: Read | UpdateOp, second: Read | UpdateOp
+    ) -> ConflictReport:
+        """Decide any pair of operations, dispatching on operand types.
+
+        * read / read — trivially compatible (reads have no effect), so
+          the answer is ``NO_CONFLICT`` without consulting any engine;
+        * read / update (either order) — a read-update conflict query;
+        * update / update — a commutativity (value-semantics) query.
+
+        The typed entry points (:meth:`read_insert`, :meth:`read_delete`,
+        :meth:`read_update`, :meth:`update_update`) remain the precise
+        API; ``detect`` is for callers that hold heterogeneous operation
+        sets — the batch engine decides every catalogue pair through it.
+        """
+        first_read = isinstance(first, Read)
+        second_read = isinstance(second, Read)
+        if first_read and second_read:
+            return ConflictReport(
+                verdict=Verdict.NO_CONFLICT,
+                kind=self.kind,
+                method="read-read-trivial",
+            )
+        if first_read:
+            return self.read_update(first, second)  # type: ignore[arg-type]
+        if second_read:
+            return self.read_update(second, first)  # type: ignore[arg-type]
+        if isinstance(first, Insert | Delete) and isinstance(second, Insert | Delete):
+            return self.update_update(first, second)
+        raise TypeError(
+            f"cannot detect conflicts between {type(first).__name__!r} "
+            f"and {type(second).__name__!r}"
+        )
 
     # ------------------------------------------------------------------
     # Read-update queries
@@ -255,6 +355,22 @@ class ConflictDetector:
             op_key(first),
             op_key(second),
         )
+
+    def cached_entries(
+        self,
+    ) -> Iterator[tuple[tuple[str, int | None, bool], tuple, tuple, Verdict]]:
+        """Yield ``(fingerprint, key_a, key_b, verdict)`` per cached answer.
+
+        The fingerprint matches :meth:`DetectorConfig.fingerprint` and the
+        operand keys are the canonical forms used internally, so a
+        :class:`repro.conflicts.batch.VerdictCache` can absorb a
+        detector's accumulated answers without re-deriving anything.
+        """
+        if self._cache is None:
+            return
+        for key, report in self._cache.items():
+            _tag, kind, cap, heuristics, key_a, key_b = key
+            yield (kind.value, cap, heuristics), key_a, key_b, report.verdict
 
     def _cache_get(self, key: tuple | None) -> ConflictReport | None:
         # ``key is None`` means caching is disabled for this detector; such

@@ -8,108 +8,70 @@ into phases that are internally interference-free?
 
 * :func:`conflict_matrix` — decide every ordered-relevant pair once
   (read/read pairs are trivially compatible; read/update and
-  update/update pairs go through the :class:`ConflictDetector`, whose
-  canonical-form cache makes repeated structures cheap).
+  update/update pairs go through the detector).
 * :func:`parallel_schedule` — greedy graph coloring of the may-conflict
   graph: a partition of the operations into *batches* such that no two
   operations in a batch may conflict.  Operations within a batch can be
   executed in any order (or concurrently) with a guaranteed-equivalent
   outcome; batches execute in sequence.  ``UNKNOWN`` verdicts are treated
   as conflicts (sound scheduling).
+
+Both functions are thin fronts over
+:class:`repro.conflicts.batch.BatchAnalyzer`, which canonicalizes each
+operation once, dedups structurally identical pairs, consults a
+shareable verdict cache, and can spread undecided pairs across a worker
+pool (``jobs``).  Hold an analyzer directly when you need incremental
+maintenance (``add_op``/``remove_op``) or cache snapshots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
 
+from repro.conflicts.batch import (
+    BatchAnalyzer,
+    ConflictMatrix,
+    Operation,
+    VerdictCache,
+)
 from repro.conflicts.detector import ConflictDetector
-from repro.conflicts.semantics import Verdict
-from repro.operations.ops import Read, UpdateOp
 
 __all__ = ["Operation", "ConflictMatrix", "conflict_matrix", "parallel_schedule"]
 
-#: A named operation: any of Read / Insert / Delete.
-Operation = Read | UpdateOp
-
-
-@dataclass
-class ConflictMatrix:
-    """Pairwise may-conflict verdicts over a named operation set."""
-
-    names: list[str]
-    verdicts: dict[tuple[str, str], Verdict] = field(default_factory=dict)
-
-    def verdict(self, first: str, second: str) -> Verdict:
-        """The verdict for an unordered pair (symmetric)."""
-        if first == second:
-            return Verdict.NO_CONFLICT
-        key = (first, second) if (first, second) in self.verdicts else (second, first)
-        return self.verdicts[key]
-
-    def may_conflict(self, first: str, second: str) -> bool:
-        """True unless the pair is *proved* conflict-free."""
-        return self.verdict(first, second) is not Verdict.NO_CONFLICT
-
-    def compatible_with(self, name: str) -> list[str]:
-        """All operations proved compatible with ``name``."""
-        return [
-            other
-            for other in self.names
-            if other != name and not self.may_conflict(name, other)
-        ]
-
-    def render(self) -> str:
-        """A fixed-width text table (conflict / ``-`` / ``?``)."""
-        mark = {
-            Verdict.CONFLICT: "conflict",
-            Verdict.NO_CONFLICT: "-",
-            Verdict.UNKNOWN: "?",
-        }
-        width = max(len(n) for n in self.names) + 2
-        cell = max(10, width)
-        lines = [
-            " " * width + "".join(f"{name[:cell - 2]:>{cell}}" for name in self.names)
-        ]
-        for row in self.names:
-            cells = [f"{row[:width - 2]:<{width}}"]
-            for col in self.names:
-                cells.append(f"{mark[self.verdict(row, col)]:>{cell}}")
-            lines.append("".join(cells))
-        return "\n".join(lines)
-
 
 def conflict_matrix(
-    operations: dict[str, Operation],
+    operations: Mapping[str, Operation],
     detector: ConflictDetector | None = None,
+    *,
+    jobs: int | None = None,
+    cache: VerdictCache | None = None,
 ) -> ConflictMatrix:
     """Decide every pair in ``operations`` (dict of name -> operation).
 
     Reads never conflict with reads; read/update and update/update pairs
     are decided by the detector.  The matrix stores one verdict per
     unordered pair.
+
+    Args:
+        operations: the named catalogue.
+        detector: decide with this detector (its configuration and any
+            cached answers are reused).  A default detector otherwise.
+        jobs: decide undecided unique pairs across this many worker
+            processes (``None``/``1`` = serial, ``0`` = all cores).
+        cache: a shared :class:`~repro.conflicts.batch.VerdictCache` to
+            consult and fill (pass the same instance across calls, or
+            one loaded from disk, to skip already-decided pairs).
     """
-    detector = detector if detector is not None else ConflictDetector()
-    names = list(operations)
-    matrix = ConflictMatrix(names)
-    for i, first_name in enumerate(names):
-        for second_name in names[i + 1:]:
-            first = operations[first_name]
-            second = operations[second_name]
-            if isinstance(first, Read) and isinstance(second, Read):
-                verdict = Verdict.NO_CONFLICT
-            elif isinstance(first, Read):
-                verdict = detector.read_update(first, second).verdict  # type: ignore[arg-type]
-            elif isinstance(second, Read):
-                verdict = detector.read_update(second, first).verdict  # type: ignore[arg-type]
-            else:
-                verdict = detector.update_update(first, second).verdict
-            matrix.verdicts[(first_name, second_name)] = verdict
-    return matrix
+    analyzer = BatchAnalyzer(detector=detector, jobs=jobs, cache=cache)
+    return analyzer.analyze(operations)
 
 
 def parallel_schedule(
-    operations: dict[str, Operation],
+    operations: Mapping[str, Operation],
     detector: ConflictDetector | None = None,
+    *,
+    jobs: int | None = None,
+    cache: VerdictCache | None = None,
 ) -> list[list[str]]:
     """Partition operations into interference-free batches.
 
@@ -118,16 +80,9 @@ def parallel_schedule(
     it may conflict with.  Every batch is internally conflict-free, so its
     members commute pairwise (under the detector's semantics); batch order
     preserves the catalogue order between conflicting operations.
+
+    Accepts the same ``jobs``/``cache`` knobs as :func:`conflict_matrix`.
     """
-    matrix = conflict_matrix(operations, detector)
-    batches: list[list[str]] = []
-    for name in operations:
-        placed = False
-        for batch in batches:
-            if all(not matrix.may_conflict(name, member) for member in batch):
-                batch.append(name)
-                placed = True
-                break
-        if not placed:
-            batches.append([name])
-    return batches
+    analyzer = BatchAnalyzer(detector=detector, jobs=jobs, cache=cache)
+    analyzer.analyze(operations)
+    return analyzer.schedule()

@@ -134,6 +134,20 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
 
+    def absorb_counters(self, counters: dict[str, int]) -> None:
+        """Add a plain ``{key: value}`` counter mapping into this registry.
+
+        The keys are pre-rendered (label dimensions already baked in), as
+        produced by ``snapshot()["counters"]``.  This is how counters
+        cross process boundaries: batch-analysis workers snapshot their
+        detector's registry, ship the plain dict back (a registry itself
+        holds a lock and cannot be pickled), and the parent sums the
+        deltas here.
+        """
+        with self._lock:
+            for key, value in counters.items():
+                self._counters[key] = self._counters.get(key, 0) + value
+
     def merged_with(self, other: "MetricsRegistry") -> dict:
         """Snapshot of ``self`` overlaid with ``other`` (counters summed).
 

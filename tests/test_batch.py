@@ -1,0 +1,255 @@
+"""Tests for the batch conflict-analysis engine (:mod:`repro.conflicts.batch`)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.conflicts.batch import (
+    BatchAnalyzer,
+    CanonicalOp,
+    ConflictMatrix,
+    VerdictCache,
+    reference_matrix,
+)
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.conflicts.semantics import Verdict
+from repro.errors import ConflictEngineError
+from repro.operations.ops import Delete, Insert, Read
+from repro.xml.isomorphism import canonical_form
+
+OPERATIONS = {
+    "titles": Read("bib/book/title"),
+    "quantities": Read("//quantity"),
+    "restock": Insert("bib/book", "<restock/>"),
+    "purge": Delete("bib/book"),
+    "strip-markers": Delete("bib/book/restock"),
+}
+
+
+def assert_same_verdicts(matrix_a: ConflictMatrix, matrix_b: ConflictMatrix) -> None:
+    assert sorted(matrix_a.names) == sorted(matrix_b.names)
+    for a, b in itertools.combinations(matrix_a.names, 2):
+        assert matrix_a.verdict(a, b) is matrix_b.verdict(a, b), (a, b)
+
+
+class TestCanonicalOp:
+    def test_roundtrip_read(self):
+        canon = CanonicalOp.from_operation(Read("bib//book/title"))
+        rebuilt = canon.to_operation()
+        assert isinstance(rebuilt, Read)
+        assert rebuilt.pattern.canonical_form() == canon.pattern_key
+
+    def test_roundtrip_insert(self):
+        canon = CanonicalOp.from_operation(Insert("a/b", "<c><d/></c>"))
+        rebuilt = canon.to_operation()
+        assert isinstance(rebuilt, Insert)
+        assert canonical_form(rebuilt.subtree) == canon.subtree_key
+
+    def test_structurally_identical_ops_share_a_key(self):
+        one = CanonicalOp.from_operation(Insert("a/b", "<c><d/><e/></c>"))
+        two = CanonicalOp.from_operation(Insert("a/b", "<c><e/><d/></c>"))
+        assert one.key == two.key
+
+    def test_different_ops_differ(self):
+        assert (
+            CanonicalOp.from_operation(Read("a/b")).key
+            != CanonicalOp.from_operation(Delete("a/b")).key
+        )
+
+    def test_rejects_non_operations(self):
+        with pytest.raises(TypeError):
+            CanonicalOp.from_operation("read a/b")
+
+
+class TestVerdictCache:
+    def _decided_cache(self):
+        cache = VerdictCache()
+        analyzer = BatchAnalyzer(cache=cache)
+        analyzer.analyze(OPERATIONS)
+        return cache
+
+    def test_export_merge_roundtrip(self):
+        cache = self._decided_cache()
+        other = VerdictCache()
+        added = other.merge(cache.export())
+        assert added == len(cache) > 0
+        assert other.merge(cache) == 0  # idempotent
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = self._decided_cache()
+        path = tmp_path / "verdicts.json"
+        cache.save(path)
+        loaded = VerdictCache.load(path)
+        assert len(loaded) == len(cache)
+        # A warm analyzer answers everything from the loaded cache.
+        warm = BatchAnalyzer(cache=loaded)
+        warm.analyze(OPERATIONS)
+        counters = warm.metrics()["counters"]
+        assert counters.get("batch.pairs_unique", 0) == 0
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ConflictEngineError):
+            VerdictCache.load(path)
+
+    def test_absorb_detector(self):
+        detector = ConflictDetector()
+        detector.read_delete(Read("bib/book/title"), Delete("bib/book"))
+        cache = VerdictCache()
+        assert cache.absorb_detector(detector) == 1
+        # The absorbed verdict pre-answers the matching matrix cell.
+        analyzer = BatchAnalyzer(cache=cache)
+        analyzer.analyze(
+            {"titles": Read("bib/book/title"), "purge": Delete("bib/book")}
+        )
+        counters = analyzer.metrics()["counters"]
+        assert counters.get("batch.pairs_cached", 0) == 1
+
+    def test_fingerprints_keep_configurations_apart(self):
+        cache = VerdictCache()
+        op_a = CanonicalOp.from_operation(Insert("a/b", "<x/>"))
+        op_b = CanonicalOp.from_operation(Insert("a/c", "<y/>"))
+        key_small = VerdictCache.pair_key(
+            DetectorConfig(exhaustive_cap=2).fingerprint(), op_a, op_b
+        )
+        key_large = VerdictCache.pair_key(
+            DetectorConfig(exhaustive_cap=6).fingerprint(), op_a, op_b
+        )
+        assert key_small != key_large
+        cache.put(key_small, Verdict.UNKNOWN)
+        assert cache.get(key_large) is None
+
+
+class TestBatchAnalyzer:
+    def test_matches_reference_matrix(self):
+        reference = reference_matrix(OPERATIONS)
+        batch = BatchAnalyzer().analyze(OPERATIONS)
+        assert_same_verdicts(reference, batch)
+
+    def test_accepts_pair_iterables(self):
+        matrix = BatchAnalyzer().analyze(list(OPERATIONS.items()))
+        assert sorted(matrix.names) == sorted(OPERATIONS)
+
+    def test_duplicate_names_rejected(self):
+        pairs = [("op", Read("a/b")), ("op", Delete("a/b"))]
+        with pytest.raises(ConflictEngineError):
+            BatchAnalyzer().analyze(pairs)
+
+    def test_dedup_decides_unique_pairs_once(self):
+        catalogue = {f"r{i}": Read("bib/book/title") for i in range(4)}
+        catalogue["purge"] = Delete("bib/book")
+        analyzer = BatchAnalyzer()
+        analyzer.analyze(catalogue)
+        counters = analyzer.metrics()["counters"]
+        # 4 read/read pairs are trivial; the 4 read-vs-delete pairs
+        # collapse to one unique decision.
+        assert counters["batch.pairs_total"] == 10
+        assert counters["batch.pairs_trivial"] == 6
+        assert counters["batch.pairs_unique"] == 1
+        assert counters["batch.pairs_decided"] == 1
+
+    def test_add_op_decides_only_new_row(self):
+        analyzer = BatchAnalyzer()
+        analyzer.analyze(OPERATIONS)
+        before = analyzer.metrics()["counters"]["batch.pairs_total"]
+        analyzer.add_op("audit", Read("bib//price"))
+        counters = analyzer.metrics()["counters"]
+        assert counters["batch.pairs_total"] - before == len(OPERATIONS)
+        assert counters["batch.incremental_adds"] == 1
+        assert "audit" in analyzer.matrix.names
+        # The maintained matrix equals a from-scratch analysis.
+        fresh = BatchAnalyzer().analyze(analyzer.operations)
+        assert_same_verdicts(fresh, analyzer.matrix)
+
+    def test_add_op_duplicate_name_rejected(self):
+        analyzer = BatchAnalyzer()
+        analyzer.analyze(OPERATIONS)
+        with pytest.raises(ConflictEngineError):
+            analyzer.add_op("titles", Read("x/y"))
+
+    def test_remove_op(self):
+        analyzer = BatchAnalyzer()
+        analyzer.analyze(OPERATIONS)
+        analyzer.remove_op("purge")
+        assert "purge" not in analyzer.matrix.names
+        assert all("purge" not in key for key in analyzer.matrix.verdicts)
+        fresh = BatchAnalyzer().analyze(analyzer.operations)
+        assert_same_verdicts(fresh, analyzer.matrix)
+
+    def test_remove_unknown_name_rejected(self):
+        with pytest.raises(ConflictEngineError):
+            BatchAnalyzer().remove_op("ghost")
+
+    def test_warm_detector_is_absorbed(self):
+        detector = ConflictDetector()
+        detector.read_delete(Read("bib/book/title"), Delete("bib/book"))
+        analyzer = BatchAnalyzer(detector=detector)
+        analyzer.analyze(
+            {"titles": Read("bib/book/title"), "purge": Delete("bib/book")}
+        )
+        assert analyzer.metrics()["counters"].get("batch.pairs_cached", 0) == 1
+
+    def test_shared_cache_across_analyzers(self):
+        cache = VerdictCache()
+        BatchAnalyzer(cache=cache).analyze(OPERATIONS)
+        second = BatchAnalyzer(cache=cache)
+        second.analyze(OPERATIONS)
+        assert second.metrics()["counters"].get("batch.pairs_unique", 0) == 0
+
+    def test_schedule_matches_functional_front(self):
+        from repro.conflicts.schedule import parallel_schedule
+
+        analyzer = BatchAnalyzer()
+        analyzer.analyze(OPERATIONS)
+        assert analyzer.schedule() == parallel_schedule(OPERATIONS)
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_on_fixed_catalogue(self):
+        serial = BatchAnalyzer(jobs=1).analyze(OPERATIONS)
+        parallel = BatchAnalyzer(jobs=2).analyze(OPERATIONS)
+        assert_same_verdicts(serial, parallel)
+
+    def test_parallel_worker_metrics_absorbed(self):
+        analyzer = BatchAnalyzer(jobs=2)
+        analyzer.analyze(OPERATIONS)
+        counters = analyzer.metrics()["counters"]
+        if counters.get("batch.pool_failures"):
+            pytest.skip("process pool unavailable in this environment")
+        assert counters.get("batch.worker_chunks", 0) >= 1
+        assert any(k.startswith("batch.worker_pairs{") for k in counters)
+        assert analyzer.metrics()["gauges"]["batch.workers_used"] >= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_parallel_matches_serial_property(self, seed):
+        """Identical verdict matrices, serial vs parallel, for every seed."""
+        from repro.workloads.generators import (
+            random_delete,
+            random_insert,
+            random_read,
+        )
+
+        rng = random.Random(seed)
+        catalogue = {}
+        for index in range(7):
+            roll = rng.random()
+            if roll < 0.4:
+                catalogue[f"op{index}"] = random_read(3, ("a", "b"), seed=rng)
+            elif roll < 0.7:
+                catalogue[f"op{index}"] = random_insert(
+                    2, alphabet=("a", "b"), seed=rng, linear=True
+                )
+            else:
+                catalogue[f"op{index}"] = random_delete(
+                    2, ("a", "b"), seed=rng, linear=True
+                )
+        config = DetectorConfig(exhaustive_cap=3)
+        serial = BatchAnalyzer(config, jobs=1).analyze(catalogue)
+        parallel = BatchAnalyzer(config, jobs=2).analyze(catalogue)
+        reference = reference_matrix(catalogue, ConflictDetector(config=config))
+        assert_same_verdicts(serial, parallel)
+        assert_same_verdicts(reference, serial)

@@ -253,3 +253,152 @@ class TestObservabilityFlags:
         names = {json.loads(line)["name"] for line in path.read_text().splitlines()}
         assert {"detector.dispatch", "linear.read_insert",
                 "detector.cache.lookup"} <= names
+
+
+CATALOGUE = """
+{"titles":  {"op": "read",   "xpath": "bib/book/title"},
+ "prices":  {"op": "read",   "xpath": "bib/book/price"},
+ "restock": {"op": "insert", "xpath": "bib/book", "xml": "<restock/>"},
+ "purge":   {"op": "delete", "xpath": "bib/book"}}
+"""
+
+
+def _write_catalogue(tmp_path, text=CATALOGUE):
+    path = tmp_path / "ops.json"
+    path.write_text(text)
+    return str(path)
+
+
+class TestMatrix:
+    def test_conflict_exit_code_and_summary(self, tmp_path, capsys):
+        code = main(["matrix", "--ops", _write_catalogue(tmp_path)])
+        assert code == 1  # titles <-> purge conflicts
+        out = capsys.readouterr().out
+        assert "4 operation(s), 6 pair(s)" in out
+        assert "titles <-> purge: conflict" in out
+
+    def test_render_flag(self, tmp_path, capsys):
+        code = main(["matrix", "--ops", _write_catalogue(tmp_path), "--render"])
+        assert code == 1
+        assert "conflict" in capsys.readouterr().out
+
+    def test_json_schema(self, tmp_path, capsys):
+        import json
+
+        code = main(["matrix", "--ops", _write_catalogue(tmp_path), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "matrix"
+        assert sorted(payload["names"]) == ["prices", "purge", "restock", "titles"]
+        verdicts = {
+            (entry["first"], entry["second"]): entry["verdict"]
+            for entry in payload["verdicts"]
+        }
+        assert verdicts[("titles", "purge")] == "conflict"
+        assert verdicts[("titles", "prices")] == "no-conflict"
+        assert payload["stats"]["operations"] == 4
+        assert payload["stats"]["conflict"] >= 1
+
+    def test_no_conflict_exit_code(self, tmp_path):
+        path = _write_catalogue(
+            tmp_path,
+            '{"r1": {"op": "read", "xpath": "a/b"},'
+            ' "r2": {"op": "read", "xpath": "a//c"}}',
+        )
+        assert main(["matrix", "--ops", path]) == 0
+
+    def test_unknown_exit_code(self, tmp_path):
+        path = _write_catalogue(
+            tmp_path,
+            '{"i1": {"op": "insert", "xpath": "a/b", "xml": "<x/>"},'
+            ' "i2": {"op": "insert", "xpath": "a/b", "xml": "<y/>"}}',
+        )
+        assert main(["matrix", "--ops", path, "--budget", "1"]) == 2
+
+    def test_cache_file_roundtrip(self, tmp_path, capsys):
+        ops = _write_catalogue(tmp_path)
+        cache = tmp_path / "verdicts.json"
+        main(["matrix", "--ops", ops, "--cache", str(cache)])
+        assert cache.exists()
+        code = main(["matrix", "--ops", ops, "--cache", str(cache), "--json"])
+        assert code == 1  # warm run, same verdicts
+
+    def test_bad_catalogue_reports_error(self, tmp_path, capsys):
+        path = _write_catalogue(tmp_path, '{"x": {"op": "merge", "xpath": "a"}}')
+        assert main(["matrix", "--ops", path]) == 64
+        assert "unknown op" in capsys.readouterr().err
+
+    def test_malformed_json_reports_error(self, tmp_path, capsys):
+        path = _write_catalogue(tmp_path, "{nope")
+        assert main(["matrix", "--ops", path]) == 64
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestSchedule:
+    def test_phases_printed(self, tmp_path, capsys):
+        code = main(["schedule", "--ops", _write_catalogue(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase 1:" in out
+        assert "purge" in out
+
+    def test_json_schema(self, tmp_path, capsys):
+        import json
+
+        code = main(["schedule", "--ops", _write_catalogue(tmp_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "schedule"
+        flat = sorted(name for batch in payload["batches"] for name in batch)
+        assert flat == ["prices", "purge", "restock", "titles"]
+        assert payload["stats"]["batches"] == len(payload["batches"])
+
+    def test_jobs_flag_accepted(self, tmp_path):
+        code = main(
+            ["schedule", "--ops", _write_catalogue(tmp_path), "--jobs", "2"]
+        )
+        assert code == 0
+
+
+class TestJsonReports:
+    def test_check_json(self, capsys):
+        import json
+
+        code = main(
+            ["check", "--read", "*//C", "--insert", "*/B", "--xml", "<C/>",
+             "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "check"
+        assert payload["verdict"] == "conflict"
+        assert payload["kind"] == "node"
+        assert payload["method"]
+        assert payload["witness"] is not None
+        assert "<" in payload["witness"]["xml"]
+
+    def test_check_json_no_conflict(self, capsys):
+        import json
+
+        code = main(
+            ["check", "--read", "a/b", "--insert", "a/b", "--xml", "<c/>",
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "no-conflict"
+        assert payload["witness"] is None
+
+    def test_commute_json(self, capsys):
+        import json
+
+        code = main(
+            ["commute", "--insert1", "a/b", "--xml1", "<x/>",
+             "--delete2", "a/b", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "commute"
+        assert payload["verdict"] in {"conflict", "no-conflict", "unknown"}
+        assert code == {"no-conflict": 0, "conflict": 1, "unknown": 2}[
+            payload["verdict"]
+        ]

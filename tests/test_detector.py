@@ -121,3 +121,95 @@ class TestWitnessesAlwaysVerify:
         assert detector.read_insert(Read("*//C"), insert).verdict is Verdict.CONFLICT
         assert detector.read_insert(Read("*//D"), insert).verdict is Verdict.NO_CONFLICT
         assert detector.read_insert(Read("*/*/A"), insert).verdict is Verdict.NO_CONFLICT
+
+
+class TestDetectorConfig:
+    def test_defaults_match_constructor_defaults(self):
+        from repro.conflicts.detector import DetectorConfig
+
+        built = DetectorConfig().build()
+        plain = ConflictDetector()
+        assert built.config == plain.config
+
+    def test_build_applies_knobs(self):
+        from repro.conflicts.detector import DetectorConfig
+
+        config = DetectorConfig(
+            kind=ConflictKind.TREE, exhaustive_cap=3, use_heuristics=False
+        )
+        detector = config.build()
+        assert detector.kind is ConflictKind.TREE
+        assert detector.exhaustive_cap == 3
+        assert detector.use_heuristics is False
+        assert detector.config == config
+
+    def test_config_overrides_keyword_knobs(self):
+        from repro.conflicts.detector import DetectorConfig
+
+        detector = ConflictDetector(
+            exhaustive_cap=9, config=DetectorConfig(exhaustive_cap=2)
+        )
+        assert detector.exhaustive_cap == 2
+
+    def test_fingerprint_tracks_verdict_knobs_only(self):
+        from repro.conflicts.detector import DetectorConfig
+
+        base = DetectorConfig()
+        assert base.fingerprint() != DetectorConfig(exhaustive_cap=2).fingerprint()
+        assert base.fingerprint() != DetectorConfig(
+            kind=ConflictKind.TREE
+        ).fingerprint()
+        # cache / minimize_witnesses / trace do not change verdicts.
+        assert base.fingerprint() == DetectorConfig(cache=False).fingerprint()
+        assert base.fingerprint() == DetectorConfig(
+            minimize_witnesses=True
+        ).fingerprint()
+
+    def test_frozen(self):
+        from repro.conflicts.detector import DetectorConfig
+
+        with pytest.raises(Exception):
+            DetectorConfig().exhaustive_cap = 1
+
+
+class TestPolymorphicDetect:
+    def test_read_read_trivial(self):
+        report = ConflictDetector().detect(Read("a/b"), Read("a/b"))
+        assert report.verdict is Verdict.NO_CONFLICT
+        assert report.method == "read-read-trivial"
+
+    def test_read_update_either_order(self):
+        detector = ConflictDetector()
+        read, delete = Read("bib/book/title"), Delete("bib/book")
+        assert detector.detect(read, delete).verdict is Verdict.CONFLICT
+        assert detector.detect(delete, read).verdict is Verdict.CONFLICT
+
+    def test_update_update(self):
+        detector = ConflictDetector()
+        report = detector.detect(Insert("a/b", "<c/>"), Delete("a/b/c"))
+        assert report.verdict is Verdict.CONFLICT
+
+    def test_matches_specific_entry_points(self):
+        detector = ConflictDetector()
+        read, insert = Read("*//C"), Insert("*/B", "<C/>")
+        assert (
+            detector.detect(read, insert).verdict
+            is detector.read_insert(read, insert).verdict
+        )
+
+    def test_rejects_non_operations(self):
+        with pytest.raises(TypeError):
+            ConflictDetector().detect(Read("a"), "delete a/b")
+
+
+class TestCachedEntries:
+    def test_yields_verdicts_with_fingerprint(self):
+        detector = ConflictDetector()
+        detector.read_delete(Read("bib/book/title"), Delete("bib/book"))
+        entries = list(detector.cached_entries())
+        assert len(entries) == 1
+        fingerprint, key_a, key_b, verdict = entries[0]
+        assert fingerprint == detector.config.fingerprint()
+        assert verdict is Verdict.CONFLICT
+        kinds = {key_a[0], key_b[0]}
+        assert kinds == {"Read", "Delete"}

@@ -115,6 +115,44 @@ class TestParallelSchedule:
         conflict_matrix(OPERATIONS, detector)
         assert detector.cache_misses == before  # all answers cached
 
+class TestEdgeCases:
+    def test_empty_catalogue(self):
+        matrix = conflict_matrix({})
+        assert matrix.names == []
+        assert matrix.verdicts == {}
+        assert parallel_schedule({}) == []
+
+    def test_single_operation(self):
+        matrix = conflict_matrix({"only": Delete("a/b")})
+        assert matrix.names == ["only"]
+        assert matrix.verdicts == {}
+        assert parallel_schedule({"only": Delete("a/b")}) == [["only"]]
+
+    def test_duplicate_names_rejected(self):
+        from repro.conflicts.batch import BatchAnalyzer
+        from repro.errors import ConflictEngineError
+
+        pairs = [("op", Read("a/b")), ("op", Read("a/c"))]
+        with pytest.raises(ConflictEngineError):
+            BatchAnalyzer().analyze(pairs)
+
+    def test_unknown_treated_as_conflict(self):
+        """Undecided pairs must not share a batch (sound scheduling)."""
+        from repro.conflicts.batch import BatchAnalyzer
+        from repro.conflicts.detector import DetectorConfig
+
+        catalogue = {
+            "i1": Insert("a/b", "<x/>"),
+            "i2": Insert("a/b", "<y/>"),
+        }
+        analyzer = BatchAnalyzer(DetectorConfig(exhaustive_cap=1))
+        matrix = analyzer.analyze(catalogue)
+        assert matrix.verdict("i1", "i2") is Verdict.UNKNOWN
+        assert matrix.may_conflict("i1", "i2")
+        assert analyzer.schedule() == [["i1"], ["i2"]]
+
+
+class TestRandomCatalogues:
     @pytest.mark.parametrize("seed", range(5))
     def test_random_catalogues_schedule_validly(self, seed):
         from repro.workloads.generators import random_delete, random_insert, random_read
