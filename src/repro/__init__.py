@@ -43,6 +43,15 @@ Package map:
 * :mod:`repro.conflicts` — the conflict engine (the paper's contribution).
 * :mod:`repro.lang` — the pidgin update language and dependence analysis.
 * :mod:`repro.workloads` — reproducible generators for the experiments.
+* :mod:`repro.resilience` — cooperative budgets, quarantine, and fault
+  injection: conflict detection is NP-hard (Theorems 4 and 6), so
+  decisions can be bounded by wall-clock/step budgets and degrade to a
+  conservative ``UNKNOWN`` carrying a machine-readable reason::
+
+      detector = ConflictDetector(deadline_s=2.0, max_steps=200_000)
+      report = detector.read_insert(read, insert)
+      if report.degraded:        # timeout / step_limit, never cached
+          print(report.reason)
 """
 
 from repro.conflicts import (
@@ -60,9 +69,10 @@ from repro.conflicts import (
     minimize_witness,
     parallel_schedule,
 )
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, CacheCorrupt, ReproError
 from repro.operations import Delete, Insert, Read, UpdateResult
 from repro.patterns import TreePattern, evaluate, parse_xpath, to_xpath
+from repro.resilience import Budget, budget_scope, current_budget
 from repro.xml import XMLTree, build_tree, parse, serialize
 
 __version__ = "1.0.0"
@@ -95,4 +105,9 @@ __all__ = [
     "parse",
     "serialize",
     "ReproError",
+    "Budget",
+    "budget_scope",
+    "current_budget",
+    "BudgetExceeded",
+    "CacheCorrupt",
 ]

@@ -38,6 +38,7 @@ from repro.automata.nfa import NFA
 from repro.obs import enabled as obs_enabled
 from repro.obs import global_metrics, span
 from repro.patterns.pattern import WILDCARD, Axis, PNodeId, TreePattern, fresh_label
+from repro.resilience.budget import checkpoint
 
 __all__ = [
     "matching_alphabet",
@@ -73,6 +74,7 @@ def linear_pattern_nfa(pattern: TreePattern, alphabet: tuple[str, ...]) -> NFA:
     current = nfa.add_state(start=True)
     spine = pattern.spine()
     for index, pnode in enumerate(spine):
+        checkpoint("matching.nfa_build")
         axis = pattern.axis(pnode)
         accepting = index == len(spine) - 1
         target = nfa.add_state(accepting=accepting)

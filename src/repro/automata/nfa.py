@@ -17,6 +17,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Sequence
 
+from repro.resilience.budget import checkpoint
+
 __all__ = ["NFA"]
 
 
@@ -157,6 +159,11 @@ class NFA:
         queue.append((self.start, other.start))
         seen = {(self.start, other.start)}
         while queue:
+            # Product construction is quadratic in states and is inside
+            # the engine's hottest path; a cooperative budget checkpoint
+            # per expanded product state keeps pathological intersections
+            # abortable (see repro.resilience).
+            checkpoint("nfa.intersect")
             a, b = queue.popleft()
             source = state_for(a, b)
             for symbol in self.alphabet:

@@ -10,10 +10,18 @@ Seven subcommands expose the library's main entry points:
 * ``analyze``   — dependence analysis / optimization of a pidgin program;
 * ``validate``  — DTD validation of a document.
 
-Exit codes for the decision commands (``check``/``commute``/``matrix``):
-``0`` = no conflict / valid, ``1`` = conflict / invalid, ``2`` =
-undecided within the search budget (for ``matrix``: ``1`` if any pair
-conflicts, else ``2`` if any pair is undecided, else ``0``).
+Exit codes for the decision commands (``check``/``commute``/``matrix``/
+``schedule``): ``0`` = no conflict / valid, ``1`` = conflict / invalid,
+``2`` = undecided within the search budget, ``3`` = *degraded* — the
+resilience layer forced at least one conservative ``UNKNOWN`` (budget
+timeout, step limit, or worker crash; the reason travels in the verdict).
+Precedence when several apply: ``1`` > ``3`` > ``2`` > ``0``.
+
+The decision commands take ``--timeout SECONDS`` and ``--max-steps N``
+(cooperative per-decision budgets: exceeding either yields ``UNKNOWN``
+with reason ``timeout``/``step_limit`` instead of running away);
+``matrix`` and ``schedule`` additionally take ``--retries N`` for the
+worker-pool quarantine machinery (see ``docs/RESILIENCE.md``).
 
 ``matrix`` and ``schedule`` read the catalogue as JSON — a mapping from
 operation name to spec::
@@ -196,6 +204,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--budget", type=int, default=5,
         help="witness-size cap for branching reads (default 5)",
     )
+    _add_resilience_args(p_check)
     p_check.add_argument(
         "--witness", action="store_true", help="print a witness document"
     )
@@ -217,6 +226,7 @@ def _build_parser() -> argparse.ArgumentParser:
             f"--xml{index}", default="<x/>", help=f"XML for --insert{index}"
         )
     p_commute.add_argument("--budget", type=int, default=4)
+    _add_resilience_args(p_commute)
     p_commute.add_argument("--witness", action="store_true")
     _add_json_arg(p_commute)
     p_commute.set_defaults(handler=_cmd_commute)
@@ -270,6 +280,19 @@ def _add_json_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-decision deadline; an exceeded decision degrades to "
+        "UNKNOWN with reason 'timeout' (exit code 3)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="per-decision search-step cap; an exceeded decision degrades "
+        "to UNKNOWN with reason 'step_limit' (exit code 3)",
+    )
+
+
 def _add_catalogue_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ops", required=True, metavar="FILE",
@@ -293,6 +316,12 @@ def _add_catalogue_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache", metavar="FILE",
         help="verdict-cache snapshot: loaded if it exists, saved back after",
+    )
+    _add_resilience_args(parser)
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-dispatches of a crashed/timed-out single-pair chunk before "
+        "the pair is quarantined as UNKNOWN (default 2)",
     )
     _add_json_arg(parser)
 
@@ -329,6 +358,16 @@ _VERDICT_EXIT = {
     Verdict.UNKNOWN: 2,
 }
 
+#: Exit code for a degraded run: the resilience layer forced at least one
+#: conservative UNKNOWN (timeout / step_limit / worker_crash).
+EXIT_DEGRADED = 3
+
+
+def _report_exit_code(report: ConflictReport) -> int:
+    if report.verdict is Verdict.UNKNOWN and report.degraded:
+        return EXIT_DEGRADED
+    return _VERDICT_EXIT[report.verdict]
+
 
 def _report_payload(command: str, report: ConflictReport) -> dict:
     """The stable ``--json`` schema for one conflict decision."""
@@ -343,6 +382,7 @@ def _report_payload(command: str, report: ConflictReport) -> dict:
         "verdict": report.verdict.value,
         "kind": report.kind.value,
         "method": report.method,
+        "reason": report.reason,
         "notes": list(report.notes),
         "witness": witness,
         "stats": dict(report.stats),
@@ -355,8 +395,10 @@ def _report_exit(
 ) -> int:
     if as_json:
         print(json.dumps(_report_payload(command, report), indent=2))
-        return _VERDICT_EXIT[report.verdict]
+        return _report_exit_code(report)
     print(f"verdict: {report.verdict.value}   (method: {report.method})")
+    if report.degraded:
+        print(f"degraded: {report.reason}")
     for note in report.notes:
         print(f"note: {note}")
     if show_witness and report.witness is not None:
@@ -364,7 +406,7 @@ def _report_exit(
         for line in report.witness.sketch().splitlines():
             print(f"  {line}")
         print(f"as XML: {serialize(report.witness)}")
-    return _VERDICT_EXIT[report.verdict]
+    return _report_exit_code(report)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -381,7 +423,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         return _report_exit(report, args.witness, args.json)
     detector = ConflictDetector(
-        kind=ConflictKind(args.kind), exhaustive_cap=args.budget
+        kind=ConflictKind(args.kind),
+        exhaustive_cap=args.budget,
+        deadline_s=args.timeout,
+        max_steps=args.max_steps,
     )
     args._detector = detector  # _print_stats reads its metrics for --stats
     report = detector.read_update(read, update)
@@ -389,7 +434,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_commute(args: argparse.Namespace) -> int:
-    detector = ConflictDetector(exhaustive_cap=args.budget)
+    detector = ConflictDetector(
+        exhaustive_cap=args.budget,
+        deadline_s=args.timeout,
+        max_steps=args.max_steps,
+    )
     args._detector = detector  # _print_stats reads its metrics for --stats
     first = _make_update(args.insert1, args.delete1, args.xml1)
     second = _make_update(args.insert2, args.delete2, args.xml2)
@@ -437,15 +486,22 @@ def _make_analyzer(args: argparse.Namespace) -> BatchAnalyzer:
     if args.cache and os.path.exists(args.cache):
         cache = VerdictCache.load(args.cache)
     config = DetectorConfig(
-        kind=ConflictKind(args.kind), exhaustive_cap=args.budget
+        kind=ConflictKind(args.kind),
+        exhaustive_cap=args.budget,
+        deadline_s=args.timeout,
+        max_steps=args.max_steps,
     )
-    return BatchAnalyzer(config, jobs=args.jobs, cache=cache)
+    return BatchAnalyzer(
+        config, jobs=args.jobs, cache=cache, retries=args.retries
+    )
 
 
 def _matrix_exit(matrix) -> int:  # type: ignore[no-untyped-def]
     counts = matrix.counts()
     if counts[Verdict.CONFLICT.value]:
         return 1
+    if matrix.reasons:
+        return EXIT_DEGRADED
     if counts[Verdict.UNKNOWN.value]:
         return 2
     return 0
@@ -458,48 +514,74 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     if args.cache:
         analyzer.cache.save(args.cache)
     if args.json:
-        payload = {"command": "matrix", "jobs": analyzer.jobs, **matrix.to_dict()}
+        payload = {
+            "command": "matrix",
+            "jobs": analyzer.jobs,
+            "quarantine": analyzer.quarantine,
+            **matrix.to_dict(),
+        }
         print(json.dumps(payload, indent=2))
         return _matrix_exit(matrix)
     counts = matrix.counts()
+    degraded = f", {len(matrix.reasons)} degraded" if matrix.reasons else ""
     print(
         f"{len(matrix.names)} operation(s), {len(matrix.verdicts)} pair(s): "
         f"{counts['conflict']} conflict, {counts['no-conflict']} compatible, "
-        f"{counts['unknown']} unknown"
+        f"{counts['unknown']} unknown{degraded}"
     )
     if args.render:
         print(matrix.render())
     else:
         for (first, second), verdict in sorted(matrix.verdicts.items()):
             if verdict is not Verdict.NO_CONFLICT:
-                print(f"  {first} <-> {second}: {verdict.value}")
+                reason = matrix.reasons.get((first, second))
+                suffix = f" (degraded: {reason})" if reason else ""
+                print(f"  {first} <-> {second}: {verdict.value}{suffix}")
+    if analyzer.quarantine:
+        print("quarantined pairs (conservative UNKNOWN, not cached):")
+        for entry in analyzer.quarantine:
+            print(
+                f"  {entry['first']} <-> {entry['second']}: {entry['reason']}"
+            )
     return _matrix_exit(matrix)
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     catalogue = _load_catalogue(args.ops)
     analyzer = _make_analyzer(args)
-    analyzer.analyze(catalogue)
+    matrix = analyzer.analyze(catalogue)
     if args.cache:
         analyzer.cache.save(args.cache)
     batches = analyzer.schedule()
+    # Degraded pairs are scheduled conservatively (UNKNOWN = may conflict),
+    # so the batches are safe either way — but exit 3 tells callers some
+    # separation may be unnecessary and a re-run could merge phases.
+    exit_code = EXIT_DEGRADED if matrix.reasons else 0
     if args.json:
         payload = {
             "command": "schedule",
             "jobs": analyzer.jobs,
             "batches": batches,
+            "quarantine": analyzer.quarantine,
             "stats": {
                 "operations": len(catalogue),
                 "batches": len(batches),
                 "largest_batch": max((len(b) for b in batches), default=0),
+                "degraded": len(matrix.reasons),
             },
         }
         print(json.dumps(payload, indent=2))
-        return 0
+        return exit_code
     print(f"{len(batches)} phase(s) for {len(catalogue)} operation(s):")
     for index, batch in enumerate(batches, start=1):
         print(f"  phase {index}: {', '.join(batch)}")
-    return 0
+    if analyzer.quarantine:
+        print("quarantined pairs (treated as may-conflict):")
+        for entry in analyzer.quarantine:
+            print(
+                f"  {entry['first']} <-> {entry['second']}: {entry['reason']}"
+            )
+    return exit_code
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:

@@ -27,7 +27,15 @@ repeats work the catalogue view makes unnecessary:
   and shipping its metrics back into the parent's ``repro.obs`` registry;
 * **maintain incrementally** — :meth:`BatchAnalyzer.add_op` /
   :meth:`BatchAnalyzer.remove_op` re-decide only the affected
-  row/column instead of rebuilding the matrix.
+  row/column instead of rebuilding the matrix;
+* **survive failures** — chunks are dispatched individually with a
+  wall-clock timeout, crashed or wedged chunks are split and retried
+  with backoff until the poison pair is isolated, and exhausted pairs
+  are *quarantined*: a conservative ``UNKNOWN`` verdict tagged with a
+  machine-readable reason (``timeout`` / ``step_limit`` /
+  ``worker_crash``) that is reported in the matrix and in
+  :attr:`BatchAnalyzer.quarantine` but never written to the verdict
+  cache (see :mod:`repro.resilience`).
 
 :func:`reference_matrix` keeps the straightforward serial per-pair loop:
 it is the ground truth the equivalence tests (and ``bench_matrix.py``)
@@ -40,17 +48,23 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import re
+import shutil
 import threading
+import time
+import warnings
+from collections import deque
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.conflicts.detector import ConflictDetector, DetectorConfig
 from repro.conflicts.semantics import Verdict
-from repro.errors import ConflictEngineError
+from repro.errors import CacheCorrupt, CacheCorruptWarning, ConflictEngineError
 from repro.obs.metrics import MetricsRegistry
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
 from repro.patterns.xpath import parse_xpath, to_xpath
+from repro.resilience import faults
 from repro.xml.isomorphism import canonical_form
 from repro.xml.parser import parse as parse_xml
 from repro.xml.serializer import serialize
@@ -231,18 +245,64 @@ class VerdictCache:
         return added
 
     def save(self, path: str | os.PathLike) -> None:
-        """Snapshot to ``path`` as JSON (atomic via a temp file + rename)."""
-        payload = {"version": 1, "entries": self.export()}
-        tmp = f"{os.fspath(path)}.tmp"
+        """Snapshot to ``path`` as JSON, durably and atomically.
+
+        The bytes are flushed and ``fsync``'d before the ``os.replace``
+        rename, so a crash (or power loss) mid-save leaves either the old
+        snapshot or the complete new one — never a half-written file at
+        ``path``.  (A half-written ``.tmp`` can survive; it is simply
+        overwritten by the next save.)
+        """
+        path = os.fspath(path)
+        text = json.dumps({"version": 1, "entries": self.export()})
+        rule = faults.match("cache_corrupt", path)
+        if rule is not None:
+            text = _corrupt_snapshot(text, rule.mode)
+        tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "VerdictCache":
-        """Rebuild a cache from a :meth:`save` snapshot."""
+    def load(
+        cls, path: str | os.PathLike, *, strict: bool = False
+    ) -> "VerdictCache":
+        """Rebuild a cache from a :meth:`save` snapshot, salvaging if corrupt.
+
+        A snapshot that is not valid JSON (truncated write, bit rot,
+        injected ``cache_corrupt`` fault) does not abort the run: the valid
+        prefix of its entries array is salvaged, the damaged original is
+        preserved as ``<path>.bak``, and a :class:`CacheCorruptWarning` is
+        emitted.  Pass ``strict=True`` to raise :class:`CacheCorrupt`
+        instead of salvaging.  A parseable snapshot with an unsupported
+        version is always an error — its entries mean something else.
+        """
+        path = os.fspath(path)
         with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
+            text = handle.read()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise CacheCorrupt(
+                    f"corrupt verdict-cache snapshot {path!r}: {exc}"
+                ) from exc
+            entries = cls._salvage_entries(text)
+            backup = f"{path}.bak"
+            shutil.copyfile(path, backup)
+            warnings.warn(
+                CacheCorruptWarning(
+                    f"verdict-cache snapshot {path!r} is corrupt "
+                    f"({exc}); salvaged {len(entries)} of its entries, "
+                    f"original preserved as {backup!r}"
+                ),
+                stacklevel=2,
+            )
+            cache = cls()
+            cache.merge(entries)
+            return cache
         if payload.get("version") != 1:
             raise ConflictEngineError(
                 f"unsupported verdict-cache version {payload.get('version')!r}"
@@ -251,13 +311,75 @@ class VerdictCache:
         cache.merge(payload["entries"])
         return cache
 
+    @staticmethod
+    def _salvage_entries(text: str) -> list[dict]:
+        """The longest valid prefix of a corrupt snapshot's entries array.
+
+        Entries are decoded one by one with :meth:`json.JSONDecoder.raw_decode`
+        until the first undecodable or malformed one; everything before it
+        is intact (the writer appends entries in export order).
+        """
+        version = re.search(r'"version"\s*:\s*(\d+)', text)
+        if version is not None and int(version.group(1)) != 1:
+            raise ConflictEngineError(
+                f"unsupported verdict-cache version {version.group(1)!r}"
+            )
+        marker = re.search(r'"entries"\s*:\s*\[', text)
+        if marker is None:
+            return []
+        decoder = json.JSONDecoder()
+        pos = marker.end()
+        entries: list[dict] = []
+        while True:
+            while pos < len(text) and text[pos] in " \t\r\n,":
+                pos += 1
+            if pos >= len(text) or text[pos] == "]":
+                break
+            try:
+                entry, pos = decoder.raw_decode(text, pos)
+            except json.JSONDecodeError:
+                break
+            if not (
+                isinstance(entry, dict)
+                and {"config", "a", "b", "verdict"} <= entry.keys()
+            ):
+                break
+            try:
+                Verdict(entry["verdict"])
+            except ValueError:
+                break
+            entries.append(entry)
+        return entries
+
+
+def _corrupt_snapshot(text: str, mode: str | None) -> str:
+    """Apply an injected ``cache_corrupt`` fault to snapshot bytes.
+
+    ``mode=truncate`` cuts mid-entry (salvage loses the tail);
+    the default ``garbage`` mode appends a non-JSON suffix after the
+    complete document, so salvage recovers every entry — which keeps
+    whole-suite fault runs convergent.
+    """
+    if mode == "truncate":
+        return text[: max(1, (len(text) * 3) // 5)]
+    return text + "\x00{corrupt-tail"
+
 
 @dataclass
 class ConflictMatrix:
-    """Pairwise may-conflict verdicts over a named operation set."""
+    """Pairwise may-conflict verdicts over a named operation set.
+
+    ``reasons`` records *degraded* pairs: entries whose ``UNKNOWN`` verdict
+    was forced by the resilience layer (``timeout``, ``step_limit``,
+    ``worker_crash``) rather than decided by the engine.  Degraded pairs
+    stay conservatively sound — schedulers already treat ``UNKNOWN`` as
+    may-conflict — but the reason lets callers distinguish "the theory ran
+    out" from "the infrastructure gave up" and re-run the latter.
+    """
 
     names: list[str]
     verdicts: dict[tuple[str, str], Verdict] = field(default_factory=dict)
+    reasons: dict[tuple[str, str], str] = field(default_factory=dict)
 
     def verdict(self, first: str, second: str) -> Verdict:
         """The verdict for an unordered pair (symmetric)."""
@@ -265,6 +387,18 @@ class ConflictMatrix:
             return Verdict.NO_CONFLICT
         key = (first, second) if (first, second) in self.verdicts else (second, first)
         return self.verdicts[key]
+
+    def reason(self, first: str, second: str) -> str | None:
+        """The degradation reason for a pair, or ``None`` if fully decided."""
+        if first == second:
+            return None
+        if (first, second) in self.reasons:
+            return self.reasons[(first, second)]
+        return self.reasons.get((second, first))
+
+    def degraded_pairs(self) -> list[tuple[str, str, str]]:
+        """All resilience-degraded pairs as ``(first, second, reason)``."""
+        return [(a, b, reason) for (a, b), reason in sorted(self.reasons.items())]
 
     def may_conflict(self, first: str, second: str) -> bool:
         """True unless the pair is *proved* conflict-free."""
@@ -290,10 +424,19 @@ class ConflictMatrix:
         return {
             "names": list(self.names),
             "verdicts": [
-                {"first": a, "second": b, "verdict": verdict.value}
+                {
+                    "first": a,
+                    "second": b,
+                    "verdict": verdict.value,
+                    "reason": self.reasons.get((a, b)),
+                }
                 for (a, b), verdict in sorted(self.verdicts.items())
             ],
-            "stats": {"operations": len(self.names), **self.counts()},
+            "stats": {
+                "operations": len(self.names),
+                **self.counts(),
+                "degraded": len(self.reasons),
+            },
         }
 
     def render(self) -> str:
@@ -334,11 +477,21 @@ _WORKER: dict = {}
 _FORK_OPS: dict = {}
 
 
-def _worker_init(config: DetectorConfig, canon_ops: list[CanonicalOp]) -> None:
+def _worker_init(
+    config: DetectorConfig,
+    canon_ops: list[CanonicalOp],
+    fault_spec: str | None = None,
+    fault_seed: int = 0,
+) -> None:
     _WORKER["detector"] = ConflictDetector(config=config)
     _WORKER["canon"] = canon_ops
     _WORKER["ops"] = dict(_FORK_OPS)
     _WORKER["counter_base"] = {}
+    if fault_spec:
+        # A programmatically installed injector does not survive ``spawn``
+        # (fresh interpreter, same environment); the analyzer re-serializes
+        # it into the initializer payload so both start methods inject.
+        faults.install(faults.FaultInjector.parse(fault_spec, seed=fault_seed))
 
 
 def _worker_op(index: int) -> Operation:
@@ -349,20 +502,37 @@ def _worker_op(index: int) -> Operation:
     return op
 
 
+def _pair_fault_key(canon_a: CanonicalOp, canon_b: CanonicalOp) -> str:
+    """The injection-site key for one pair (embeds both canonical forms).
+
+    Fault rules target pairs through ``only=SUBSTR`` substring matches
+    against this key, so a distinctive label in one operand's pattern
+    singles out its pairs.
+    """
+    return f"{canon_a.key}|{canon_b.key}"
+
+
 def _decide_chunk(
-    chunk: list[tuple[int, int, int]],
-) -> tuple[list[tuple[int, str]], dict[str, int], int]:
+    payload: tuple[list[tuple[int, int, int]], int],
+) -> tuple[list[tuple[int, str, "str | None"]], dict[str, int], int]:
     """Decide one chunk of ``(pair, op, op)`` index triples.
 
     Operands travel once per pool (in the initializer payload), so chunks
     and results are tiny integer tuples — important when operands carry
-    multi-kilobyte document fragments.  Returns verdicts + metric deltas.
+    multi-kilobyte document fragments.  The attempt number travels with
+    the chunk so injected faults can distinguish retries.  Returns
+    ``(pair, verdict, degradation reason)`` rows + metric deltas.
     """
+    chunk, attempt = payload
     detector: ConflictDetector = _WORKER["detector"]
+    canon: list[CanonicalOp] = _WORKER["canon"]
     out = []
     for pair_index, index_a, index_b in chunk:
+        faults.inject_worker_fault(
+            _pair_fault_key(canon[index_a], canon[index_b]), salt=attempt
+        )
         report = detector.detect(_worker_op(index_a), _worker_op(index_b))
-        out.append((pair_index, report.verdict.value))
+        out.append((pair_index, report.verdict.value, report.reason))
     counters = detector.metrics()["counters"]
     base = _WORKER["counter_base"]
     delta = {k: v - base.get(k, 0) for k, v in counters.items() if v != base.get(k, 0)}
@@ -372,7 +542,23 @@ def _decide_chunk(
 
 def _preferred_context() -> multiprocessing.context.BaseContext:
     methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_START_METHOD", "").strip()
+    if override:
+        if override not in methods:
+            raise ConflictEngineError(
+                f"REPRO_START_METHOD={override!r} is not available on this "
+                f"platform (choices: {', '.join(methods)})"
+            )
+        return multiprocessing.get_context(override)
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass
+class _Chunk:
+    """One unit of pool work: index triples plus its retry attempt."""
+
+    triples: list[tuple[int, int, int]]
+    attempt: int = 0
 
 
 class BatchAnalyzer:
@@ -393,6 +579,19 @@ class BatchAnalyzer:
         registry: metrics registry (``batch.*`` counters plus absorbed
             per-worker detector counters).  Private by default, like the
             detector's; pass :func:`repro.obs.global_metrics` to pool.
+        retries: how many times a *single-pair* chunk is re-dispatched
+            after a worker crash or chunk timeout before the pair is
+            quarantined as ``UNKNOWN`` with a machine-readable reason.
+            Multi-pair chunks are split in half instead of retried
+            whole, so one poison pair cannot take its chunkmates down.
+        chunk_timeout_s: wall-clock limit on waiting for one chunk's
+            result.  On expiry the pool is torn down and rebuilt (the
+            wedged worker may never return), undelivered chunks are
+            re-queued, and the late chunk enters the retry/split path
+            with reason ``"timeout"``.  ``None`` waits forever.
+        retry_backoff_s: base of the exponential backoff slept before
+            re-dispatching a failed single-pair chunk
+            (``retry_backoff_s * 2**attempt``).
 
     Typical use::
 
@@ -415,6 +614,9 @@ class BatchAnalyzer:
         jobs: int | None = None,
         cache: VerdictCache | None = None,
         registry: MetricsRegistry | None = None,
+        retries: int = 2,
+        chunk_timeout_s: float | None = 120.0,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if detector is not None:
             config = detector.config
@@ -425,6 +627,11 @@ class BatchAnalyzer:
         elif jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
+        if retries < 0:
+            raise ConflictEngineError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self.chunk_timeout_s = chunk_timeout_s
+        self.retry_backoff_s = retry_backoff_s
         self.cache = cache if cache is not None else VerdictCache()
         self._metrics = registry if registry is not None else MetricsRegistry()
         if detector is not None:
@@ -432,6 +639,7 @@ class BatchAnalyzer:
         self._operations: dict[str, Operation] = {}
         self._canon: dict[str, CanonicalOp] = {}
         self._matrix = ConflictMatrix(names=[])
+        self._quarantine: list[dict] = []
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -460,6 +668,19 @@ class BatchAnalyzer:
         """The current catalogue (a copy; mutate via add_op/remove_op)."""
         return dict(self._operations)
 
+    @property
+    def quarantine(self) -> list[dict]:
+        """Degraded pairs from the current catalogue's decisions (a copy).
+
+        Each entry is ``{"first", "second", "reason"}`` with reason one of
+        ``"timeout"``, ``"step_limit"``, or ``"worker_crash"``.  Reset by
+        :meth:`analyze`; extended by :meth:`add_op`.  These pairs carry a
+        conservative ``UNKNOWN`` verdict in the matrix and were *not*
+        written to the verdict cache, so a re-run (with a bigger budget, or
+        without the faulty infrastructure) will decide them for real.
+        """
+        return [dict(entry) for entry in self._quarantine]
+
     def analyze(
         self,
         operations: "Mapping[str, Operation] | Iterable[tuple[str, Operation]]",
@@ -479,6 +700,7 @@ class BatchAnalyzer:
             }
             names = list(ops)
             self._matrix = ConflictMatrix(names=names)
+            self._quarantine = []
             pairs = [
                 (names[i], names[j])
                 for i in range(len(names))
@@ -514,6 +736,13 @@ class BatchAnalyzer:
         self._matrix.names.remove(name)
         for key in [k for k in self._matrix.verdicts if name in k]:
             del self._matrix.verdicts[key]
+        for key in [k for k in self._matrix.reasons if name in k]:
+            del self._matrix.reasons[key]
+        self._quarantine = [
+            entry
+            for entry in self._quarantine
+            if name not in (entry["first"], entry["second"])
+        ]
         self._metrics.inc("batch.incremental_removes")
         return self._matrix
 
@@ -581,14 +810,24 @@ class BatchAnalyzer:
         self._metrics.inc("batch.pairs_unique", len(pending))
         decided = self._decide_unique(pending)
         for key, names in pending.items():
-            verdict = decided[key]
-            self.cache.put(key, verdict)
+            verdict, reason = decided[key]
+            if reason is None:
+                self.cache.put(key, verdict)
+            # Degraded verdicts never enter the cache: they reflect this
+            # run's budget/faults, not the pair, and a cached UNKNOWN
+            # would mask the real answer on every future run.
             for name_a, name_b in names:
                 self._matrix.verdicts[(name_a, name_b)] = verdict
+                if reason is not None:
+                    self._matrix.reasons[(name_a, name_b)] = reason
+                    self._quarantine.append(
+                        {"first": name_a, "second": name_b, "reason": reason}
+                    )
+                    self._metrics.inc("batch.pairs_degraded", reason=reason)
 
     def _decide_unique(
         self, pending: dict[PairKey, list[tuple[str, str]]]
-    ) -> dict[PairKey, Verdict]:
+    ) -> dict[PairKey, tuple[Verdict, "str | None"]]:
         if not pending:
             return {}
         items = [
@@ -609,25 +848,76 @@ class BatchAnalyzer:
 
     def _decide_serial(
         self, pending: dict[PairKey, list[tuple[str, str]]]
-    ) -> dict[PairKey, Verdict]:
+    ) -> dict[PairKey, tuple[Verdict, "str | None"]]:
         if self._detector is None:
             self._detector = ConflictDetector(config=self.config)
-        out = {}
+        out: dict[PairKey, tuple[Verdict, str | None]] = {}
         with obs.span("batch.decide_serial", pairs=len(pending)):
             for key, names in pending.items():
                 name_a, name_b = names[0]
                 report = self._detector.detect(
                     self._operations[name_a], self._operations[name_b]
                 )
-                out[key] = report.verdict
+                out[key] = (report.verdict, report.reason)
         self._metrics.inc("batch.pairs_decided", len(pending))
         return out
+
+    def _make_pool(
+        self,
+        context: multiprocessing.context.BaseContext,
+        jobs: int,
+        payload_ops: list[CanonicalOp],
+    ) -> "multiprocessing.pool.Pool":
+        injector = faults.current()
+        return context.Pool(
+            processes=jobs,
+            initializer=_worker_init,
+            initargs=(
+                self.config,
+                payload_ops,
+                injector.spec() if injector is not None else None,
+                injector.seed if injector is not None else 0,
+            ),
+        )
+
+    def _handle_chunk_failure(
+        self,
+        chunk: _Chunk,
+        reason: str,
+        queue: "deque[_Chunk]",
+        out: dict[PairKey, tuple[Verdict, "str | None"]],
+        items: list[tuple[PairKey, CanonicalOp, CanonicalOp]],
+    ) -> None:
+        """Route one failed chunk: split, retry with backoff, or quarantine.
+
+        Multi-pair chunks are bisected (both halves re-dispatched at
+        ``attempt + 1``), so repeated failures binary-search the poison
+        pair out of its chunkmates in O(log n) rounds.  A single-pair
+        chunk is retried up to ``self.retries`` times with exponential
+        backoff, then quarantined: a conservative ``UNKNOWN`` verdict
+        carrying the machine-readable failure reason.
+        """
+        if len(chunk.triples) > 1:
+            self._metrics.inc("batch.chunk_splits")
+            mid = len(chunk.triples) // 2
+            queue.appendleft(_Chunk(chunk.triples[mid:], chunk.attempt + 1))
+            queue.appendleft(_Chunk(chunk.triples[:mid], chunk.attempt + 1))
+        elif chunk.attempt < self.retries:
+            self._metrics.inc("batch.chunk_retries")
+            time.sleep(self.retry_backoff_s * (2 ** chunk.attempt))
+            queue.appendleft(_Chunk(chunk.triples, chunk.attempt + 1))
+        else:
+            for pair_index, _, _ in chunk.triples:
+                out[items[pair_index][0]] = (Verdict.UNKNOWN, reason)
+            self._metrics.inc(
+                "batch.chunks_quarantined", len(chunk.triples), reason=reason
+            )
 
     def _decide_parallel(
         self,
         items: list[tuple[PairKey, CanonicalOp, CanonicalOp]],
         op_by_key: dict[OpKey, Operation],
-    ) -> dict[PairKey, Verdict]:
+    ) -> dict[PairKey, tuple[Verdict, "str | None"]]:
         jobs = min(self.jobs, len(items))
         # Deduplicate operands into one indexed payload shipped with the
         # pool initializer; chunks and results are integer triples, so
@@ -649,10 +939,11 @@ class BatchAnalyzer:
         # expensive) neighbors across workers; several chunks per worker
         # lets fast workers steal the tail.
         chunk_count = min(len(triples), jobs * 4)
-        chunks: list[list] = [[] for _ in range(chunk_count)]
+        chunk_lists: list[list] = [[] for _ in range(chunk_count)]
         for index, triple in enumerate(triples):
-            chunks[index % chunk_count].append(triple)
-        out: dict[PairKey, Verdict] = {}
+            chunk_lists[index % chunk_count].append(triple)
+        queue: deque[_Chunk] = deque(_Chunk(chunk) for chunk in chunk_lists)
+        out: dict[PairKey, tuple[Verdict, str | None]] = {}
         workers_seen: set[int] = set()
         with obs.span("batch.decide_parallel", pairs=len(items), jobs=jobs):
             context = _preferred_context()
@@ -660,24 +951,81 @@ class BatchAnalyzer:
                 _FORK_OPS.update(
                     {index: op_by_key[key] for key, index in op_indices.items()}
                 )
+            pool = self._make_pool(context, jobs, payload_ops)
             try:
-                with context.Pool(
-                    processes=jobs,
-                    initializer=_worker_init,
-                    initargs=(self.config, payload_ops),
-                ) as pool:
-                    for verdicts, counters, worker_pid in pool.imap_unordered(
-                        _decide_chunk, chunks
-                    ):
-                        for pair_index, value in verdicts:
-                            out[items[pair_index][0]] = Verdict(value)
+                # Dispatch loop with per-chunk failure isolation.  Chunks
+                # are submitted individually (apply_async) so a crashed or
+                # wedged chunk is identifiable and can be split/retried
+                # without losing its siblings' results.
+                inflight: deque[tuple[_Chunk, "multiprocessing.pool.AsyncResult"]]
+                inflight = deque()
+                while queue or inflight:
+                    # Inflight is capped at the worker count: pool task
+                    # pickup is FIFO, so with at most ``jobs`` outstanding
+                    # chunks the head of the deque is guaranteed to be
+                    # executing (not queued behind a stalled sibling) when
+                    # its ``get(timeout=...)`` fires.  A larger window would
+                    # charge queue-wait to the timeout and quarantine
+                    # healthy chunks stuck behind a wedged worker.
+                    while queue and len(inflight) < jobs:
+                        chunk = queue.popleft()
+                        inflight.append(
+                            (
+                                chunk,
+                                pool.apply_async(
+                                    _decide_chunk, ((chunk.triples, chunk.attempt),)
+                                ),
+                            )
+                        )
+                    chunk, result = inflight.popleft()
+                    try:
+                        rows, counters, worker_pid = result.get(
+                            timeout=self.chunk_timeout_s
+                        )
+                    except multiprocessing.TimeoutError:
+                        # The worker may be wedged for good (deadlock,
+                        # livelock, injected stall): terminate the whole
+                        # pool — undelivered in-flight chunks are re-queued
+                        # untouched — and rebuild it before continuing.
+                        self._metrics.inc("batch.chunk_timeouts")
+                        pool.terminate()
+                        pool.join()
+                        for other, _ in inflight:
+                            queue.append(other)
+                        inflight.clear()
+                        pool = self._make_pool(context, jobs, payload_ops)
+                        self._handle_chunk_failure(
+                            chunk, "timeout", queue, out, items
+                        )
+                    except Exception as exc:
+                        # The worker raised (or died): the exception comes
+                        # back through the async result and the pool has
+                        # already replaced the worker, so only this chunk
+                        # needs routing.  Pool-level OS errors get a fresh
+                        # pool too, defensively.
+                        self._metrics.inc("batch.chunk_crashes")
+                        if isinstance(exc, OSError):
+                            pool.terminate()
+                            pool.join()
+                            for other, _ in inflight:
+                                queue.append(other)
+                            inflight.clear()
+                            pool = self._make_pool(context, jobs, payload_ops)
+                        self._handle_chunk_failure(
+                            chunk, "worker_crash", queue, out, items
+                        )
+                    else:
+                        for pair_index, value, reason in rows:
+                            out[items[pair_index][0]] = (Verdict(value), reason)
                         self._metrics.absorb_counters(counters)
                         self._metrics.inc("batch.worker_chunks")
                         self._metrics.inc(
-                            "batch.worker_pairs", len(verdicts), worker=worker_pid
+                            "batch.worker_pairs", len(rows), worker=worker_pid
                         )
                         workers_seen.add(worker_pid)
             finally:
+                pool.terminate()
+                pool.join()
                 _FORK_OPS.clear()
         self._metrics.set_gauge("batch.workers_used", len(workers_seen))
         self._metrics.inc("batch.pairs_decided", len(items))

@@ -25,6 +25,7 @@ from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
 from repro.operations.ops import Insert, UpdateOp
 from repro.patterns.containment import canonical_models
 from repro.patterns.pattern import fresh_label
+from repro.resilience.budget import checkpoint
 from repro.xml.enumerate import enumerate_trees
 from repro.xml.isomorphism import isomorphic
 from repro.xml.tree import XMLTree
@@ -64,6 +65,7 @@ def find_commutativity_witness_exhaustive(
 ) -> XMLTree | None:
     """Enumerate candidate trees up to ``max_size``; return a witness or None."""
     for candidate in enumerate_trees(max_size, _alphabet(op1, op2)):
+        checkpoint("complex.exhaustive")
         if stats is not None:
             stats.candidates_checked += 1
         if is_commutativity_witness(candidate, op1, op2):
@@ -121,6 +123,7 @@ def _detect_update_update(
         with span("complex.heuristic") as sp:
             witness = None
             for candidate in _heuristic_candidates(op1, op2):
+                checkpoint("complex.heuristic")
                 stats.heuristic_candidates += 1
                 if is_commutativity_witness(candidate, op1, op2):
                     witness = candidate

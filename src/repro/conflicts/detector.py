@@ -38,8 +38,10 @@ from repro.conflicts.linear import (
     detect_read_insert_linear,
 )
 from repro.conflicts.semantics import ConflictKind, ConflictReport, Verdict
+from repro.errors import BudgetExceeded
 from repro.obs.metrics import MetricsRegistry
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
+from repro.resilience.budget import Budget, budget_scope
 
 __all__ = ["ConflictDetector", "DetectorConfig"]
 
@@ -61,13 +63,19 @@ class DetectorConfig:
     cache: bool = True
     minimize_witnesses: bool = False
     trace: bool = False
+    deadline_s: float | None = None
+    max_steps: int | None = None
 
     def fingerprint(self) -> tuple[str, int | None, bool]:
         """The knobs that can change a *verdict* (cache-key component).
 
         ``cache``/``trace``/``minimize_witnesses`` only affect speed and
         report decoration, so two configs differing only in those may
-        share cached verdicts.
+        share cached verdicts.  The resilience budget
+        (``deadline_s``/``max_steps``) is also excluded: budget-degraded
+        ``UNKNOWN`` verdicts are *never cached* (see :meth:`_cache_put`),
+        so every cached answer is budget-independent and caches built
+        under different budgets can safely share entries.
         """
         return (self.kind.value, self.exhaustive_cap, self.use_heuristics)
 
@@ -103,7 +111,14 @@ class ConflictDetector:
             :func:`repro.obs.enable`; the ``REPRO_TRACE`` env var is the
             non-invasive alternative).  ``False`` leaves the current
             state untouched rather than disabling it.
-        config: a :class:`DetectorConfig` carrying all six knobs at once;
+        deadline_s: per-decision wall-clock budget in seconds.  A query
+            whose search outlives it degrades to ``UNKNOWN`` with
+            ``reason="timeout"`` instead of running unboundedly (the
+            general decision is NP-hard; see ``docs/RESILIENCE.md``).
+            ``None`` (the default) imposes no deadline.
+        max_steps: per-decision checkpoint allowance; exceeding it
+            degrades to ``UNKNOWN`` with ``reason="step_limit"``.
+        config: a :class:`DetectorConfig` carrying all the knobs at once;
             when given it overrides the individual keyword arguments.
     """
 
@@ -116,6 +131,8 @@ class ConflictDetector:
         minimize_witnesses: bool = False,
         registry: MetricsRegistry | None = None,
         trace: bool = False,
+        deadline_s: float | None = None,
+        max_steps: int | None = None,
         config: DetectorConfig | None = None,
     ) -> None:
         if config is not None:
@@ -125,10 +142,14 @@ class ConflictDetector:
             cache = config.cache
             minimize_witnesses = config.minimize_witnesses
             trace = config.trace
+            deadline_s = config.deadline_s
+            max_steps = config.max_steps
         self.kind = kind
         self.exhaustive_cap = exhaustive_cap
         self.use_heuristics = use_heuristics
         self.minimize_witnesses = minimize_witnesses
+        self.deadline_s = deadline_s
+        self.max_steps = max_steps
         self._cache: dict[tuple, ConflictReport] | None = {} if cache else None
         self._metrics = registry if registry is not None else MetricsRegistry()
         if trace:
@@ -149,6 +170,8 @@ class ConflictDetector:
             cache=self._cache is not None,
             minimize_witnesses=self.minimize_witnesses,
             trace=False,
+            deadline_s=self.deadline_s,
+            max_steps=self.max_steps,
         )
 
     # ------------------------------------------------------------------
@@ -269,12 +292,16 @@ class ConflictDetector:
             key = self._cache_key("update-update", op1_stripped, op2_stripped)
             report = self._cache_get(key)
             if report is None:
-                report = detect_update_update(
-                    op1_stripped,
-                    op2_stripped,
-                    exhaustive_cap=self.exhaustive_cap,
-                    use_heuristics=self.use_heuristics,
-                )
+                try:
+                    with budget_scope(self._new_budget()):
+                        report = detect_update_update(
+                            op1_stripped,
+                            op2_stripped,
+                            exhaustive_cap=self.exhaustive_cap,
+                            use_heuristics=self.use_heuristics,
+                        )
+                except BudgetExceeded as exc:
+                    report = self._degraded_report(exc, ConflictKind.VALUE)
                 self._cache_put(key, report)
             else:
                 sp.set("cached", True)
@@ -301,29 +328,68 @@ class ConflictDetector:
                 sp.set("cached", True)
                 sp.set("verdict", cached.verdict.value)
                 return cached
-            if read.pattern.is_linear:
-                if isinstance(update, Insert):
-                    report = detect_read_insert_linear(read, update, self.kind)
-                else:
-                    report = detect_read_delete_linear(read, update, self.kind)
-            else:
-                report = decide_conflict(
-                    read,
-                    update,
-                    self.kind,
-                    exhaustive_cap=self.exhaustive_cap,
-                    use_heuristics=self.use_heuristics,
-                )
-            if self.minimize_witnesses and report.witness is not None:
-                from repro.conflicts.witness_min import minimize_witness
-
-                with obs.span("detector.minimize_witness"):
-                    report.witness = minimize_witness(
-                        report.witness, read, update, self.kind
-                    )
+            try:
+                with budget_scope(self._new_budget()):
+                    report = self._decide_read_update(read, update)
+            except BudgetExceeded as exc:
+                report = self._degraded_report(exc, self.kind)
+                sp.set("degraded", report.reason)
             self._cache_put(key, report)
             sp.set("verdict", report.verdict.value)
             return report
+
+    def _decide_read_update(self, read: Read, update: UpdateOp) -> ConflictReport:
+        if read.pattern.is_linear:
+            if isinstance(update, Insert):
+                report = detect_read_insert_linear(read, update, self.kind)
+            else:
+                report = detect_read_delete_linear(read, update, self.kind)
+        else:
+            report = decide_conflict(
+                read,
+                update,
+                self.kind,
+                exhaustive_cap=self.exhaustive_cap,
+                use_heuristics=self.use_heuristics,
+            )
+        if self.minimize_witnesses and report.witness is not None:
+            from repro.conflicts.witness_min import minimize_witness
+
+            with obs.span("detector.minimize_witness"):
+                report.witness = minimize_witness(
+                    report.witness, read, update, self.kind
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # Resilience budget
+    # ------------------------------------------------------------------
+
+    def _new_budget(self) -> Budget | None:
+        """A fresh per-decision budget, or ``None`` when unconfigured.
+
+        ``None`` still *shadows* any caller-armed budget inside the
+        decision (see :func:`repro.resilience.budget_scope`), so a
+        detector configured without limits keeps its completeness
+        guarantees regardless of the calling context.
+        """
+        if self.deadline_s is None and self.max_steps is None:
+            return None
+        return Budget(deadline_s=self.deadline_s, max_steps=self.max_steps)
+
+    def _degraded_report(
+        self, exc: BudgetExceeded, kind: ConflictKind
+    ) -> ConflictReport:
+        """The conservative ``UNKNOWN`` verdict for an over-budget decision."""
+        self._metrics.inc("conflict.budget_exceeded", reason=exc.reason)
+        return ConflictReport(
+            verdict=Verdict.UNKNOWN,
+            kind=kind,
+            method="budget",
+            notes=[f"decision aborted by resilience budget: {exc}"],
+            stats={"budget_steps": exc.steps},
+            reason=exc.reason,
+        )
 
     # ------------------------------------------------------------------
     # Query cache
@@ -388,6 +454,12 @@ class ConflictDetector:
             return self._copy_report(hit)
 
     def _cache_put(self, key: tuple | None, report: ConflictReport) -> None:
+        # Budget-degraded UNKNOWNs are never cached: they reflect this
+        # run's budget, not the pair, and caching them would let a tight
+        # budget poison future (or differently-budgeted) queries.  This
+        # is also what keeps DetectorConfig.fingerprint budget-free.
+        if report.reason is not None:
+            return
         if key is not None and self._cache is not None:
             with obs.span("detector.cache.store"):
                 self._metrics.inc("cache.stores")
@@ -405,6 +477,7 @@ class ConflictDetector:
             method=report.method,
             notes=list(report.notes),
             stats=dict(report.stats),
+            reason=report.reason,
         )
 
     @staticmethod

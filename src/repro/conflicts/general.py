@@ -37,6 +37,7 @@ from repro.conflicts.semantics import (
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
 from repro.patterns.containment import canonical_models
 from repro.patterns.pattern import TreePattern, fresh_label
+from repro.resilience.budget import checkpoint
 from repro.xml.enumerate import enumerate_trees
 from repro.xml.tree import XMLTree
 
@@ -120,6 +121,7 @@ def find_witness_exhaustive(
     if alphabet is None:
         alphabet = witness_alphabet(read, update)
     for candidate in enumerate_trees(max_size, alphabet):
+        checkpoint("general.exhaustive")
         if stats is not None:
             stats.candidates_checked += 1
         if is_witness(candidate, read, update, kind):
@@ -173,6 +175,7 @@ def find_witness_heuristic(
     """
     candidates = _heuristic_candidates(read, update)
     for candidate in candidates:
+        checkpoint("general.heuristic")
         if stats is not None:
             stats.heuristic_candidates += 1
         if is_witness(candidate, read, update, kind):

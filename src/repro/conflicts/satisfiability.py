@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.conflicts.semantics import ConflictKind, is_witness
 from repro.operations.ops import Delete, Read
 from repro.patterns.pattern import WILDCARD, Axis, TreePattern
+from repro.resilience.budget import checkpoint
 from repro.xml.tree import XMLTree
 
 __all__ = ["is_satisfiable", "universal_read", "satisfiability_via_conflict"]
@@ -62,6 +63,7 @@ def satisfiability_via_conflict(delete: Delete) -> tuple[bool, XMLTree | None]:
     the conflict manifests.
     """
     read = universal_read()
+    checkpoint("satisfiability.model")
     model = delete.pattern.model()
     # On the model, the deletion fires and removes at least one non-root
     # node, which the universal read selected: an immediate node conflict.

@@ -77,6 +77,11 @@ class ConflictReport:
             (``"linear-ptime"``, ``"exhaustive"``, ``"heuristic"``, ...).
         notes: human-readable caveats (e.g. value tests were stripped).
         stats: method-specific counters (trees explored, NFA sizes, ...).
+        reason: machine-readable degradation reason when the verdict is a
+            *degraded* ``UNKNOWN`` produced by the resilience layer
+            (``"timeout"``, ``"step_limit"``, ``"worker_crash"``);
+            ``None`` for every ordinary verdict, including UNKNOWNs that
+            merely reflect an under-budget bounded search.
     """
 
     verdict: Verdict
@@ -85,6 +90,12 @@ class ConflictReport:
     method: str = ""
     notes: list[str] = field(default_factory=list)
     stats: dict[str, int] = field(default_factory=dict)
+    reason: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True iff the resilience layer degraded this decision."""
+        return self.reason is not None
 
     @property
     def conflict(self) -> bool:

@@ -96,6 +96,61 @@ class SearchBudgetExceeded(ConflictEngineError):
         self.explored = explored
 
 
+class BudgetExceeded(ConflictEngineError):
+    """A cooperative :class:`repro.resilience.Budget` ran out mid-decision.
+
+    Raised from a budget checkpoint inside a search loop; the detector
+    catches it and degrades the query to an ``UNKNOWN`` verdict carrying
+    the machine-readable ``reason``.
+
+    Attributes:
+        reason: ``"timeout"`` (wall-clock deadline passed) or
+            ``"step_limit"`` (checkpoint count exceeded ``max_steps``).
+        steps: checkpoints passed before the budget tripped.
+        elapsed_s: wall-clock seconds since the budget was armed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str,
+        steps: int = 0,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.steps = steps
+        self.elapsed_s = elapsed_s
+
+
+class CacheCorrupt(ConflictEngineError):
+    """A verdict-cache snapshot on disk is corrupt and strict loading was
+    requested (``VerdictCache.load(path, strict=True)``).
+
+    The default (non-strict) load salvages what it can and issues a
+    :class:`CacheCorruptWarning` instead of raising.
+    """
+
+
+class CacheCorruptWarning(UserWarning):
+    """A verdict-cache snapshot was corrupt; valid entries were salvaged.
+
+    Emitted by ``VerdictCache.load`` after recovering the readable prefix
+    of a truncated or garbage-suffixed snapshot.  The original file is
+    preserved as ``<path>.bak`` for forensics.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately injected by :mod:`repro.resilience.faults`.
+
+    Only ever raised when fault injection is switched on (the
+    ``REPRO_FAULTS`` environment variable or an installed injector), so
+    production code never sees it.  Used to exercise the retry,
+    quarantine, and recovery paths in CI.
+    """
+
+
 class LanguageError(ReproError):
     """Base class for errors in the pidgin update language."""
 

@@ -11,7 +11,14 @@ detectors never mix their cache statistics).
 
 Metric names follow a ``subsystem.metric`` convention; dimensions are
 rendered Prometheus-style into the key (``conflict.queries_total{path=linear}``).
-The well-known names are catalogued in ``docs/OBSERVABILITY.md``.
+The well-known names are catalogued in ``docs/OBSERVABILITY.md``.  The
+resilience layer adds its own families: ``conflict.budget_exceeded{reason=}``
+(budget-degraded decisions), ``faults.injected{fault=}`` (fired fault
+rules), and the batch engine's hardening counters
+(``batch.chunk_timeouts`` / ``batch.chunk_crashes`` /
+``batch.chunk_retries`` / ``batch.chunk_splits`` /
+``batch.chunks_quarantined{reason=}`` / ``batch.pairs_degraded{reason=}``)
+— see ``docs/RESILIENCE.md``.
 
 Design constraints:
 

@@ -1,0 +1,52 @@
+"""Resilience layer: budgets, deadlines, and fault injection.
+
+The paper proves the general conflict decision NP-hard, so the engine
+must be able to *give up gracefully* — a pathological pair degrades to a
+sound ``UNKNOWN`` verdict with a machine-readable reason instead of
+hanging a worker or crashing a batch.  This package supplies the
+building blocks:
+
+* :mod:`repro.resilience.budget` — cooperative :class:`Budget`
+  (wall-clock deadline + step allowance) armed per decision via
+  :func:`budget_scope` and consulted by :func:`checkpoint` calls inside
+  the engine's search loops;
+* :mod:`repro.resilience.faults` — deterministic, seeded fault injection
+  (``REPRO_FAULTS``) into worker dispatch and cache I/O, so the retry /
+  quarantine / salvage paths are exercised in CI.
+
+The typed failure vocabulary (:class:`~repro.errors.BudgetExceeded`,
+:class:`~repro.errors.CacheCorrupt`, :class:`~repro.errors.CacheCorruptWarning`,
+:class:`~repro.errors.InjectedFault`) lives in :mod:`repro.errors` with
+the rest of the hierarchy.
+
+See ``docs/RESILIENCE.md`` for the full degradation and fault model.
+"""
+
+from repro.errors import (
+    BudgetExceeded,
+    CacheCorrupt,
+    CacheCorruptWarning,
+    InjectedFault,
+)
+from repro.resilience.budget import (
+    Budget,
+    budget_scope,
+    checkpoint,
+    current_budget,
+)
+from repro.resilience import faults
+from repro.resilience.faults import FaultInjector, FaultRule
+
+__all__ = [
+    "Budget",
+    "budget_scope",
+    "checkpoint",
+    "current_budget",
+    "BudgetExceeded",
+    "CacheCorrupt",
+    "CacheCorruptWarning",
+    "InjectedFault",
+    "FaultInjector",
+    "FaultRule",
+    "faults",
+]

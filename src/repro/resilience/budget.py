@@ -1,0 +1,192 @@
+"""Cooperative work budgets for the conflict engine.
+
+The paper proves the general read-insert / read-delete decision NP-hard
+(Theorems 4 and 6), so an adversarial — or merely unlucky — pair of
+operations can stall the witness search for an unbounded time.  Rather
+than preempting threads (impossible to do safely in pure Python) the
+engine's search loops *cooperate*: they call :func:`checkpoint` at the
+top of each unit of work, and when a :class:`Budget` is armed for the
+current thread the checkpoint raises :class:`~repro.errors.BudgetExceeded`
+the moment the wall-clock deadline passes or the step allowance runs out.
+
+The detector catches that exception and degrades the query to a sound
+``UNKNOWN`` verdict carrying a machine-readable reason (``"timeout"`` or
+``"step_limit"``) — the same graceful-degradation stance the
+query-update-independence literature takes when exact decision is too
+costly.
+
+Design constraints:
+
+* **Near-zero cost when off.**  :func:`checkpoint` with no armed budget
+  is one thread-local attribute read; engine hot loops may call it per
+  candidate without measurable overhead (``benchmarks/bench_resilience.py``
+  keeps the armed-but-never-tripping overhead under 3% on the
+  ``BENCH_matrix`` workload).
+* **Deadline checks are batched.**  ``time.monotonic()`` is cheap but
+  not free; the step counter is checked on every checkpoint, the clock
+  only every :data:`Budget.CLOCK_CHECK_INTERVAL` steps (and on the first
+  few steps, so tiny deadlines still trip promptly).
+* **Thread-local scoping.**  Budgets arm via :func:`budget_scope`, a
+  context manager over a thread-local slot, so concurrent decisions on
+  different threads never share or clobber each other's budgets.
+
+Typical use (the detector does this internally when its config carries
+``deadline_s``/``max_steps``)::
+
+    from repro.resilience import Budget, budget_scope
+
+    try:
+        with budget_scope(Budget(deadline_s=0.5)):
+            report = expensive_search()
+    except BudgetExceeded as exc:
+        report = degraded_report(reason=exc.reason)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.errors import BudgetExceeded
+
+__all__ = [
+    "Budget",
+    "budget_scope",
+    "current_budget",
+    "checkpoint",
+]
+
+
+class Budget:
+    """A wall-clock deadline and/or step allowance for one decision.
+
+    Args:
+        deadline_s: seconds of wall-clock time from *now* (the budget is
+            armed at construction) before :meth:`check` raises with
+            reason ``"timeout"``.  ``None`` disables the deadline.
+        max_steps: number of checkpoints allowed before :meth:`check`
+            raises with reason ``"step_limit"``.  ``None`` disables the
+            step bound.
+
+    A budget with both knobs ``None`` is legal and never trips — handy
+    for code paths that want to thread a budget unconditionally.
+    """
+
+    #: How many steps pass between wall-clock reads.  The first
+    #: ``CLOCK_CHECK_INTERVAL`` steps check the clock every time so that
+    #: millisecond-scale deadlines trip promptly even in slow loops.
+    CLOCK_CHECK_INTERVAL = 32
+
+    __slots__ = ("deadline_s", "max_steps", "steps", "_armed_at", "_deadline_at")
+
+    def __init__(
+        self, deadline_s: float | None = None, max_steps: int | None = None
+    ) -> None:
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative")
+        if max_steps is not None and max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        self.deadline_s = deadline_s
+        self.max_steps = max_steps
+        self.steps = 0
+        self._armed_at = time.monotonic()
+        self._deadline_at = (
+            self._armed_at + deadline_s if deadline_s is not None else None
+        )
+
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since the budget was armed."""
+        return time.monotonic() - self._armed_at
+
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline, or ``None`` when no deadline is set."""
+        if self._deadline_at is None:
+            return None
+        return self._deadline_at - time.monotonic()
+
+    def exceeded(self) -> str | None:
+        """The trip reason right now (non-raising), or ``None`` if in budget."""
+        if self.max_steps is not None and self.steps > self.max_steps:
+            return "step_limit"
+        if self._deadline_at is not None and time.monotonic() > self._deadline_at:
+            return "timeout"
+        return None
+
+    def check(self, where: str = "") -> None:
+        """Record one unit of work; raise when over budget.
+
+        Raises:
+            BudgetExceeded: with ``reason`` ``"step_limit"`` or
+                ``"timeout"``; ``where`` (when given) names the loop that
+                tripped, for diagnostics.
+        """
+        self.steps += 1
+        if self.max_steps is not None and self.steps > self.max_steps:
+            self._trip("step_limit", where)
+        if self._deadline_at is not None and (
+            self.steps <= Budget.CLOCK_CHECK_INTERVAL
+            or self.steps % Budget.CLOCK_CHECK_INTERVAL == 0
+        ):
+            if time.monotonic() > self._deadline_at:
+                self._trip("timeout", where)
+
+    def _trip(self, reason: str, where: str) -> None:
+        suffix = f" in {where}" if where else ""
+        if reason == "step_limit":
+            message = (
+                f"step budget exhausted{suffix}: "
+                f"{self.steps} checkpoints > max_steps={self.max_steps}"
+            )
+        else:
+            message = (
+                f"deadline exceeded{suffix}: {self.elapsed_s():.3f}s elapsed "
+                f"> deadline_s={self.deadline_s}"
+            )
+        raise BudgetExceeded(
+            message, reason=reason, steps=self.steps, elapsed_s=self.elapsed_s()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Budget(deadline_s={self.deadline_s}, max_steps={self.max_steps}, "
+            f"steps={self.steps})"
+        )
+
+
+_TLS = threading.local()
+
+
+def current_budget() -> Budget | None:
+    """The budget armed for this thread, or ``None``."""
+    return getattr(_TLS, "budget", None)
+
+
+@contextmanager
+def budget_scope(budget: Budget | None) -> Iterator[Budget | None]:
+    """Arm ``budget`` for the current thread for the duration of the block.
+
+    ``None`` is accepted and leaves checkpoints disabled inside the block
+    (it still *shadows* any outer budget, which is what the detector
+    wants: a query configured without limits must not inherit a caller's
+    tighter scope and return spurious UNKNOWNs).
+    """
+    previous = getattr(_TLS, "budget", None)
+    _TLS.budget = budget
+    try:
+        yield budget
+    finally:
+        _TLS.budget = previous
+
+
+def checkpoint(where: str = "") -> None:
+    """Charge one step against the current thread's budget, if any.
+
+    The engine's search loops call this at the top of each unit of work
+    (candidate tree checked, NFA product state expanded, ...).  With no
+    budget armed it is a single thread-local read.
+    """
+    budget = getattr(_TLS, "budget", None)
+    if budget is not None:
+        budget.check(where)
