@@ -54,6 +54,12 @@ Package map:
           print(report.reason)
 """
 
+from repro.compile import (
+    CompiledArtifact,
+    PatternCompiler,
+    global_compiler,
+    reset_global_compiler,
+)
 from repro.conflicts import (
     BatchAnalyzer,
     ConflictDetector,
@@ -92,6 +98,10 @@ __all__ = [
     "parallel_schedule",
     "is_witness",
     "minimize_witness",
+    "PatternCompiler",
+    "CompiledArtifact",
+    "global_compiler",
+    "reset_global_compiler",
     "Read",
     "Insert",
     "Delete",

@@ -1,5 +1,6 @@
 """Finite-automaton substrate and linear-pattern matching (Definition 7)."""
 
+from repro.automata.dfa import LazyDFA, joint_shortest_word
 from repro.automata.matching import (
     linear_pattern_nfa,
     match_dp,
@@ -12,6 +13,8 @@ from repro.automata.nfa import NFA
 
 __all__ = [
     "NFA",
+    "LazyDFA",
+    "joint_shortest_word",
     "linear_pattern_nfa",
     "matching_alphabet",
     "matching_word",

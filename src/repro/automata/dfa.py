@@ -1,0 +1,157 @@
+"""Lazily-determinized view of an NFA (on-demand subset construction).
+
+The matching layer decides weak/strong matching by intersecting two
+regular languages (Section 4.1).  The reference implementation builds
+the explicit NFA product and BFSes it; this module supplies the compiled
+fast path: each linear-pattern NFA is determinized *lazily* — a DFA
+state is a frozenset of NFA states, materialized (and cached on the
+automaton) only when some query first steps into it — and intersection
+emptiness plus shortest-witness extraction run as one joint BFS over
+*pairs* of DFA states (:func:`joint_shortest_word`), never materializing
+the product automaton.
+
+Determinization is what makes the compile cache pay: a pattern's DFA is
+built once per (pattern, alphabet) and every later query against it
+walks already-materialized transitions.  The test-suite cross-validates
+:meth:`LazyDFA.accepts` against :meth:`repro.automata.nfa.NFA.accepts`
+on random linear patterns and words (the NFA-vs-DFA equivalence
+property in ``tests/test_differential.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.automata.nfa import NFA
+from repro.resilience.budget import checkpoint
+
+__all__ = ["LazyDFA", "joint_shortest_word"]
+
+#: Index of the start DFA state (the subset {nfa.start}).
+_START = 0
+
+
+class LazyDFA:
+    """A DFA over the same language as ``nfa``, built state-by-state.
+
+    States are small integers; ``None`` stands for the dead state (the
+    empty subset), which is cached per (state, symbol) like any other
+    transition so repeated dead-end probes cost one dict lookup.
+    """
+
+    __slots__ = ("_nfa", "_subsets", "_index", "_transitions", "_accepting")
+
+    def __init__(self, nfa: NFA) -> None:
+        if nfa.start is None:
+            raise ValueError("cannot determinize an NFA without a start state")
+        self._nfa = nfa
+        start = frozenset({nfa.start})
+        self._subsets: list[frozenset[int]] = [start]
+        self._index: dict[frozenset[int], int] = {start: _START}
+        self._transitions: list[dict[str, int | None]] = [{}]
+        self._accepting: list[bool] = [bool(start & nfa.accepting)]
+
+    @property
+    def alphabet(self) -> tuple[str, ...]:
+        return self._nfa.alphabet
+
+    @property
+    def nfa(self) -> NFA:
+        return self._nfa
+
+    @property
+    def state_count(self) -> int:
+        """DFA states materialized so far (grows as queries explore)."""
+        return len(self._subsets)
+
+    @property
+    def start(self) -> int:
+        return _START
+
+    def is_accepting(self, state: int) -> bool:
+        return self._accepting[state]
+
+    def step(self, state: int, symbol: str) -> int | None:
+        """The successor DFA state, or ``None`` for the dead state.
+
+        Materializes (and caches) the subset transition on first use.
+        """
+        table = self._transitions[state]
+        try:
+            return table[symbol]
+        except KeyError:
+            pass
+        subset: set[int] = set()
+        for nfa_state in self._subsets[state]:
+            subset |= self._nfa.successors(nfa_state, symbol)
+        if not subset:
+            table[symbol] = None
+            return None
+        frozen = frozenset(subset)
+        target = self._index.get(frozen)
+        if target is None:
+            target = len(self._subsets)
+            self._index[frozen] = target
+            self._subsets.append(frozen)
+            self._transitions.append({})
+            self._accepting.append(bool(frozen & self._nfa.accepting))
+        table[symbol] = target
+        return target
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Deterministic acceptance run (equivalent to the NFA's)."""
+        state: int | None = _START
+        for symbol in word:
+            assert state is not None
+            state = self.step(state, symbol)
+            if state is None:
+                return False
+        return self._accepting[state]  # type: ignore[index]
+
+
+def joint_shortest_word(left: LazyDFA, right: LazyDFA) -> list[str] | None:
+    """A shortest word of ``L(left) ∩ L(right)``, or ``None`` when empty.
+
+    BFS over pairs of DFA states with parent pointers — the compiled
+    replacement for ``left.intersect(right).shortest_accepted_word()`` on
+    explicit NFA products.  Symbols are tried in (sorted) alphabet order,
+    so the result is deterministic.  A cooperative budget checkpoint per
+    expanded pair keeps pathological products abortable, mirroring the
+    eager product construction (see :mod:`repro.resilience`).
+    """
+    if left.alphabet != right.alphabet:
+        raise ValueError("joint traversal requires identical alphabets")
+    alphabet = left.alphabet
+    start = (left.start, right.start)
+    if left.is_accepting(left.start) and right.is_accepting(right.start):
+        return []
+    parent: dict[tuple[int, int], tuple[tuple[int, int], str]] = {}
+    seen = {start}
+    queue: deque[tuple[int, int]] = deque([start])
+    while queue:
+        checkpoint("dfa.product")
+        pair = queue.popleft()
+        ls, rs = pair
+        for symbol in alphabet:
+            lt = left.step(ls, symbol)
+            if lt is None:
+                continue
+            rt = right.step(rs, symbol)
+            if rt is None:
+                continue
+            target = (lt, rt)
+            if target in seen:
+                continue
+            parent[target] = (pair, symbol)
+            if left.is_accepting(lt) and right.is_accepting(rt):
+                word: list[str] = []
+                current = target
+                while current in parent:
+                    current, sym = parent[current]
+                    word.append(sym)
+                word.reverse()
+                return word
+            seen.add(target)
+            queue.append(target)
+    return None

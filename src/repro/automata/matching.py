@@ -36,7 +36,7 @@ from functools import lru_cache
 
 from repro.automata.nfa import NFA
 from repro.obs import enabled as obs_enabled
-from repro.obs import global_metrics, span
+from repro.obs import global_metrics
 from repro.patterns.pattern import WILDCARD, Axis, PNodeId, TreePattern, fresh_label
 from repro.resilience.budget import checkpoint
 
@@ -126,24 +126,22 @@ def matching_word(
     such that ``left`` embeds in ``W`` with its output at the final node,
     and ``right`` embeds with its output at the final node (strong) or at
     some node of the chain at or above it (weak).
+
+    Delegates to the process-global :class:`repro.compile.PatternCompiler`,
+    which memoizes the intersection product per interned pattern pair (and
+    carries the gated ``matching.word`` span).  The pre-compile eager NFA
+    product survives as :func:`_matching_word_impl` — the uncached
+    reference path used by disabled compilers and the differential tests.
     """
-    # Hot inner primitive: the span (and its eagerly evaluated attribute
-    # kwargs) only exists while observability is on; the fast path costs a
-    # single flag check.
-    if not obs_enabled():
-        return _matching_word_impl(left, right, weak)
-    with span(
-        "matching.word", left_size=left.size, right_size=right.size, weak=weak
-    ) as sp:
-        word = _matching_word_impl(left, right, weak)
-        global_metrics().inc("matching.words_computed")
-        sp.set("found", word is not None)
-        return word
+    from repro.compile.compiler import global_compiler
+
+    return global_compiler().matching_word(left, right, weak)
 
 
 def _matching_word_impl(
     left: TreePattern, right: TreePattern, weak: bool
 ) -> list[str] | None:
+    """Uncached reference: explicit NFAs, eager product, BFS for a word."""
     alphabet = matching_alphabet(left, right)
     left_nfa = linear_pattern_nfa(left, alphabet)
     right_nfa = linear_pattern_nfa(right, alphabet)

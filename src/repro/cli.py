@@ -291,6 +291,26 @@ def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
         help="per-decision search-step cap; an exceeded decision degrades "
         "to UNKNOWN with reason 'step_limit' (exit code 3)",
     )
+    _add_compile_args(parser)
+
+
+def _add_compile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--compile-cache-size", type=int, default=None, metavar="N",
+        help="entries per compile-cache family (interned patterns, NFAs, "
+        "matching words, ...).  Default shares the process-wide cache; "
+        "0 disables compilation entirely (the uncached reference path)",
+    )
+
+
+def _compile_config_kwargs(args: argparse.Namespace) -> dict:
+    """The :class:`DetectorConfig` compile knobs implied by the CLI flags."""
+    size = getattr(args, "compile_cache_size", None)
+    if size is None:
+        return {}
+    if size <= 0:
+        return {"compile_cache": False}
+    return {"compile_cache_size": size}
 
 
 def _add_catalogue_args(parser: argparse.ArgumentParser) -> None:
@@ -427,6 +447,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         exhaustive_cap=args.budget,
         deadline_s=args.timeout,
         max_steps=args.max_steps,
+        **_compile_config_kwargs(args),
     )
     args._detector = detector  # _print_stats reads its metrics for --stats
     report = detector.read_update(read, update)
@@ -438,6 +459,7 @@ def _cmd_commute(args: argparse.Namespace) -> int:
         exhaustive_cap=args.budget,
         deadline_s=args.timeout,
         max_steps=args.max_steps,
+        **_compile_config_kwargs(args),
     )
     args._detector = detector  # _print_stats reads its metrics for --stats
     first = _make_update(args.insert1, args.delete1, args.xml1)
@@ -490,6 +512,7 @@ def _make_analyzer(args: argparse.Namespace) -> BatchAnalyzer:
         exhaustive_cap=args.budget,
         deadline_s=args.timeout,
         max_steps=args.max_steps,
+        **_compile_config_kwargs(args),
     )
     return BatchAnalyzer(
         config, jobs=args.jobs, cache=cache, retries=args.retries

@@ -1,0 +1,113 @@
+"""Bounded LRU caches with hit/miss/evict counters.
+
+Every memo table in the compile layer is one of these: a thread-safe
+ordered mapping capped at ``maxsize`` entries that evicts the least
+recently used entry on overflow and reports its traffic into a
+:class:`~repro.obs.metrics.MetricsRegistry` under a per-family prefix
+(``<family>.hits`` / ``<family>.misses`` / ``<family>.evictions``).
+
+Misses are reported as a distinguished sentinel (:data:`MISS`) rather
+than ``None`` because ``None`` is a legitimate cached value here — "these
+two patterns do not match" memoizes as ``None``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MISS", "LRUCache"]
+
+#: Sentinel returned by :meth:`LRUCache.get` when the key is absent.
+MISS = object()
+
+
+class LRUCache:
+    """A bounded, thread-safe LRU mapping with metric instrumentation."""
+
+    __slots__ = ("_data", "_lock", "_maxsize", "_registry", "_family",
+                 "hits", "misses", "evictions")
+
+    def __init__(
+        self,
+        maxsize: int,
+        registry: MetricsRegistry | None = None,
+        family: str = "compile.cache",
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError(f"LRU maxsize must be >= 1, got {maxsize}")
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._maxsize = maxsize
+        self._registry = registry
+        self._family = family
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def family(self) -> str:
+        return self._family
+
+    def get(self, key):  # type: ignore[no-untyped-def]
+        """The cached value, or :data:`MISS` — never raises on absence."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                if self._registry is not None:
+                    self._registry.inc(f"{self._family}.misses")
+                return MISS
+            self._data.move_to_end(key)
+            self.hits += 1
+            if self._registry is not None:
+                self._registry.inc(f"{self._family}.hits")
+            return value
+
+    def put(self, key, value) -> None:  # type: ignore[no-untyped-def]
+        """Insert (or refresh) an entry, evicting the LRU tail on overflow."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            if len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                if self._registry is not None:
+                    self._registry.inc(f"{self._family}.evictions")
+
+    def clear(self) -> None:
+        """Drop every entry (traffic counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:  # type: ignore[no-untyped-def]
+        return key in self._data
+
+    def stats(self) -> dict[str, int]:
+        """A detached ``{hits, misses, evictions, size, maxsize}`` view."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._data),
+            "maxsize": self._maxsize,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUCache({self._family}, {len(self._data)}/{self._maxsize}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

@@ -1,0 +1,465 @@
+"""The compile-once layer for the hot PTIME decision path.
+
+Batch workloads repeat a small set of unique patterns across thousands
+of pairs, yet the Section 4 decision procedures re-derive the same
+artifacts — the update trunk ``SEQ_{ROOT(D)}^{O(D)}``, linear-pattern
+NFAs, weak/strong intersection products, per-edge cut-edge scans — on
+every call.  :class:`PatternCompiler` owns those artifacts:
+
+* patterns are canonicalized and **interned** once
+  (:mod:`repro.compile.intern`), giving every downstream memo a
+  constant-time key;
+* each unique linear pattern is compiled to its NFA exactly once per
+  alphabet, and to a lazily-determinized DFA
+  (:class:`repro.automata.dfa.LazyDFA`) per (alphabet, weak/strong)
+  side;
+* trunk extraction, spine prefixes/suffixes, matching words
+  (intersection products), matching profiles, and cut-edge scans are
+  memoized in bounded LRU caches (:mod:`repro.compile.cache`), with
+  ``compile.<family>.{hits,misses,evictions}`` counters in the metrics
+  registry.
+
+A compiler constructed with ``enabled=False`` is a *pass-through*: every
+method computes from scratch along the pre-compile code path (eager NFA
+products via :func:`repro.automata.matching._matching_word_impl`), which
+is both the uncached reference the benchmarks compare against and an
+independent implementation for the differential test suite.
+
+Process-global sharing: :func:`global_compiler` returns one process-wide
+instance (counters land in :func:`repro.obs.global_metrics`); detectors
+configured with an explicit ``compile_cache_size`` get a private
+compiler wired to their private registry (see
+:func:`compiler_for_config`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.automata.dfa import LazyDFA, joint_shortest_word
+from repro.automata.matching import _matching_word_impl, linear_pattern_nfa
+from repro.automata.nfa import NFA
+from repro.compile.cache import MISS, LRUCache
+from repro.compile.intern import InternedPattern, PatternInterner
+from repro.obs import enabled as obs_enabled
+from repro.obs import global_metrics, span
+from repro.obs.metrics import MetricsRegistry
+from repro.patterns.pattern import TreePattern, fresh_label
+from repro.patterns.xpath import parse_xpath, to_xpath
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "CompiledArtifact",
+    "PatternCompiler",
+    "global_compiler",
+    "reset_global_compiler",
+    "compiler_for_config",
+]
+
+#: Default entries per memo family (intern table, NFAs, DFAs, words, ...).
+DEFAULT_CACHE_SIZE = 1024
+
+#: Union of the two pattern handles the compiler accepts everywhere.
+PatternLike = TreePattern | InternedPattern
+
+
+@dataclass(frozen=True)
+class CompiledArtifact:
+    """A picklable, string-only transport of one compiled operation.
+
+    The batch engine compiles its operand set once in the parent and
+    ships these alongside :class:`repro.conflicts.batch.CanonicalOp` to
+    pool workers; :meth:`PatternCompiler.seed` rebuilds the same interned
+    pattern (and pre-derived trunk) on the worker side, so under both
+    ``fork`` and ``spawn`` every worker starts with an identically warm
+    compiler instead of re-deriving per pair.
+    """
+
+    kind: str  # "Read" | "Insert" | "Delete"
+    xpath: str
+    pattern_key: str
+    trunk_xpath: str | None = None
+    linear: bool = True
+
+
+class PatternCompiler:
+    """Interning, automaton compilation, and decision-artifact memos."""
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        registry: MetricsRegistry | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry
+        if not enabled:
+            return
+        self._interner = PatternInterner(maxsize, registry)
+        self._nfa = LRUCache(maxsize, registry, family="compile.nfa")
+        self._dfa = LRUCache(maxsize, registry, family="compile.dfa")
+        self._match = LRUCache(maxsize, registry, family="compile.match")
+        self._profile = LRUCache(maxsize, registry, family="compile.profile")
+        self._derived = LRUCache(maxsize, registry, family="compile.derived")
+        self._edge = LRUCache(maxsize, registry, family="compile.edge")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Intern-table generation (0 forever for a disabled compiler)."""
+        return self._interner.generation if self.enabled else 0
+
+    def intern(self, pattern: PatternLike) -> InternedPattern:
+        """Intern ``pattern`` (enabled compilers only)."""
+        return self._interner.intern(pattern)
+
+    @staticmethod
+    def as_pattern(handle: PatternLike) -> TreePattern:
+        """The raw :class:`TreePattern` behind either kind of handle."""
+        return handle.pattern if isinstance(handle, InternedPattern) else handle
+
+    def handle(self, pattern: PatternLike) -> PatternLike:
+        """The preferred handle: interned when enabled, raw otherwise."""
+        return self.intern(pattern) if self.enabled else self.as_pattern(pattern)
+
+    def reset(self) -> None:
+        """Drop every compiled artifact and start a fresh generation.
+
+        Outstanding :class:`InternedPattern` keys become permanently
+        stale (they compare unequal to everything minted afterwards), so
+        downstream caches keyed on them can never serve aliased entries.
+        """
+        if not self.enabled:
+            return
+        self._interner.reset()
+        for cache in self._caches():
+            cache.clear()
+
+    def _caches(self) -> list[LRUCache]:
+        return [
+            self._interner.cache, self._nfa, self._dfa,
+            self._match, self._profile, self._derived, self._edge,
+        ]
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-family ``{hits, misses, evictions, size, maxsize}``."""
+        if not self.enabled:
+            return {}
+        return {cache.family: cache.stats() for cache in self._caches()}
+
+    # ------------------------------------------------------------------
+    # Derived patterns: trunk, spine prefixes and suffixes
+    # ------------------------------------------------------------------
+
+    def trunk(self, pattern: PatternLike) -> PatternLike:
+        """``SEQ_{ROOT(p)}^{O(p)}`` — interned and memoized when enabled."""
+        if not self.enabled:
+            return self.as_pattern(pattern).trunk()
+        p = self.intern(pattern)
+        hit = self._derived.get((p, "trunk"))
+        if hit is not MISS:
+            return hit
+        trunk = self.intern(p.pattern.trunk())
+        self._derived.put((p, "trunk"), trunk)
+        return trunk
+
+    def spine_prefix(self, read: PatternLike, index: int) -> PatternLike:
+        """``SEQ_ROOT(R)`` through the ``index``-th spine node."""
+        if not self.enabled:
+            rp = self.as_pattern(read)
+            return rp.seq_root_to(rp.spine()[index])
+        return self._prefixes(self.intern(read))[index]
+
+    def spine_suffix(self, read: PatternLike, index: int) -> PatternLike:
+        """``SEQ`` from the ``index``-th spine node down to the output."""
+        if not self.enabled:
+            rp = self.as_pattern(read)
+            return rp.seq(rp.spine()[index], rp.output)
+        return self._suffixes(self.intern(read))[index]
+
+    def _prefixes(self, read: InternedPattern) -> tuple[InternedPattern, ...]:
+        hit = self._derived.get((read, "prefixes"))
+        if hit is not MISS:
+            return hit
+        rp = read.pattern
+        prefixes = tuple(
+            self.intern(rp.seq_root_to(node)) for node in rp.spine()
+        )
+        self._derived.put((read, "prefixes"), prefixes)
+        return prefixes
+
+    def _suffixes(self, read: InternedPattern) -> tuple[InternedPattern, ...]:
+        hit = self._derived.get((read, "suffixes"))
+        if hit is not MISS:
+            return hit
+        rp = read.pattern
+        suffixes = tuple(
+            self.intern(rp.seq(node, rp.output)) for node in rp.spine()
+        )
+        self._derived.put((read, "suffixes"), suffixes)
+        return suffixes
+
+    # ------------------------------------------------------------------
+    # Automata
+    # ------------------------------------------------------------------
+
+    def nfa(self, pattern: PatternLike, alphabet: tuple[str, ...]) -> NFA:
+        """The pattern's matching NFA over ``alphabet``, built once."""
+        if not self.enabled:
+            return linear_pattern_nfa(self.as_pattern(pattern), alphabet)
+        p = self.intern(pattern)
+        key = (p, alphabet)
+        hit = self._nfa.get(key)
+        if hit is not MISS:
+            return hit
+        nfa = linear_pattern_nfa(p.pattern, alphabet)
+        self._nfa.put(key, nfa)
+        return nfa
+
+    def dfa(
+        self, pattern: PatternLike, alphabet: tuple[str, ...], weak: bool
+    ) -> LazyDFA:
+        """The lazily-determinized matcher, per (alphabet, weak) side.
+
+        The ``weak`` side determinizes ``L(p)·(.)*`` (the suffixed NFA of
+        Definition 7's weak matching); the strong side determinizes
+        ``L(p)`` itself.
+        """
+        if not self.enabled:
+            base = linear_pattern_nfa(self.as_pattern(pattern), alphabet)
+            return LazyDFA(base.with_any_suffix() if weak else base)
+        p = self.intern(pattern)
+        key = (p, alphabet, weak)
+        hit = self._dfa.get(key)
+        if hit is not MISS:
+            return hit
+        base = self.nfa(p, alphabet)
+        if weak:
+            base = base.with_any_suffix()
+        dfa = LazyDFA(base)
+        if obs_enabled():
+            global_metrics().inc("dfa.built")
+        self._dfa.put(key, dfa)
+        return dfa
+
+    def alphabet(
+        self, left: PatternLike, right: PatternLike
+    ) -> tuple[str, ...]:
+        """``Σ_l ∪ Σ_{l'}`` plus one spare symbol (cf. ``matching_alphabet``)."""
+        labels = self._labels(left) | self._labels(right)
+        return tuple(sorted(labels | {fresh_label(labels)}))
+
+    @staticmethod
+    def _labels(handle: PatternLike) -> set[str]:
+        if isinstance(handle, InternedPattern):
+            return set(handle.labels)
+        return handle.labels()
+
+    # ------------------------------------------------------------------
+    # Matching (Definition 7) — the intersection-product memo
+    # ------------------------------------------------------------------
+
+    def matching_word(
+        self, left: PatternLike, right: PatternLike, weak: bool
+    ) -> list[str] | None:
+        """The shortest weak/strong matching witness word, or ``None``.
+
+        Same contract as :func:`repro.automata.matching.matching_word`
+        (which delegates here via the global compiler), including the
+        gated ``matching.word`` tracing span.
+        """
+        if not obs_enabled():
+            return self._matching_word(left, right, weak)
+        lp, rp = self.as_pattern(left), self.as_pattern(right)
+        with span(
+            "matching.word", left_size=lp.size, right_size=rp.size, weak=weak
+        ) as sp:
+            word = self._matching_word(left, right, weak)
+            global_metrics().inc("matching.words_computed")
+            sp.set("found", word is not None)
+            return word
+
+    def _matching_word(
+        self, left: PatternLike, right: PatternLike, weak: bool
+    ) -> list[str] | None:
+        if not self.enabled:
+            return _matching_word_impl(
+                self.as_pattern(left), self.as_pattern(right), weak
+            )
+        li, ri = self.intern(left), self.intern(right)
+        key = (li, ri, weak)
+        hit = self._match.get(key)
+        if hit is not MISS:
+            return None if hit is None else list(hit)
+        alphabet = self.alphabet(li, ri)
+        word = joint_shortest_word(
+            self.dfa(li, alphabet, weak=False), self.dfa(ri, alphabet, weak=weak)
+        )
+        self._match.put(key, None if word is None else tuple(word))
+        return word
+
+    def match(self, left: PatternLike, right: PatternLike, weak: bool) -> bool:
+        """Decision form of :meth:`matching_word`."""
+        return self.matching_word(left, right, weak) is not None
+
+    def matching_profile(
+        self, trunk: PatternLike, read: PatternLike
+    ) -> tuple[frozenset[int], frozenset[int]]:
+        """Memoized :func:`repro.conflicts.linear_dp.matching_profile`."""
+        from repro.conflicts.linear_dp import matching_profile as raw_profile
+
+        if not self.enabled:
+            strong, weak = raw_profile(
+                self.as_pattern(trunk), self.as_pattern(read)
+            )
+            return frozenset(strong), frozenset(weak)
+        ti, ri = self.intern(trunk), self.intern(read)
+        key = (ti, ri)
+        hit = self._profile.get(key)
+        if hit is not MISS:
+            return hit
+        strong, weak = raw_profile(ti.pattern, ri.pattern)
+        value = (frozenset(strong), frozenset(weak))
+        self._profile.put(key, value)
+        return value
+
+    def edge_scan(
+        self,
+        tag: str,
+        read: PatternLike,
+        trunk: PatternLike,
+        compute: Callable[[], object],
+    ):  # type: ignore[no-untyped-def]
+        """Memoized per-(read, trunk) edge-scan result.
+
+        The conflict algorithms store their Lemma 3 / Lemma 6 edge scans
+        here keyed by spine position (node *indices*, not node ids, so
+        the memo transfers between structurally identical patterns).
+        ``compute`` runs on miss only.
+        """
+        if not self.enabled:
+            return compute()
+        key = (tag, self.intern(read), self.intern(trunk))
+        hit = self._edge.get(key)
+        if hit is not MISS:
+            return hit
+        value = compute()
+        self._edge.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Batch interop: precompiling operand sets and shipping artifacts
+    # ------------------------------------------------------------------
+
+    def precompile(self, op) -> None:  # type: ignore[no-untyped-def]
+        """Compile one operation's pattern-side artifacts up front.
+
+        ``op`` is any :data:`repro.conflicts.batch.Operation`.  Reads get
+        their spine prefixes/suffixes derived (when linear); updates get
+        their trunk extracted.  Idempotent and cheap when already warm.
+        """
+        if not self.enabled:
+            return
+        interned = self.intern(op.pattern)
+        if type(op).__name__ == "Read":
+            if interned.is_linear:
+                self._prefixes(interned)
+                self._suffixes(interned)
+        else:
+            self.trunk(interned)
+
+    def artifact(self, op) -> CompiledArtifact:  # type: ignore[no-untyped-def]
+        """The picklable compiled transport of ``op`` (warms this compiler)."""
+        return self.artifact_from(type(op).__name__, op.pattern)
+
+    def artifact_from(self, kind: str, pattern: PatternLike) -> CompiledArtifact:
+        """Build a :class:`CompiledArtifact` from a kind name and pattern."""
+        pattern = self.as_pattern(pattern)
+        trunk_xpath: str | None = None
+        if self.enabled:
+            interned = self.intern(pattern)
+            pattern_key = interned.key
+            if kind != "Read":
+                trunk_xpath = to_xpath(self.as_pattern(self.trunk(interned)))
+        else:
+            pattern_key = pattern.canonical_form()
+            if kind != "Read":
+                trunk_xpath = to_xpath(pattern.trunk())
+        return CompiledArtifact(
+            kind=kind,
+            xpath=to_xpath(pattern),
+            pattern_key=pattern_key,
+            trunk_xpath=trunk_xpath,
+            linear=pattern.is_linear,
+        )
+
+    def seed(self, artifact: CompiledArtifact) -> InternedPattern | None:
+        """Adopt a shipped artifact: intern its pattern, pre-derive its trunk.
+
+        Returns the interned pattern (``None`` on a disabled compiler).
+        A transport mismatch (the rebuilt pattern's canonical form
+        disagreeing with the shipped key) falls back to local derivation
+        rather than seeding a wrong trunk.
+        """
+        if not self.enabled:
+            return None
+        interned = self.intern(parse_xpath(artifact.xpath))
+        if interned.key != artifact.pattern_key:
+            return interned  # defensive: never seed from a mismatched key
+        if artifact.trunk_xpath is not None:
+            trunk = self.intern(parse_xpath(artifact.trunk_xpath))
+            self._derived.put((interned, "trunk"), trunk)
+        if artifact.kind == "Read" and artifact.linear:
+            self._prefixes(interned)
+            self._suffixes(interned)
+        return interned
+
+
+# ----------------------------------------------------------------------
+# Process-global default instance
+# ----------------------------------------------------------------------
+
+_GLOBAL: PatternCompiler | None = None
+
+
+def global_compiler() -> PatternCompiler:
+    """The process-wide compiler (counters go to the global registry)."""
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = PatternCompiler(registry=global_metrics())
+    return _GLOBAL
+
+
+def reset_global_compiler() -> None:
+    """Reset the process-wide compiler (tests, benchmark isolation).
+
+    Bumps its intern generation, so detector caches keyed on interned
+    identity can never serve entries minted before the reset.
+    """
+    if _GLOBAL is not None:
+        _GLOBAL.reset()
+
+
+def compiler_for_config(
+    compile_cache: bool,
+    compile_cache_size: int | None,
+    registry: MetricsRegistry | None = None,
+) -> PatternCompiler:
+    """The compiler implied by the two :class:`DetectorConfig` knobs.
+
+    ``compile_cache=False`` (or a non-positive size) yields a disabled
+    pass-through compiler; an explicit positive size yields a private
+    compiler reporting into ``registry``; the default shares
+    :func:`global_compiler`.
+    """
+    if not compile_cache:
+        return PatternCompiler(enabled=False)
+    if compile_cache_size is not None:
+        if compile_cache_size <= 0:
+            return PatternCompiler(enabled=False)
+        return PatternCompiler(maxsize=compile_cache_size, registry=registry)
+    return global_compiler()

@@ -58,6 +58,7 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.compile.compiler import CompiledArtifact, compiler_for_config
 from repro.conflicts.detector import ConflictDetector, DetectorConfig
 from repro.conflicts.semantics import Verdict
 from repro.errors import CacheCorrupt, CacheCorruptWarning, ConflictEngineError
@@ -482,11 +483,21 @@ def _worker_init(
     canon_ops: list[CanonicalOp],
     fault_spec: str | None = None,
     fault_seed: int = 0,
+    artifacts: "list[CompiledArtifact] | None" = None,
 ) -> None:
-    _WORKER["detector"] = ConflictDetector(config=config)
+    detector = ConflictDetector(config=config)
+    _WORKER["detector"] = detector
     _WORKER["canon"] = canon_ops
     _WORKER["ops"] = dict(_FORK_OPS)
     _WORKER["counter_base"] = {}
+    if artifacts:
+        # Pre-seed the worker's compile cache from the parent's compiled
+        # operand set (string-only transport, so it works under both fork
+        # and spawn): every worker starts with the same interned patterns
+        # and trunks the parent derived once, instead of re-deriving them
+        # on first touch.  No-op when the config disables compilation.
+        for artifact in artifacts:
+            detector.compiler.seed(artifact)
     if fault_spec:
         # A programmatically installed injector does not survive ``spawn``
         # (fresh interpreter, same environment); the analyzer re-serializes
@@ -634,6 +645,18 @@ class BatchAnalyzer:
         self.retry_backoff_s = retry_backoff_s
         self.cache = cache if cache is not None else VerdictCache()
         self._metrics = registry if registry is not None else MetricsRegistry()
+        # One compile cache for the whole batch: shared with the serial
+        # detector and (via shipped artifacts) pre-seeded into every pool
+        # worker.  A supplied detector's compiler wins so its warm
+        # artifacts keep serving.
+        if detector is not None:
+            self._compiler = detector.compiler
+        else:
+            self._compiler = compiler_for_config(
+                self.config.compile_cache,
+                self.config.compile_cache_size,
+                self._metrics,
+            )
         if detector is not None:
             self.cache.absorb_detector(detector)
         self._operations: dict[str, Operation] = {}
@@ -698,6 +721,7 @@ class BatchAnalyzer:
             self._canon = {
                 name: CanonicalOp.from_operation(op) for name, op in ops.items()
             }
+            self._precompile(ops.values())
             names = list(ops)
             self._matrix = ConflictMatrix(names=names)
             self._quarantine = []
@@ -719,6 +743,7 @@ class BatchAnalyzer:
         with obs.span("batch.add_op", existing=len(self._operations)):
             self._operations[name] = operation
             self._canon[name] = CanonicalOp.from_operation(operation)
+            self._precompile([operation])
             pairs = [
                 (existing, name) for existing in self._matrix.names
             ]
@@ -787,6 +812,22 @@ class BatchAnalyzer:
             out[name] = op
         return out
 
+    def _precompile(self, operations: Iterable[Operation]) -> None:
+        """Compile the operand set once, before any pair is decided.
+
+        Interns every pattern and derives trunks/prefixes up front so the
+        per-pair decisions (serial or in workers seeded via artifacts) hit
+        a warm compile cache from the first query.
+        """
+        if not self._compiler.enabled:
+            return
+        count = 0
+        with obs.span("batch.precompile"):
+            for op in operations:
+                self._compiler.precompile(op)
+                count += 1
+        self._metrics.inc("batch.ops_precompiled", count)
+
     def _decide_into_matrix(self, pairs: list[tuple[str, str]]) -> None:
         fingerprint = self.config.fingerprint()
         pending: dict[PairKey, list[tuple[str, str]]] = {}
@@ -850,7 +891,9 @@ class BatchAnalyzer:
         self, pending: dict[PairKey, list[tuple[str, str]]]
     ) -> dict[PairKey, tuple[Verdict, "str | None"]]:
         if self._detector is None:
-            self._detector = ConflictDetector(config=self.config)
+            self._detector = ConflictDetector(
+                config=self.config, compiler=self._compiler
+            )
         out: dict[PairKey, tuple[Verdict, str | None]] = {}
         with obs.span("batch.decide_serial", pairs=len(pending)):
             for key, names in pending.items():
@@ -867,6 +910,7 @@ class BatchAnalyzer:
         context: multiprocessing.context.BaseContext,
         jobs: int,
         payload_ops: list[CanonicalOp],
+        artifacts: "list[CompiledArtifact] | None" = None,
     ) -> "multiprocessing.pool.Pool":
         injector = faults.current()
         return context.Pool(
@@ -877,6 +921,7 @@ class BatchAnalyzer:
                 payload_ops,
                 injector.spec() if injector is not None else None,
                 injector.seed if injector is not None else 0,
+                artifacts,
             ),
         )
 
@@ -943,6 +988,15 @@ class BatchAnalyzer:
         for index, triple in enumerate(triples):
             chunk_lists[index % chunk_count].append(triple)
         queue: deque[_Chunk] = deque(_Chunk(chunk) for chunk in chunk_lists)
+        # Compile the deduped operand set once in the parent and ship the
+        # artifacts with the initializer, so every worker (fork or spawn,
+        # including post-failure pool rebuilds) starts pre-seeded.
+        artifacts: list[CompiledArtifact] | None = None
+        if self._compiler.enabled:
+            artifacts = [
+                self._compiler.artifact(op_by_key[canon.key])
+                for canon in payload_ops
+            ]
         out: dict[PairKey, tuple[Verdict, str | None]] = {}
         workers_seen: set[int] = set()
         with obs.span("batch.decide_parallel", pairs=len(items), jobs=jobs):
@@ -951,7 +1005,7 @@ class BatchAnalyzer:
                 _FORK_OPS.update(
                     {index: op_by_key[key] for key, index in op_indices.items()}
                 )
-            pool = self._make_pool(context, jobs, payload_ops)
+            pool = self._make_pool(context, jobs, payload_ops, artifacts)
             try:
                 # Dispatch loop with per-chunk failure isolation.  Chunks
                 # are submitted individually (apply_async) so a crashed or
@@ -993,7 +1047,7 @@ class BatchAnalyzer:
                         for other, _ in inflight:
                             queue.append(other)
                         inflight.clear()
-                        pool = self._make_pool(context, jobs, payload_ops)
+                        pool = self._make_pool(context, jobs, payload_ops, artifacts)
                         self._handle_chunk_failure(
                             chunk, "timeout", queue, out, items
                         )
@@ -1010,7 +1064,7 @@ class BatchAnalyzer:
                             for other, _ in inflight:
                                 queue.append(other)
                             inflight.clear()
-                            pool = self._make_pool(context, jobs, payload_ops)
+                            pool = self._make_pool(context, jobs, payload_ops, artifacts)
                         self._handle_chunk_failure(
                             chunk, "worker_crash", queue, out, items
                         )

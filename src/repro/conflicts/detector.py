@@ -31,6 +31,8 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro import obs
+from repro.compile.compiler import PatternCompiler, compiler_for_config
+from repro.compile.intern import InternedPattern
 from repro.conflicts.complex import detect_update_update
 from repro.conflicts.general import DEFAULT_EXHAUSTIVE_CAP, decide_conflict
 from repro.conflicts.linear import (
@@ -65,6 +67,8 @@ class DetectorConfig:
     trace: bool = False
     deadline_s: float | None = None
     max_steps: int | None = None
+    compile_cache: bool = True
+    compile_cache_size: int | None = None
 
     def fingerprint(self) -> tuple[str, int | None, bool]:
         """The knobs that can change a *verdict* (cache-key component).
@@ -75,7 +79,10 @@ class DetectorConfig:
         (``deadline_s``/``max_steps``) is also excluded: budget-degraded
         ``UNKNOWN`` verdicts are *never cached* (see :meth:`_cache_put`),
         so every cached answer is budget-independent and caches built
-        under different budgets can safely share entries.
+        under different budgets can safely share entries.  The compile
+        knobs (``compile_cache``/``compile_cache_size``) are speed-only —
+        the compiled and uncached paths are verdict-identical (enforced by
+        the differential suite) — and are likewise excluded.
         """
         return (self.kind.value, self.exhaustive_cap, self.use_heuristics)
 
@@ -118,6 +125,20 @@ class ConflictDetector:
             ``None`` (the default) imposes no deadline.
         max_steps: per-decision checkpoint allowance; exceeding it
             degrades to ``UNKNOWN`` with ``reason="step_limit"``.
+        compile_cache: consult the compile-once pattern/automaton cache on
+            the linear hot path (default on).  ``False`` forces the
+            uncached reference path — every trunk, NFA, and intersection
+            product is re-derived per query (the differential suite and
+            benchmarks rely on this).
+        compile_cache_size: entries per compile-cache family.  ``None``
+            (the default) shares the process-global compiler; a positive
+            value gives this detector a *private* compiler of that size,
+            reporting ``compile.*`` counters into this detector's
+            registry; ``0`` disables compilation like
+            ``compile_cache=False``.
+        compiler: an explicit :class:`repro.compile.PatternCompiler` to
+            use, overriding the two knobs above (the batch engine shares
+            one across its per-chunk detectors).
         config: a :class:`DetectorConfig` carrying all the knobs at once;
             when given it overrides the individual keyword arguments.
     """
@@ -133,6 +154,9 @@ class ConflictDetector:
         trace: bool = False,
         deadline_s: float | None = None,
         max_steps: int | None = None,
+        compile_cache: bool = True,
+        compile_cache_size: int | None = None,
+        compiler: PatternCompiler | None = None,
         config: DetectorConfig | None = None,
     ) -> None:
         if config is not None:
@@ -144,14 +168,24 @@ class ConflictDetector:
             trace = config.trace
             deadline_s = config.deadline_s
             max_steps = config.max_steps
+            compile_cache = config.compile_cache
+            compile_cache_size = config.compile_cache_size
         self.kind = kind
         self.exhaustive_cap = exhaustive_cap
         self.use_heuristics = use_heuristics
         self.minimize_witnesses = minimize_witnesses
         self.deadline_s = deadline_s
         self.max_steps = max_steps
+        self.compile_cache = compile_cache
+        self.compile_cache_size = compile_cache_size
         self._cache: dict[tuple, ConflictReport] | None = {} if cache else None
         self._metrics = registry if registry is not None else MetricsRegistry()
+        if compiler is not None:
+            self._compiler = compiler
+        else:
+            self._compiler = compiler_for_config(
+                compile_cache, compile_cache_size, self._metrics
+            )
         if trace:
             obs.enable()
 
@@ -172,7 +206,14 @@ class ConflictDetector:
             trace=False,
             deadline_s=self.deadline_s,
             max_steps=self.max_steps,
+            compile_cache=self.compile_cache,
+            compile_cache_size=self.compile_cache_size,
         )
+
+    @property
+    def compiler(self) -> PatternCompiler:
+        """The compile cache this detector consults (shared or private)."""
+        return self._compiler
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -341,9 +382,13 @@ class ConflictDetector:
     def _decide_read_update(self, read: Read, update: UpdateOp) -> ConflictReport:
         if read.pattern.is_linear:
             if isinstance(update, Insert):
-                report = detect_read_insert_linear(read, update, self.kind)
+                report = detect_read_insert_linear(
+                    read, update, self.kind, compiler=self._compiler
+                )
             else:
-                report = detect_read_delete_linear(read, update, self.kind)
+                report = detect_read_delete_linear(
+                    read, update, self.kind, compiler=self._compiler
+                )
         else:
             report = decide_conflict(
                 read,
@@ -411,7 +456,17 @@ class ConflictDetector:
             subtree = (
                 canonical_form(op.subtree) if isinstance(op, Insert) else None
             )
-            return (type(op).__name__, op.pattern.canonical_form(), subtree)
+            # With an enabled compiler, key on the *interned* pattern.
+            # Interned identity is (interner, generation, ident) — a
+            # compile-cache reset bumps the generation and an eviction
+            # never reissues an ident, so a stale detector-cache entry
+            # can only ever miss, never alias a later pattern that
+            # happens to reuse the slot.
+            if self._compiler.enabled:
+                pattern_key = self._compiler.intern(op.pattern)
+            else:
+                pattern_key = op.pattern.canonical_form()
+            return (type(op).__name__, pattern_key, subtree)
 
         return (
             tag,
@@ -434,9 +489,19 @@ class ConflictDetector:
         """
         if self._cache is None:
             return
+
+        def plain(op_key: tuple) -> tuple:
+            # Internal keys may hold InternedPattern handles; exported
+            # keys are always canonical strings (stable across processes
+            # and compiler generations).
+            name, pattern_key, subtree = op_key
+            if isinstance(pattern_key, InternedPattern):
+                pattern_key = pattern_key.key
+            return (name, pattern_key, subtree)
+
         for key, report in self._cache.items():
             _tag, kind, cap, heuristics, key_a, key_b = key
-            yield (kind.value, cap, heuristics), key_a, key_b, report.verdict
+            yield (kind.value, cap, heuristics), plain(key_a), plain(key_b), report.verdict
 
     def _cache_get(self, key: tuple | None) -> ConflictReport | None:
         # ``key is None`` means caching is disabled for this detector; such

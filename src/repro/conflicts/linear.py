@@ -31,13 +31,13 @@ linear patterns value conflicts coincide with tree conflicts (Lemma 2).
 from __future__ import annotations
 
 from repro.obs import span
+from repro.compile.compiler import PatternCompiler, global_compiler
 from repro.conflicts.semantics import (
     ConflictKind,
     ConflictReport,
     Verdict,
     is_witness,
 )
-from repro.automata.matching import match_strongly, match_weakly, matching_word
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
 from repro.patterns.embedding import embeds_at, evaluate
 from repro.patterns.pattern import Axis, PNodeId, TreePattern, fresh_label
@@ -58,13 +58,19 @@ def detect_read_delete_linear(
     read: Read,
     delete: Delete,
     kind: ConflictKind = ConflictKind.NODE,
+    compiler: PatternCompiler | None = None,
 ) -> ConflictReport:
     """Decide a read-delete conflict for a linear read in PTIME.
 
     The read pattern must be linear; the delete pattern may branch
     (Corollary 1).  Returns a report whose witness, when present, has been
     re-verified against the Lemma 1 checker.
+
+    ``compiler`` selects the compile cache consulted for trunks, automata,
+    matching words, and the Lemma 3 edge scan; the process-global one by
+    default (pass a disabled compiler to force the uncached path).
     """
+    comp = compiler if compiler is not None else global_compiler()
     rp = read.pattern
     rp.require_linear("read pattern")
     with span(
@@ -73,26 +79,26 @@ def detect_read_delete_linear(
         update_size=delete.pattern.size,
         kind=kind.value,
     ):
-        trunk = delete.pattern.trunk()
+        read_c = comp.handle(rp)
+        trunk_c = comp.trunk(delete.pattern)
 
-        node_hit = _read_delete_node_edge(rp, trunk)
+        edge = _read_delete_node_edge(comp, read_c, trunk_c)
         if kind is ConflictKind.NODE:
-            if node_hit is None:
+            if edge is None:
                 return ConflictReport(
                     Verdict.NO_CONFLICT, kind, method="linear-ptime"
                 )
-            witness = _build_delete_witness(rp, delete, trunk, *node_hit)
+            witness = _build_delete_witness(comp, read_c, delete, trunk_c, edge)
             return _report_with_witness(witness, read, delete, kind)
 
         # Tree / value semantics: node conflict OR the deletion point can
         # land at-or-below a read result (weak match of trunk against the
         # full read).
-        if node_hit is not None:
-            witness = _build_delete_witness(rp, delete, trunk, *node_hit)
+        if edge is not None:
+            witness = _build_delete_witness(comp, read_c, delete, trunk_c, edge)
             return _report_with_witness(witness, read, delete, kind)
-        if match_weakly(trunk, rp):
-            word = matching_word(trunk, rp, weak=True)
-            assert word is not None
+        word = comp.matching_word(trunk_c, read_c, weak=True)
+        if word is not None:
             witness = _augment_with_side_branches(
                 _chain_from_word(word), delete.pattern, extra_avoid=rp.labels()
             )
@@ -101,47 +107,67 @@ def detect_read_delete_linear(
 
 
 def _read_delete_node_edge(
-    rp: TreePattern, trunk: TreePattern
-) -> tuple[PNodeId, PNodeId] | None:
-    """Find a read edge satisfying Lemma 3, or ``None``."""
-    spine = rp.spine()
-    for upper, lower in zip(spine, spine[1:]):
-        axis = rp.axis(lower)
-        assert axis is not None
-        if axis is Axis.DESCENDANT:
-            if match_weakly(trunk, rp.seq_root_to(upper)):
-                return (upper, lower)
-        else:
-            if match_strongly(trunk, rp.seq_root_to(lower)):
-                return (upper, lower)
-    return None
+    comp: PatternCompiler, read_c, trunk_c
+) -> int | None:
+    """Find a read edge satisfying Lemma 3, or ``None``.
+
+    Returns the *spine index* of the edge's upper node (indices, unlike
+    node ids, are canonical across structurally identical patterns, so the
+    whole scan memoizes per interned (read, trunk) pair).
+    """
+    rp = comp.as_pattern(read_c)
+
+    def scan() -> int | None:
+        spine = rp.spine()
+        for index in range(len(spine) - 1):
+            axis = rp.axis(spine[index + 1])
+            assert axis is not None
+            if axis is Axis.DESCENDANT:
+                if comp.match(
+                    trunk_c, comp.spine_prefix(read_c, index), weak=True
+                ):
+                    return index
+            else:
+                if comp.match(
+                    trunk_c, comp.spine_prefix(read_c, index + 1), weak=False
+                ):
+                    return index
+        return None
+
+    return comp.edge_scan("read_delete", read_c, trunk_c, scan)
 
 
 def _build_delete_witness(
-    rp: TreePattern,
+    comp: PatternCompiler,
+    read_c,
     delete: Delete,
-    trunk: TreePattern,
-    upper: PNodeId,
-    lower: PNodeId,
+    trunk_c,
+    index: int,
 ) -> XMLTree:
     """Lemma 3 "(If)" construction: word chain + model of the read suffix."""
+    rp = comp.as_pattern(read_c)
+    spine = rp.spine()
+    lower = spine[index + 1]
     axis = rp.axis(lower)
     assert axis is not None
     avoid = rp.labels() | delete.pattern.labels()
     if axis is Axis.DESCENDANT:
-        word = matching_word(trunk, rp.seq_root_to(upper), weak=True)
+        word = comp.matching_word(
+            trunk_c, comp.spine_prefix(read_c, index), weak=True
+        )
         assert word is not None
         chain = _chain_from_word(word)
-        suffix = rp.seq(lower, rp.output)
+        suffix = comp.as_pattern(comp.spine_suffix(read_c, index + 1))
         _graft_model(chain, _last_of_chain(chain), suffix, avoid)
     else:
-        word = matching_word(trunk, rp.seq_root_to(lower), weak=False)
+        word = comp.matching_word(
+            trunk_c, comp.spine_prefix(read_c, index + 1), weak=False
+        )
         assert word is not None
         chain = _chain_from_word(word)
         if lower != rp.output:
-            children = rp.children(lower)
-            assert len(children) == 1  # linear pattern
-            suffix = rp.seq(children[0], rp.output)
+            # The single child of ``lower`` is the next spine node.
+            suffix = comp.as_pattern(comp.spine_suffix(read_c, index + 2))
             _graft_model(chain, _last_of_chain(chain), suffix, avoid)
     return _augment_with_side_branches(chain, delete.pattern, extra_avoid=rp.labels())
 
@@ -154,12 +180,14 @@ def detect_read_insert_linear(
     read: Read,
     insert: Insert,
     kind: ConflictKind = ConflictKind.NODE,
+    compiler: PatternCompiler | None = None,
 ) -> ConflictReport:
     """Decide a read-insert conflict for a linear read in PTIME.
 
     The read pattern must be linear; the insert pattern may branch
-    (Corollary 2).
+    (Corollary 2).  ``compiler`` as in :func:`detect_read_delete_linear`.
     """
+    comp = compiler if compiler is not None else global_compiler()
     rp = read.pattern
     rp.require_linear("read pattern")
     with span(
@@ -169,23 +197,23 @@ def detect_read_insert_linear(
         x_size=insert.subtree.size,
         kind=kind.value,
     ):
-        trunk = insert.pattern.trunk()
+        read_c = comp.handle(rp)
+        trunk_c = comp.trunk(insert.pattern)
 
-        cut = find_cut_edge(rp, trunk, insert.subtree)
+        cut = _find_cut_edge_index(comp, read_c, trunk_c, insert.subtree)
         if kind is ConflictKind.NODE:
             if cut is None:
                 return ConflictReport(
                     Verdict.NO_CONFLICT, kind, method="linear-ptime"
                 )
-            witness = _build_insert_witness(rp, insert, trunk, *cut)
+            witness = _build_insert_witness(comp, read_c, insert, trunk_c, cut)
             return _report_with_witness(witness, read, insert, kind)
 
         if cut is not None:
-            witness = _build_insert_witness(rp, insert, trunk, *cut)
+            witness = _build_insert_witness(comp, read_c, insert, trunk_c, cut)
             return _report_with_witness(witness, read, insert, kind)
-        if match_weakly(trunk, rp):
-            word = matching_word(trunk, rp, weak=True)
-            assert word is not None
+        word = comp.matching_word(trunk_c, read_c, weak=True)
+        if word is not None:
             witness = _augment_with_side_branches(
                 _chain_from_word(word), insert.pattern, extra_avoid=rp.labels()
             )
@@ -194,47 +222,83 @@ def detect_read_insert_linear(
 
 
 def find_cut_edge(
-    rp: TreePattern, trunk: TreePattern, x: XMLTree
+    rp: TreePattern,
+    trunk: TreePattern,
+    x: XMLTree,
+    compiler: PatternCompiler | None = None,
 ) -> tuple[PNodeId, PNodeId] | None:
     """Find a cut edge of the read against the insertion (Lemma 6).
 
     Returns the read edge ``(n, n')`` or ``None``.  ``trunk`` must be the
     insertion pattern's root-to-output spine; ``x`` is the inserted tree.
     """
+    comp = compiler if compiler is not None else global_compiler()
+    index = _find_cut_edge_index(comp, comp.handle(rp), comp.handle(trunk), x)
+    if index is None:
+        return None
     spine = rp.spine()
-    for upper, lower in zip(spine, spine[1:]):
-        axis = rp.axis(lower)
-        assert axis is not None
-        suffix = rp.seq(lower, rp.output)
+    return (spine[index], spine[index + 1])
+
+
+def _find_cut_edge_index(
+    comp: PatternCompiler, read_c, trunk_c, x: XMLTree
+) -> int | None:
+    """The spine index of the first cut edge's upper node, or ``None``.
+
+    Only the pattern-vs-pattern half of Lemma 6 (the per-edge weak/strong
+    match flags) memoizes — it depends on (read, trunk) alone.  The
+    ``embeds_at`` half runs fresh per call: ``x`` is a mutable tree with no
+    stable cache identity.
+    """
+    rp = comp.as_pattern(read_c)
+    spine = rp.spine()
+
+    def scan() -> tuple[bool, ...]:
+        flags = []
+        for index in range(len(spine) - 1):
+            axis = rp.axis(spine[index + 1])
+            assert axis is not None
+            flags.append(
+                comp.match(
+                    trunk_c,
+                    comp.spine_prefix(read_c, index),
+                    weak=axis is Axis.DESCENDANT,
+                )
+            )
+        return tuple(flags)
+
+    flags = comp.edge_scan("read_insert", read_c, trunk_c, scan)
+    for index in range(len(spine) - 1):
+        if not flags[index]:
+            continue
+        axis = rp.axis(spine[index + 1])
+        suffix = comp.as_pattern(comp.spine_suffix(read_c, index + 1))
         if axis is Axis.CHILD:
-            if match_strongly(trunk, rp.seq_root_to(upper)) and embeds_at(
-                suffix, x, root_at=x.root
-            ):
-                return (upper, lower)
+            if embeds_at(suffix, x, root_at=x.root):
+                return index
         else:
-            if match_weakly(trunk, rp.seq_root_to(upper)) and embeds_at(
-                suffix, x, anywhere=True
-            ):
-                return (upper, lower)
+            if embeds_at(suffix, x, anywhere=True):
+                return index
     return None
 
 
 def _build_insert_witness(
-    rp: TreePattern,
+    comp: PatternCompiler,
+    read_c,
     insert: Insert,
-    trunk: TreePattern,
-    upper: PNodeId,
-    lower: PNodeId,
+    trunk_c,
+    index: int,
 ) -> XMLTree:
     """Lemma 6 "(If)" construction: the matching-word chain is the witness.
 
     (The inserted copy of ``X`` supplies the read suffix, so nothing needs
     to be grafted — except the update pattern's side branches, Lemma 8.)
     """
-    axis = rp.axis(lower)
+    rp = comp.as_pattern(read_c)
+    axis = rp.axis(rp.spine()[index + 1])
     assert axis is not None
     weak = axis is Axis.DESCENDANT
-    word = matching_word(trunk, rp.seq_root_to(upper), weak=weak)
+    word = comp.matching_word(trunk_c, comp.spine_prefix(read_c, index), weak=weak)
     assert word is not None
     chain = _chain_from_word(word)
     return _augment_with_side_branches(chain, insert.pattern, extra_avoid=rp.labels())

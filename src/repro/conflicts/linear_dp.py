@@ -108,18 +108,25 @@ def matching_profile(
     return strong, weak
 
 
-def detect_read_delete_linear_dp(read: Read, delete: Delete) -> bool:
+def detect_read_delete_linear_dp(
+    read: Read, delete: Delete, compiler=None
+) -> bool:
     """Decision-only read-delete node-conflict test via one DP pass.
 
     Equivalent to
     :func:`repro.conflicts.linear.detect_read_delete_linear` on node
     semantics (Lemma 3 + Lemma 4), but with a single matching profile
-    instead of one NFA intersection per read edge.
+    instead of one NFA intersection per read edge.  ``compiler`` selects
+    the compile cache the trunk and profile memoize in (global default).
     """
+    from repro.compile.compiler import global_compiler
+
+    comp = compiler if compiler is not None else global_compiler()
     rp = read.pattern
     rp.require_linear("read pattern")
-    trunk = delete.pattern.trunk()
-    strong, weak = matching_profile(trunk, rp)
+    read_c = comp.handle(rp)
+    trunk_c = comp.trunk(delete.pattern)
+    strong, weak = comp.matching_profile(trunk_c, read_c)
     spine = rp.spine()
     for index in range(1, len(spine)):
         axis = rp.axis(spine[index])
@@ -133,16 +140,22 @@ def detect_read_delete_linear_dp(read: Read, delete: Delete) -> bool:
     return False
 
 
-def detect_read_insert_linear_dp(read: Read, insert: Insert) -> bool:
+def detect_read_insert_linear_dp(
+    read: Read, insert: Insert, compiler=None
+) -> bool:
     """Decision-only read-insert node-conflict test via one DP pass.
 
     The cut-edge conditions of Lemma 6 with the matching side answered by
-    the profile.
+    the (memoized) profile.
     """
+    from repro.compile.compiler import global_compiler
+
+    comp = compiler if compiler is not None else global_compiler()
     rp = read.pattern
     rp.require_linear("read pattern")
-    trunk = insert.pattern.trunk()
-    strong, weak = matching_profile(trunk, rp)
+    read_c = comp.handle(rp)
+    trunk_c = comp.trunk(insert.pattern)
+    strong, weak = comp.matching_profile(trunk_c, read_c)
     spine = rp.spine()
     for index in range(1, len(spine)):
         upper_len = index  # nodes in SEQ through spine[index-1]

@@ -6,7 +6,21 @@ import random
 
 import pytest
 
+from repro.compile.compiler import reset_global_compiler
 from repro.xml.tree import XMLTree, build_tree
+
+
+@pytest.fixture(autouse=True)
+def _cold_global_compiler():
+    """Start every test with a cold process-global compile cache.
+
+    Several observability tests assert that inner instruments (NFA build
+    counters, matching spans) fire on a fresh query; a compiler warmed by
+    an earlier test would legitimately skip that work.  Resetting also
+    keeps tests order-independent.
+    """
+    reset_global_compiler()
+    yield
 
 
 @pytest.fixture

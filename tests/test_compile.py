@@ -1,0 +1,548 @@
+"""Tests for the compile-once layer (:mod:`repro.compile`).
+
+Covers the LRU substrate, interning identity rules (monotonic idents,
+generation bumps, per-interner ownership), the compiler's memo families,
+the detector cache-key/generation interplay (the aliasing regression),
+artifact transport to pool workers — including a full batch round-trip
+under ``REPRO_START_METHOD=spawn`` — and the configuration knobs on
+:class:`DetectorConfig` and the CLI.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.automata.matching import matching_alphabet, matching_word
+from repro.cli import main as cli_main
+from repro.compile import (
+    MISS,
+    CompiledArtifact,
+    LRUCache,
+    PatternCompiler,
+    PatternInterner,
+    compiler_for_config,
+    global_compiler,
+    reset_global_compiler,
+)
+from repro.compile.intern import InternedPattern
+from repro.conflicts.batch import (
+    BatchAnalyzer,
+    VerdictCache,
+    reference_matrix,
+)
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.conflicts.linear_dp import matching_profile as raw_matching_profile
+from repro.conflicts.semantics import Verdict
+from repro.obs.metrics import MetricsRegistry
+from repro.operations.ops import Delete, Insert, Read
+from repro.patterns.pattern import Axis
+from repro.patterns.xpath import parse_xpath
+
+
+def pattern(xpath: str):
+    return parse_xpath(xpath)
+
+
+# ----------------------------------------------------------------------
+# LRU substrate
+# ----------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_miss_returns_sentinel_not_none(self):
+        cache = LRUCache(4)
+        assert cache.get("absent") is MISS
+        cache.put("nothing", None)
+        assert cache.get("nothing") is None  # None is a real cached value
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is MISS
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 1, 0)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing_key_without_evicting(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: "b" survives
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_registry_family_counters(self):
+        registry = MetricsRegistry()
+        cache = LRUCache(1, registry, family="compile.test")
+        cache.get("x")
+        cache.put("x", 1)
+        cache.get("x")
+        cache.put("y", 2)  # evicts x
+        snap = registry.snapshot()["counters"]
+        assert snap["compile.test.misses"] == 1
+        assert snap["compile.test.hits"] == 1
+        assert snap["compile.test.evictions"] == 1
+
+    def test_clear_preserves_traffic_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.stats()["size"] == 0
+        assert cache.stats()["maxsize"] == 4
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+# ----------------------------------------------------------------------
+# Interning identity
+# ----------------------------------------------------------------------
+
+
+class TestPatternInterner:
+    def test_canonically_equal_patterns_share_one_handle(self):
+        interner = PatternInterner(16)
+        first = interner.intern(pattern("a/b//c"))
+        second = interner.intern(pattern("a/b//c"))
+        assert first is second
+        assert len(interner) == 1
+
+    def test_intern_is_idempotent_on_own_handles(self):
+        interner = PatternInterner(16)
+        handle = interner.intern(pattern("a//b"))
+        assert interner.intern(handle) is handle
+
+    def test_interned_copy_is_isolated_from_caller_mutation(self):
+        interner = PatternInterner(16)
+        original = pattern("a/b")
+        handle = interner.intern(original)
+        original.add_child(original.output, "mutant", Axis.CHILD)
+        assert handle.pattern.canonical_form() == handle.key
+
+    def test_precomputed_attributes(self):
+        interner = PatternInterner(16)
+        handle = interner.intern(pattern("a//*/c"))
+        assert handle.labels == frozenset({"a", "c"})
+        assert handle.is_linear
+        assert handle.spine_len == 3
+        assert handle.size == 3
+
+    def test_idents_are_monotonic_across_evictions(self):
+        interner = PatternInterner(1)
+        a_old = interner.intern(pattern("a"))
+        b = interner.intern(pattern("b"))  # evicts "a"
+        a_new = interner.intern(pattern("a"))  # re-interned, fresh ident
+        assert (a_old.ident, b.ident, a_new.ident) == (0, 1, 2)
+        assert a_old != a_new  # a stale key can only miss, never alias
+
+    def test_reset_bumps_generation_and_invalidates_handles(self):
+        interner = PatternInterner(16)
+        before = interner.intern(pattern("a/b"))
+        interner.reset()
+        after = interner.intern(pattern("c/d"))
+        assert interner.generation == 1
+        # Same ident slot, different generation: never equal, never aliased.
+        assert before.ident == after.ident == 0
+        assert before != after
+        assert hash(before) != hash(after)
+        # A pre-reset handle is re-interned from its canonical form.
+        revived = interner.intern(before)
+        assert revived.generation == 1
+        assert revived.key == before.key
+
+    def test_identities_never_cross_interners(self):
+        left = PatternInterner(16).intern(pattern("a"))
+        right = PatternInterner(16).intern(pattern("a"))
+        assert left.ident == right.ident and left.key == right.key
+        assert left != right
+
+    def test_equality_against_foreign_types(self):
+        handle = PatternInterner(16).intern(pattern("a"))
+        assert handle != "a"
+        assert (handle == 42) is False
+
+
+# ----------------------------------------------------------------------
+# The compiler's memo families
+# ----------------------------------------------------------------------
+
+
+class TestPatternCompiler:
+    def test_disabled_compiler_is_a_passthrough(self):
+        comp = PatternCompiler(enabled=False)
+        p = pattern("a/b//c")
+        assert comp.handle(p) is p
+        assert comp.generation == 0
+        assert comp.stats() == {}
+        comp.reset()  # no-op, must not raise
+        assert comp.trunk(p).canonical_form() == p.trunk().canonical_form()
+        calls = []
+        assert comp.edge_scan("t", p, p, lambda: calls.append(1) or 7) == 7
+        comp.edge_scan("t", p, p, lambda: calls.append(1) or 7)
+        assert len(calls) == 2  # never memoized
+        assert comp.precompile(Read(pattern("a//b"))) is None
+        assert comp.seed(comp.artifact(Delete(pattern("a/b")))) is None
+
+    def test_trunk_is_interned_and_memoized(self):
+        comp = PatternCompiler()
+        p = pattern("a/b[c]/d")
+        first = comp.trunk(p)
+        second = comp.trunk(p)
+        assert first is second
+        assert isinstance(first, InternedPattern)
+        assert first.key == p.trunk().canonical_form()
+
+    def test_spine_prefixes_and_suffixes_match_uncached(self):
+        comp = PatternCompiler()
+        raw = PatternCompiler(enabled=False)
+        p = pattern("a//b/*/c")
+        for index in range(len(p.spine())):
+            cached_pre = comp.as_pattern(comp.spine_prefix(p, index))
+            plain_pre = raw.spine_prefix(p, index)
+            assert cached_pre.canonical_form() == plain_pre.canonical_form()
+            cached_suf = comp.as_pattern(comp.spine_suffix(p, index))
+            plain_suf = raw.spine_suffix(p, index)
+            assert cached_suf.canonical_form() == plain_suf.canonical_form()
+
+    def test_nfa_and_dfa_are_built_once(self):
+        comp = PatternCompiler()
+        p = pattern("a//b")
+        alphabet = ("a", "b", "z")
+        assert comp.nfa(p, alphabet) is comp.nfa(p, alphabet)
+        strong = comp.dfa(p, alphabet, weak=False)
+        weak = comp.dfa(p, alphabet, weak=True)
+        assert strong is comp.dfa(p, alphabet, weak=False)
+        assert weak is comp.dfa(p, alphabet, weak=True)
+        assert strong is not weak
+        assert not strong.accepts(["a", "b", "z"])
+        assert weak.accepts(["a", "b", "z"])
+
+    def test_alphabet_matches_matching_alphabet(self):
+        comp = PatternCompiler()
+        left, right = pattern("a//b"), pattern("c/*")
+        expected = matching_alphabet(left, right)
+        assert comp.alphabet(left, right) == expected
+        assert comp.alphabet(comp.intern(left), comp.intern(right)) == expected
+
+    def test_matching_word_agrees_with_module_level_and_is_cached(self):
+        comp = PatternCompiler()
+        left, right = pattern("a//b"), pattern("a/*/b")
+        for weak in (False, True):
+            expected = matching_word(left, right, weak)
+            got = comp.matching_word(left, right, weak)
+            assert got == expected
+            again = comp.matching_word(left, right, weak)
+            assert again == got
+            if got is not None:
+                assert again is not got  # hits return a defensive copy
+        assert comp.stats()["compile.match"]["hits"] >= 2
+
+    def test_negative_matching_results_are_cached(self):
+        comp = PatternCompiler()
+        left, right = pattern("a/b"), pattern("c/d")
+        assert comp.matching_word(left, right, weak=False) is None
+        assert comp.matching_word(left, right, weak=False) is None
+        assert comp.stats()["compile.match"]["hits"] == 1
+        assert not comp.match(left, right, weak=False)
+
+    def test_matching_profile_agrees_with_raw_dp(self):
+        comp = PatternCompiler()
+        trunk, read = pattern("a/b/c"), pattern("a//c")
+        strong_raw, weak_raw = raw_matching_profile(trunk, read)
+        strong, weak = comp.matching_profile(trunk, read)
+        assert strong == frozenset(strong_raw) and weak == frozenset(weak_raw)
+        assert comp.matching_profile(trunk, read) == (strong, weak)
+        assert comp.stats()["compile.profile"]["hits"] == 1
+
+    def test_edge_scan_computes_once_per_pair(self):
+        comp = PatternCompiler()
+        read, trunk = pattern("a//b"), pattern("a/b")
+        calls = []
+        value = comp.edge_scan("tag", read, trunk, lambda: calls.append(1) or 3)
+        again = comp.edge_scan("tag", read, trunk, lambda: calls.append(1) or 9)
+        assert value == again == 3
+        assert len(calls) == 1
+        # A different tag is a different memo entry.
+        assert comp.edge_scan("other", read, trunk, lambda: 5) == 5
+
+    def test_reset_clears_memos_and_bumps_generation(self):
+        comp = PatternCompiler()
+        p = pattern("a/b")
+        before = comp.intern(p)
+        comp.trunk(p)
+        comp.reset()
+        assert comp.generation == 1
+        assert comp.intern(p) != before
+        assert comp.stats()["compile.derived"]["size"] == 0
+
+    def test_stats_lists_every_family(self):
+        families = set(PatternCompiler().stats())
+        assert families == {
+            "compile.intern", "compile.nfa", "compile.dfa", "compile.match",
+            "compile.profile", "compile.derived", "compile.edge",
+        }
+
+
+# ----------------------------------------------------------------------
+# Compiled-artifact transport (parent -> pool worker)
+# ----------------------------------------------------------------------
+
+
+class TestCompiledArtifacts:
+    def test_artifact_round_trip_rebuilds_identical_interned_pattern(self):
+        parent = PatternCompiler()
+        op = Delete(pattern("a/b//c"))
+        artifact = parent.artifact(op)
+        wire = pickle.loads(pickle.dumps(artifact))
+        assert wire == artifact
+
+        worker = PatternCompiler()
+        interned = worker.seed(wire)
+        assert interned is not None
+        assert interned.key == artifact.pattern_key
+        assert interned.key == parent.intern(op.pattern).key
+        # The trunk arrived pre-derived: deriving it now is a cache hit.
+        hits_before = worker.stats()["compile.derived"]["hits"]
+        trunk = worker.trunk(interned)
+        assert worker.stats()["compile.derived"]["hits"] == hits_before + 1
+        assert trunk.key == parent.trunk(op.pattern).key
+
+    def test_read_artifact_seeds_spine_prefixes_and_suffixes(self):
+        parent = PatternCompiler()
+        read = Read(pattern("a//b/c"))
+        artifact = parent.artifact(read)
+        assert artifact.kind == "Read"
+        assert artifact.trunk_xpath is None
+        worker = PatternCompiler()
+        worker.seed(artifact)
+        hits_before = worker.stats()["compile.derived"]["hits"]
+        worker.spine_prefix(read.pattern, 1)
+        worker.spine_suffix(read.pattern, 1)
+        assert worker.stats()["compile.derived"]["hits"] == hits_before + 2
+
+    def test_insert_artifact_carries_trunk(self):
+        comp = PatternCompiler()
+        insert = Insert(pattern("a/b"), "<c/>")
+        artifact = comp.artifact(insert)
+        assert artifact.kind == "Insert"
+        assert artifact.trunk_xpath is not None
+        assert artifact.linear
+
+    def test_seed_refuses_a_mismatched_key(self):
+        comp = PatternCompiler()
+        good = comp.artifact(Delete(pattern("a/b")))
+        tampered = CompiledArtifact(
+            kind=good.kind,
+            xpath=good.xpath,
+            pattern_key="not-the-real-key",
+            trunk_xpath="z/z",
+            linear=good.linear,
+        )
+        worker = PatternCompiler()
+        interned = worker.seed(tampered)
+        assert interned is not None  # the pattern itself still interns
+        # ... but the suspicious trunk was not adopted.
+        trunk = worker.trunk(interned)
+        assert trunk.key == pattern("a/b").trunk().canonical_form()
+
+    def test_disabled_compiler_still_builds_artifacts(self):
+        comp = PatternCompiler(enabled=False)
+        artifact = comp.artifact(Delete(pattern("a/b")))
+        assert artifact.pattern_key == pattern("a/b").canonical_form()
+        assert artifact.trunk_xpath is not None
+
+
+# ----------------------------------------------------------------------
+# Configuration plumbing: compiler_for_config, detector knobs, CLI
+# ----------------------------------------------------------------------
+
+
+class TestConfigurationKnobs:
+    def test_compiler_for_config_disabled_paths(self):
+        assert not compiler_for_config(False, None).enabled
+        assert not compiler_for_config(True, 0).enabled
+        assert not compiler_for_config(True, -3).enabled
+
+    def test_compiler_for_config_private_and_global(self):
+        registry = MetricsRegistry()
+        private = compiler_for_config(True, 64, registry)
+        assert private.enabled and private is not global_compiler()
+        assert private.registry is registry
+        assert compiler_for_config(True, None) is global_compiler()
+
+    def test_global_compiler_is_a_singleton_until_reset(self):
+        first = global_compiler()
+        assert global_compiler() is first
+        generation = first.generation
+        reset_global_compiler()
+        assert global_compiler() is first
+        assert first.generation == generation + 1
+
+    def test_detector_config_carries_compile_knobs(self):
+        config = DetectorConfig(compile_cache=False, compile_cache_size=7)
+        detector = config.build()
+        assert not detector.compiler.enabled
+        assert detector.config.compile_cache is False
+        assert detector.config.compile_cache_size == 7
+
+    def test_compile_knobs_do_not_change_the_fingerprint(self):
+        # The compile cache is a speed knob: verdicts are identical either
+        # way, so VerdictCache entries must stay shareable across settings.
+        assert (
+            DetectorConfig(compile_cache=False).fingerprint()
+            == DetectorConfig(compile_cache_size=9).fingerprint()
+            == DetectorConfig().fingerprint()
+        )
+
+    def test_detector_private_size_gets_private_compiler(self):
+        detector = ConflictDetector(compile_cache_size=32)
+        assert detector.compiler.enabled
+        assert detector.compiler is not global_compiler()
+
+    def test_detector_default_shares_the_global_compiler(self):
+        assert ConflictDetector().compiler is global_compiler()
+
+    def test_cli_compile_cache_size_flag(self, capsys):
+        argv = ["check", "--read", "*//C", "--insert", "*/B", "--xml", "<C/>"]
+        assert cli_main(argv) == 1
+        assert cli_main(argv + ["--compile-cache-size", "64"]) == 1
+        assert cli_main(argv + ["--compile-cache-size", "0"]) == 1
+        capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# Detector cache keys vs compile-cache generations (the aliasing bug)
+# ----------------------------------------------------------------------
+
+
+class TestDetectorCacheKeyGenerations:
+    def test_structurally_equal_queries_share_a_cache_entry(self):
+        detector = ConflictDetector(compile_cache_size=64)
+        first = detector.read_delete(Read(pattern("a//b")), Delete(pattern("a/b")))
+        again = detector.read_delete(Read(pattern("a//b")), Delete(pattern("a/b")))
+        assert first.verdict is again.verdict
+        assert detector.cache_hits == 1
+
+    def test_compile_cache_reset_cannot_alias_detector_entries(self):
+        """Regression: interned idents restart after a reset.
+
+        Before generations were part of interned identity, pattern pairs
+        interned *after* a compiler reset reused idents 0, 1, ... and
+        collided with detector-cache keys minted before the reset,
+        silently serving the wrong pair's verdict.
+        """
+        compiler = PatternCompiler(maxsize=64)
+        detector = ConflictDetector(compiler=compiler)
+        conflicting = detector.read_delete(
+            Read(pattern("a//b")), Delete(pattern("a/b"))
+        )
+        assert conflicting.verdict is Verdict.CONFLICT
+
+        compiler.reset()
+        # These operands now intern to the same fresh idents the first
+        # pair held before the reset; the key must still be distinct.
+        disjoint = detector.read_delete(
+            Read(pattern("x/y")), Delete(pattern("p/q"))
+        )
+        assert disjoint.verdict is Verdict.NO_CONFLICT
+        assert detector.cache_hits == 0
+
+        # And the first pair, re-asked post-reset, is recomputed correctly.
+        recomputed = detector.read_delete(
+            Read(pattern("a//b")), Delete(pattern("a/b"))
+        )
+        assert recomputed.verdict is Verdict.CONFLICT
+
+    def test_cached_entries_export_plain_string_keys(self):
+        detector = ConflictDetector(compile_cache_size=64)
+        detector.read_delete(Read(pattern("a//b")), Delete(pattern("a/b")))
+        entries = list(detector.cached_entries())
+        assert entries
+        for _fingerprint, key_a, key_b, verdict in entries:
+            assert isinstance(key_a[1], str) and isinstance(key_b[1], str)
+            assert isinstance(verdict, Verdict)
+
+    def test_verdict_cache_absorbs_compiled_detector(self):
+        detector = ConflictDetector(compile_cache_size=64)
+        detector.read_delete(Read(pattern("a//b")), Delete(pattern("a/b")))
+        cache = VerdictCache()
+        assert cache.absorb_detector(detector) == 1
+        key = VerdictCache.pair_key(
+            detector.config.fingerprint(),
+            ("Read", pattern("a//b").canonical_form(), None),
+            ("Delete", pattern("a/b").canonical_form(), None),
+        )
+        assert cache.get(key) is Verdict.CONFLICT
+
+
+# ----------------------------------------------------------------------
+# Batch round-trip under spawn (satellite: worker seeding equivalence)
+# ----------------------------------------------------------------------
+
+SPAWN_OPS = {
+    "titles": Read(parse_xpath("bib/book/title")),
+    "prices": Read(parse_xpath("bib//price")),
+    "restock": Insert(parse_xpath("bib/book"), "<restock/>"),
+    "tag": Insert(parse_xpath("bib//author"), "<tagged/>"),
+    "purge": Delete(parse_xpath("bib/book")),
+}
+
+# The spawn tests exercise artifact transport, not search depth: a small
+# exhaustive cap keeps the NP-side update-update pairs cheap while still
+# deciding every pair the same way on both sides of the comparison.
+SPAWN_CONFIG = DetectorConfig(exhaustive_cap=4)
+
+
+class TestSpawnRoundTrip:
+    def test_spawn_workers_receive_seeded_compilers(self, monkeypatch):
+        """A spawn pool (no inherited memory) must match the reference.
+
+        Workers rebuild their compile caches purely from the shipped
+        :class:`CompiledArtifact` list, so verdict equality here proves
+        the transport reconstructs every pattern identically.
+        """
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        cache = VerdictCache()
+        analyzer = BatchAnalyzer(SPAWN_CONFIG, jobs=2, cache=cache)
+        matrix = analyzer.analyze(SPAWN_OPS)
+
+        reference = reference_matrix(
+            SPAWN_OPS,
+            ConflictDetector(exhaustive_cap=4, compile_cache=False),
+        )
+        assert matrix.verdicts == reference.verdicts
+        assert len(cache) > 0
+        assert analyzer.metrics()["counters"].get("batch.ops_precompiled") == len(
+            SPAWN_OPS
+        )
+
+        # A second analyzer sharing the verdict cache answers everything
+        # from it — no pool, same matrix.
+        warm = BatchAnalyzer(SPAWN_CONFIG, jobs=2, cache=cache)
+        assert warm.analyze(SPAWN_OPS).verdicts == matrix.verdicts
+
+    def test_fork_and_spawn_agree(self, monkeypatch):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable on this platform")
+        monkeypatch.setenv("REPRO_START_METHOD", "fork")
+        forked = BatchAnalyzer(SPAWN_CONFIG, jobs=2).analyze(SPAWN_OPS)
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        spawned = BatchAnalyzer(SPAWN_CONFIG, jobs=2).analyze(SPAWN_OPS)
+        assert forked.verdicts == spawned.verdicts

@@ -1,0 +1,245 @@
+"""Differential oracle suite for the compiled decision path.
+
+The compile-once subsystem (:mod:`repro.compile`) must be semantically
+invisible: interning, automaton reuse, and memoized matching may change
+*when* work happens but never *what* is decided.  This suite pins that down
+with seeded randomized differential tests:
+
+* **PTIME vs brute force** — the linear read-delete and read-insert
+  detectors (running through a shared, warm :class:`PatternCompiler`) are
+  cross-checked against the embedding-semantics oracle: a reported witness
+  must pass the Lemma 1 check, and a NO_CONFLICT verdict must survive
+  exhaustive witness search up to a cap that is conclusive for these
+  instance sizes.  At least 200 seeded cases per update semantics, cycling
+  through node/tree/value conflict kinds.
+* **Compiled vs uncached** — every case is also decided with the compiler
+  disabled (the eager-NFA reference path) and by the decision-only DP
+  detectors; all paths must agree.
+* **NFA vs DFA** — the lazily determinized :class:`LazyDFA` must accept
+  exactly the language of its source NFA, for both the strong automaton and
+  its weak (any-suffix) closure, and :func:`joint_shortest_word` must agree
+  with the eager NFA product on emptiness and shortest-word length.
+
+Seeds are deterministic.  CI shifts the whole suite into disjoint regions
+of the input space via the ``REPRO_DIFF_SEED_BASE`` environment variable
+(see the ``differential`` job in ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.automata.dfa import LazyDFA, joint_shortest_word
+from repro.automata.matching import (
+    linear_pattern_nfa,
+    match_dp,
+    matching_alphabet,
+)
+from repro.compile.compiler import PatternCompiler
+from repro.conflicts.general import find_witness_exhaustive, witness_size_bound
+from repro.conflicts.linear import (
+    detect_read_delete_linear,
+    detect_read_insert_linear,
+)
+from repro.conflicts.linear_dp import (
+    detect_read_delete_linear_dp,
+    detect_read_insert_linear_dp,
+)
+from repro.conflicts.semantics import ConflictKind, Verdict, is_witness
+from repro.workloads.generators import (
+    random_delete,
+    random_insert,
+    random_linear_pattern,
+    random_read,
+)
+
+SEED_BASE = int(os.environ.get("REPRO_DIFF_SEED_BASE", "0"))
+CASES = 200
+ALPHABET = ("a", "b")
+SEARCH_CAP = 4
+KINDS = (ConflictKind.NODE, ConflictKind.TREE, ConflictKind.VALUE)
+
+# One warm compiler for the whole module: repeated patterns across the seed
+# range exercise real cache hits, which is exactly the path under test.
+COMPILED = PatternCompiler()
+UNCACHED = PatternCompiler(enabled=False)
+
+
+def _case_rng(offset: int, seed: int) -> random.Random:
+    return random.Random(1_000_003 * SEED_BASE + offset + seed)
+
+
+def _read_delete_case(seed: int):
+    rng = _case_rng(0, seed)
+    read = random_read(
+        rng.randint(1, 3), ALPHABET, linear=True, seed=rng, p_wildcard=0.25
+    )
+    delete = random_delete(
+        rng.randint(2, 3), ALPHABET, linear=True, seed=rng, p_wildcard=0.2
+    )
+    return read, delete
+
+
+def _read_insert_case(seed: int):
+    rng = _case_rng(10_000, seed)
+    read = random_read(
+        rng.randint(1, 3), ALPHABET, linear=True, seed=rng, p_wildcard=0.25
+    )
+    insert = random_insert(
+        rng.randint(1, 2),
+        subtree_size=rng.randint(1, 2),
+        alphabet=ALPHABET,
+        linear=True,
+        seed=rng,
+        p_wildcard=0.2,
+    )
+    return read, insert
+
+
+def _check_against_oracle(report, read, update, kind, seed):
+    if report.verdict is Verdict.CONFLICT:
+        assert is_witness(report.witness, read, update, kind), (
+            f"seed {seed} ({kind.value}): reported witness fails the "
+            f"Lemma 1 check"
+        )
+    else:
+        cap = min(SEARCH_CAP, witness_size_bound(read, update))
+        witness = find_witness_exhaustive(read, update, kind, max_size=cap)
+        assert witness is None, (
+            f"seed {seed} ({kind.value}): compiled path says no conflict "
+            f"but brute force found a witness:\n{witness.sketch()}"
+        )
+
+
+class TestReadDeleteDifferential:
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_compiled_path_vs_bruteforce_oracle(self, seed):
+        read, delete = _read_delete_case(seed)
+        kind = KINDS[seed % len(KINDS)]
+        report = detect_read_delete_linear(read, delete, kind, compiler=COMPILED)
+        _check_against_oracle(report, read, delete, kind, seed)
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_compiled_uncached_and_dp_paths_agree(self, seed):
+        read, delete = _read_delete_case(seed)
+        for kind in KINDS:
+            cached = detect_read_delete_linear(
+                read, delete, kind, compiler=COMPILED
+            )
+            raw = detect_read_delete_linear(
+                read, delete, kind, compiler=UNCACHED
+            )
+            assert cached.verdict is raw.verdict, (
+                f"seed {seed} ({kind.value}): compiled={cached.verdict} "
+                f"uncached={raw.verdict}"
+            )
+            if cached.verdict is Verdict.CONFLICT:
+                assert is_witness(cached.witness, read, delete, kind)
+                assert is_witness(raw.witness, read, delete, kind)
+        node = detect_read_delete_linear(
+            read, delete, ConflictKind.NODE, compiler=COMPILED
+        )
+        assert detect_read_delete_linear_dp(read, delete, compiler=COMPILED) is (
+            node.verdict is Verdict.CONFLICT
+        ), f"seed {seed}: DP decision disagrees with compiled detector"
+
+
+class TestReadInsertDifferential:
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_compiled_path_vs_bruteforce_oracle(self, seed):
+        read, insert = _read_insert_case(seed)
+        kind = KINDS[seed % len(KINDS)]
+        report = detect_read_insert_linear(read, insert, kind, compiler=COMPILED)
+        _check_against_oracle(report, read, insert, kind, seed)
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_compiled_uncached_and_dp_paths_agree(self, seed):
+        read, insert = _read_insert_case(seed)
+        for kind in KINDS:
+            cached = detect_read_insert_linear(
+                read, insert, kind, compiler=COMPILED
+            )
+            raw = detect_read_insert_linear(
+                read, insert, kind, compiler=UNCACHED
+            )
+            assert cached.verdict is raw.verdict, (
+                f"seed {seed} ({kind.value}): compiled={cached.verdict} "
+                f"uncached={raw.verdict}"
+            )
+            if cached.verdict is Verdict.CONFLICT:
+                assert is_witness(cached.witness, read, insert, kind)
+                assert is_witness(raw.witness, read, insert, kind)
+        node = detect_read_insert_linear(
+            read, insert, ConflictKind.NODE, compiler=COMPILED
+        )
+        assert detect_read_insert_linear_dp(read, insert, compiler=COMPILED) is (
+            node.verdict is Verdict.CONFLICT
+        ), f"seed {seed}: DP decision disagrees with compiled detector"
+
+
+class TestMatchingEquivalence:
+    """NFA-vs-DFA properties over random linear patterns."""
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_lazy_dfa_accepts_same_language_as_nfa(self, seed):
+        rng = _case_rng(600_000, seed)
+        pattern = random_linear_pattern(
+            rng.randint(1, 5), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        other = random_linear_pattern(
+            rng.randint(1, 5), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        alphabet = matching_alphabet(pattern, other)
+        strong = linear_pattern_nfa(pattern, alphabet)
+        for nfa in (strong, strong.with_any_suffix()):
+            dfa = LazyDFA(nfa)
+            for _ in range(40):
+                word = [
+                    rng.choice(alphabet) for _ in range(rng.randint(0, 7))
+                ]
+                assert nfa.accepts(word) == dfa.accepts(word), (
+                    f"seed {seed}: NFA/DFA disagree on {word!r}"
+                )
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_joint_shortest_word_agrees_with_nfa_product(self, seed):
+        rng = _case_rng(700_000, seed)
+        left = random_linear_pattern(
+            rng.randint(1, 4), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        right = random_linear_pattern(
+            rng.randint(1, 4), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        weak = rng.random() < 0.5
+        alphabet = matching_alphabet(left, right)
+        left_nfa = linear_pattern_nfa(left, alphabet)
+        right_nfa = linear_pattern_nfa(right, alphabet)
+        if weak:
+            right_nfa = right_nfa.with_any_suffix()
+        reference = left_nfa.intersect(right_nfa).shortest_accepted_word()
+        got = joint_shortest_word(LazyDFA(left_nfa), LazyDFA(right_nfa))
+        if reference is None:
+            assert got is None, f"seed {seed}: DFA product found {got!r}"
+        else:
+            assert got is not None, f"seed {seed}: DFA product missed a word"
+            assert len(got) == len(reference)
+            assert left_nfa.accepts(got) and right_nfa.accepts(got)
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_compiled_matching_agrees_with_dp(self, seed):
+        rng = _case_rng(800_000, seed)
+        left = random_linear_pattern(
+            rng.randint(1, 4), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        right = random_linear_pattern(
+            rng.randint(1, 4), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        for weak in (False, True):
+            word = COMPILED.matching_word(left, right, weak=weak)
+            assert (word is not None) == match_dp(left, right, weak=weak), (
+                f"seed {seed}: compiled matching_word disagrees with DP "
+                f"(weak={weak})"
+            )
