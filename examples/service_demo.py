@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The conflict service end to end: boot, query, overload, drain.
+
+A compiler pipeline asking thousands of repeated-pattern questions
+should not pay a Python interpreter per question.  This example runs a
+:class:`~repro.service.ConflictService` inside the process (exactly what
+``repro serve`` runs behind a port), then walks the daemon's life:
+
+* single-pair checks that warm the verdict cache — the second identical
+  question answers from cache in one loopback round-trip;
+* a whole-catalogue matrix and an interference-free schedule;
+* a per-request deadline degrading one answer to ``unknown`` instead of
+  stalling a worker;
+* a graceful drain that finishes admitted work and persists verdicts.
+
+Run:  PYTHONPATH=src python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import ConflictService, ServiceClient, ServiceConfig
+
+#: The reporting reads and maintenance updates of a bookstore pipeline,
+#: as wire specs — the same JSON any HTTP client would send.
+CATALOGUE = {
+    "titles": {"op": "read", "xpath": "bib/book/title"},
+    "stock": {"op": "read", "xpath": "//quantity"},
+    "queue": {"op": "read", "xpath": "//book/restock"},
+    "restock": {"op": "insert", "xpath": "//book", "xml": "<restock/>"},
+    "purge": {"op": "delete", "xpath": "bib/book"},
+}
+
+
+def main() -> None:
+    snapshot = Path(tempfile.mkdtemp()) / "verdicts.json"
+    service = ConflictService(
+        ServiceConfig(port=0, workers=4, cache_path=str(snapshot))
+    )
+    service.start_background()
+    print(f"service up on 127.0.0.1:{service.port}")
+
+    with ServiceClient(port=service.port) as client:
+        # One pair, twice: the second answer comes from the verdict cache.
+        for attempt in ("cold", "warm"):
+            start = time.perf_counter()
+            report = client.check(CATALOGUE["titles"], CATALOGUE["purge"])
+            elapsed = (time.perf_counter() - start) * 1000
+            print(
+                f"  check[{attempt}]: {report['verdict']:<12} "
+                f"method={report['method']:<16} {elapsed:6.2f} ms"
+            )
+
+        # The whole catalogue: every pair, then parallel phases.
+        matrix = client.matrix(CATALOGUE)
+        print(f"  matrix: {matrix['stats']}")
+        schedule = client.schedule(CATALOGUE)
+        for index, batch in enumerate(schedule["batches"], start=1):
+            print(f"  phase {index}: {', '.join(batch)}")
+
+        # A deadline of 0ms cannot decide anything non-trivial — the
+        # answer degrades to `unknown` with a reason; HTTP 200, and the
+        # pair stays uncached so a real budget can decide it later.
+        degraded = client.check(
+            {"op": "read", "xpath": "site//item//keyword"},
+            {"op": "delete", "xpath": "site//item"},
+            deadline_ms=0,
+        )
+        print(
+            f"  0ms deadline: verdict={degraded['verdict']} "
+            f"reason={degraded['reason']}"
+        )
+
+        counters = client.metrics()["counters"]
+        print(
+            "  metrics: "
+            f"{counters.get('service.admitted_total', 0)} admitted, "
+            f"{counters.get('service.verdict_cache_hits', 0)} cache hit(s)"
+        )
+
+    service.drain()  # finishes admitted work, writes the final snapshot
+    print(f"drained; verdicts persisted to {snapshot}")
+    print("a restarted service would boot warm from that snapshot")
+
+
+if __name__ == "__main__":
+    main()

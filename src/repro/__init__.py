@@ -52,6 +52,13 @@ Package map:
       report = detector.read_insert(read, insert)
       if report.degraded:        # timeout / step_limit, never cached
           print(report.reason)
+
+* :mod:`repro.service` — a long-running HTTP/JSON daemon over the engine
+  (``repro serve``): warm compile caches, a persistent verdict cache,
+  bounded admission (429 on overload), and graceful SIGTERM drain.
+  ``ConflictService``, ``ServiceConfig``, and ``ServiceClient`` are
+  importable from the top level but loaded lazily, so library users who
+  never serve pay nothing for the HTTP stack.
 """
 
 from repro.compile import (
@@ -120,4 +127,28 @@ __all__ = [
     "current_budget",
     "BudgetExceeded",
     "CacheCorrupt",
+    "ConflictService",
+    "ServiceConfig",
+    "ServiceClient",
 ]
+
+# The service names resolve lazily (PEP 562): importing repro must not
+# drag in http.server and the admission machinery for library users.
+_SERVICE_EXPORTS = {
+    "ConflictService": "repro.service.server",
+    "ServiceConfig": "repro.service.config",
+    "ServiceClient": "repro.service.client",
+}
+
+
+def __getattr__(name: str):  # type: ignore[no-untyped-def]
+    module_name = _SERVICE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SERVICE_EXPORTS))

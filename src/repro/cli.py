@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven subcommands expose the library's main entry points:
+Nine subcommands expose the library's main entry points:
 
 * ``eval``      — evaluate an XPath pattern against a document;
 * ``check``     — decide a read-update conflict (the core question);
@@ -8,7 +8,12 @@ Seven subcommands expose the library's main entry points:
 * ``matrix``    — decide every pair of a named operation catalogue;
 * ``schedule``  — partition a catalogue into interference-free batches;
 * ``analyze``   — dependence analysis / optimization of a pidgin program;
-* ``validate``  — DTD validation of a document.
+* ``validate``  — DTD validation of a document;
+* ``serve``     — run the long-running conflict-analysis server
+  (``docs/SERVICE.md``): warm caches, admission control, graceful
+  SIGTERM drain;
+* ``cache``     — operate on verdict-cache snapshots: ``inspect`` one,
+  or ``merge`` several into one.
 
 Exit codes for the decision commands (``check``/``commute``/``matrix``/
 ``schedule``): ``0`` = no conflict / valid, ``1`` = conflict / invalid,
@@ -264,6 +269,71 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_document_args(p_validate)
     p_validate.set_defaults(handler=_cmd_validate)
 
+    p_serve = add_command(
+        "serve",
+        help="run the long-running conflict-analysis HTTP server",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 8466; 0 binds an ephemeral port, printed "
+        "on the 'listening' line for scripts to parse)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="decision worker threads (default 4)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="admitted-but-waiting requests before new ones get 429 "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--cache", metavar="FILE",
+        help="persistent verdict-cache snapshot: loaded (with salvage) on "
+        "boot, written periodically and on drain",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval", type=float, default=30.0, metavar="SECONDS",
+        help="seconds between periodic cache snapshots (default 30)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-decision deadline applied to requests that carry "
+        "no deadline_ms of their own",
+    )
+    p_serve.add_argument(
+        "--log-requests", action="store_true",
+        help="emit an access-log line per request to stderr",
+    )
+    p_serve.set_defaults(handler=_cmd_serve)
+
+    p_cache = add_command(
+        "cache", help="inspect or merge verdict-cache snapshots"
+    )
+    cache_sub = p_cache.add_subparsers(
+        required=True, dest="cache_command", parser_class=argparse.ArgumentParser
+    )
+    p_inspect = cache_sub.add_parser(
+        "inspect", help="entry count, version, and per-kind breakdown"
+    )
+    p_inspect.add_argument("snapshot", help="path to a snapshot file")
+    _add_json_arg(p_inspect)
+    p_merge = cache_sub.add_parser(
+        "merge", help="merge N snapshots into one (existing entries win)"
+    )
+    p_merge.add_argument(
+        "--out", required=True, metavar="FILE",
+        help="path the merged snapshot is written to (parents created)",
+    )
+    p_merge.add_argument(
+        "snapshots", nargs="+", help="input snapshot files, in priority order"
+    )
+    _add_json_arg(p_merge)
+    p_cache.set_defaults(handler=_cmd_cache)
+
     return parser
 
 
@@ -469,7 +539,14 @@ def _cmd_commute(args: argparse.Namespace) -> int:
 
 
 def _load_catalogue(path: str) -> dict[str, Operation]:
-    """Parse the ``matrix``/``schedule`` JSON catalogue format."""
+    """Parse the ``matrix``/``schedule`` JSON catalogue format.
+
+    The spec grammar is shared with the service wire protocol
+    (:mod:`repro.service.protocol`), so a catalogue file works unchanged
+    as the ``ops`` object of a ``POST /v1/matrix`` body.
+    """
+    from repro.service.protocol import catalogue_from_specs
+
     if path == "-":
         text = sys.stdin.read()
     else:
@@ -479,28 +556,7 @@ def _load_catalogue(path: str) -> dict[str, Operation]:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ReproError(f"catalogue is not valid JSON: {exc}") from exc
-    if not isinstance(data, dict):
-        raise ReproError("catalogue must be a JSON object of name -> spec")
-    catalogue: dict[str, Operation] = {}
-    for name, spec in data.items():
-        if not isinstance(spec, dict) or "op" not in spec or "xpath" not in spec:
-            raise ReproError(
-                f"operation {name!r}: spec must be an object with "
-                "'op' and 'xpath' fields"
-            )
-        op_kind = spec["op"]
-        if op_kind == "read":
-            catalogue[name] = Read(spec["xpath"])
-        elif op_kind == "insert":
-            catalogue[name] = Insert(spec["xpath"], spec.get("xml", "<x/>"))
-        elif op_kind == "delete":
-            catalogue[name] = Delete(spec["xpath"])
-        else:
-            raise ReproError(
-                f"operation {name!r}: unknown op {op_kind!r} "
-                "(expected read, insert, or delete)"
-            )
-    return catalogue
+    return catalogue_from_specs(data)
 
 
 def _make_analyzer(args: argparse.Namespace) -> BatchAnalyzer:
@@ -655,6 +711,163 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     for violation in violations:
         print(f"  {violation}")
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the one-shot commands should not pay for the
+    # service stack (http.server, admission machinery) at startup.
+    import signal
+    import threading
+
+    from repro.service import ConflictService, ServiceConfig
+    from repro.service.config import DEFAULT_PORT
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_path=args.cache,
+        snapshot_interval_s=args.snapshot_interval,
+        default_deadline_ms=(
+            args.timeout * 1000.0 if args.timeout is not None else None
+        ),
+        log_requests=args.log_requests,
+    )
+    service = ConflictService(config)
+    service.start()
+    # Scripts (the CI smoke job, the SIGTERM test) parse this line for
+    # the bound port, so its shape is part of the CLI contract.
+    print(
+        f"repro service listening on http://{service.host}:{service.port}",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    serve_thread = threading.Thread(
+        target=service.serve_forever, name="repro-serve", daemon=True
+    )
+    serve_thread.start()
+    # Polling wait keeps the main thread responsive to signals on every
+    # platform (a bare Event.wait() can swallow the wakeup mid-acquire).
+    while not stop.wait(0.2):
+        pass
+    print("repro service draining: finishing admitted requests", flush=True)
+    service.drain()
+    print("repro service stopped", flush=True)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command == "inspect":
+        return _cmd_cache_inspect(args)
+    return _cmd_cache_merge(args)
+
+
+def _kind_counts(entries: list[dict]) -> dict[str, int]:
+    """Pair-kind histogram (``"Delete/Read": 3``) from exported entries.
+
+    The first element of an exported canonical key is the operation's
+    class name, so the breakdown needs no re-parsing of the snapshot.
+    """
+    counts: dict[str, int] = {}
+    for entry in entries:
+        pair = "/".join(sorted((entry["a"][0], entry["b"][0])))
+        counts[pair] = counts.get(pair, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _cmd_cache_inspect(args: argparse.Namespace) -> int:
+    import warnings
+
+    from repro.errors import CacheCorruptWarning
+
+    try:
+        with open(args.snapshot, encoding="utf-8") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read snapshot: {exc}") from exc
+    try:
+        version = json.loads(raw).get("version")
+    except (json.JSONDecodeError, AttributeError):
+        version = None
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cache = VerdictCache.load(args.snapshot)
+    salvage = [
+        str(w.message) for w in caught
+        if isinstance(w.message, CacheCorruptWarning)
+    ]
+    entries = cache.export()
+    verdict_counts: dict[str, int] = {}
+    for entry in entries:
+        verdict_counts[entry["verdict"]] = (
+            verdict_counts.get(entry["verdict"], 0) + 1
+        )
+    configs = {tuple(entry["config"]) for entry in entries}
+    if args.json:
+        payload = {
+            "command": "cache-inspect",
+            "snapshot": args.snapshot,
+            "version": version,
+            "corrupt": bool(salvage),
+            "salvage": salvage[0] if salvage else None,
+            "entries": len(entries),
+            "configs": len(configs),
+            "by_kind": _kind_counts(entries),
+            "by_verdict": dict(sorted(verdict_counts.items())),
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if salvage else 0
+    state = "corrupt (salvaged)" if salvage else f"version {version}"
+    print(
+        f"{args.snapshot}: {state}, {len(entries)} entr"
+        f"{'y' if len(entries) == 1 else 'ies'}, "
+        f"{len(configs)} distinct config(s)"
+    )
+    for message in salvage:
+        print(f"  salvage: {message}")
+    for pair, count in _kind_counts(entries).items():
+        print(f"  {pair:<16} {count}")
+    for verdict, count in sorted(verdict_counts.items()):
+        print(f"  verdict {verdict:<16} {count}")
+    return 1 if salvage else 0
+
+
+def _cmd_cache_merge(args: argparse.Namespace) -> int:
+    merged = VerdictCache()
+    inputs = []
+    for path in args.snapshots:
+        try:
+            cache = VerdictCache.load(path)
+        except OSError as exc:
+            raise ReproError(f"cannot read snapshot: {exc}") from exc
+        added = merged.merge(cache)
+        inputs.append({"snapshot": path, "entries": len(cache), "added": added})
+    merged.save(args.out)
+    if args.json:
+        payload = {
+            "command": "cache-merge",
+            "out": args.out,
+            "entries": len(merged),
+            "inputs": inputs,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for item in inputs:
+        print(
+            f"{item['snapshot']}: {item['entries']} entr"
+            f"{'y' if item['entries'] == 1 else 'ies'}, "
+            f"{item['added']} new"
+        )
+    print(f"wrote {len(merged)} entr{'y' if len(merged) == 1 else 'ies'} "
+          f"to {args.out}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,8 @@ layer consults on every decision.
 
 from __future__ import annotations
 
+import threading
+
 from repro.compile.cache import MISS, LRUCache
 from repro.obs.metrics import MetricsRegistry
 from repro.patterns.pattern import TreePattern
@@ -96,6 +98,14 @@ class PatternInterner:
         self._cache = LRUCache(maxsize, registry, family="compile.intern")
         self._generation = 0
         self._next_ident = 0
+        # Interning must be atomic: two threads racing the same miss would
+        # otherwise both read ``_next_ident`` and mint *duplicate* idents
+        # for different patterns, aliasing downstream identity-keyed memos.
+        # The conflict service shares one process-global compiler across
+        # its worker threads, so this is a live concern, not a theoretical
+        # one.  The lock is held only on the intern/reset paths — per-query
+        # traffic, never inside a matching loop.
+        self._lock = threading.Lock()
 
     @property
     def generation(self) -> int:
@@ -120,21 +130,23 @@ class PatternInterner:
                 return pattern
             pattern = pattern.pattern
         key = pattern.canonical_form()
-        hit = self._cache.get(key)
-        if hit is not MISS:
-            return hit
-        interned = InternedPattern(
-            pattern.copy(), key, self._next_ident, self._generation, self
-        )
-        self._next_ident += 1  # monotonic: an evicted key is never reissued
-        self._cache.put(key, interned)
-        return interned
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not MISS:
+                return hit
+            interned = InternedPattern(
+                pattern.copy(), key, self._next_ident, self._generation, self
+            )
+            self._next_ident += 1  # monotonic: an evicted key is never reissued
+            self._cache.put(key, interned)
+            return interned
 
     def reset(self) -> None:
         """Start a fresh generation, invalidating every outstanding key."""
-        self._generation += 1
-        self._next_ident = 0
-        self._cache.clear()
+        with self._lock:
+            self._generation += 1
+            self._next_ident = 0
+            self._cache.clear()
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -253,8 +253,15 @@ class VerdictCache:
         snapshot or the complete new one — never a half-written file at
         ``path``.  (A half-written ``.tmp`` can survive; it is simply
         overwritten by the next save.)
+
+        Missing parent directories of ``path`` are created, so a fresh
+        snapshot location like ``runs/2026-08-07/cache.json`` works on
+        the first save instead of failing until someone mkdirs it.
         """
         path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         text = json.dumps({"version": 1, "entries": self.export()})
         rule = faults.match("cache_corrupt", path)
         if rule is not None:

@@ -151,6 +151,36 @@ class InjectedFault(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for errors in the long-running conflict service.
+
+    Raised on both sides of the HTTP boundary: the server maps each
+    subclass to a status code, and :class:`repro.service.client.ServiceClient`
+    raises the matching subclass back when it sees that code.
+    """
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission queue is full; the request was rejected (HTTP 429).
+
+    Back off and retry — the server sheds load instead of queueing
+    unboundedly, so a rejected request was never admitted and costs the
+    server nothing.
+    """
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining (SIGTERM) and accepts no new work (HTTP 503).
+
+    Requests admitted *before* the drain began still complete and get
+    their responses; only new submissions are turned away.
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """A malformed request or response crossed the service boundary (HTTP 400)."""
+
+
 class LanguageError(ReproError):
     """Base class for errors in the pidgin update language."""
 

@@ -1,0 +1,50 @@
+"""``repro.service`` — the long-running conflict-analysis server.
+
+Every other entry point in this library is one-shot: a CLI invocation or
+a script builds its caches from cold, answers, and throws the warmth
+away.  This package keeps the warmth alive.  A :class:`ConflictService`
+is a stdlib-only HTTP/JSON daemon that owns
+
+* one process-global warm :class:`repro.compile.PatternCompiler` (every
+  request after the first hits compiled artifacts),
+* one persistent :class:`repro.conflicts.batch.VerdictCache` (loaded —
+  with corrupt-snapshot salvage — on boot, snapshotted atomically to
+  disk on a timer and again on drain),
+* an admission-control layer: a bounded queue in front of a fixed pool
+  of decision workers, so overload answers ``429`` immediately instead
+  of queueing unboundedly or hanging, and
+* a graceful drain path (SIGTERM under ``repro serve``): stop accepting,
+  finish every admitted request, take a final snapshot.
+
+Endpoints: ``POST /v1/check``, ``POST /v1/matrix``, ``POST /v1/schedule``,
+``GET /healthz``, ``GET /metrics``.  Requests carry an optional
+``deadline_ms`` that maps onto a per-decision
+:class:`repro.resilience.Budget`; a blown budget degrades the verdict to
+``"unknown"`` with a machine-readable ``reason`` and HTTP 200 — a slow
+decision is an answer, not a server error.
+
+In-process use (tests, notebooks, the demo)::
+
+    from repro.service import ConflictService, ServiceClient, ServiceConfig
+
+    service = ConflictService(ServiceConfig(port=0))   # 0 = ephemeral port
+    service.start_background()
+    with ServiceClient(port=service.port) as client:
+        client.check({"op": "read", "xpath": "bib/book/title"},
+                     {"op": "delete", "xpath": "bib/book"})
+    service.drain()
+
+See ``docs/SERVICE.md`` for the wire schemas and operational notes.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.server import ConflictService
+from repro.service.state import ServiceState
+
+__all__ = [
+    "ConflictService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceState",
+]

@@ -1,0 +1,160 @@
+"""Admission control: a bounded queue in front of fixed decision workers.
+
+The server's HTTP layer is threaded (one cheap handler thread per
+connection), but conflict decisions are CPU-bound and NP-hard in the
+general case, so concurrency must be bounded *behind* the socket: every
+decision request is submitted as a job to this controller, which holds a
+``queue.Queue(maxsize=queue_depth)`` drained by ``workers`` long-lived
+threads.  The three states a submission can meet:
+
+* a worker is free, or the queue has room → admitted; the handler thread
+  blocks on the job until a worker finishes it;
+* the queue is full → :class:`~repro.errors.ServiceOverloaded` is raised
+  *immediately* (HTTP 429).  Shedding at admission keeps the tail
+  latency of admitted work flat and means overload can never manifest
+  as a hang;
+* the controller is closed (drain) →
+  :class:`~repro.errors.ServiceDraining` (HTTP 503).
+
+Admission is a promise: once :meth:`AdmissionController.submit` returns
+a job, that job *will* be executed — :meth:`close` only rejects new
+submissions, and :meth:`join` blocks until everything admitted has run.
+The drain path relies on exactly this ordering.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable
+
+from repro.errors import ServiceDraining, ServiceOverloaded
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["AdmissionController", "Job"]
+
+#: Queue sentinel telling a worker thread to exit.
+_STOP = object()
+
+
+class Job:
+    """One admitted unit of work: a thunk, its outcome, and a done event."""
+
+    __slots__ = ("_fn", "_done", "result", "error")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self._fn = fn
+        self._done = threading.Event()
+        self.result: object = None
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            self.result = self._fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
+            self.error = exc
+        finally:
+            self._done.set()
+
+    def wait(self, timeout: float | None = None) -> object:
+        """Block until the job ran; return its result or re-raise its error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("job did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class AdmissionController:
+    """Bounded request queue + fixed worker pool (see module docstring)."""
+
+    def __init__(
+        self,
+        workers: int,
+        queue_depth: int,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        self._started = False
+
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, fn: Callable[[], object]) -> Job:
+        """Admit ``fn`` for execution, or reject without blocking.
+
+        Raises:
+            ServiceDraining: the controller is closed (drain in progress).
+            ServiceOverloaded: the queue is full right now.
+        """
+        if self._closed:
+            self._registry.inc("service.rejected_total", reason="draining")
+            raise ServiceDraining("service is draining; not accepting work")
+        job = Job(fn)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._registry.inc("service.rejected_total", reason="overload")
+            raise ServiceOverloaded(
+                f"admission queue full ({self.queue_depth} waiting); retry later"
+            ) from None
+        self._registry.inc("service.admitted_total")
+        self._registry.set_gauge("service.queue_depth", self._queue.qsize())
+        return job
+
+    def run(self, fn: Callable[[], object]) -> object:
+        """Submit ``fn`` and block for its outcome (the handler-thread path)."""
+        return self.submit(fn).wait()
+
+    def close(self) -> None:
+        """Stop admitting new work; already-admitted jobs still run."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def join(self) -> None:
+        """Block until every admitted job has been executed."""
+        self._queue.join()
+
+    def stop(self) -> None:
+        """Terminate the worker threads after the queue is drained.
+
+        Call :meth:`close` then :meth:`join` first; stopping an open
+        controller would race sentinels against live submissions.
+        """
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                self._registry.set_gauge(
+                    "service.queue_depth", self._queue.qsize()
+                )
+                item.run()
+            finally:
+                self._queue.task_done()

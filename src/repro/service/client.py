@@ -1,0 +1,206 @@
+"""A small blocking client for the conflict service.
+
+Stdlib :mod:`http.client` over one keep-alive connection, so a warm
+client pays TCP setup once and each request is one round-trip.  Accepts
+operation specs as plain dicts *or* as live
+:class:`~repro.operations.ops.Read` / ``Insert`` / ``Delete`` objects
+(converted with :func:`repro.service.protocol.op_to_spec`), so library
+code and JSON-holding callers use the same API::
+
+    with ServiceClient(port=service.port) as client:
+        client.check(Read("bib/book/title"), Delete("bib/book"))
+        client.matrix({"titles": {"op": "read", "xpath": "bib/book/title"},
+                       "purge":  {"op": "delete", "xpath": "bib/book"}})
+
+Server-side rejections come back as the matching exception:
+:class:`~repro.errors.ServiceOverloaded` (429),
+:class:`~repro.errors.ServiceDraining` (503),
+:class:`~repro.errors.ServiceProtocolError` (400), and
+:class:`~repro.errors.ServiceError` for anything else non-2xx.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from collections.abc import Mapping
+
+from repro.errors import (
+    ServiceDraining,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceProtocolError,
+)
+from repro.service import protocol
+from repro.service.config import DEFAULT_PORT
+
+__all__ = ["ServiceClient"]
+
+#: Spec forms accepted wherever an operation is expected.
+OpLike = Mapping | protocol.Operation
+
+
+def _spec(op: OpLike) -> dict:
+    if isinstance(op, Mapping):
+        return dict(op)
+    return protocol.op_to_spec(op)
+
+
+class ServiceClient:
+    """Blocking JSON client over one persistent HTTP/1.1 connection.
+
+    Not thread-safe (one underlying connection); give each thread its
+    own client.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        port: int = DEFAULT_PORT,
+        host: str = "127.0.0.1",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        first: OpLike,
+        second: OpLike,
+        *,
+        kind: str | None = None,
+        budget: int | None = None,
+        deadline_ms: float | None = None,
+        max_steps: int | None = None,
+        witness: bool = False,
+    ) -> dict:
+        """``POST /v1/check``: decide one pair; returns the verdict payload."""
+        body: dict = {"first": _spec(first), "second": _spec(second)}
+        self._knobs(body, kind, budget, deadline_ms, max_steps)
+        if witness:
+            body["witness"] = True
+        return self._request("POST", "/v1/check", body)
+
+    def matrix(self, ops: Mapping[str, OpLike], **knobs) -> dict:
+        """``POST /v1/matrix``: decide every pair of a named catalogue."""
+        return self._catalogue_request("/v1/matrix", ops, knobs)
+
+    def schedule(self, ops: Mapping[str, OpLike], **knobs) -> dict:
+        """``POST /v1/schedule``: interference-free phases for a catalogue."""
+        return self._catalogue_request("/v1/schedule", ops, knobs)
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``: the server's merged metrics snapshot."""
+        return self._request("GET", "/metrics")
+
+    def _catalogue_request(
+        self, path: str, ops: Mapping[str, OpLike], knobs: dict
+    ) -> dict:
+        body: dict = {"ops": {name: _spec(op) for name, op in ops.items()}}
+        self._knobs(
+            body,
+            knobs.pop("kind", None),
+            knobs.pop("budget", None),
+            knobs.pop("deadline_ms", None),
+            knobs.pop("max_steps", None),
+        )
+        if knobs:
+            raise ServiceProtocolError(
+                f"unknown request option(s): {', '.join(sorted(knobs))}"
+            )
+        return self._request("POST", path, body)
+
+    @staticmethod
+    def _knobs(body, kind, budget, deadline_ms, max_steps) -> None:
+        if kind is not None:
+            body["kind"] = kind
+        if budget is not None:
+            body["budget"] = budget
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        if max_steps is not None:
+            body["max_steps"] = max_steps
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            conn.connect()
+            # Mirror the server's TCP_NODELAY: request headers and body
+            # are separate writes, and Nagle + delayed ACK would add
+            # ~40ms to every round-trip on the persistent connection.
+            conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._conn = conn
+        return self._conn
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # One transparent retry after reconnecting: the server (or an
+        # intermediary) may have closed the idle keep-alive connection.
+        for attempt in (0, 1):
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                http.client.CannotSendRequest,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+            except (ConnectionRefusedError, socket.timeout, OSError) as exc:
+                self.close()
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+        try:
+            result = json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceProtocolError(
+                f"service returned invalid JSON ({exc}): {data[:200]!r}"
+            ) from exc
+        if response.status < 400:
+            return result
+        message = result.get("error", f"HTTP {response.status}")
+        if response.status == 429:
+            raise ServiceOverloaded(message)
+        if response.status == 503:
+            raise ServiceDraining(message)
+        if response.status == 400:
+            raise ServiceProtocolError(message)
+        raise ServiceError(f"HTTP {response.status}: {message}")
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened lazily on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

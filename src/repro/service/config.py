@@ -1,0 +1,88 @@
+"""Service configuration: one frozen dataclass, mirroring ``repro serve``.
+
+Every knob the daemon honors lives here so the CLI, tests, benchmarks,
+and embedded servers construct identical services from the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conflicts.semantics import ConflictKind
+from repro.errors import ServiceError
+
+__all__ = ["DEFAULT_PORT", "ServiceConfig"]
+
+#: Default TCP port for ``repro serve`` (unassigned in the IANA registry).
+DEFAULT_PORT = 8466
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The :class:`~repro.service.server.ConflictService` knobs as one value.
+
+    Args:
+        host: interface to bind (default loopback — this daemon sits
+            *behind* an update pipeline, not on the public internet).
+        port: TCP port; ``0`` binds an ephemeral port (read it back from
+            :attr:`ConflictService.port` — tests and the benchmark do).
+        workers: decision worker threads.  This bounds concurrent
+            *decisions*, not connections: HTTP handler threads are cheap
+            and block waiting for their job, workers do the CPU work.
+        queue_depth: admitted-but-not-yet-running requests the bounded
+            queue holds.  A submit that finds it full is rejected with
+            429 immediately — overload sheds, it never hangs.
+        cache_path: verdict-cache snapshot file.  Loaded (salvaging
+            corruption) on boot when it exists, written atomically every
+            ``snapshot_interval_s`` while entries accumulate, and once
+            more on drain.  ``None`` keeps the cache memory-only.
+        snapshot_interval_s: seconds between periodic snapshots; only
+            written when the entry count changed since the last one.
+        kind: default conflict semantics for requests that don't say.
+        exhaustive_cap: default witness-size cap (the CLI's ``--budget``).
+        default_deadline_ms: per-decision deadline applied when a request
+            carries no ``deadline_ms`` of its own.  ``None`` = unbounded.
+        decide_retries: in-service re-attempts of a decision that died
+            with an unexpected exception (in practice: injected
+            ``worker_crash`` faults) before it degrades to ``unknown``
+            with reason ``worker_crash`` — the thread-pool analogue of
+            the batch engine's chunk retry machinery.
+        max_body_bytes: request-body size limit (413 above it).
+        request_timeout_s: per-connection socket timeout; bounds how long
+            an idle keep-alive connection pins a handler thread.
+        log_requests: emit the default ``BaseHTTPRequestHandler`` access
+            log lines to stderr (quiet by default).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 4
+    queue_depth: int = 64
+    cache_path: str | None = None
+    snapshot_interval_s: float = 30.0
+    kind: ConflictKind = ConflictKind.NODE
+    exhaustive_cap: int = 5
+    default_deadline_ms: float | None = None
+    decide_retries: int = 1
+    max_body_bytes: int = 8 * 1024 * 1024
+    request_timeout_s: float = 30.0
+    log_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 65535:
+            raise ServiceError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ServiceError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.snapshot_interval_s <= 0:
+            raise ServiceError(
+                "snapshot_interval_s must be positive, got "
+                f"{self.snapshot_interval_s}"
+            )
+        if self.decide_retries < 0:
+            raise ServiceError(
+                f"decide_retries must be >= 0, got {self.decide_retries}"
+            )

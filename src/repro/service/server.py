@@ -1,0 +1,305 @@
+"""The HTTP layer: :class:`ConflictService` and its request handler.
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` accepts
+connections (one cheap handler thread each, HTTP/1.1 keep-alive so a
+client pays connection setup once), the handler parses/validates, and
+every *decision* route is executed through the
+:class:`~repro.service.admission.AdmissionController` — the handler
+thread blocks on its admitted job while a bounded worker pool does the
+CPU work.  ``GET /healthz`` and ``GET /metrics`` are answered inline,
+never queued: they must keep working precisely when the queue is full.
+
+Status codes are part of the API contract (``docs/SERVICE.md``):
+
+====== =========================================================
+200    decided — including *degraded* verdicts (``"unknown"`` with
+       a ``reason``); a blown deadline is an answer, not an error
+400    malformed body / spec / parameters
+404    unknown path, 405 wrong method, 413 oversized body
+429    admission queue full (overload; retry with backoff)
+503    draining — the server is finishing admitted work and exiting
+====== =========================================================
+
+Drain (:meth:`ConflictService.drain`, wired to SIGTERM by ``repro
+serve``) is ordered so that no admitted request is ever lost: admission
+closes (new work → 503) → every admitted job runs to completion → every
+in-flight HTTP response is written → the listener stops → workers exit →
+a final cache snapshot is written.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    ReproError,
+    ServiceDraining,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceProtocolError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import AdmissionController
+from repro.service.config import ServiceConfig
+from repro.service.state import ServiceState
+
+__all__ = ["ConflictService"]
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    # Handler threads must never block process exit (an idle keep-alive
+    # connection would otherwise pin shutdown for its socket timeout);
+    # response completeness on drain is guaranteed by the service's own
+    # in-flight tracking, not by joining handler threads.
+    daemon_threads = True
+    block_on_close = False
+
+    service: "ConflictService"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1.0"
+    # Headers and body go out as separate writes; without TCP_NODELAY,
+    # Nagle + delayed ACK turns every keep-alive round-trip into ~40ms.
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send(200, service.state.health(draining=service.draining))
+        elif self.path == "/metrics":
+            self._send(200, service.state.metrics_snapshot())
+        elif self.path in _POST_ROUTES:
+            self._send(405, {"error": f"{self.path} requires POST"})
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        route = _POST_ROUTES.get(self.path)
+        if route is None:
+            if self.path in ("/healthz", "/metrics"):
+                self._send(405, {"error": f"{self.path} requires GET"})
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        payload = self._read_json()
+        if payload is None:
+            return  # error response already sent
+        service.state.registry.inc(
+            "service.requests_total", route=self.path.rsplit("/", 1)[-1]
+        )
+        service.begin_request()
+        try:
+            handler = getattr(service.state, route)
+            result = service.admission.run(lambda: handler(payload))
+            self._send(200, result)
+        except ServiceOverloaded as exc:
+            self._send(429, {"error": str(exc)}, retry_after=True)
+        except ServiceDraining as exc:
+            self._send(503, {"error": str(exc)})
+        except ServiceProtocolError as exc:
+            self._send(400, {"error": str(exc)})
+        except ReproError as exc:
+            # Bad operands (XPath syntax, illegal delete-at-root, ...)
+            # are the client's error even though the engine raised them.
+            self._send(400, {"error": str(exc)})
+        finally:
+            service.end_request()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _read_json(self) -> dict | None:
+        service = self.server.service
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            self._send(411, {"error": "Content-Length required"})
+            return None
+        if length > service.config.max_body_bytes:
+            self._send(
+                413,
+                {"error": f"body exceeds {service.config.max_body_bytes} bytes"},
+            )
+            return None
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send(400, {"error": f"body is not valid JSON: {exc}"})
+            return None
+        if not isinstance(payload, dict):
+            self._send(400, {"error": "body must be a JSON object"})
+            return None
+        return payload
+
+    def _send(self, status: int, payload: dict, retry_after: bool = False) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def setup(self) -> None:
+        super().setup()
+        # Bounds how long an idle keep-alive connection pins its handler
+        # thread (they are daemonic, so this is hygiene, not liveness).
+        self.connection.settimeout(self.server.service.config.request_timeout_s)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.service.config.log_requests:
+            super().log_message(format, *args)
+
+
+_POST_ROUTES = {
+    "/v1/check": "check",
+    "/v1/matrix": "matrix",
+    "/v1/schedule": "schedule",
+}
+
+
+class ConflictService:
+    """The daemon: HTTP front, admission control, warm state, drain.
+
+    Lifecycle::
+
+        service = ConflictService(ServiceConfig(port=0))
+        service.start()              # bind + workers + snapshot timer
+        service.serve_forever()      # blocks (or start_background())
+        ...
+        service.drain()              # SIGTERM path; idempotent
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.
+    """
+
+    def __init__(
+        self, config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.state = ServiceState(self.config, registry)
+        self.admission = AdmissionController(
+            self.config.workers, self.config.queue_depth, self.state.registry
+        )
+        self._httpd: _ServiceHTTPServer | None = None
+        self._snapshot_stop = threading.Event()
+        self._snapshot_thread: threading.Thread | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._drain_lock = threading.Lock()
+        self._drained = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listener and start workers + the snapshot timer."""
+        if self._httpd is not None:
+            raise ServiceError("service already started")
+        httpd = _ServiceHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        httpd.service = self
+        self._httpd = httpd
+        self.admission.start()
+        if self.config.cache_path:
+            self._snapshot_thread = threading.Thread(
+                target=self._snapshot_loop,
+                name="repro-service-snapshot",
+                daemon=True,
+            )
+            self._snapshot_thread.start()
+
+    def serve_forever(self) -> None:
+        """Accept requests until :meth:`drain` (blocking)."""
+        if self._httpd is None:
+            raise ServiceError("call start() before serve_forever()")
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> threading.Thread:
+        """:meth:`start` + :meth:`serve_forever` on a daemon thread."""
+        if self._httpd is None:
+            self.start()
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-service-accept", daemon=True
+        )
+        thread.start()
+        self._serve_thread = thread
+        return thread
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0] if self._httpd else self.config.host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        return self._httpd.server_address[1] if self._httpd else self.config.port
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.closed
+
+    def drain(self, *, snapshot: bool = True) -> None:
+        """Graceful shutdown: reject new work, lose nothing admitted.
+
+        Safe to call from a signal handler's thread or repeatedly; the
+        second and later calls are no-ops.
+        """
+        with self._drain_lock:
+            if self._drained:
+                return
+            self._drained = True
+            self.admission.close()          # new submissions -> 503
+            self.admission.join()           # every admitted job has run
+            self._await_inflight()          # every response is written
+            if self._httpd is not None:
+                self._httpd.shutdown()      # stop the accept loop
+                self._httpd.server_close()
+            self.admission.stop()
+            self._snapshot_stop.set()
+            if self._snapshot_thread is not None:
+                self._snapshot_thread.join()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=5.0)
+            if snapshot:
+                self.state.maybe_snapshot(force=True)
+
+    # ------------------------------------------------------------------
+    # In-flight tracking (handler threads call these around POST work)
+    # ------------------------------------------------------------------
+
+    def begin_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+            self.state.registry.set_gauge("service.inflight", self._inflight)
+
+    def end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self.state.registry.set_gauge("service.inflight", self._inflight)
+            self._inflight_cv.notify_all()
+
+    def _await_inflight(self) -> None:
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(lambda: self._inflight == 0)
+
+    def _snapshot_loop(self) -> None:
+        while not self._snapshot_stop.wait(self.config.snapshot_interval_s):
+            self.state.maybe_snapshot()

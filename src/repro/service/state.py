@@ -1,0 +1,290 @@
+"""The warm engine behind the service endpoints.
+
+:class:`ServiceState` owns what makes a daemon worth running over a
+subprocess-per-query:
+
+* the **process-global compiler** — every interned pattern, NFA, lazy
+  DFA, and trunk derived for one request serves every later request
+  (``repro.compile``'s 1.94x repeated-catalogue win, kept warm forever);
+* the **persistent verdict cache** — pair verdicts accumulate across
+  requests *and* process restarts: loaded (salvaging corruption) on
+  boot, snapshotted atomically on a timer and on drain;
+* the **per-request budget mapping** — ``deadline_ms`` becomes a
+  :class:`repro.resilience.Budget` on a per-request detector config, so
+  a blown deadline degrades that one decision to ``"unknown"`` with a
+  ``reason`` (HTTP 200; a 5xx would mean the *server* failed, and it
+  did not);
+* **crash containment** — a decision that dies with an unexpected
+  exception (in practice, injected ``worker_crash`` faults) is retried
+  ``decide_retries`` times, then degraded to ``unknown`` with reason
+  ``worker_crash``, mirroring the batch engine's quarantine semantics.
+
+Detectors themselves are built per request: they are cheap shells around
+the shared compiler, and the service-level :class:`VerdictCache` (keyed
+by canonical forms + config fingerprint, budget knobs excluded) is what
+carries answers across requests — including witnesses' expensive
+recomputation being skipped entirely on a hit.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections.abc import Mapping
+
+from repro.compile.compiler import global_compiler
+from repro.conflicts.batch import BatchAnalyzer, CanonicalOp, VerdictCache
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.conflicts.semantics import ConflictReport, Verdict
+from repro.errors import ServiceProtocolError
+from repro.obs.metrics import MetricsRegistry, global_metrics
+from repro.resilience import faults
+from repro.service import protocol
+from repro.service.config import ServiceConfig
+from repro.xml.serializer import serialize
+
+__all__ = ["ServiceState"]
+
+
+class ServiceState:
+    """Warm caches + decision logic shared by every request (thread-safe)."""
+
+    def __init__(
+        self, config: ServiceConfig, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.compiler = global_compiler()
+        self.cache = self._load_cache()
+        self.started_at = time.monotonic()
+        self._snapshot_lock = threading.Lock()
+        self._snapshotted_entries = len(self.cache)
+        self.registry.set_gauge("service.cache_entries", len(self.cache))
+
+    def _load_cache(self) -> VerdictCache:
+        path = self.config.cache_path
+        if path and os.path.exists(path):
+            cache = VerdictCache.load(path)  # salvages corrupt snapshots
+            self.registry.inc("service.cache_loaded_entries", len(cache))
+            return cache
+        return VerdictCache()
+
+    # ------------------------------------------------------------------
+    # Decisions (run on admission-controller worker threads)
+    # ------------------------------------------------------------------
+
+    def check(self, payload: Mapping) -> dict:
+        """Decide one pair: ``POST /v1/check``."""
+        if "first" not in payload or "second" not in payload:
+            raise ServiceProtocolError(
+                "check body must carry 'first' and 'second' operation specs"
+            )
+        first = protocol.op_from_spec(payload["first"], name="first")
+        second = protocol.op_from_spec(payload["second"], name="second")
+        config = self._detector_config(payload)
+        canon_a = CanonicalOp.from_operation(first)
+        canon_b = CanonicalOp.from_operation(second)
+        if canon_a.is_read and canon_b.is_read:
+            return self._check_payload(
+                verdict=Verdict.NO_CONFLICT.value,
+                kind=config.kind.value,
+                method="read-read-trivial",
+            )
+        key = VerdictCache.pair_key(config.fingerprint(), canon_a, canon_b)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.registry.inc("service.verdict_cache_hits")
+            return self._check_payload(
+                verdict=hit.value,
+                kind=config.kind.value,
+                method="verdict-cache",
+                cached=True,
+            )
+        self.registry.inc("service.verdict_cache_misses")
+        report = self._decide(first, second, config, canon_a, canon_b)
+        if report.reason is None:
+            self.cache.put(key, report.verdict)
+            self.registry.set_gauge("service.cache_entries", len(self.cache))
+        witness = None
+        if report.witness is not None and payload.get("witness"):
+            witness = {
+                "sketch": report.witness.sketch(),
+                "xml": serialize(report.witness),
+            }
+        return self._check_payload(
+            verdict=report.verdict.value,
+            kind=report.kind.value,
+            method=report.method,
+            reason=report.reason,
+            notes=list(report.notes),
+            witness=witness,
+        )
+
+    def matrix(self, payload: Mapping) -> dict:
+        """Decide a whole catalogue: ``POST /v1/matrix``."""
+        analyzer, matrix = self._analyze(payload)
+        return {
+            "command": "matrix",
+            **matrix.to_dict(),
+            "quarantine": analyzer.quarantine,
+        }
+
+    def schedule(self, payload: Mapping) -> dict:
+        """Catalogue → interference-free phases: ``POST /v1/schedule``."""
+        analyzer, matrix = self._analyze(payload)
+        batches = analyzer.schedule()
+        return {
+            "command": "schedule",
+            "batches": batches,
+            "quarantine": analyzer.quarantine,
+            "stats": {
+                "operations": len(matrix.names),
+                "batches": len(batches),
+                "largest_batch": max((len(b) for b in batches), default=0),
+                "degraded": len(matrix.reasons),
+            },
+        }
+
+    def _analyze(self, payload: Mapping):
+        if "ops" not in payload:
+            raise ServiceProtocolError("body must carry an 'ops' catalogue")
+        catalogue = protocol.catalogue_from_specs(payload["ops"])
+        config = self._detector_config(payload)
+        # One fresh detector per request, on the shared compiler and the
+        # shared verdict cache; jobs stays 1 because request concurrency
+        # is the admission layer's job — forking pools per HTTP request
+        # would fight it (and the thread it runs on).
+        detector = ConflictDetector(
+            config=config, compiler=self.compiler, registry=self.registry
+        )
+        analyzer = BatchAnalyzer(
+            detector=detector, jobs=1, cache=self.cache, registry=self.registry
+        )
+        matrix = analyzer.analyze(catalogue)
+        self.registry.set_gauge("service.cache_entries", len(self.cache))
+        return analyzer, matrix
+
+    def _detector_config(self, payload: Mapping) -> DetectorConfig:
+        return protocol.detector_config_from(
+            payload,
+            kind=self.config.kind,
+            exhaustive_cap=self.config.exhaustive_cap,
+            default_deadline_ms=self.config.default_deadline_ms,
+        )
+
+    def _decide(
+        self,
+        first,
+        second,
+        config: DetectorConfig,
+        canon_a: CanonicalOp,
+        canon_b: CanonicalOp,
+    ) -> ConflictReport:
+        """One pair decision with in-service crash retry.
+
+        The fault key matches the batch engine's, so a ``REPRO_FAULTS``
+        spec targets service decisions and pool workers alike; ``salt``
+        is the attempt number, so ``first``-scoped crash rules fire once
+        and the retry recovers — the suite stays green under the CI
+        fault-injection job.
+        """
+        fault_key = f"{canon_a.key}|{canon_b.key}"
+        last_error: Exception | None = None
+        for attempt in range(self.config.decide_retries + 1):
+            try:
+                faults.inject_worker_fault(fault_key, salt=attempt)
+                detector = ConflictDetector(
+                    config=config, compiler=self.compiler, registry=self.registry
+                )
+                return detector.detect(first, second)
+            except ServiceProtocolError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - degrade, never 500
+                last_error = exc
+                self.registry.inc("service.decide_crashes")
+        self.registry.inc("service.decisions_degraded", reason="worker_crash")
+        return ConflictReport(
+            verdict=Verdict.UNKNOWN,
+            kind=config.kind,
+            method="degraded",
+            notes=[f"decision crashed {type(last_error).__name__}: {last_error}"],
+            reason="worker_crash",
+        )
+
+    @staticmethod
+    def _check_payload(
+        *,
+        verdict: str,
+        kind: str,
+        method: str,
+        reason: str | None = None,
+        notes: list[str] | None = None,
+        witness: dict | None = None,
+        cached: bool = False,
+    ) -> dict:
+        return {
+            "command": "check",
+            "verdict": verdict,
+            "kind": kind,
+            "method": method,
+            "reason": reason,
+            "degraded": reason is not None,
+            "notes": notes or [],
+            "witness": witness,
+            "cached": cached,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection (served inline by the HTTP layer, never queued)
+    # ------------------------------------------------------------------
+
+    def health(self, *, draining: bool = False) -> dict:
+        return {
+            "status": "draining" if draining else "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "cache_entries": len(self.cache),
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """``GET /metrics``: service + engine + compile counters, one view.
+
+        The service registry (request/admission/cache counters, plus
+        every per-request detector's ``conflict.*`` and ``cache.*``
+        instruments — they are constructed on this registry) is overlaid
+        on the process-global one, which carries the shared compiler's
+        ``compile.<family>.{hits,misses,evictions}`` traffic.
+        """
+        merged = global_metrics().merged_with(self.registry)
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "cache_entries": len(self.cache),
+            **merged,
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def maybe_snapshot(self, *, force: bool = False) -> bool:
+        """Write the verdict cache to disk if configured and worthwhile.
+
+        Periodic snapshots are skipped while the entry count is unchanged
+        (the overwhelmingly common idle case); ``force=True`` (drain)
+        writes whenever there is anything at all to persist.  Atomicity
+        and parent-directory creation are :meth:`VerdictCache.save`'s
+        contract.
+        """
+        path = self.config.cache_path
+        if not path:
+            return False
+        with self._snapshot_lock:
+            entries = len(self.cache)
+            if not force and entries == self._snapshotted_entries:
+                return False
+            self.cache.save(path)
+            self._snapshotted_entries = entries
+            self.registry.inc("service.snapshots_written")
+            return True

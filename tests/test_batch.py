@@ -96,6 +96,14 @@ class TestVerdictCache:
         with pytest.raises(ConflictEngineError):
             VerdictCache.load(path)
 
+    def test_save_creates_parent_directories(self, tmp_path):
+        # A dated snapshot location must work on the first save, not
+        # fail with FileNotFoundError until someone mkdirs it.
+        cache = self._decided_cache()
+        path = tmp_path / "runs" / "2026-08-07" / "verdicts.json"
+        cache.save(path)
+        assert len(VerdictCache.load(path)) == len(cache)
+
     def test_absorb_detector(self):
         detector = ConflictDetector()
         detector.read_delete(Read("bib/book/title"), Delete("bib/book"))

@@ -402,3 +402,92 @@ class TestJsonReports:
         assert code == {"no-conflict": 0, "conflict": 1, "unknown": 2}[
             payload["verdict"]
         ]
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _no_env_faults(self, monkeypatch):
+        # inspect/merge assert exact snapshot contents; the CI fault
+        # job's cache_corrupt injection would (legitimately) trip the
+        # corrupt-snapshot path these tests pin down explicitly.
+        from repro.resilience import faults
+
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        faults.uninstall()
+        yield
+        faults.uninstall()
+
+    @pytest.fixture
+    def snapshot(self, tmp_path, capsys):
+        ops = tmp_path / "ops.json"
+        ops.write_text(
+            '{"titles": {"op": "read", "xpath": "bib/book/title"},'
+            ' "purge": {"op": "delete", "xpath": "bib/book"}}'
+        )
+        path = tmp_path / "cache.json"
+        main(["matrix", "--ops", str(ops), "--cache", str(path)])
+        capsys.readouterr()  # drop the matrix output
+        return path
+
+    def test_inspect_text(self, snapshot, capsys):
+        code = main(["cache", "inspect", str(snapshot)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "version 1" in out
+        assert "Delete/Read" in out
+
+    def test_inspect_json(self, snapshot, capsys):
+        import json
+
+        code = main(["cache", "inspect", str(snapshot), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "cache-inspect"
+        assert payload["version"] == 1
+        assert payload["corrupt"] is False
+        assert payload["entries"] == sum(payload["by_kind"].values())
+        assert payload["entries"] == sum(payload["by_verdict"].values())
+        assert payload["configs"] == 1
+
+    def test_inspect_corrupt_snapshot_exits_1(self, snapshot, capsys):
+        import json
+
+        text = snapshot.read_text()
+        snapshot.write_text(text[: int(len(text) * 0.7)])
+        code = main(["cache", "inspect", str(snapshot), "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrupt"] is True
+        assert "salvaged" in payload["salvage"]
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        code = main(["cache", "inspect", str(tmp_path / "absent.json")])
+        assert code == 64
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+    def test_merge(self, snapshot, tmp_path, capsys):
+        import json
+
+        ops = tmp_path / "more-ops.json"
+        ops.write_text(
+            '{"reads": {"op": "read", "xpath": "q/w"},'
+            ' "drop": {"op": "delete", "xpath": "q/w"}}'
+        )
+        other = tmp_path / "other.json"
+        main(["matrix", "--ops", str(ops), "--cache", str(other)])
+        capsys.readouterr()
+        out = tmp_path / "merged" / "all.json"  # parents created by save
+        code = main(
+            ["cache", "merge", "--out", str(out), str(snapshot), str(other),
+             "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "cache-merge"
+        assert [item["added"] for item in payload["inputs"]] == [1, 1]
+        assert payload["entries"] == 2
+        assert out.exists()
+        # The merged snapshot answers both catalogues.
+        code = main(["cache", "inspect", str(out), "--json"])
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["entries"] == 2

@@ -1,0 +1,470 @@
+"""Tests for the long-running conflict service (:mod:`repro.service`).
+
+Most tests run a real :class:`ConflictService` on an ephemeral loopback
+port and talk to it with :class:`ServiceClient` — the HTTP layer,
+admission control, and drain ordering are exactly what is under test, so
+nothing is mocked.  One test exercises the full ``repro serve`` SIGTERM
+path as a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.conflicts.batch import BatchAnalyzer
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.errors import (
+    CacheCorruptWarning,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceProtocolError,
+)
+from repro.operations.ops import Delete, Insert, Read
+from repro.resilience import faults
+from repro.service import ConflictService, ServiceClient, ServiceConfig
+from repro.service.config import DEFAULT_PORT
+from repro.service.protocol import (
+    catalogue_from_specs,
+    detector_config_from,
+    op_from_spec,
+    op_to_spec,
+)
+
+CATALOGUE = {
+    "titles": {"op": "read", "xpath": "bib/book/title"},
+    "restock": {"op": "insert", "xpath": "bib/book", "xml": "<restock/>"},
+    "purge": {"op": "delete", "xpath": "bib/book"},
+}
+
+
+def make_service(**overrides) -> ConflictService:
+    overrides.setdefault("workers", 2)
+    config = ServiceConfig(port=0, **overrides)
+    service = ConflictService(config)
+    service.start_background()
+    return service
+
+
+@pytest.fixture
+def service():
+    svc = make_service()
+    yield svc
+    svc.drain(snapshot=False)
+
+
+@pytest.fixture
+def client(service):
+    with ServiceClient(port=service.port) as c:
+        yield c
+
+
+class TestProtocol:
+    def test_op_specs_round_trip(self):
+        for op in (Read("a/b//c"), Insert("a/b", "<x><y/></x>"), Delete("a//b")):
+            rebuilt = op_from_spec(op_to_spec(op))
+            assert type(rebuilt) is type(op)
+            assert op_to_spec(rebuilt) == op_to_spec(op)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ServiceProtocolError, match="'op' and 'xpath'"):
+            op_from_spec({"xpath": "a"})
+        with pytest.raises(ServiceProtocolError, match="unknown op"):
+            op_from_spec({"op": "move", "xpath": "a"})
+        with pytest.raises(ServiceProtocolError, match="'xpath' must be"):
+            op_from_spec({"op": "read", "xpath": 7})
+        with pytest.raises(ServiceProtocolError, match="operation 'bad'"):
+            catalogue_from_specs({"bad": []})
+
+    def test_deadline_ms_becomes_deadline_s(self):
+        config = detector_config_from(
+            {"deadline_ms": 250},
+            kind=ServiceConfig().kind,
+            exhaustive_cap=5,
+            default_deadline_ms=None,
+        )
+        assert config.deadline_s == pytest.approx(0.25)
+        # Budget knobs are excluded from the cache fingerprint, so two
+        # deadlines share one verdict-cache namespace.
+        other = detector_config_from(
+            {"deadline_ms": 9000},
+            kind=ServiceConfig().kind,
+            exhaustive_cap=5,
+            default_deadline_ms=None,
+        )
+        assert config.fingerprint() == other.fingerprint()
+
+    def test_bad_knobs_rejected(self):
+        kwargs = dict(
+            kind=ServiceConfig().kind, exhaustive_cap=5, default_deadline_ms=None
+        )
+        with pytest.raises(ServiceProtocolError, match="deadline_ms"):
+            detector_config_from({"deadline_ms": -1}, **kwargs)
+        with pytest.raises(ServiceProtocolError, match="'budget'"):
+            detector_config_from({"budget": True}, **kwargs)
+        with pytest.raises(ServiceProtocolError, match="unknown kind"):
+            detector_config_from({"kind": "nope"}, **kwargs)
+
+
+class TestConfigValidation:
+    def test_rejects_nonsense(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(port=-1)
+        with pytest.raises(ServiceError):
+            ServiceConfig(snapshot_interval_s=0)
+
+    def test_default_port(self):
+        assert ServiceConfig().port == DEFAULT_PORT
+
+
+class TestCheck:
+    def test_verdict_matches_direct_detector(self, client):
+        reference = ConflictDetector().read_update(
+            Read("bib/book/title"), Delete("bib/book")
+        )
+        result = client.check(
+            {"op": "read", "xpath": "bib/book/title"},
+            {"op": "delete", "xpath": "bib/book"},
+        )
+        assert result["verdict"] == reference.verdict.value
+        assert result["degraded"] is False
+        assert result["cached"] is False
+
+    def test_accepts_live_operations(self, client):
+        result = client.check(Read("a/b"), Insert("a", "<c/>"), witness=True)
+        assert result["verdict"] in ("conflict", "no-conflict", "unknown")
+        if result["verdict"] == "conflict":
+            assert result["witness"] is not None
+
+    def test_second_identical_check_is_cached(self, client):
+        first = client.check(Read("x/y/z"), Delete("x/y"))
+        again = client.check(Read("x/y/z"), Delete("x/y"))
+        assert again["verdict"] == first["verdict"]
+        assert again["cached"] is True
+        assert again["method"] == "verdict-cache"
+
+    def test_read_read_never_conflicts(self, client):
+        result = client.check(Read("a//b"), {"op": "read", "xpath": "c"})
+        assert result["verdict"] == "no-conflict"
+        assert result["method"] == "read-read-trivial"
+
+    def test_zero_deadline_degrades_to_unknown(self, client):
+        result = client.check(
+            Read("deadline/only/pair"), Delete("deadline/only"), deadline_ms=0
+        )
+        assert result["verdict"] == "unknown"
+        assert result["reason"] == "timeout"
+        assert result["degraded"] is True
+        # Degraded verdicts are never cached: a real budget later must
+        # get a chance to decide the pair for real.
+        retry = client.check(Read("deadline/only/pair"), Delete("deadline/only"))
+        assert retry["cached"] is False
+        assert retry["degraded"] is False
+
+    def test_bad_spec_raises_protocol_error(self, client):
+        with pytest.raises(ServiceProtocolError, match="unknown op"):
+            client.check({"op": "rename", "xpath": "a"}, {"op": "read", "xpath": "b"})
+
+    def test_bad_xpath_is_client_error_not_500(self, client):
+        with pytest.raises(ServiceProtocolError):
+            client.check(
+                {"op": "read", "xpath": "///"}, {"op": "delete", "xpath": "a/b"}
+            )
+
+
+class TestMatrixAndSchedule:
+    def test_matrix_matches_batch_analyzer(self, client):
+        reference = BatchAnalyzer(DetectorConfig()).analyze(
+            catalogue_from_specs(CATALOGUE)
+        )
+        result = client.matrix(CATALOGUE)
+        assert result["stats"]["operations"] == 3
+        assert result["verdicts"], "matrix returned no pairs"
+        for entry in result["verdicts"]:
+            reference_verdict = reference.verdicts[
+                (entry["first"], entry["second"])
+            ]
+            assert entry["verdict"] == reference_verdict.value
+
+    def test_schedule_covers_catalogue(self, client):
+        result = client.schedule(CATALOGUE)
+        names = [name for batch in result["batches"] for name in batch]
+        assert sorted(names) == sorted(CATALOGUE)
+        assert result["stats"]["batches"] == len(result["batches"])
+
+    def test_missing_ops_is_400(self, client):
+        with pytest.raises(ServiceProtocolError, match="'ops'"):
+            client._request("POST", "/v1/matrix", {"operations": {}})
+
+
+class TestHttpSurface:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+    def test_metrics_counters_grow(self, client):
+        client.check(Read("m/a"), Delete("m/a/b"))
+        before = client.metrics()["counters"]
+        client.check(Read("m/a"), Delete("m/a/b"))  # cache hit
+        client.check(Read("m/c"), Delete("m/c/d"))  # cache miss
+        after = client.metrics()["counters"]
+        key = "service.requests_total{route=check}"
+        assert after[key] == before[key] + 2
+        assert (
+            after["service.verdict_cache_hits"]
+            >= before.get("service.verdict_cache_hits", 0) + 1
+        )
+        assert after["service.verdict_cache_misses"] > 0
+        assert after["service.admitted_total"] == after[key]
+
+    def test_status_codes(self, service):
+        import http.client
+
+        def status(method, path, body=None):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", service.port, timeout=10
+            )
+            try:
+                headers = {"Content-Type": "application/json"} if body else {}
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                return response.status
+            finally:
+                conn.close()
+
+        assert status("GET", "/nope") == 404
+        assert status("GET", "/v1/check") == 405
+        assert status("POST", "/healthz", b"{}") == 405
+        assert status("POST", "/v1/check", b"not json") == 400
+        assert status("POST", "/v1/check", b"[1, 2]") == 400
+
+
+class TestOverload:
+    def test_queue_overflow_returns_429_and_admitted_work_completes(self):
+        faults.install(faults.FaultInjector.parse("slow_decide:1.0:delay=0.3"))
+        service = make_service(workers=1, queue_depth=1)
+        try:
+            total = 6
+            barrier = threading.Barrier(total)
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def fire(index: int) -> None:
+                with ServiceClient(port=service.port, timeout=30.0) as c:
+                    barrier.wait()
+                    try:
+                        result = c.check(
+                            Read(f"load/p{index}/x"), Delete(f"load/p{index}")
+                        )
+                        outcome = f"ok:{result['verdict']}"
+                    except ServiceOverloaded:
+                        outcome = "429"
+                with lock:
+                    outcomes.append(outcome)
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(total)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(outcomes) == total
+            rejected = [o for o in outcomes if o == "429"]
+            accepted = [o for o in outcomes if o.startswith("ok:")]
+            # 1 worker + 1 queue slot against 6 simultaneous requests:
+            # overflow must be rejected immediately, never parked.
+            assert rejected, outcomes
+            assert accepted, outcomes
+            for outcome in accepted:
+                assert outcome.split(":", 1)[1] in (
+                    "conflict", "no-conflict", "unknown"
+                )
+        finally:
+            faults.uninstall()
+            service.drain(snapshot=False)
+
+    def test_healthz_still_answers_under_load(self):
+        faults.install(faults.FaultInjector.parse("slow_decide:1.0:delay=0.5"))
+        service = make_service(workers=1, queue_depth=1)
+        try:
+            started = threading.Event()
+
+            def slow_check() -> None:
+                with ServiceClient(port=service.port, timeout=30.0) as c:
+                    started.set()
+                    c.check(Read("busy/a/b"), Delete("busy/a"))
+
+            thread = threading.Thread(target=slow_check)
+            thread.start()
+            started.wait(timeout=10)
+            time.sleep(0.1)  # let the check reach the worker
+            with ServiceClient(port=service.port, timeout=5.0) as c:
+                assert c.healthz()["status"] == "ok"
+            thread.join(timeout=30)
+        finally:
+            faults.uninstall()
+            service.drain(snapshot=False)
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_rejects(self):
+        faults.install(faults.FaultInjector.parse("slow_decide:1.0:delay=0.4"))
+        service = make_service(workers=2, queue_depth=8)
+        try:
+            results: dict[int, dict] = {}
+            lock = threading.Lock()
+            launched = threading.Barrier(4)
+
+            def fire(index: int) -> None:
+                with ServiceClient(port=service.port, timeout=30.0) as c:
+                    launched.wait()
+                    result = c.check(
+                        Read(f"drain/p{index}/x"), Delete(f"drain/p{index}")
+                    )
+                with lock:
+                    results[index] = result
+
+            threads = [
+                threading.Thread(target=fire, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            launched.wait()
+            time.sleep(0.15)  # let the requests be admitted
+            service.drain(snapshot=False)
+            for t in threads:
+                t.join(timeout=60)
+            # Every admitted request produced a real response.
+            assert sorted(results) == [0, 1, 2]
+            for result in results.values():
+                assert result["verdict"] in ("conflict", "no-conflict", "unknown")
+            # After drain the listener is gone (or answers 503 mid-close):
+            # either way no new work is accepted.
+            with pytest.raises(ServiceError):
+                with ServiceClient(port=service.port, timeout=5.0) as c:
+                    c.check(Read("late/a/b"), Delete("late/a"))
+        finally:
+            faults.uninstall()
+            service.drain(snapshot=False)
+
+    def test_drain_is_idempotent(self, service):
+        service.drain(snapshot=False)
+        service.drain(snapshot=False)
+
+
+class TestPersistence:
+    @pytest.fixture(autouse=True)
+    def _no_env_faults(self, monkeypatch):
+        """Exact snapshot-content assertions need uninjected writes.
+
+        The CI fault job corrupts a fraction of cache snapshots
+        (``cache_corrupt`` — salvage recovers the entries, which other
+        tests rely on); here the *bytes on disk* are the subject, so the
+        environment injector is removed for the duration.
+        """
+        monkeypatch.delenv(faults.ENV_SPEC, raising=False)
+        faults.uninstall()
+        yield
+        faults.uninstall()
+
+    def test_drain_writes_snapshot_and_restart_reuses_it(self, tmp_path):
+        cache_path = tmp_path / "runs" / "cache.json"
+        service = make_service(cache_path=str(cache_path))
+        with ServiceClient(port=service.port) as c:
+            c.check(Read("persist/a/b"), Delete("persist/a"))
+        service.drain()
+        assert cache_path.exists()
+        payload = json.loads(cache_path.read_text())
+        assert payload["version"] == 1
+        assert payload["entries"]
+
+        reborn = make_service(cache_path=str(cache_path))
+        try:
+            with ServiceClient(port=reborn.port) as c:
+                result = c.check(Read("persist/a/b"), Delete("persist/a"))
+            assert result["cached"] is True
+        finally:
+            reborn.drain(snapshot=False)
+
+    def test_corrupt_snapshot_is_salvaged_on_boot(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        analyzer = BatchAnalyzer(DetectorConfig())
+        analyzer.analyze(catalogue_from_specs(CATALOGUE))
+        analyzer.cache.save(cache_path)
+        text = cache_path.read_text()
+        cache_path.write_text(text[: int(len(text) * 0.7)])
+
+        with pytest.warns(CacheCorruptWarning):
+            service = make_service(cache_path=str(cache_path))
+        try:
+            with ServiceClient(port=service.port) as c:
+                health = c.healthz()
+            # The valid prefix survived; the service booted regardless.
+            assert health["status"] == "ok"
+            assert (tmp_path / "cache.json.bak").exists()
+        finally:
+            service.drain(snapshot=False)
+
+    def test_periodic_snapshot_thread_writes(self, tmp_path):
+        cache_path = tmp_path / "cache.json"
+        service = make_service(
+            cache_path=str(cache_path), snapshot_interval_s=0.2
+        )
+        try:
+            with ServiceClient(port=service.port) as c:
+                c.check(Read("periodic/a/b"), Delete("periodic/a"))
+            deadline = time.monotonic() + 10
+            while not cache_path.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert cache_path.exists(), "periodic snapshot never written"
+        finally:
+            service.drain(snapshot=False)
+
+
+class TestServeSubprocess:
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        cache_path = tmp_path / "svc" / "cache.json"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--workers", "2", "--cache", str(cache_path),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", line)
+            assert match, f"unparseable boot line: {line!r}"
+            port = int(match.group(2))
+            with ServiceClient(port=port) as c:
+                result = c.check(Read("sub/a/b"), Delete("sub/a"))
+                assert result["verdict"] in (
+                    "conflict", "no-conflict", "unknown"
+                )
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30)
+            assert code == 0
+            rest = proc.stdout.read()
+            assert "draining" in rest
+            assert "stopped" in rest
+            assert cache_path.exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
