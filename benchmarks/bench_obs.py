@@ -12,7 +12,9 @@ one registry update per query.  This module measures that claim and emits
 * end-to-end detector throughput on the bench_linear workload with
   tracing off vs on;
 * the shape assertion: disabled-mode overhead on the linear detector
-  stays under an enforced ceiling relative to the traced run.
+  stays under an enforced ceiling relative to the traced run;
+* the bucketing bill: log-bucket quantile histograms vs summary-only
+  histograms on the tracing-disabled path must differ by < 5%.
 
 Run with ``PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_obs.py -s``.
 The JSON lands next to this file (override with ``BENCH_OBS_OUT``).
@@ -86,6 +88,21 @@ def _emit(payload: dict) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"\nwrote {path}")
+
+
+def _merge_emit(key: str, payload: dict) -> None:
+    """Update one top-level key of BENCH_obs.json, keeping the rest."""
+    default = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+    path = os.environ.get("BENCH_OBS_OUT", default)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing[key] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"\nupdated {path} [{key}]")
 
 
 def test_span_call_costs(benchmark):
@@ -163,6 +180,60 @@ def test_detector_overhead_disabled_vs_enabled(benchmark):
     # Compare disabled against itself run-to-run via the JSON artifact;
     # here we only pin the enabled mode to a sane multiple.
     assert ratio < 10, f"tracing overhead exploded: {result}"
+
+
+def test_bucketed_histograms_keep_disabled_path_cheap(benchmark):
+    """Log-bucketing in ``Histogram.observe`` adds < 5% to the hot path.
+
+    Compares the tracing-disabled detector workload against the same
+    workload with summary-only histogram observation (the pre-bucketing
+    cost model: count/sum/min/max, no bucket math).  Best-of-medians on
+    both sides to keep shared-machine noise out of a tight bound.
+    """
+    from repro.obs.metrics import Histogram
+
+    instances = _instances()
+    workload = _detector_workload(instances)
+    workload()  # warm compile caches so neither side pays them
+
+    def summary_only_observe(self, value):
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def best_of(fn, runs=5):
+        return min(measure(fn, repeat=3) for _ in range(runs))
+
+    def sweep() -> dict:
+        bucketed_s = best_of(workload)
+        original = Histogram.observe
+        try:
+            Histogram.observe = summary_only_observe
+            summary_s = best_of(workload)
+        finally:
+            Histogram.observe = original
+        return {"bucketed_s": bucketed_s, "summary_only_s": summary_s}
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    overhead = (
+        result["bucketed_s"] - result["summary_only_s"]
+    ) / max(result["summary_only_s"], 1e-12)
+    print_series(
+        "detector workload: bucketed vs summary-only histograms",
+        list(result),
+        list(result.values()),
+    )
+    print(f"bucketing overhead: {overhead * 100:.2f}%")
+    _merge_emit(
+        "bucketed_histogram_overhead",
+        {**result, "overhead_ratio": overhead, "bound": 0.05},
+    )
+    assert overhead < 0.05, (
+        f"bucketed histograms cost {overhead * 100:.1f}% on the disabled path"
+    )
 
 
 def test_disabled_mode_adds_little_to_hot_path(benchmark):

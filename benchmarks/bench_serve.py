@@ -14,6 +14,10 @@ Also measured and recorded (no floors, informational):
 
 * sustained warm ``/v1/matrix`` throughput over the full catalogue vs
   one ``python -m repro matrix`` subprocess per request;
+* a sustained closed-loop ``/v1/check`` load section whose p50/p95/p99
+  are read from the service's own log-bucket quantile histograms — the
+  exact snapshot ``GET /metrics`` exposes, so the recorded numbers are
+  the ones a dashboard scraping the server would chart;
 * an overload probe — a 1-worker/1-slot server under 6 simultaneous
   slowed requests must shed with 429, never hang;
 * a drain probe — draining mid-flight must answer every admitted
@@ -84,6 +88,21 @@ def _emit(payload: dict) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     print(f"\nwrote {path}")
+
+
+def _merge_emit(key: str, payload: dict) -> None:
+    """Update one top-level key of BENCH_serve.json, keeping the rest."""
+    default = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+    path = os.environ.get("BENCH_SERVE_OUT", default)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing[key] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"\nupdated {path} [{key}]")
 
 
 def test_warm_server_vs_cold_subprocess(benchmark):
@@ -230,6 +249,76 @@ def test_sustained_matrix_throughput(benchmark):
         print(f"matrix speedup (cold / warm): {cold_s / max(warm_s, 1e-12):.1f}x")
     finally:
         os.unlink(ops_path)
+
+
+def test_sustained_load_latency_quantiles(benchmark):
+    """Sustained closed-loop ``/v1/check`` load; latency quantiles are
+    read from the service's own log-bucket histograms.
+
+    No separate client-side stopwatch array: the p50/p95/p99 recorded in
+    BENCH_serve.json come from ``quantile_from_snapshot`` over the very
+    histograms ``GET /metrics`` exposes, so a Prometheus dashboard
+    scraping the same server charts the same numbers.
+    """
+    from repro.obs.metrics import quantile_from_snapshot
+
+    pairs = sample_pairs()
+    requests = 40 if SMOKE else 200
+    service = ConflictService(ServiceConfig(port=0, workers=4))
+    service.start_background()
+    try:
+        client = ServiceClient(port=service.port)
+
+        def sustained() -> dict:
+            for index in range(requests):
+                read, update = pairs[index % len(pairs)]
+                client.check(read, update)
+            return client.metrics()
+
+        snapshot = benchmark.pedantic(sustained, rounds=1, iterations=1)
+        client.close()
+    finally:
+        service.drain(snapshot=False)
+
+    hist = snapshot["histograms"]["service.request_ms{route=check}"]
+    assert hist["count"] >= requests
+    quantiles = {
+        name: quantile_from_snapshot(hist, q)
+        for name, q in (("p50_ms", 0.50), ("p95_ms", 0.95), ("p99_ms", 0.99))
+    }
+    assert quantiles["p50_ms"] <= quantiles["p95_ms"] <= quantiles["p99_ms"]
+    # The snapshot's own derived keys agree with what we recompute from
+    # its buckets — one histogram, one answer, wherever it is read.
+    assert quantiles["p50_ms"] == hist["p50"]
+    assert quantiles["p99_ms"] == hist["p99"]
+
+    queue_hist = snapshot["histograms"].get("service.queue_wait_ms")
+    decide = {
+        key: {
+            "count": h["count"],
+            "p50_ms": quantile_from_snapshot(h, 0.50),
+            "p95_ms": quantile_from_snapshot(h, 0.95),
+        }
+        for key, h in snapshot["histograms"].items()
+        if key.startswith("conflict.decide_ms{")
+    }
+    print_series(
+        "sustained /v1/check latency quantiles (from /metrics histograms)",
+        list(quantiles),
+        [q / 1000.0 for q in quantiles.values()],
+    )
+    _merge_emit(
+        "sustained_load",
+        {
+            "requests": requests,
+            "pairs_cycled": len(pairs),
+            "smoke": SMOKE,
+            "request_ms": {"count": hist["count"], **quantiles},
+            "queue_wait_p95_ms": quantile_from_snapshot(queue_hist, 0.95),
+            "decide_ms_by_path": decide,
+            "source": "service.request_ms{route=check} histogram via GET /metrics",
+        },
+    )
 
 
 def _overload_probe() -> bool:

@@ -308,7 +308,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--log-requests", action="store_true",
         help="emit an access-log line per request to stderr",
     )
+    p_serve.add_argument(
+        "--access-log", metavar="FILE",
+        help="append one structured JSONL record per request (id, route, "
+        "verdict, cache hit, queue wait, timings, outcome); aggregate "
+        "with 'repro report'",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_report = add_command(
+        "report",
+        help="aggregate trace/access JSONL files into latency and "
+        "hit-rate tables",
+    )
+    p_report.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="JSONL inputs: --trace span files and/or --access-log files "
+        "(mixed freely; unknown lines are skipped)",
+    )
+    _add_json_arg(p_report)
+    p_report.set_defaults(handler=_cmd_report)
 
     p_cache = add_command(
         "cache", help="inspect or merge verdict-cache snapshots"
@@ -733,6 +752,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.timeout * 1000.0 if args.timeout is not None else None
         ),
         log_requests=args.log_requests,
+        access_log_path=args.access_log,
     )
     service = ConflictService(config)
     service.start()
@@ -760,6 +780,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("repro service draining: finishing admitted requests", flush=True)
     service.drain()
     print("repro service stopped", flush=True)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import build_report, load_records, render_report
+
+    spans, access, skipped = load_records(args.files)
+    report = build_report(spans, access, skipped)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
     return 0
 
 

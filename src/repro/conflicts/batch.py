@@ -62,7 +62,8 @@ from repro.compile.compiler import CompiledArtifact, compiler_for_config
 from repro.conflicts.detector import ConflictDetector, DetectorConfig
 from repro.conflicts.semantics import Verdict
 from repro.errors import CacheCorrupt, CacheCorruptWarning, ConflictEngineError
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, histogram_delta
+from repro.obs.trace import current_request_id, set_request_id
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
 from repro.patterns.xpath import parse_xpath, to_xpath
 from repro.resilience import faults
@@ -491,12 +492,19 @@ def _worker_init(
     fault_spec: str | None = None,
     fault_seed: int = 0,
     artifacts: "list[CompiledArtifact] | None" = None,
+    request_id: str | None = None,
 ) -> None:
     detector = ConflictDetector(config=config)
     _WORKER["detector"] = detector
     _WORKER["canon"] = canon_ops
     _WORKER["ops"] = dict(_FORK_OPS)
     _WORKER["counter_base"] = {}
+    _WORKER["hist_base"] = {}
+    # Bind the request id that created this pool for the worker's whole
+    # lifetime: under ``fork`` the parent's thread-local does not cross
+    # into the worker's main thread, and under ``spawn`` nothing crosses
+    # at all — explicit transport via initargs covers both.
+    set_request_id(request_id)
     if artifacts:
         # Pre-seed the worker's compile cache from the parent's compiled
         # operand set (string-only transport, so it works under both fork
@@ -532,14 +540,19 @@ def _pair_fault_key(canon_a: CanonicalOp, canon_b: CanonicalOp) -> str:
 
 def _decide_chunk(
     payload: tuple[list[tuple[int, int, int]], int],
-) -> tuple[list[tuple[int, str, "str | None"]], dict[str, int], int]:
+) -> tuple[list[tuple[int, str, "str | None"]], dict, int]:
     """Decide one chunk of ``(pair, op, op)`` index triples.
 
     Operands travel once per pool (in the initializer payload), so chunks
     and results are tiny integer tuples — important when operands carry
     multi-kilobyte document fragments.  The attempt number travels with
     the chunk so injected faults can distinguish retries.  Returns
-    ``(pair, verdict, degradation reason)`` rows + metric deltas.
+    ``(pair, verdict, degradation reason)`` rows + a snapshot-shaped
+    metric delta (counter increments and bucket-exact histogram
+    increments since the previous chunk, ready for
+    :meth:`MetricsRegistry.absorb` in the parent — the worker's latency
+    distributions merge losslessly into the parent's, which is where the
+    service's p50/p95/p99 over pool-decided work comes from).
     """
     chunk, attempt = payload
     detector: ConflictDetector = _WORKER["detector"]
@@ -551,10 +564,22 @@ def _decide_chunk(
         )
         report = detector.detect(_worker_op(index_a), _worker_op(index_b))
         out.append((pair_index, report.verdict.value, report.reason))
-    counters = detector.metrics()["counters"]
+    metrics = detector.metrics()
+    counters = metrics["counters"]
     base = _WORKER["counter_base"]
-    delta = {k: v - base.get(k, 0) for k, v in counters.items() if v != base.get(k, 0)}
+    counter_delta = {
+        k: v - base.get(k, 0) for k, v in counters.items() if v != base.get(k, 0)
+    }
     _WORKER["counter_base"] = counters
+    histograms = metrics["histograms"]
+    hist_base = _WORKER["hist_base"]
+    hist_delta = {}
+    for key, snapshot in histograms.items():
+        diff = histogram_delta(snapshot, hist_base.get(key))
+        if diff is not None:
+            hist_delta[key] = diff
+    _WORKER["hist_base"] = histograms
+    delta = {"counters": counter_delta, "histograms": hist_delta}
     return out, delta, os.getpid()
 
 
@@ -929,6 +954,7 @@ class BatchAnalyzer:
                 injector.spec() if injector is not None else None,
                 injector.seed if injector is not None else 0,
                 artifacts,
+                current_request_id(),
             ),
         )
 
@@ -1040,7 +1066,7 @@ class BatchAnalyzer:
                         )
                     chunk, result = inflight.popleft()
                     try:
-                        rows, counters, worker_pid = result.get(
+                        rows, delta, worker_pid = result.get(
                             timeout=self.chunk_timeout_s
                         )
                     except multiprocessing.TimeoutError:
@@ -1078,7 +1104,7 @@ class BatchAnalyzer:
                     else:
                         for pair_index, value, reason in rows:
                             out[items[pair_index][0]] = (Verdict(value), reason)
-                        self._metrics.absorb_counters(counters)
+                        self._metrics.absorb(delta)
                         self._metrics.inc("batch.worker_chunks")
                         self._metrics.inc(
                             "batch.worker_pairs", len(rows), worker=worker_pid

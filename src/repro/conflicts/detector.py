@@ -27,6 +27,7 @@ Typical use::
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -333,6 +334,7 @@ class ConflictDetector:
             key = self._cache_key("update-update", op1_stripped, op2_stripped)
             report = self._cache_get(key)
             if report is None:
+                decide_t0 = time.perf_counter()
                 try:
                     with budget_scope(self._new_budget()):
                         report = detect_update_update(
@@ -343,6 +345,12 @@ class ConflictDetector:
                         )
                 except BudgetExceeded as exc:
                     report = self._degraded_report(exc, ConflictKind.VALUE)
+                self._metrics.observe(
+                    "conflict.decide_ms",
+                    (time.perf_counter() - decide_t0) * 1000.0,
+                    path="complex",
+                    verdict=report.verdict.value,
+                )
                 self._cache_put(key, report)
             else:
                 sp.set("cached", True)
@@ -369,12 +377,22 @@ class ConflictDetector:
                 sp.set("cached", True)
                 sp.set("verdict", cached.verdict.value)
                 return cached
+            decide_t0 = time.perf_counter()
             try:
                 with budget_scope(self._new_budget()):
                     report = self._decide_read_update(read, update)
             except BudgetExceeded as exc:
                 report = self._degraded_report(exc, self.kind)
                 sp.set("degraded", report.reason)
+            # Freshly decided only: cache hits return above, so this
+            # distribution is about real decision cost per path/verdict —
+            # the paper's Section 6 cost question — not lookup noise.
+            self._metrics.observe(
+                "conflict.decide_ms",
+                (time.perf_counter() - decide_t0) * 1000.0,
+                path=path,
+                verdict=report.verdict.value,
+            )
             self._cache_put(key, report)
             sp.set("verdict", report.verdict.value)
             return report

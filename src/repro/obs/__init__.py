@@ -31,18 +31,32 @@ touching the command line.
 from __future__ import annotations
 
 from repro.obs.metrics import (
+    Histogram,
     MetricsRegistry,
     global_metrics,
+    histogram_delta,
     metric_key,
+    quantile_from_snapshot,
     reset_global_metrics,
 )
+from repro.obs.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+)
+from repro.obs.prometheus import (
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.report import build_report, load_records, render_report
 from repro.obs.sinks import JsonlSink, NullSink, RingBufferSink, SpanSink
 from repro.obs.trace import (
     Span,
     active_sinks,
+    current_request_id,
     disable,
     enable,
     enabled,
+    request_context,
+    set_request_id,
     span,
     tracing,
 )
@@ -56,11 +70,25 @@ __all__ = [
     "disable",
     "tracing",
     "active_sinks",
+    "current_request_id",
+    "set_request_id",
+    "request_context",
     # metrics
+    "Histogram",
     "MetricsRegistry",
     "metric_key",
+    "quantile_from_snapshot",
+    "histogram_delta",
     "global_metrics",
     "reset_global_metrics",
+    # prometheus exposition
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "validate_exposition",
+    # reporting
+    "load_records",
+    "build_report",
+    "render_report",
     # sinks
     "SpanSink",
     "RingBufferSink",

@@ -1,0 +1,275 @@
+"""Prometheus text exposition (format 0.0.4) for registry snapshots.
+
+The service's ``GET /metrics`` speaks JSON by default (the shape of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`), which is convenient
+for this repo's own tooling but opaque to every standard scraper.  This
+module renders the same snapshot into the Prometheus text format, so
+``Accept: text/plain`` on ``/metrics`` yields something Prometheus,
+VictoriaMetrics, or ``promtool`` can ingest directly:
+
+* counters → one ``# TYPE <name> counter`` family per metric name, one
+  sample per label set;
+* gauges → likewise with ``gauge``;
+* log-bucket histograms → a native Prometheus histogram: cumulative
+  ``<name>_bucket{le="<upper>"}`` series per bucket boundary (plus the
+  mandatory ``le="+Inf"``), ``<name>_sum`` and ``<name>_count``.  The
+  ``le`` bounds are the exact log-bucket upper bounds, so PromQL's
+  ``histogram_quantile`` reproduces :func:`~repro.obs.metrics.quantile_from_snapshot`
+  up to the same one-bucket error.
+
+Registry keys are the ``name{k=v,...}`` strings of
+:func:`~repro.obs.metrics.metric_key`; this module parses them back into
+name + labels and sanitizes names into the ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+alphabet (dots become underscores: ``conflict.queries_total`` →
+``conflict_queries_total``).
+
+:func:`validate_exposition` is a small line-format checker used by the
+CI service-smoke job and the test suite — it verifies the grammar this
+module claims to emit, without needing a real Prometheus binary.
+
+CONTENT_TYPE is the value a compliant scrape response must carry.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import bucket_bounds
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "validate_exposition"]
+
+#: The exposition content type the text renderer targets.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)"
+    r"( [0-9]+)?$"
+)
+_LABEL_PAIR = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$'
+)
+
+
+def _metric_name(raw: str) -> str:
+    """Sanitize a repro metric name into the Prometheus alphabet."""
+    name = _SANITIZE.sub("_", raw)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _parse_key(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a ``name{k=v,...}`` registry key into name + label pairs."""
+    brace = key.find("{")
+    if brace < 0 or not key.endswith("}"):
+        return key, []
+    labels = []
+    inner = key[brace + 1 : -1]
+    if inner:
+        for part in inner.split(","):
+            label, _, value = part.partition("=")
+            labels.append((label, value))
+    return key[:brace], labels
+
+
+def _escape_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _render_labels(labels: list[tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{_LABEL_SANITIZE.sub("_", k) or "_"}="{_escape_value(v)}"'
+        for k, v in labels
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _group_by_name(section: dict) -> dict[str, list[tuple[list, object]]]:
+    """Registry keys grouped by sanitized family name, labels parsed out."""
+    families: dict[str, list[tuple[list, object]]] = {}
+    for key in sorted(section):
+        raw_name, labels = _parse_key(key)
+        families.setdefault(_metric_name(raw_name), []).append(
+            (labels, section[key])
+        )
+    return families
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition 0.0.4.
+
+    ``snapshot`` is the ``{"counters", "gauges", "histograms"}`` shape of
+    :meth:`MetricsRegistry.snapshot`.  Families are sorted by name so the
+    output is deterministic (diffable in tests and dashboards).
+    """
+    lines: list[str] = []
+
+    for name, samples in sorted(
+        _group_by_name(snapshot.get("counters", {})).items()
+    ):
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in samples:
+            lines.append(
+                f"{name}{_render_labels(labels)} {_format_value(value)}"
+            )
+
+    for name, samples in sorted(
+        _group_by_name(snapshot.get("gauges", {})).items()
+    ):
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in samples:
+            lines.append(
+                f"{name}{_render_labels(labels)} {_format_value(value)}"
+            )
+
+    for name, samples in sorted(
+        _group_by_name(snapshot.get("histograms", {})).items()
+    ):
+        lines.append(f"# TYPE {name} histogram")
+        for labels, hist in samples:
+            buckets = {
+                int(k): int(v) for k, v in (hist.get("buckets") or {}).items()
+            }
+            cumulative = 0
+            for index in sorted(buckets):
+                cumulative += buckets[index]
+                upper = bucket_bounds(index)[1]
+                le_labels = labels + [("le", _format_value(upper))]
+                lines.append(
+                    f"{name}_bucket{_render_labels(le_labels)} {cumulative}"
+                )
+            count = int(hist.get("count", 0))
+            inf_labels = labels + [("le", "+Inf")]
+            lines.append(f"{name}_bucket{_render_labels(inf_labels)} {count}")
+            lines.append(
+                f"{name}_sum{_render_labels(labels)} "
+                f"{_format_value(float(hist.get('sum', 0.0)))}"
+            )
+            lines.append(f"{name}_count{_render_labels(labels)} {count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Check ``text`` against the 0.0.4 line grammar; return the problems.
+
+    An empty return means every line parsed: comments are ``# HELP`` /
+    ``# TYPE`` with a valid metric name, samples are
+    ``name{labels} value [timestamp]`` with well-formed escaped label
+    values and a parseable float, and histogram families carry their
+    mandatory ``le="+Inf"`` bucket plus ``_sum``/``_count`` series.  Used
+    by CI's smoke scrape so a renderer regression fails loudly without a
+    Prometheus binary in the loop.
+    """
+    problems: list[str] = []
+    histogram_families: set[str] = set()
+    seen_samples: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            problems.append(f"line {lineno}: blank line inside exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            if not _NAME_OK.match(parts[2]):
+                problems.append(
+                    f"line {lineno}: invalid metric name {parts[2]!r}"
+                )
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped",
+                ):
+                    problems.append(
+                        f"line {lineno}: invalid TYPE line: {line!r}"
+                    )
+                elif parts[3] == "histogram":
+                    histogram_families.add(parts[2])
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        seen_samples.add(line.split("{")[0].split(" ")[0])
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_label_pairs(labels[1:-1]):
+                if not _LABEL_PAIR.match(pair):
+                    problems.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: unparseable value {value!r}"
+                )
+
+    for family in sorted(histogram_families):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family + suffix not in seen_samples:
+                problems.append(
+                    f"histogram {family!r} is missing its {suffix} series"
+                )
+        if f'le="+Inf"' not in text:
+            problems.append(
+                f"histogram {family!r} has no le=\"+Inf\" bucket"
+            )
+    return problems
+
+
+def _split_label_pairs(inner: str) -> list[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in inner:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+            continue
+        if ch == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        pairs.append("".join(current))
+    return pairs

@@ -15,7 +15,11 @@ optional ``close()``.  Three implementations cover the practical cases:
 
 Sinks must tolerate being called from multiple threads: the tracing layer
 serializes emission per thread but not across threads.  ``RingBufferSink``
-and ``JsonlSink`` therefore guard their mutable state with a lock.
+and ``JsonlSink`` therefore guard their mutable state with a lock — and
+``JsonlSink`` additionally tolerates the *close race*: one thread calling
+``disable()`` (which closes sinks) while another is mid-``__exit__`` on a
+span.  Emission after close is silently dropped rather than raising from
+``Span.__exit__``, where an exception would mask the traced code's own.
 """
 
 from __future__ import annotations
@@ -89,14 +93,20 @@ class JsonlSink:
             self._handle = target
             self._owns_handle = False
         self._lock = threading.Lock()
+        self._closed = False
 
     def emit(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
+            if self._closed:
+                return
             self._handle.write(line + "\n")
             self._handle.flush()
 
     def close(self) -> None:
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             if self._owns_handle:
                 self._handle.close()

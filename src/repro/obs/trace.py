@@ -25,6 +25,14 @@ Enabling:
 * from the environment — set ``REPRO_TRACE`` before the process starts:
   ``REPRO_TRACE=1`` (or ``mem``) traces into an in-memory ring buffer,
   any other value is treated as a JSON-lines output path.
+
+**Request correlation.**  A thread-local *request id* can be bound with
+:func:`request_context` (or :func:`set_request_id`); while bound, every
+finished span's record carries ``"request_id"``, so all spans produced on
+behalf of one service request — across the admission queue's worker
+threads and the batch engine's pool processes, which re-bind the id —
+grep together from one JSONL file.  Unbound (the CLI, tests, library
+use), records simply omit the key.
 """
 
 from __future__ import annotations
@@ -45,6 +53,9 @@ __all__ = [
     "disable",
     "tracing",
     "active_sinks",
+    "current_request_id",
+    "set_request_id",
+    "request_context",
 ]
 
 
@@ -91,7 +102,7 @@ class Span:
 
     def to_dict(self) -> dict:
         """The JSON-lines record shape for this span."""
-        return {
+        record = {
             "name": self.name,
             "start": self.start_time,
             "dur_ms": self.duration_s * 1000.0,
@@ -99,6 +110,10 @@ class Span:
             "thread": threading.get_ident(),
             "attrs": dict(self.attrs),
         }
+        request_id = getattr(_tls, "request_id", None)
+        if request_id is not None:
+            record["request_id"] = request_id
+        return record
 
 
 class _NoopSpan:
@@ -132,6 +147,37 @@ def _span_stack() -> list[Span]:
         stack = []
         _tls.stack = stack
     return stack
+
+
+def current_request_id() -> str | None:
+    """The request id bound to this thread, or ``None``."""
+    return getattr(_tls, "request_id", None)
+
+
+def set_request_id(request_id: str | None) -> None:
+    """Bind (or with ``None``, clear) this thread's request id.
+
+    Prefer the scoped :func:`request_context` where the work has clear
+    boundaries; this raw form exists for places that cannot wrap a block
+    — pool worker initializers bind the id for the worker's lifetime.
+    """
+    _tls.request_id = request_id
+
+
+@contextmanager
+def request_context(request_id: str | None) -> Iterator[str | None]:
+    """Bind ``request_id`` to this thread for the duration of the block.
+
+    Restores whatever was bound before on exit, so nested service calls
+    (or a request handled inline on an already-bound thread) unwind
+    correctly.  ``None`` passes through as a no-op binding.
+    """
+    previous = getattr(_tls, "request_id", None)
+    _tls.request_id = request_id
+    try:
+        yield request_id
+    finally:
+        _tls.request_id = previous
 
 
 def span(name: str, **attrs: object):  # type: ignore[no-untyped-def]

@@ -23,6 +23,13 @@ Endpoints: ``POST /v1/check``, ``POST /v1/matrix``, ``POST /v1/schedule``,
 ``"unknown"`` with a machine-readable ``reason`` and HTTP 200 — a slow
 decision is an answer, not a server error.
 
+Operationally, every request is correlated end-to-end by a request id
+(client-supplied ``X-Request-Id`` or server-minted, echoed in body and
+header, present in spans/access-log/degraded reasons), ``GET /metrics``
+content-negotiates between the JSON snapshot and Prometheus text
+exposition, and ``--access-log`` writes one JSONL record per request
+that ``repro report`` aggregates into latency/hit-rate tables.
+
 In-process use (tests, notebooks, the demo)::
 
     from repro.service import ConflictService, ServiceClient, ServiceConfig

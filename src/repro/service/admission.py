@@ -20,16 +20,27 @@ Admission is a promise: once :meth:`AdmissionController.submit` returns
 a job, that job *will* be executed — :meth:`close` only rejects new
 submissions, and :meth:`join` blocks until everything admitted has run.
 The drain path relies on exactly this ordering.
+
+Each job carries the request id it was admitted under: the worker thread
+re-binds it (:func:`repro.obs.trace.request_context`) around execution,
+so spans emitted from the decision — and from any pool workers the
+decision fans out to — correlate with the HTTP request even though the
+work runs threads away from the handler.  Jobs also timestamp admission,
+start, and finish, which is where the access log's ``queue_wait_ms`` and
+execution timings come from, and which feed the
+``service.queue_wait_ms`` / ``service.exec_ms`` histograms.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Callable
 
 from repro.errors import ServiceDraining, ServiceOverloaded
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import request_context
 
 __all__ = ["AdmissionController", "Job"]
 
@@ -38,23 +49,61 @@ _STOP = object()
 
 
 class Job:
-    """One admitted unit of work: a thunk, its outcome, and a done event."""
+    """One admitted unit of work: a thunk, its outcome, and a done event.
 
-    __slots__ = ("_fn", "_done", "result", "error")
+    ``queued_at``/``started_at``/``finished_at`` are ``perf_counter``
+    stamps set at admission, at worker pickup, and at completion;
+    :attr:`queue_wait_s` and :attr:`exec_s` derive the two latencies the
+    access log and the admission histograms report.
+    """
 
-    def __init__(self, fn: Callable[[], object]) -> None:
+    __slots__ = (
+        "_fn",
+        "_done",
+        "result",
+        "error",
+        "request_id",
+        "queued_at",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(
+        self, fn: Callable[[], object], request_id: str | None = None
+    ) -> None:
         self._fn = fn
         self._done = threading.Event()
         self.result: object = None
         self.error: BaseException | None = None
+        self.request_id = request_id
+        self.queued_at = time.perf_counter()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
 
     def run(self) -> None:
+        self.started_at = time.perf_counter()
         try:
-            self.result = self._fn()
+            with request_context(self.request_id):
+                self.result = self._fn()
         except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
             self.error = exc
         finally:
+            self.finished_at = time.perf_counter()
             self._done.set()
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.queued_at
+
+    @property
+    def exec_s(self) -> float | None:
+        """Seconds the job spent executing (None until finished)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
 
     def wait(self, timeout: float | None = None) -> object:
         """Block until the job ran; return its result or re-raise its error."""
@@ -96,8 +145,15 @@ class AdmissionController:
             thread.start()
             self._threads.append(thread)
 
-    def submit(self, fn: Callable[[], object]) -> Job:
+    def submit(
+        self,
+        fn: Callable[[], object],
+        request_id: str | None = None,
+    ) -> Job:
         """Admit ``fn`` for execution, or reject without blocking.
+
+        ``request_id`` (if any) is re-bound around the job's execution on
+        the worker thread, so downstream spans stay correlated.
 
         Raises:
             ServiceDraining: the controller is closed (drain in progress).
@@ -106,7 +162,7 @@ class AdmissionController:
         if self._closed:
             self._registry.inc("service.rejected_total", reason="draining")
             raise ServiceDraining("service is draining; not accepting work")
-        job = Job(fn)
+        job = Job(fn, request_id=request_id)
         try:
             self._queue.put_nowait(job)
         except queue.Full:
@@ -118,9 +174,11 @@ class AdmissionController:
         self._registry.set_gauge("service.queue_depth", self._queue.qsize())
         return job
 
-    def run(self, fn: Callable[[], object]) -> object:
+    def run(
+        self, fn: Callable[[], object], request_id: str | None = None
+    ) -> object:
         """Submit ``fn`` and block for its outcome (the handler-thread path)."""
-        return self.submit(fn).wait()
+        return self.submit(fn, request_id=request_id).wait()
 
     def close(self) -> None:
         """Stop admitting new work; already-admitted jobs still run."""
@@ -156,5 +214,15 @@ class AdmissionController:
                     "service.queue_depth", self._queue.qsize()
                 )
                 item.run()
+                queue_wait = item.queue_wait_s
+                if queue_wait is not None:
+                    self._registry.observe(
+                        "service.queue_wait_ms", queue_wait * 1000.0
+                    )
+                exec_s = item.exec_s
+                if exec_s is not None:
+                    self._registry.observe(
+                        "service.exec_ms", exec_s * 1000.0
+                    )
             finally:
                 self._queue.task_done()

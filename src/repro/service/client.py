@@ -17,6 +17,14 @@ Server-side rejections come back as the matching exception:
 :class:`~repro.errors.ServiceDraining` (503),
 :class:`~repro.errors.ServiceProtocolError` (400), and
 :class:`~repro.errors.ServiceError` for anything else non-2xx.
+
+**Request correlation**: construct with ``ServiceClient(request_id=...)``
+to stamp every request from this client with one id, or pass
+``request_id=`` per call to tag a single request.  The id travels as the
+``X-Request-Id`` header, comes back in the response body and header, and
+shows up in the server's spans, access log, and degraded-verdict notes —
+so "why was *my* request slow/degraded?" is a grep, not an archaeology
+dig.  Clients that don't pass one get a server-minted id back.
 """
 
 from __future__ import annotations
@@ -59,10 +67,12 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         host: str = "127.0.0.1",
         timeout: float = 60.0,
+        request_id: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.request_id = request_id
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -79,13 +89,16 @@ class ServiceClient:
         deadline_ms: float | None = None,
         max_steps: int | None = None,
         witness: bool = False,
+        request_id: str | None = None,
     ) -> dict:
         """``POST /v1/check``: decide one pair; returns the verdict payload."""
         body: dict = {"first": _spec(first), "second": _spec(second)}
         self._knobs(body, kind, budget, deadline_ms, max_steps)
         if witness:
             body["witness"] = True
-        return self._request("POST", "/v1/check", body)
+        return self._request(
+            "POST", "/v1/check", body, request_id=request_id
+        )
 
     def matrix(self, ops: Mapping[str, OpLike], **knobs) -> dict:
         """``POST /v1/matrix``: decide every pair of a named catalogue."""
@@ -100,8 +113,14 @@ class ServiceClient:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        """``GET /metrics``: the server's merged metrics snapshot."""
+        """``GET /metrics``: the server's merged metrics snapshot (JSON)."""
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` in Prometheus text exposition form."""
+        return self._request_text(
+            "GET", "/metrics", accept="text/plain; version=0.0.4"
+        )
 
     def _catalogue_request(
         self, path: str, ops: Mapping[str, OpLike], knobs: dict
@@ -114,11 +133,12 @@ class ServiceClient:
             knobs.pop("deadline_ms", None),
             knobs.pop("max_steps", None),
         )
+        request_id = knobs.pop("request_id", None)
         if knobs:
             raise ServiceProtocolError(
                 f"unknown request option(s): {', '.join(sorted(knobs))}"
             )
-        return self._request("POST", path, body)
+        return self._request("POST", path, body, request_id=request_id)
 
     @staticmethod
     def _knobs(body, kind, budget, deadline_ms, max_steps) -> None:
@@ -150,9 +170,13 @@ class ServiceClient:
             self._conn = conn
         return self._conn
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
-        payload = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if payload else {}
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        payload: bytes | None,
+        headers: dict[str, str],
+    ) -> tuple[http.client.HTTPResponse, bytes]:
         # One transparent retry after reconnecting: the server (or an
         # intermediary) may have closed the idle keep-alive connection.
         for attempt in (0, 1):
@@ -160,8 +184,7 @@ class ServiceClient:
                 conn = self._connection()
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
-                data = response.read()
-                break
+                return response, response.read()
             except (
                 http.client.RemoteDisconnected,
                 http.client.CannotSendRequest,
@@ -176,6 +199,30 @@ class ServiceClient:
                 raise ServiceError(
                     f"cannot reach service at {self.host}:{self.port}: {exc}"
                 ) from exc
+        raise ServiceError("unreachable")  # pragma: no cover
+
+    def _headers(
+        self, payload: bytes | None, request_id: str | None
+    ) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        rid = request_id if request_id is not None else self.request_id
+        if rid is not None:
+            headers["X-Request-Id"] = rid
+        return headers
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        request_id: str | None = None,
+    ) -> dict:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        response, data = self._roundtrip(
+            method, path, payload, self._headers(payload, request_id)
+        )
         try:
             result = json.loads(data) if data else {}
         except json.JSONDecodeError as exc:
@@ -192,6 +239,22 @@ class ServiceClient:
         if response.status == 400:
             raise ServiceProtocolError(message)
         raise ServiceError(f"HTTP {response.status}: {message}")
+
+    def _request_text(
+        self,
+        method: str,
+        path: str,
+        accept: str,
+        request_id: str | None = None,
+    ) -> str:
+        headers = self._headers(None, request_id)
+        headers["Accept"] = accept
+        response, data = self._roundtrip(method, path, None, headers)
+        if response.status >= 400:
+            raise ServiceError(
+                f"HTTP {response.status}: {data[:200].decode('utf-8', 'replace')}"
+            )
+        return data.decode("utf-8")
 
     def close(self) -> None:
         """Drop the underlying connection (reopened lazily on next use)."""

@@ -52,6 +52,17 @@ class ServiceConfig:
             an idle keep-alive connection pins a handler thread.
         log_requests: emit the default ``BaseHTTPRequestHandler`` access
             log lines to stderr (quiet by default).
+        access_log_path: structured JSONL access/decision log (the CLI's
+            ``--access-log``).  One record per request — request id,
+            route, status, verdict, cache hit, queue wait, phase timings,
+            outcome — appended through a :class:`~repro.obs.sinks.JsonlSink`
+            and closed on drain.  ``None`` disables it.
+        max_metrics_bytes: response-size cap for ``GET /metrics``.  The
+            Prometheus text form is truncated at the last complete line
+            (with a trailing marker comment) when it would exceed this;
+            an oversized JSON form is replaced with an error body.  The
+            introspection routes answer inline on the listener thread,
+            so an unbounded response is a drain/latency hazard.
     """
 
     host: str = "127.0.0.1"
@@ -67,6 +78,8 @@ class ServiceConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     request_timeout_s: float = 30.0
     log_requests: bool = False
+    access_log_path: str | None = None
+    max_metrics_bytes: int = 4 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -85,4 +98,9 @@ class ServiceConfig:
         if self.decide_retries < 0:
             raise ServiceError(
                 f"decide_retries must be >= 0, got {self.decide_retries}"
+            )
+        if self.max_metrics_bytes < 1024:
+            raise ServiceError(
+                "max_metrics_bytes must be >= 1024, got "
+                f"{self.max_metrics_bytes}"
             )

@@ -17,6 +17,8 @@ daemon's 400s are read by people debugging someone else's client.
 
 from __future__ import annotations
 
+import re
+import uuid
 from collections.abc import Mapping
 
 from repro.conflicts.detector import DetectorConfig
@@ -29,7 +31,35 @@ __all__ = [
     "op_to_spec",
     "catalogue_from_specs",
     "detector_config_from",
+    "mint_request_id",
+    "normalize_request_id",
 ]
+
+#: The alphabet a client-supplied request id may use.  Tight on purpose:
+#: the id is echoed into span records, access-log lines, Prometheus-free
+#: response bodies and error reasons, so control characters, quotes and
+#: whitespace have no business in it.
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9._:/\-]{1,128}$")
+
+
+def mint_request_id() -> str:
+    """A fresh server-side request id (when the client sent none)."""
+    return uuid.uuid4().hex[:12]
+
+
+def normalize_request_id(raw: object) -> str | None:
+    """Validate a client-supplied request id; ``None`` when absent.
+
+    Raises :class:`ServiceProtocolError` on a present-but-malformed id —
+    a silent rewrite would break the client's own correlation.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, str) and _REQUEST_ID_OK.match(raw):
+        return raw
+    raise ServiceProtocolError(
+        "request id must be 1-128 characters of [A-Za-z0-9._:/-]"
+    )
 
 #: Any of the three operation types the engine decides over.
 Operation = Read | UpdateOp

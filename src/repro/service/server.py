@@ -8,6 +8,28 @@ every *decision* route is executed through the
 thread blocks on its admitted job while a bounded worker pool does the
 CPU work.  ``GET /healthz`` and ``GET /metrics`` are answered inline,
 never queued: they must keep working precisely when the queue is full.
+They are still instrumented (their own ``service.requests_total`` route
+label and a ``service.http`` span), and ``/metrics`` responses are
+size-capped — inline must never mean invisible or unbounded.
+
+Every request carries a **request id**: client-supplied via the
+``X-Request-Id`` header (or a ``request_id`` body field), else minted by
+the server.  The id is echoed in the ``X-Request-Id`` response header
+and the JSON body, bound as the thread's tracing request context for the
+duration of handling (so every span — including those from admission
+workers and batch pool processes — carries it), stamped into the access
+log, and appended to degraded-verdict notes.
+
+``GET /metrics`` is content-negotiated: the default stays the JSON
+snapshot shape this repo's own tooling reads, while ``Accept:
+text/plain`` (or ``application/openmetrics-text``) yields Prometheus
+text exposition 0.0.4 rendered from the very same registry snapshot —
+the p50/p95/p99 a dashboard computes are the ones ``repro report`` and
+``bench_serve.py`` compute.
+
+With ``access_log_path`` set (``repro serve --access-log``), every
+request appends one JSONL record: id, route, status, verdict, cache
+hit/miss, queue wait, execution and total timings, and outcome.
 
 Status codes are part of the API contract (``docs/SERVICE.md``):
 
@@ -31,6 +53,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import (
@@ -41,8 +64,13 @@ from repro.errors import (
     ServiceProtocolError,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.sinks import JsonlSink
+from repro.obs.trace import request_context, span
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
+from repro.service.protocol import mint_request_id, normalize_request_id
 from repro.service.state import ServiceState
 
 __all__ = ["ConflictService"]
@@ -73,13 +101,105 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
         if self.path == "/healthz":
-            self._send(200, service.state.health(draining=service.draining))
+            self._serve_introspection("healthz")
         elif self.path == "/metrics":
-            self._send(200, service.state.metrics_snapshot())
+            self._serve_introspection("metrics")
         elif self.path in _POST_ROUTES:
             self._send(405, {"error": f"{self.path} requires POST"})
         else:
             self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def _serve_introspection(self, route: str) -> None:
+        """``/healthz`` and ``/metrics``: inline, but instrumented.
+
+        These routes bypass admission by design (they must answer while
+        the queue is full), which historically also meant they bypassed
+        telemetry entirely — no counter, no span, no access-log record.
+        A scrape storm was invisible to the thing being scraped.
+        """
+        service = self.server.service
+        started = time.perf_counter()
+        try:
+            request_id = normalize_request_id(
+                self.headers.get("X-Request-Id")
+            )
+        except ServiceProtocolError as exc:
+            self._send(400, {"error": str(exc)})
+            return
+        service.state.registry.inc("service.requests_total", route=route)
+        status = 200
+        with request_context(request_id):
+            with span("service.http", route=route, method="GET") as sp:
+                if route == "healthz":
+                    self._send(
+                        200,
+                        service.state.health(draining=service.draining),
+                        request_id=request_id,
+                    )
+                else:
+                    status = self._send_metrics(request_id)
+                sp.set("status", status)
+        total_ms = (time.perf_counter() - started) * 1000.0
+        service.state.registry.observe(
+            "service.request_ms", total_ms, route=route
+        )
+        service.log_access(
+            {
+                "type": "access",
+                "ts": time.time(),
+                "request_id": request_id,
+                "method": "GET",
+                "route": route,
+                "status": status,
+                "total_ms": total_ms,
+                "outcome": "ok" if status < 400 else "error",
+            }
+        )
+
+    def _send_metrics(self, request_id: str | None) -> int:
+        """``GET /metrics`` with content negotiation and a size cap."""
+        service = self.server.service
+        snapshot = service.state.metrics_snapshot()
+        cap = service.config.max_metrics_bytes
+        accept = self.headers.get("Accept", "")
+        if "text/plain" in accept or "openmetrics" in accept:
+            gauges = dict(snapshot.get("gauges", {}))
+            # The JSON form's top-level convenience fields become plain
+            # gauges in the exposition — scrapers have no "extra keys".
+            gauges["service.uptime_s"] = snapshot.get("uptime_s", 0.0)
+            gauges["service.cache_entries"] = snapshot.get("cache_entries", 0)
+            body = render_prometheus(
+                {
+                    "counters": snapshot.get("counters", {}),
+                    "gauges": gauges,
+                    "histograms": snapshot.get("histograms", {}),
+                }
+            ).encode("utf-8")
+            if len(body) > cap:
+                cut = body[:cap].rfind(b"\n")
+                body = (
+                    body[: cut + 1]
+                    + b"# repro: exposition truncated at max_metrics_bytes\n"
+                )
+            self._send_raw(
+                200, body, PROMETHEUS_CONTENT_TYPE, request_id=request_id
+            )
+            return 200
+        body = json.dumps(snapshot).encode("utf-8")
+        if len(body) > cap:
+            self._send(
+                500,
+                {
+                    "error": (
+                        "metrics snapshot exceeds max_metrics_bytes "
+                        f"({cap}); scrape the Prometheus form or raise the cap"
+                    )
+                },
+                request_id=request_id,
+            )
+            return 500
+        self._send_raw(200, body, "application/json", request_id=request_id)
+        return 200
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
@@ -90,28 +210,95 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send(404, {"error": f"unknown path {self.path!r}"})
             return
+        started = time.perf_counter()
         payload = self._read_json()
         if payload is None:
             return  # error response already sent
-        service.state.registry.inc(
-            "service.requests_total", route=self.path.rsplit("/", 1)[-1]
-        )
-        service.begin_request()
         try:
-            handler = getattr(service.state, route)
-            result = service.admission.run(lambda: handler(payload))
-            self._send(200, result)
-        except ServiceOverloaded as exc:
-            self._send(429, {"error": str(exc)}, retry_after=True)
-        except ServiceDraining as exc:
-            self._send(503, {"error": str(exc)})
+            request_id = normalize_request_id(
+                self.headers.get("X-Request-Id") or payload.get("request_id")
+            )
         except ServiceProtocolError as exc:
             self._send(400, {"error": str(exc)})
-        except ReproError as exc:
-            # Bad operands (XPath syntax, illegal delete-at-root, ...)
-            # are the client's error even though the engine raised them.
-            self._send(400, {"error": str(exc)})
+            return
+        if request_id is None:
+            request_id = mint_request_id()
+        service.state.registry.inc("service.requests_total", route=route)
+        service.begin_request()
+        status = 200
+        outcome = "ok"
+        result: dict | None = None
+        job = None
+        try:
+            with request_context(request_id):
+                with span("service.http", route=route, method="POST") as sp:
+                    try:
+                        handler = getattr(service.state, route)
+                        job = service.admission.submit(
+                            lambda: handler(payload, request_id=request_id),
+                            request_id=request_id,
+                        )
+                        result = job.wait()
+                        self._send(200, result, request_id=request_id)
+                    except ServiceOverloaded as exc:
+                        status, outcome = 429, "overloaded"
+                        self._send(
+                            429,
+                            {"error": str(exc), "request_id": request_id},
+                            retry_after=True,
+                            request_id=request_id,
+                        )
+                    except ServiceDraining as exc:
+                        status, outcome = 503, "draining"
+                        self._send(
+                            503,
+                            {"error": str(exc), "request_id": request_id},
+                            request_id=request_id,
+                        )
+                    except ServiceProtocolError as exc:
+                        status, outcome = 400, "bad_request"
+                        self._send(
+                            400,
+                            {"error": str(exc), "request_id": request_id},
+                            request_id=request_id,
+                        )
+                    except ReproError as exc:
+                        # Bad operands (XPath syntax, illegal delete-at-
+                        # root, ...) are the client's error even though
+                        # the engine raised them.
+                        status, outcome = 400, "bad_request"
+                        self._send(
+                            400,
+                            {"error": str(exc), "request_id": request_id},
+                            request_id=request_id,
+                        )
+                    sp.set("status", status)
         finally:
+            total_ms = (time.perf_counter() - started) * 1000.0
+            service.state.registry.observe(
+                "service.request_ms", total_ms, route=route
+            )
+            record = {
+                "type": "access",
+                "ts": time.time(),
+                "request_id": request_id,
+                "method": "POST",
+                "route": route,
+                "status": status,
+                "total_ms": total_ms,
+                "outcome": outcome,
+            }
+            if isinstance(result, dict):
+                record["verdict"] = result.get("verdict")
+                record["cached"] = result.get("cached")
+                record["reason"] = result.get("reason")
+                record["degraded"] = bool(result.get("degraded"))
+            if job is not None:
+                if job.queue_wait_s is not None:
+                    record["queue_wait_ms"] = job.queue_wait_s * 1000.0
+                if job.exec_s is not None:
+                    record["decide_ms"] = job.exec_s * 1000.0
+            service.log_access(record)
             service.end_request()
 
     # ------------------------------------------------------------------
@@ -143,13 +330,36 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return payload
 
-    def _send(self, status: int, payload: dict, retry_after: bool = False) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: bool = False,
+        request_id: str | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         if retry_after:
             self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        request_id: str | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -203,6 +413,7 @@ class ConflictService:
         self._drained = False
         self._inflight = 0
         self._inflight_cv = threading.Condition()
+        self._access_sink: JsonlSink | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -217,6 +428,8 @@ class ConflictService:
         )
         httpd.service = self
         self._httpd = httpd
+        if self.config.access_log_path:
+            self._access_sink = JsonlSink(self.config.access_log_path)
         self.admission.start()
         if self.config.cache_path:
             self._snapshot_thread = threading.Thread(
@@ -280,6 +493,18 @@ class ConflictService:
                 self._serve_thread.join(timeout=5.0)
             if snapshot:
                 self.state.maybe_snapshot(force=True)
+            if self._access_sink is not None:
+                self._access_sink.close()
+
+    def log_access(self, record: dict) -> None:
+        """Append one access-log record (no-op without ``--access-log``).
+
+        Emission after drain is dropped by the sink's own closed check —
+        a handler thread racing drain must not crash writing its record.
+        """
+        sink = self._access_sink
+        if sink is not None:
+            sink.emit(record)
 
     # ------------------------------------------------------------------
     # In-flight tracking (handler threads call these around POST work)

@@ -74,7 +74,7 @@ class ServiceState:
     # Decisions (run on admission-controller worker threads)
     # ------------------------------------------------------------------
 
-    def check(self, payload: Mapping) -> dict:
+    def check(self, payload: Mapping, request_id: str | None = None) -> dict:
         """Decide one pair: ``POST /v1/check``."""
         if "first" not in payload or "second" not in payload:
             raise ServiceProtocolError(
@@ -90,6 +90,7 @@ class ServiceState:
                 verdict=Verdict.NO_CONFLICT.value,
                 kind=config.kind.value,
                 method="read-read-trivial",
+                request_id=request_id,
             )
         key = VerdictCache.pair_key(config.fingerprint(), canon_a, canon_b)
         hit = self.cache.get(key)
@@ -100,9 +101,12 @@ class ServiceState:
                 kind=config.kind.value,
                 method="verdict-cache",
                 cached=True,
+                request_id=request_id,
             )
         self.registry.inc("service.verdict_cache_misses")
-        report = self._decide(first, second, config, canon_a, canon_b)
+        report = self._decide(
+            first, second, config, canon_a, canon_b, request_id=request_id
+        )
         if report.reason is None:
             self.cache.put(key, report.verdict)
             self.registry.set_gauge("service.cache_entries", len(self.cache))
@@ -119,23 +123,26 @@ class ServiceState:
             reason=report.reason,
             notes=list(report.notes),
             witness=witness,
+            request_id=request_id,
         )
 
-    def matrix(self, payload: Mapping) -> dict:
+    def matrix(self, payload: Mapping, request_id: str | None = None) -> dict:
         """Decide a whole catalogue: ``POST /v1/matrix``."""
         analyzer, matrix = self._analyze(payload)
         return {
             "command": "matrix",
+            "request_id": request_id,
             **matrix.to_dict(),
             "quarantine": analyzer.quarantine,
         }
 
-    def schedule(self, payload: Mapping) -> dict:
+    def schedule(self, payload: Mapping, request_id: str | None = None) -> dict:
         """Catalogue → interference-free phases: ``POST /v1/schedule``."""
         analyzer, matrix = self._analyze(payload)
         batches = analyzer.schedule()
         return {
             "command": "schedule",
+            "request_id": request_id,
             "batches": batches,
             "quarantine": analyzer.quarantine,
             "stats": {
@@ -180,6 +187,7 @@ class ServiceState:
         config: DetectorConfig,
         canon_a: CanonicalOp,
         canon_b: CanonicalOp,
+        request_id: str | None = None,
     ) -> ConflictReport:
         """One pair decision with in-service crash retry.
 
@@ -204,11 +212,17 @@ class ServiceState:
                 last_error = exc
                 self.registry.inc("service.decide_crashes")
         self.registry.inc("service.decisions_degraded", reason="worker_crash")
+        notes = [f"decision crashed {type(last_error).__name__}: {last_error}"]
+        if request_id is not None:
+            # The degraded verdict must be traceable back to the request
+            # that hit it even when the report is read out of context
+            # (batch quarantine listings, access-log grep, bug reports).
+            notes.append(f"request_id={request_id}")
         return ConflictReport(
             verdict=Verdict.UNKNOWN,
             kind=config.kind,
             method="degraded",
-            notes=[f"decision crashed {type(last_error).__name__}: {last_error}"],
+            notes=notes,
             reason="worker_crash",
         )
 
@@ -222,9 +236,11 @@ class ServiceState:
         notes: list[str] | None = None,
         witness: dict | None = None,
         cached: bool = False,
+        request_id: str | None = None,
     ) -> dict:
         return {
             "command": "check",
+            "request_id": request_id,
             "verdict": verdict,
             "kind": kind,
             "method": method,

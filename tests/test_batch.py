@@ -232,6 +232,25 @@ class TestParallelEquivalence:
         assert any(k.startswith("batch.worker_pairs{") for k in counters)
         assert analyzer.metrics()["gauges"]["batch.workers_used"] >= 1
 
+    def test_parallel_worker_histograms_absorbed(self):
+        """Workers ship bucket-exact histogram deltas; the parent's
+        ``conflict.decide_ms`` distribution covers pool-decided pairs."""
+        analyzer = BatchAnalyzer(jobs=2)
+        analyzer.analyze(OPERATIONS)
+        metrics = analyzer.metrics()
+        if metrics["counters"].get("batch.pool_failures"):
+            pytest.skip("process pool unavailable in this environment")
+        decide = {
+            k: v for k, v in metrics["histograms"].items()
+            if k.startswith("conflict.decide_ms{")
+        }
+        assert decide, "no decide-latency histograms crossed the pool"
+        total = sum(h["count"] for h in decide.values())
+        assert total >= BatchAnalyzer.MIN_PARALLEL_PAIRS
+        for hist in decide.values():
+            assert sum(hist["buckets"].values()) == hist["count"]
+            assert hist["p50"] is not None
+
     @pytest.mark.parametrize("seed", range(4))
     def test_parallel_matches_serial_property(self, seed):
         """Identical verdict matrices, serial vs parallel, for every seed."""

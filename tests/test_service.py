@@ -19,8 +19,10 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.conflicts.batch import BatchAnalyzer
 from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.obs.prometheus import validate_exposition
 from repro.errors import (
     CacheCorruptWarning,
     ServiceError,
@@ -468,3 +470,168 @@ class TestServeSubprocess:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Request correlation
+# ----------------------------------------------------------------------
+
+class TestRequestCorrelation:
+    def test_client_id_reaches_body_spans_and_access_log(self, tmp_path):
+        """The acceptance path: one client-supplied id shows up in the
+        response body, the server's spans, and the access log."""
+        access_path = str(tmp_path / "access.jsonl")
+        ring = obs.RingBufferSink(capacity=10_000)
+        obs.enable(ring)
+        service = make_service(access_log_path=access_path)
+        try:
+            with ServiceClient(port=service.port, request_id="cli-abc.1") as c:
+                result = c.check(
+                    {"op": "read", "xpath": "bib/book/title"},
+                    {"op": "delete", "xpath": "bib/book"},
+                )
+                assert result["request_id"] == "cli-abc.1"
+                c.healthz()
+        finally:
+            service.drain(snapshot=False)
+            obs.disable()
+        tagged = [
+            r for r in ring.spans() if r.get("request_id") == "cli-abc.1"
+        ]
+        names = {r["name"] for r in tagged}
+        assert "service.http" in names        # handler thread
+        assert "detector.dispatch" in names   # admission worker thread
+        records = [json.loads(line) for line in open(access_path)]
+        (check_rec,) = [r for r in records if r["route"] == "check"]
+        assert check_rec["request_id"] == "cli-abc.1"
+        assert check_rec["status"] == 200
+        assert check_rec["outcome"] == "ok"
+        assert check_rec["verdict"] in ("conflict", "no-conflict", "unknown")
+        assert check_rec["cached"] is False
+        assert check_rec["queue_wait_ms"] >= 0.0
+        assert check_rec["decide_ms"] >= 0.0
+        assert check_rec["total_ms"] >= check_rec["decide_ms"]
+        assert any(
+            r["route"] == "healthz" and r["method"] == "GET" for r in records
+        )
+
+    def test_server_mints_id_when_absent(self, client):
+        result = client.check(
+            {"op": "read", "xpath": "mint/a/b"},
+            {"op": "delete", "xpath": "mint/a"},
+        )
+        assert re.fullmatch(r"[0-9a-f]{12}", result["request_id"])
+
+    def test_per_call_id_beats_client_default(self, service):
+        first = {"op": "read", "xpath": "beat/a/b"}
+        second = {"op": "delete", "xpath": "beat/a"}
+        with ServiceClient(port=service.port, request_id="default-id") as c:
+            assert c.check(first, second, request_id="override-id")[
+                "request_id"
+            ] == "override-id"
+            assert c.check(first, second)["request_id"] == "default-id"
+
+    def test_degraded_verdict_still_carries_the_id(self, client):
+        result = client.check(
+            Read("deg/pair/x"), Delete("deg/pair"),
+            deadline_ms=0, request_id="deg-1",
+        )
+        assert result["degraded"] is True
+        assert result["request_id"] == "deg-1"
+
+    def test_malformed_id_is_rejected_not_rewritten(self, client):
+        with pytest.raises(ServiceProtocolError, match="request id"):
+            client.check(
+                {"op": "read", "xpath": "a/b"},
+                {"op": "delete", "xpath": "a"},
+                request_id="bad id!",
+            )
+
+    def test_malformed_header_on_get_is_400(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=10)
+        try:
+            conn.request("GET", "/healthz", headers={"X-Request-Id": "bad id!"})
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# /metrics content negotiation, introspection telemetry, size cap
+# ----------------------------------------------------------------------
+
+class TestMetricsExposition:
+    def test_json_remains_the_default(self, client):
+        snap = client.metrics()
+        assert "counters" in snap and "histograms" in snap
+        assert "uptime_s" in snap
+
+    def test_prometheus_text_is_negotiated_and_valid(self, client):
+        client.check(
+            {"op": "read", "xpath": "expo/a/b"},
+            {"op": "delete", "xpath": "expo/a"},
+        )
+        text = client.metrics_text()
+        assert validate_exposition(text) == []
+        assert "service_requests_total" in text
+        assert "service_request_ms_bucket" in text
+        assert 'le="+Inf"' in text
+        # The JSON form's convenience fields become plain gauges.
+        assert "service_uptime_s" in text
+
+    def test_openmetrics_accept_also_yields_text(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=10)
+        try:
+            conn.request(
+                "GET", "/metrics",
+                headers={"Accept": "application/openmetrics-text"},
+            )
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert validate_exposition(body) == []
+        finally:
+            conn.close()
+
+    def test_introspection_routes_are_instrumented(self, client):
+        client.healthz()
+        snap = client.metrics()
+        counters = snap["counters"]
+        assert counters.get("service.requests_total{route=healthz}", 0) >= 1
+        assert counters.get("service.requests_total{route=metrics}", 0) >= 1
+        assert "service.request_ms{route=healthz}" in snap["histograms"]
+
+
+class TestMetricsSizeCap:
+    def test_config_rejects_tiny_cap(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_metrics_bytes=10)
+
+    def test_json_over_cap_is_500_and_prometheus_truncates(self):
+        service = make_service(max_metrics_bytes=1024)
+        try:
+            with ServiceClient(port=service.port) as c:
+                for index in range(6):
+                    c.check(
+                        {"op": "read", "xpath": f"cap/s{index}/x"},
+                        {"op": "delete", "xpath": f"cap/s{index}"},
+                    )
+                with pytest.raises(ServiceError, match="max_metrics_bytes"):
+                    c.metrics()
+                text = c.metrics_text()
+                assert text.endswith(
+                    "# repro: exposition truncated at max_metrics_bytes\n"
+                )
+                # The cut lands on a line boundary: every retained sample
+                # line still parses as "name{labels} value".
+                for line in text.splitlines():
+                    assert not line or line.startswith("#") or " " in line
+        finally:
+            service.drain(snapshot=False)
