@@ -91,11 +91,15 @@ def main() -> None:
     # ------------------------------------------------------------------
     # A parallel execution plan for the whole catalogue of operations
     # ------------------------------------------------------------------
-    from repro.conflicts import parallel_schedule
+    from repro import AnalysisConfig, analyze
 
     catalogue = {name: Read(path) for name, path in REPORTS.items()}
     catalogue.update(MAINTENANCE)
-    batches = parallel_schedule(catalogue, detector)
+    batches = analyze(
+        catalogue,
+        mode="schedule",
+        config=AnalysisConfig(detector=detector.config),
+    )
     print("\nparallel execution plan (each batch is interference-free):")
     for index, batch in enumerate(batches, start=1):
         print(f"  phase {index}: {', '.join(batch)}")

@@ -17,20 +17,29 @@ Quick start::
     assert report.verdict is Verdict.CONFLICT
     print(report.witness.sketch())   # a concrete document showing it
 
-Whole catalogues (the Section 7 compiler question) go through the batch
-engine — one call decides every pair, with canonical-form dedup, a
-shareable verdict cache, and an optional worker pool::
+Whole catalogues (the Section 7 compiler question) go through one
+facade — :func:`repro.analyze` decides every pair, with a static pattern
+index that discharges provably-independent pairs in O(1), canonical-form
+dedup, a shareable verdict cache, and an optional worker pool::
 
-    from repro import BatchAnalyzer, Read, Insert, Delete
+    import repro
+    from repro import Read, Insert, Delete
 
-    analyzer = BatchAnalyzer(jobs=4)
-    matrix = analyzer.analyze({
+    ops = {
         "titles": Read("bib/book/title"),
         "restock": Insert("bib/book", "<restock/>"),
         "purge": Delete("bib/book"),
-    })
-    matrix.may_conflict("titles", "purge")    # True
-    analyzer.schedule()                        # interference-free phases
+    }
+    matrix = repro.analyze(ops)                      # ConflictMatrix
+    matrix.may_conflict("titles", "purge")           # True
+    matrix.discharge_reason("titles", "restock")     # how it was settled
+    repro.analyze(ops, mode="schedule")              # interference-free phases
+
+    config = repro.AnalysisConfig(jobs=4, index=True, containment=True)
+    repro.analyze(ops, config=config)
+
+Hold a :class:`BatchAnalyzer` directly when you need incremental
+maintenance (``add_op``/``remove_op``) or cache snapshots.
 
 Package map:
 
@@ -68,6 +77,7 @@ from repro.compile import (
     reset_global_compiler,
 )
 from repro.conflicts import (
+    AnalysisConfig,
     BatchAnalyzer,
     ConflictDetector,
     ConflictKind,
@@ -75,8 +85,11 @@ from repro.conflicts import (
     ConflictReport,
     DetectorConfig,
     Operation,
+    PatternIndex,
+    StaticProfile,
     Verdict,
     VerdictCache,
+    analyze,
     conflict_matrix,
     is_witness,
     minimize_witness,
@@ -92,6 +105,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "analyze",
+    "AnalysisConfig",
     "ConflictDetector",
     "DetectorConfig",
     "ConflictKind",
@@ -101,6 +116,8 @@ __all__ = [
     "VerdictCache",
     "Operation",
     "ConflictMatrix",
+    "PatternIndex",
+    "StaticProfile",
     "conflict_matrix",
     "parallel_schedule",
     "is_witness",

@@ -432,6 +432,15 @@ def _add_catalogue_args(parser: argparse.ArgumentParser) -> None:
         help="re-dispatches of a crashed/timed-out single-pair chunk before "
         "the pair is quarantined as UNKNOWN (default 2)",
     )
+    parser.add_argument(
+        "--no-index", action="store_true",
+        help="disable the static pattern index pre-pass (every non-trivial "
+        "pair goes through cache + decision procedure)",
+    )
+    parser.add_argument(
+        "--no-containment", action="store_true",
+        help="disable containment propagation across subsumed read patterns",
+    )
     _add_json_arg(parser)
 
 
@@ -590,7 +599,12 @@ def _make_analyzer(args: argparse.Namespace) -> BatchAnalyzer:
         **_compile_config_kwargs(args),
     )
     return BatchAnalyzer(
-        config, jobs=args.jobs, cache=cache, retries=args.retries
+        config,
+        jobs=args.jobs,
+        cache=cache,
+        retries=args.retries,
+        index=not args.no_index,
+        containment=not args.no_containment,
     )
 
 
@@ -598,7 +612,7 @@ def _matrix_exit(matrix) -> int:  # type: ignore[no-untyped-def]
     counts = matrix.counts()
     if counts[Verdict.CONFLICT.value]:
         return 1
-    if matrix.reasons:
+    if matrix.degraded_count():
         return EXIT_DEGRADED
     if counts[Verdict.UNKNOWN.value]:
         return 2
@@ -621,14 +635,28 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return _matrix_exit(matrix)
     counts = matrix.counts()
-    degraded = f", {len(matrix.reasons)} degraded" if matrix.reasons else ""
+    discharge = matrix.discharge_counts()
+    statically = discharge["index"] + discharge["containment"]
+    degraded_count = matrix.degraded_count()
+    degraded = f", {degraded_count} degraded" if degraded_count else ""
+    static = f", {statically} discharged statically" if statically else ""
     print(
-        f"{len(matrix.names)} operation(s), {len(matrix.verdicts)} pair(s): "
+        f"{len(matrix.names)} operation(s), {sum(counts.values())} pair(s): "
         f"{counts['conflict']} conflict, {counts['no-conflict']} compatible, "
-        f"{counts['unknown']} unknown{degraded}"
+        f"{counts['unknown']} unknown{degraded}{static}"
     )
     if args.render:
         print(matrix.render())
+    elif matrix.is_sparse:
+        for entry in matrix.to_dict()["verdicts"]:
+            if entry["verdict"] != Verdict.NO_CONFLICT.value:
+                suffix = (
+                    f" (degraded: {entry['reason']})" if entry["reason"] else ""
+                )
+                print(
+                    f"  {entry['first']} <-> {entry['second']}: "
+                    f"{entry['verdict']} (x{entry['multiplicity']}){suffix}"
+                )
     else:
         for (first, second), verdict in sorted(matrix.verdicts.items()):
             if verdict is not Verdict.NO_CONFLICT:
@@ -654,7 +682,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     # Degraded pairs are scheduled conservatively (UNKNOWN = may conflict),
     # so the batches are safe either way — but exit 3 tells callers some
     # separation may be unnecessary and a re-run could merge phases.
-    exit_code = EXIT_DEGRADED if matrix.reasons else 0
+    degraded_count = matrix.degraded_count()
+    exit_code = EXIT_DEGRADED if degraded_count else 0
     if args.json:
         payload = {
             "command": "schedule",
@@ -665,7 +694,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 "operations": len(catalogue),
                 "batches": len(batches),
                 "largest_batch": max((len(b) for b in batches), default=0),
-                "degraded": len(matrix.reasons),
+                "degraded": degraded_count,
             },
         }
         print(json.dumps(payload, indent=2))

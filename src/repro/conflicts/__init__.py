@@ -1,10 +1,17 @@
 """Conflict detection between XML update operations — the paper's core."""
 
+from repro.conflicts.api import AnalysisConfig, analyze
 from repro.conflicts.batch import (
     BatchAnalyzer,
     CanonicalOp,
     VerdictCache,
     reference_matrix,
+)
+from repro.conflicts.index import (
+    PatternIndex,
+    StaticProfile,
+    profile_pattern,
+    result_containment,
 )
 from repro.conflicts.complex import (
     detect_update_update,
@@ -69,9 +76,15 @@ from repro.conflicts.witness_min import (
 )
 
 __all__ = [
+    "analyze",
+    "AnalysisConfig",
     "ConflictDetector",
     "DetectorConfig",
     "BatchAnalyzer",
+    "PatternIndex",
+    "StaticProfile",
+    "profile_pattern",
+    "result_containment",
     "CanonicalOp",
     "VerdictCache",
     "reference_matrix",

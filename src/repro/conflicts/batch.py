@@ -60,7 +60,8 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.compile.compiler import CompiledArtifact, compiler_for_config
 from repro.conflicts.detector import ConflictDetector, DetectorConfig
-from repro.conflicts.semantics import Verdict
+from repro.conflicts.index import PatternIndex, StaticProfile, profile_pattern, result_containment
+from repro.conflicts.semantics import ConflictKind, Verdict
 from repro.errors import CacheCorrupt, CacheCorruptWarning, ConflictEngineError
 from repro.obs.metrics import MetricsRegistry, histogram_delta
 from repro.obs.trace import current_request_id, set_request_id
@@ -108,6 +109,11 @@ class CanonicalOp:
     pattern_key: str
     subtree_xml: str | None = None
     subtree_key: str | None = None
+    #: Static index keys, computed here — at construction time — so the
+    #: pattern index and the canonicalizer share one traversal instead of
+    #: recomputing trunk alphabets per pair inside the dedup loop.
+    #: Excluded from equality/hash: it is derived from ``pattern_key``.
+    profile: StaticProfile | None = field(default=None, compare=False)
 
     @classmethod
     def from_operation(cls, op: Operation) -> "CanonicalOp":
@@ -119,12 +125,14 @@ class CanonicalOp:
                 pattern_key=op.pattern.canonical_form(),
                 subtree_xml=serialize(op.subtree),
                 subtree_key=canonical_form(op.subtree),
+                profile=profile_pattern("Insert", op.pattern),
             )
         if isinstance(op, Read | Delete):
             return cls(
                 kind=type(op).__name__,
                 xpath=to_xpath(op.pattern),
                 pattern_key=op.pattern.canonical_form(),
+                profile=profile_pattern(type(op).__name__, op.pattern),
             )
         raise TypeError(f"not an operation: {type(op).__name__!r}")
 
@@ -384,16 +392,52 @@ class ConflictMatrix:
     stay conservatively sound — schedulers already treat ``UNKNOWN`` as
     may-conflict — but the reason lets callers distinguish "the theory ran
     out" from "the infrastructure gave up" and re-run the latter.
+
+    ``origins`` records *how* each pair got its verdict when it was not a
+    real engine decision: ``"trivial"`` (read/read), ``"cached"``,
+    ``"index:chain"``/``"index:depth"`` (static-index discharge), or
+    ``"containment:<parent>"`` (verdict propagated from a subsuming read).
+    Pairs absent from ``origins`` were decided by a decision procedure;
+    :meth:`discharge_reason` reports ``"decided"`` for them.
+
+    Above :attr:`BatchAnalyzer.DENSE_LIMIT` operations the per-name-pair
+    dicts would hold tens of millions of entries, so the analyzer switches
+    to *sparse* (grouped) storage: names are partitioned into canonical
+    equivalence groups and one verdict is stored per unordered group pair.
+    The query API (:meth:`verdict`, :meth:`reason`,
+    :meth:`discharge_reason`, :meth:`counts`, …) is identical in both
+    modes; only the raw ``verdicts`` dict stays empty in sparse mode.
     """
 
     names: list[str]
     verdicts: dict[tuple[str, str], Verdict] = field(default_factory=dict)
     reasons: dict[tuple[str, str], str] = field(default_factory=dict)
+    origins: dict[tuple[str, str], str] = field(default_factory=dict)
+    # Sparse (grouped) storage — populated instead of the dicts above when
+    # the catalogue is too large for per-name-pair materialization.
+    group_of: dict[str, int] | None = None
+    group_members: list[list[str]] | None = None
+    group_verdicts: dict[tuple[int, int], Verdict] | None = None
+    group_origins: dict[tuple[int, int], str] | None = None
+    group_reasons: dict[tuple[int, int], str] | None = None
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when verdicts are stored per canonical group pair."""
+        return self.group_of is not None
+
+    def _group_pair(self, first: str, second: str) -> tuple[int, int]:
+        assert self.group_of is not None
+        gi, gj = self.group_of[first], self.group_of[second]
+        return (gi, gj) if gi <= gj else (gj, gi)
 
     def verdict(self, first: str, second: str) -> Verdict:
         """The verdict for an unordered pair (symmetric)."""
         if first == second:
             return Verdict.NO_CONFLICT
+        if self.is_sparse:
+            assert self.group_verdicts is not None
+            return self.group_verdicts[self._group_pair(first, second)]
         key = (first, second) if (first, second) in self.verdicts else (second, first)
         return self.verdicts[key]
 
@@ -401,13 +445,119 @@ class ConflictMatrix:
         """The degradation reason for a pair, or ``None`` if fully decided."""
         if first == second:
             return None
+        if self.is_sparse:
+            assert self.group_reasons is not None
+            return self.group_reasons.get(self._group_pair(first, second))
         if (first, second) in self.reasons:
             return self.reasons[(first, second)]
         return self.reasons.get((second, first))
 
+    def discharge_reason(self, first: str, second: str) -> str:
+        """How the pair got its verdict without (or with) a decision.
+
+        One of ``"trivial"``, ``"cached"``, ``"index:chain"``,
+        ``"index:depth"``, ``"containment:<parent>"`` or ``"decided"``.
+        """
+        if first == second:
+            return "trivial"
+        if self.is_sparse:
+            assert self.group_verdicts is not None and self.group_origins is not None
+            pair = self._group_pair(first, second)
+            self.group_verdicts[pair]  # KeyError on unknown pairs
+            return self.group_origins.get(pair, "decided")
+        self.verdict(first, second)  # KeyError on unknown pairs
+        if (first, second) in self.origins:
+            return self.origins[(first, second)]
+        return self.origins.get((second, first), "decided")
+
+    def discharged_pairs(self) -> list[tuple[str, str, str]]:
+        """All pairs discharged without a decision procedure.
+
+        Entries are ``(first, second, reason)`` with reason
+        ``"index:*"`` or ``"containment:*"``.  In sparse mode this
+        expands group pairs to name pairs — use :meth:`discharge_counts`
+        when only the tallies are needed.
+        """
+        out: list[tuple[str, str, str]] = []
+        if self.is_sparse:
+            assert self.group_origins is not None and self.group_members is not None
+            for (gi, gj), origin in self.group_origins.items():
+                if not origin.startswith(("index:", "containment:")):
+                    continue
+                if gi == gj:
+                    members = self.group_members[gi]
+                    out.extend(
+                        (a, b, origin)
+                        for index, a in enumerate(members)
+                        for b in members[index + 1 :]
+                    )
+                else:
+                    out.extend(
+                        (a, b, origin)
+                        for a in self.group_members[gi]
+                        for b in self.group_members[gj]
+                    )
+            return sorted(out)
+        return sorted(
+            (a, b, origin)
+            for (a, b), origin in self.origins.items()
+            if origin.startswith(("index:", "containment:"))
+        )
+
+    def _pair_multiplicity(self, gi: int, gj: int) -> int:
+        assert self.group_members is not None
+        size_i = len(self.group_members[gi])
+        if gi == gj:
+            return size_i * (size_i - 1) // 2
+        return size_i * len(self.group_members[gj])
+
+    def discharge_counts(self) -> dict[str, int]:
+        """Name-pair tallies by origin class (multiplicity-exact).
+
+        Keys: ``decided``, ``cached``, ``trivial``, ``index``,
+        ``containment``.  The sum equals the total number of analyzed
+        pairs in both dense and sparse mode.
+        """
+        out = {"decided": 0, "cached": 0, "trivial": 0, "index": 0, "containment": 0}
+        if self.is_sparse:
+            assert self.group_verdicts is not None and self.group_origins is not None
+            for pair in self.group_verdicts:
+                origin = self.group_origins.get(pair, "decided")
+                out[origin.split(":", 1)[0]] += self._pair_multiplicity(*pair)
+            return out
+        for key in self.verdicts:
+            origin = self.origins.get(key, "decided")
+            out[origin.split(":", 1)[0]] += 1
+        return out
+
     def degraded_pairs(self) -> list[tuple[str, str, str]]:
         """All resilience-degraded pairs as ``(first, second, reason)``."""
+        if self.is_sparse:
+            assert self.group_reasons is not None and self.group_members is not None
+            out = []
+            for (gi, gj), reason in self.group_reasons.items():
+                if gi == gj:
+                    members = self.group_members[gi]
+                    out.extend(
+                        (a, b, reason)
+                        for index, a in enumerate(members)
+                        for b in members[index + 1 :]
+                    )
+                else:
+                    out.extend(
+                        (a, b, reason)
+                        for a in self.group_members[gi]
+                        for b in self.group_members[gj]
+                    )
+            return sorted(out)
         return [(a, b, reason) for (a, b), reason in sorted(self.reasons.items())]
+
+    def degraded_count(self) -> int:
+        """Number of resilience-degraded name pairs (multiplicity-exact)."""
+        if self.is_sparse:
+            assert self.group_reasons is not None
+            return sum(self._pair_multiplicity(*pair) for pair in self.group_reasons)
+        return len(self.reasons)
 
     def may_conflict(self, first: str, second: str) -> bool:
         """True unless the pair is *proved* conflict-free."""
@@ -422,14 +572,59 @@ class ConflictMatrix:
         ]
 
     def counts(self) -> dict[str, int]:
-        """Tally of stored pair verdicts by outcome."""
+        """Tally of stored pair verdicts by outcome (name-pair exact)."""
         out = {v.value: 0 for v in Verdict}
+        if self.is_sparse:
+            assert self.group_verdicts is not None
+            for pair, verdict in self.group_verdicts.items():
+                out[verdict.value] += self._pair_multiplicity(*pair)
+            return out
         for verdict in self.verdicts.values():
             out[verdict.value] += 1
         return out
 
     def to_dict(self) -> dict:
-        """A JSON-able view (the CLI's ``--json`` payload)."""
+        """A JSON-able view — the one stable schema shared by the CLI's
+        ``--json`` output and the service's ``/v1/matrix`` response."""
+        if self.is_sparse:
+            assert (
+                self.group_verdicts is not None
+                and self.group_members is not None
+                and self.group_origins is not None
+                and self.group_reasons is not None
+            )
+            entries = []
+            for (gi, gj), verdict in sorted(self.group_verdicts.items()):
+                members_i = self.group_members[gi]
+                members_j = self.group_members[gj]
+                if not members_i or not members_j:
+                    continue  # tombstoned group after remove_op
+                first = members_i[0]
+                second = members_j[1] if gi == gj else members_j[0]
+                entries.append(
+                    {
+                        "first": first,
+                        "second": second,
+                        "verdict": verdict.value,
+                        "reason": self.group_reasons.get((gi, gj)),
+                        "discharge": self.group_origins.get((gi, gj), "decided"),
+                        "multiplicity": self._pair_multiplicity(gi, gj),
+                    }
+                )
+            discharge = self.discharge_counts()
+            return {
+                "names": list(self.names),
+                "sparse": True,
+                "groups": [list(members) for members in self.group_members],
+                "verdicts": entries,
+                "stats": {
+                    "operations": len(self.names),
+                    **self.counts(),
+                    "degraded": self.degraded_count(),
+                    "discharged": discharge["index"] + discharge["containment"],
+                },
+            }
+        discharge = self.discharge_counts()
         return {
             "names": list(self.names),
             "verdicts": [
@@ -438,6 +633,7 @@ class ConflictMatrix:
                     "second": b,
                     "verdict": verdict.value,
                     "reason": self.reasons.get((a, b)),
+                    "discharge": self.origins.get((a, b), "decided"),
                 }
                 for (a, b), verdict in sorted(self.verdicts.items())
             ],
@@ -445,6 +641,7 @@ class ConflictMatrix:
                 "operations": len(self.names),
                 **self.counts(),
                 "degraded": len(self.reasons),
+                "discharged": discharge["index"] + discharge["containment"],
             },
         }
 
@@ -597,6 +794,24 @@ def _preferred_context() -> multiprocessing.context.BaseContext:
 
 
 @dataclass
+class _Unit:
+    """One unordered pair of canonical *groups* awaiting a verdict.
+
+    The analyzer decides per distinct pair of canonical forms; a unit
+    carries the name-pair multiplicity it stands for and where to write
+    the result (``targets``: explicit name pairs in dense mode, one
+    group-id pair in sparse mode).
+    """
+
+    key: PairKey
+    canon_a: CanonicalOp
+    canon_b: CanonicalOp
+    rep: tuple[str, str]
+    multiplicity: int
+    targets: "list[tuple[str, str]] | tuple[int, int]"
+
+
+@dataclass
 class _Chunk:
     """One unit of pool work: index triples plus its retry attempt."""
 
@@ -635,6 +850,15 @@ class BatchAnalyzer:
         retry_backoff_s: base of the exponential backoff slept before
             re-dispatching a failed single-pair chunk
             (``retry_backoff_s * 2**attempt``).
+        index: apply the static pattern index (:mod:`repro.conflicts.index`)
+            as a pre-pass, discharging provably-independent read/update
+            pairs in O(1) before they reach the verdict cache, the
+            compiler, or the pool.  Sound by construction and checked
+            continuously by the index-on/index-off differential suite.
+        containment: propagate ``NO_CONFLICT`` verdicts from a read to
+            reads it subsumes (result-set containment), saving one
+            decision per subsumed pattern.  Only applies to the NODE
+            conflict kind and test-free linear subsumed reads.
 
     Typical use::
 
@@ -649,6 +873,16 @@ class BatchAnalyzer:
     #: startup cost and decisions stay in-process.
     MIN_PARALLEL_PAIRS = 4
 
+    #: Catalogues up to this many operations materialize per-name-pair
+    #: verdict dicts (the historical representation); above it the matrix
+    #: switches to sparse group storage so 10k+ catalogues stay feasible.
+    DENSE_LIMIT = 512
+
+    #: At most this many subsuming-read candidates are examined per
+    #: containment child, bounding the planner to O(children × cap)
+    #: memoized homomorphism checks.
+    CONTAINMENT_CANDIDATES = 64
+
     def __init__(
         self,
         config: DetectorConfig | None = None,
@@ -660,6 +894,8 @@ class BatchAnalyzer:
         retries: int = 2,
         chunk_timeout_s: float | None = 120.0,
         retry_backoff_s: float = 0.05,
+        index: bool = True,
+        containment: bool = True,
     ) -> None:
         if detector is not None:
             config = detector.config
@@ -691,8 +927,20 @@ class BatchAnalyzer:
             )
         if detector is not None:
             self.cache.absorb_detector(detector)
+        self.index = bool(index)
+        self.containment = bool(containment)
+        self._pattern_index = (
+            PatternIndex(
+                kind=self.config.kind, exhaustive_cap=self.config.exhaustive_cap
+            )
+            if self.index
+            else None
+        )
+        self._containment_memo: dict[tuple[OpKey, OpKey], bool] = {}
         self._operations: dict[str, Operation] = {}
         self._canon: dict[str, CanonicalOp] = {}
+        self._groups: dict[OpKey, list[str]] = {}
+        self._group_ids: dict[OpKey, int] = {}
         self._matrix = ConflictMatrix(names=[])
         self._quarantine: list[dict] = []
 
@@ -755,14 +1003,41 @@ class BatchAnalyzer:
             }
             self._precompile(ops.values())
             names = list(ops)
-            self._matrix = ConflictMatrix(names=names)
             self._quarantine = []
-            pairs = [
-                (names[i], names[j])
-                for i in range(len(names))
-                for j in range(i + 1, len(names))
-            ]
-            self._decide_into_matrix(pairs)
+            self._groups = {}
+            for name in names:
+                self._groups.setdefault(self._canon[name].key, []).append(name)
+            self._group_ids = {gkey: gid for gid, gkey in enumerate(self._groups)}
+            if len(names) <= self.DENSE_LIMIT:
+                self._matrix = ConflictMatrix(names=names)
+            else:
+                group_of: dict[str, int] = {}
+                members: list[list[str]] = []
+                for group in self._groups.values():
+                    gid = len(members)
+                    members.append(list(group))
+                    for member in group:
+                        group_of[member] = gid
+                self._matrix = ConflictMatrix(
+                    names=names,
+                    group_of=group_of,
+                    group_members=members,
+                    group_verdicts={},
+                    group_origins={},
+                    group_reasons={},
+                )
+            position = {name: i for i, name in enumerate(names)}
+            fingerprint = self.config.fingerprint()
+            group_list = list(self._groups.values())
+            units = []
+            for i in range(len(group_list)):
+                for j in range(i, len(group_list)):
+                    unit = self._make_unit(
+                        fingerprint, i, j, group_list[i], group_list[j], position
+                    )
+                    if unit is not None:
+                        units.append(unit)
+            self._resolve_units(units, containment=self.containment)
         return self._matrix
 
     def add_op(self, name: str, operation: Operation) -> ConflictMatrix:
@@ -774,13 +1049,50 @@ class BatchAnalyzer:
             )
         with obs.span("batch.add_op", existing=len(self._operations)):
             self._operations[name] = operation
-            self._canon[name] = CanonicalOp.from_operation(operation)
+            canon = CanonicalOp.from_operation(operation)
+            self._canon[name] = canon
             self._precompile([operation])
-            pairs = [
-                (existing, name) for existing in self._matrix.names
-            ]
+            fingerprint = self.config.fingerprint()
+            new_gid = self._group_ids.get(canon.key)
+            if new_gid is None:
+                new_gid = (
+                    len(self._matrix.group_members)
+                    if self._matrix.is_sparse
+                    else len(self._groups)
+                )
+            units = []
+            for gkey, members in self._groups.items():
+                canon_a = self._canon[members[0]]
+                targets: "list[tuple[str, str]] | tuple[int, int]"
+                if self._matrix.is_sparse:
+                    gid = self._group_ids[gkey]
+                    targets = (min(gid, new_gid), max(gid, new_gid))
+                else:
+                    targets = [(member, name) for member in members]
+                units.append(
+                    _Unit(
+                        key=VerdictCache.pair_key(fingerprint, canon_a, canon),
+                        canon_a=canon_a,
+                        canon_b=canon,
+                        rep=(members[0], name),
+                        multiplicity=len(members),
+                        targets=targets,
+                    )
+                )
             self._matrix.names.append(name)
-            self._decide_into_matrix(pairs)
+            if canon.key in self._groups:
+                self._groups[canon.key].append(name)
+            else:
+                self._groups[canon.key] = [name]
+                self._group_ids[canon.key] = new_gid
+            if self._matrix.is_sparse:
+                assert self._matrix.group_members is not None
+                assert self._matrix.group_of is not None
+                while len(self._matrix.group_members) <= new_gid:
+                    self._matrix.group_members.append([])
+                self._matrix.group_members[new_gid].append(name)
+                self._matrix.group_of[name] = new_gid
+            self._resolve_units(units, containment=False)
             self._metrics.inc("batch.incremental_adds")
         return self._matrix
 
@@ -788,13 +1100,39 @@ class BatchAnalyzer:
         """Remove one operation and its row/column from the matrix."""
         if name not in self._operations:
             raise ConflictEngineError(f"unknown operation name {name!r}")
+        canon = self._canon.pop(name)
         del self._operations[name]
-        del self._canon[name]
         self._matrix.names.remove(name)
-        for key in [k for k in self._matrix.verdicts if name in k]:
-            del self._matrix.verdicts[key]
-        for key in [k for k in self._matrix.reasons if name in k]:
-            del self._matrix.reasons[key]
+        members = self._groups.get(canon.key)
+        if members is not None:
+            members.remove(name)
+            if not members:
+                del self._groups[canon.key]
+                self._group_ids.pop(canon.key, None)
+        if self._matrix.is_sparse:
+            assert self._matrix.group_of is not None
+            assert self._matrix.group_members is not None
+            gid = self._matrix.group_of.pop(name)
+            self._matrix.group_members[gid].remove(name)
+            if not self._matrix.group_members[gid]:
+                # Group ids are positional, so the empty slot stays as a
+                # tombstone; its pair entries are dropped here and a later
+                # add_op of the same canonical form gets a fresh id.
+                for table in (
+                    self._matrix.group_verdicts,
+                    self._matrix.group_origins,
+                    self._matrix.group_reasons,
+                ):
+                    assert table is not None
+                    for key in [k for k in table if gid in k]:
+                        del table[key]
+        else:
+            for key in [k for k in self._matrix.verdicts if name in k]:
+                del self._matrix.verdicts[key]
+            for key in [k for k in self._matrix.reasons if name in k]:
+                del self._matrix.reasons[key]
+            for key in [k for k in self._matrix.origins if name in k]:
+                del self._matrix.origins[key]
         self._quarantine = [
             entry
             for entry in self._quarantine
@@ -860,43 +1198,329 @@ class BatchAnalyzer:
                 count += 1
         self._metrics.inc("batch.ops_precompiled", count)
 
-    def _decide_into_matrix(self, pairs: list[tuple[str, str]]) -> None:
-        fingerprint = self.config.fingerprint()
-        pending: dict[PairKey, list[tuple[str, str]]] = {}
-        trivial = cached = 0
-        for name_a, name_b in pairs:
-            canon_a, canon_b = self._canon[name_a], self._canon[name_b]
+    def _make_unit(
+        self,
+        fingerprint: tuple,
+        gi: int,
+        gj: int,
+        members_i: list[str],
+        members_j: list[str],
+        position: dict[str, int],
+    ) -> "_Unit | None":
+        canon_a = self._canon[members_i[0]]
+        canon_b = self._canon[members_j[0]]
+        if gi == gj:
+            size = len(members_i)
+            multiplicity = size * (size - 1) // 2
+            if multiplicity == 0:
+                return None
+            rep = (members_i[0], members_i[1])
+        else:
+            multiplicity = len(members_i) * len(members_j)
+            rep = (members_i[0], members_j[0])
+        targets: "list[tuple[str, str]] | tuple[int, int]"
+        if self._matrix.is_sparse:
+            targets = (gi, gj)
+        elif gi == gj:
+            targets = [
+                (a, b)
+                for index, a in enumerate(members_i)
+                for b in members_i[index + 1 :]
+            ]
+        else:
+            targets = [
+                (a, b) if position[a] < position[b] else (b, a)
+                for a in members_i
+                for b in members_j
+            ]
+        return _Unit(
+            key=VerdictCache.pair_key(fingerprint, canon_a, canon_b),
+            canon_a=canon_a,
+            canon_b=canon_b,
+            rep=rep,
+            multiplicity=multiplicity,
+            targets=targets,
+        )
+
+    def _resolve_units(self, units: "list[_Unit]", *, containment: bool) -> None:
+        """Triage units (trivial → index → cache), then decide the rest.
+
+        Index- and containment-discharged units never reach the compiler,
+        the verdict cache, or the pool; their multiplicities land in the
+        ``batch.pairs_discharged`` counter.  Counter semantics match the
+        historical per-name-pair pipeline exactly: totals are multiplicity
+        sums, ``pairs_unique`` counts distinct undecided canonical pairs,
+        and ``pairs_decided`` counts real engine decisions only.
+        """
+        total = trivial = cached = discharged_index = 0
+        pending: dict[PairKey, _Unit] = {}
+        established: dict[PairKey, tuple[_Unit, str, Verdict]] = {}
+        start = time.perf_counter()
+        for unit in units:
+            total += unit.multiplicity
+            canon_a, canon_b = unit.canon_a, unit.canon_b
             if canon_a.is_read and canon_b.is_read:
-                self._matrix.verdicts[(name_a, name_b)] = Verdict.NO_CONFLICT
-                trivial += 1
+                self._fill_unit(unit, Verdict.NO_CONFLICT, None, "trivial")
+                trivial += unit.multiplicity
                 continue
-            key = VerdictCache.pair_key(fingerprint, canon_a, canon_b)
-            hit = self.cache.get(key)
+            if (
+                self._pattern_index is not None
+                and canon_a.profile is not None
+                and canon_b.profile is not None
+            ):
+                why = self._pattern_index.discharge(canon_a.profile, canon_b.profile)
+                if why is not None:
+                    self._fill_unit(unit, Verdict.NO_CONFLICT, None, why)
+                    discharged_index += unit.multiplicity
+                    established[unit.key] = (unit, why, Verdict.NO_CONFLICT)
+                    continue
+            hit = self.cache.get(unit.key)
             if hit is not None:
-                self._matrix.verdicts[(name_a, name_b)] = hit
-                cached += 1
+                self._fill_unit(unit, hit, None, "cached")
+                cached += unit.multiplicity
+                established[unit.key] = (unit, "cached", hit)
                 continue
-            pending.setdefault(key, []).append((name_a, name_b))
-        self._metrics.inc("batch.pairs_total", len(pairs))
+            pending[unit.key] = unit
+        self._metrics.observe(
+            "batch.stage_ms", (time.perf_counter() - start) * 1000.0, stage="index"
+        )
+        self._metrics.inc("batch.pairs_total", total)
         self._metrics.inc("batch.pairs_trivial", trivial)
         self._metrics.inc("batch.pairs_cached", cached)
         self._metrics.inc("batch.pairs_unique", len(pending))
-        decided = self._decide_unique(pending)
-        for key, names in pending.items():
-            verdict, reason = decided[key]
+        if discharged_index:
+            self._metrics.inc(
+                "batch.pairs_discharged", discharged_index, reason="index"
+            )
+
+        resolved: dict[PairKey, str] = {}
+        deferred: dict[PairKey, tuple[PairKey, str]] = {}
+        if containment and self.config.kind is ConflictKind.NODE and pending:
+            start = time.perf_counter()
+            resolved, deferred = self._plan_containment(pending, established)
+            self._metrics.observe(
+                "batch.stage_ms",
+                (time.perf_counter() - start) * 1000.0,
+                stage="containment",
+            )
+        discharged_containment = 0
+        for key, origin in resolved.items():
+            unit = pending.pop(key)
+            self._fill_unit(unit, Verdict.NO_CONFLICT, None, origin)
+            discharged_containment += unit.multiplicity
+
+        start = time.perf_counter()
+        round_one = {
+            key: [unit.rep] for key, unit in pending.items() if key not in deferred
+        }
+        outcomes: dict[PairKey, tuple[Verdict, "str | None"]] = dict(
+            self._decide_unique(round_one)
+        )
+        fallback: dict[PairKey, list[tuple[str, str]]] = {}
+        for key, (parent_key, parent_name) in deferred.items():
+            parent = outcomes.get(parent_key)
+            if (
+                parent is not None
+                and parent[0] is Verdict.NO_CONFLICT
+                and parent[1] is None
+            ):
+                unit = pending.pop(key)
+                self._fill_unit(
+                    unit, Verdict.NO_CONFLICT, None, f"containment:{parent_name}"
+                )
+                discharged_containment += unit.multiplicity
+            else:
+                # The hoped-for parent verdict did not materialize (a
+                # conflict, or a degraded run): decide the child for real.
+                fallback[key] = [pending[key].rep]
+        if fallback:
+            outcomes.update(self._decide_unique(fallback))
+        self._metrics.observe(
+            "batch.stage_ms", (time.perf_counter() - start) * 1000.0, stage="decide"
+        )
+        if discharged_containment:
+            self._metrics.inc(
+                "batch.pairs_discharged", discharged_containment, reason="containment"
+            )
+        for key, unit in pending.items():
+            verdict, reason = outcomes[key]
             if reason is None:
                 self.cache.put(key, verdict)
             # Degraded verdicts never enter the cache: they reflect this
             # run's budget/faults, not the pair, and a cached UNKNOWN
             # would mask the real answer on every future run.
-            for name_a, name_b in names:
-                self._matrix.verdicts[(name_a, name_b)] = verdict
-                if reason is not None:
-                    self._matrix.reasons[(name_a, name_b)] = reason
-                    self._quarantine.append(
-                        {"first": name_a, "second": name_b, "reason": reason}
-                    )
-                    self._metrics.inc("batch.pairs_degraded", reason=reason)
+            self._fill_unit(unit, verdict, reason, "decided")
+
+    def _plan_containment(
+        self,
+        pending: "dict[PairKey, _Unit]",
+        established: "dict[PairKey, tuple[_Unit, str, Verdict]]",
+    ) -> tuple[dict, dict]:
+        """Plan containment propagation over the pending read/update units.
+
+        For each update, a *child* read (linear, test-free) whose result
+        set is contained in a *parent* read with an established or pending
+        ``NO_CONFLICT`` against the same update inherits that verdict.
+        Returns ``(resolved, deferred)``: children discharged immediately
+        from an established parent, and children waiting on a parent that
+        is decided in round one.  The parent pool is restricted to reads
+        whose ``NO_CONFLICT`` is the *true* answer for the original pair
+        (index-discharged, or exact-engine-decided: test-free and linear,
+        or a test-free update partner) so propagation never launders a
+        stripped-pattern approximation into a dependent verdict.
+        """
+
+        def orient(unit: _Unit) -> "tuple[CanonicalOp, CanonicalOp] | None":
+            a, b = unit.canon_a, unit.canon_b
+            if a.is_read and not b.is_read:
+                return a, b
+            if b.is_read and not a.is_read:
+                return b, a
+            return None
+
+        groups: dict[object, list[dict]] = {}
+
+        def add_entry(key: PairKey, unit: _Unit, fixed: "str | None") -> None:
+            oriented = orient(unit)
+            if oriented is None:
+                return
+            read, update = oriented
+            if read.profile is None or update.profile is None:
+                return
+            read_name = unit.rep[0] if unit.canon_a.is_read else unit.rep[1]
+            groups.setdefault(update.key, []).append(
+                {
+                    "key": key,
+                    "unit": unit,
+                    "read": read,
+                    "update": update,
+                    "read_name": read_name,
+                    "fixed": fixed,
+                }
+            )
+
+        for key, unit in pending.items():
+            add_entry(key, unit, None)
+        for key, (unit, origin, verdict) in established.items():
+            if verdict is Verdict.NO_CONFLICT:
+                add_entry(key, unit, origin)
+
+        resolved: dict[PairKey, str] = {}
+        deferred: dict[PairKey, tuple[PairKey, str]] = {}
+        parents_used: set[PairKey] = set()
+        for entries in groups.values():
+            if len(entries) < 2:
+                continue
+            parents = [
+                entry
+                for entry in entries
+                if not entry["read"].profile.has_tests
+                and (
+                    (entry["fixed"] or "").startswith("index:")
+                    or entry["read"].profile.is_linear
+                    or not entry["update"].profile.has_tests
+                )
+            ][: self.CONTAINMENT_CANDIDATES]
+            for entry in entries:
+                if entry["fixed"] is not None:
+                    continue
+                child_key = entry["key"]
+                child_profile = entry["read"].profile
+                if not child_profile.is_linear or child_profile.has_tests:
+                    continue
+                if child_key in parents_used:
+                    continue
+                for parent in parents:
+                    if parent["key"] == child_key:
+                        continue
+                    if parent["read"].key == entry["read"].key:
+                        continue
+                    if parent["fixed"] is None and (
+                        parent["key"] in deferred or parent["key"] in resolved
+                    ):
+                        continue
+                    if not self._result_contains(
+                        parent["read"],
+                        parent["read_name"],
+                        entry["read"],
+                        entry["read_name"],
+                    ):
+                        continue
+                    if parent["fixed"] is None:
+                        # Both pending: keep the subsumption forest acyclic
+                        # even for result-equivalent patterns by breaking
+                        # ties on the canonical key.
+                        if self._result_contains(
+                            entry["read"],
+                            entry["read_name"],
+                            parent["read"],
+                            parent["read_name"],
+                        ) and not parent["read"].key < entry["read"].key:
+                            continue
+                    origin = f"containment:{parent['read_name']}"
+                    if parent["fixed"] is not None:
+                        resolved[child_key] = origin
+                    else:
+                        deferred[child_key] = (parent["key"], parent["read_name"])
+                        parents_used.add(parent["key"])
+                    break
+        return resolved, deferred
+
+    def _result_contains(
+        self,
+        general: CanonicalOp,
+        general_name: str,
+        specific: CanonicalOp,
+        specific_name: str,
+    ) -> bool:
+        memo_key = (general.key, specific.key)
+        hit = self._containment_memo.get(memo_key)
+        if hit is None:
+            hit = result_containment(
+                self._operations[general_name].pattern,
+                self._operations[specific_name].pattern,
+            )
+            self._containment_memo[memo_key] = hit
+        return hit
+
+    def _fill_unit(
+        self, unit: "_Unit", verdict: Verdict, reason: "str | None", origin: str
+    ) -> None:
+        if self._matrix.is_sparse:
+            pair = unit.targets
+            assert isinstance(pair, tuple)
+            assert self._matrix.group_verdicts is not None
+            assert self._matrix.group_origins is not None
+            assert self._matrix.group_reasons is not None
+            self._matrix.group_verdicts[pair] = verdict
+            if origin != "decided":
+                self._matrix.group_origins[pair] = origin
+            else:
+                self._matrix.group_origins.pop(pair, None)
+            if reason is not None:
+                self._matrix.group_reasons[pair] = reason
+                self._quarantine.append(
+                    {"first": unit.rep[0], "second": unit.rep[1], "reason": reason}
+                )
+                self._metrics.inc(
+                    "batch.pairs_degraded", unit.multiplicity, reason=reason
+                )
+            else:
+                self._matrix.group_reasons.pop(pair, None)
+            return
+        assert isinstance(unit.targets, list)
+        for name_a, name_b in unit.targets:
+            self._matrix.verdicts[(name_a, name_b)] = verdict
+            if origin != "decided":
+                self._matrix.origins[(name_a, name_b)] = origin
+            else:
+                self._matrix.origins.pop((name_a, name_b), None)
+            if reason is not None:
+                self._matrix.reasons[(name_a, name_b)] = reason
+                self._quarantine.append(
+                    {"first": name_a, "second": name_b, "reason": reason}
+                )
+                self._metrics.inc("batch.pairs_degraded", reason=reason)
 
     def _decide_unique(
         self, pending: dict[PairKey, list[tuple[str, str]]]

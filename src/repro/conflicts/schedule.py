@@ -1,31 +1,21 @@
-"""Conflict matrices and parallel schedules for operation sets.
+"""Deprecated fronts for catalogue analysis — use :func:`repro.analyze`.
 
-The paper motivates conflict detection with pairwise compiler questions;
-real consumers (query schedulers, maintenance planners) ask the *set*
-version: given a catalogue of named reads and updates over one document
-type, which pairs may interfere, and how can the operations be grouped
-into phases that are internally interference-free?
+These two functions predate the unified facade
+(:mod:`repro.conflicts.api`) and are kept as thin shims with their exact
+historical signatures.  They emit :class:`DeprecationWarning` and will be
+removed in a future major release; ``docs/BATCH_ANALYSIS.md`` carries the
+migration table (in short: ``conflict_matrix(ops, jobs=8)`` becomes
+``repro.analyze(ops, config=repro.AnalysisConfig(jobs=8))``, and
+``parallel_schedule`` is ``mode="schedule"``).
 
-* :func:`conflict_matrix` — decide every ordered-relevant pair once
-  (read/read pairs are trivially compatible; read/update and
-  update/update pairs go through the detector).
-* :func:`parallel_schedule` — greedy graph coloring of the may-conflict
-  graph: a partition of the operations into *batches* such that no two
-  operations in a batch may conflict.  Operations within a batch can be
-  executed in any order (or concurrently) with a guaranteed-equivalent
-  outcome; batches execute in sequence.  ``UNKNOWN`` verdicts are treated
-  as conflicts (sound scheduling).
-
-Both functions are thin fronts over
-:class:`repro.conflicts.batch.BatchAnalyzer`, which canonicalizes each
-operation once, dedups structurally identical pairs, consults a
-shareable verdict cache, and can spread undecided pairs across a worker
-pool (``jobs``).  Hold an analyzer directly when you need incremental
-maintenance (``add_op``/``remove_op``) or cache snapshots.
+The shims delegate to :class:`repro.conflicts.batch.BatchAnalyzer`, so
+they benefit from the static pattern index and containment pruning like
+every other entrypoint.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
 
 from repro.conflicts.batch import (
@@ -39,6 +29,15 @@ from repro.conflicts.detector import ConflictDetector
 __all__ = ["Operation", "ConflictMatrix", "conflict_matrix", "parallel_schedule"]
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use {replacement} instead "
+        "(see docs/BATCH_ANALYSIS.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def conflict_matrix(
     operations: Mapping[str, Operation],
     detector: ConflictDetector | None = None,
@@ -46,22 +45,15 @@ def conflict_matrix(
     jobs: int | None = None,
     cache: VerdictCache | None = None,
 ) -> ConflictMatrix:
-    """Decide every pair in ``operations`` (dict of name -> operation).
+    """Deprecated: use ``repro.analyze(operations, ...)``.
 
-    Reads never conflict with reads; read/update and update/update pairs
-    are decided by the detector.  The matrix stores one verdict per
-    unordered pair.
-
-    Args:
-        operations: the named catalogue.
-        detector: decide with this detector (its configuration and any
-            cached answers are reused).  A default detector otherwise.
-        jobs: decide undecided unique pairs across this many worker
-            processes (``None``/``1`` = serial, ``0`` = all cores).
-        cache: a shared :class:`~repro.conflicts.batch.VerdictCache` to
-            consult and fill (pass the same instance across calls, or
-            one loaded from disk, to skip already-decided pairs).
+    Decides every pair in ``operations`` (dict of name -> operation) and
+    returns the :class:`ConflictMatrix`.  ``detector``/``jobs``/``cache``
+    behave as they always did; the richer knobs (index, containment,
+    retries, timeouts) are only reachable through
+    :class:`repro.AnalysisConfig`.
     """
+    _deprecated("conflict_matrix", 'repro.analyze(operations, mode="matrix")')
     analyzer = BatchAnalyzer(detector=detector, jobs=jobs, cache=cache)
     return analyzer.analyze(operations)
 
@@ -73,16 +65,13 @@ def parallel_schedule(
     jobs: int | None = None,
     cache: VerdictCache | None = None,
 ) -> list[list[str]]:
-    """Partition operations into interference-free batches.
+    """Deprecated: use ``repro.analyze(operations, mode="schedule")``.
 
-    Greedy first-fit coloring of the may-conflict graph in insertion
-    order: each operation joins the earliest batch containing no operation
-    it may conflict with.  Every batch is internally conflict-free, so its
-    members commute pairwise (under the detector's semantics); batch order
-    preserves the catalogue order between conflicting operations.
-
-    Accepts the same ``jobs``/``cache`` knobs as :func:`conflict_matrix`.
+    Partitions operations into interference-free batches by greedy
+    first-fit coloring of the may-conflict graph (``UNKNOWN`` counts as a
+    conflict, so scheduling stays sound).
     """
+    _deprecated("parallel_schedule", 'repro.analyze(operations, mode="schedule")')
     analyzer = BatchAnalyzer(detector=detector, jobs=jobs, cache=cache)
     analyzer.analyze(operations)
     return analyzer.schedule()

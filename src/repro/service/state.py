@@ -149,7 +149,7 @@ class ServiceState:
                 "operations": len(matrix.names),
                 "batches": len(batches),
                 "largest_batch": max((len(b) for b in batches), default=0),
-                "degraded": len(matrix.reasons),
+                "degraded": matrix.degraded_count(),
             },
         }
 
@@ -166,7 +166,12 @@ class ServiceState:
             config=config, compiler=self.compiler, registry=self.registry
         )
         analyzer = BatchAnalyzer(
-            detector=detector, jobs=1, cache=self.cache, registry=self.registry
+            detector=detector,
+            jobs=1,
+            cache=self.cache,
+            registry=self.registry,
+            index=bool(payload.get("index", True)),
+            containment=bool(payload.get("containment", True)),
         )
         matrix = analyzer.analyze(catalogue)
         self.registry.set_gauge("service.cache_entries", len(self.cache))

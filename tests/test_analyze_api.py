@@ -1,0 +1,128 @@
+"""Tests for the unified :func:`repro.analyze` facade and the legacy shims."""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+from repro.conflicts.api import AnalysisConfig, analyze
+from repro.conflicts.batch import BatchAnalyzer, ConflictMatrix
+from repro.conflicts.detector import ConflictDetector, DetectorConfig
+from repro.conflicts.schedule import conflict_matrix, parallel_schedule
+from repro.conflicts.semantics import ConflictKind, Verdict
+from repro.operations.ops import Delete, Insert, Read
+
+OPERATIONS = {
+    "titles": Read("bib/book/title"),
+    "quantities": Read("//quantity"),
+    "restock": Insert("bib/book", "<restock/>"),
+    "purge": Delete("bib/book"),
+    "strip-markers": Delete("bib/book/restock"),
+}
+
+
+class TestAnalyzeFacade:
+    def test_exported_at_top_level(self):
+        assert repro.analyze is analyze
+        assert repro.AnalysisConfig is AnalysisConfig
+
+    def test_matrix_mode_default(self):
+        result = analyze(OPERATIONS)
+        assert isinstance(result, ConflictMatrix)
+        reference = BatchAnalyzer(detector=ConflictDetector(), jobs=1).analyze(
+            OPERATIONS
+        )
+        for name_a in OPERATIONS:
+            for name_b in OPERATIONS:
+                assert result.verdict(name_a, name_b) is reference.verdict(
+                    name_a, name_b
+                )
+
+    def test_schedule_mode(self):
+        batches = analyze(OPERATIONS, mode="schedule")
+        assert isinstance(batches, list)
+        assert sorted(name for batch in batches for name in batch) == sorted(
+            OPERATIONS
+        )
+        analyzer = BatchAnalyzer(detector=ConflictDetector(), jobs=1)
+        analyzer.analyze(OPERATIONS)
+        assert batches == analyzer.schedule()
+
+    def test_pairs_mode(self):
+        pairs = analyze(OPERATIONS, mode="pairs")
+        names = list(OPERATIONS)
+        expected = [
+            (names[i], names[j])
+            for i in range(len(names))
+            for j in range(i + 1, len(names))
+        ]
+        assert [(a, b) for a, b, _ in pairs] == expected
+        matrix = analyze(OPERATIONS)
+        for first, second, verdict in pairs:
+            assert isinstance(verdict, Verdict)
+            assert matrix.verdict(first, second) is verdict
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError, match="mode"):
+            analyze(OPERATIONS, mode="heatmap")
+
+    def test_config_controls_detector(self):
+        config = AnalysisConfig(
+            detector=DetectorConfig(kind=ConflictKind.NODE, max_steps=1)
+        )
+        matrix = analyze(OPERATIONS, config=config)
+        assert matrix.degraded_count() > 0
+
+    def test_config_index_off(self):
+        config = AnalysisConfig(index=False, containment=False)
+        matrix = analyze(OPERATIONS, config=config)
+        counts = matrix.discharge_counts()
+        assert counts["index"] == 0 and counts["containment"] == 0
+
+    def test_config_defaults(self):
+        config = AnalysisConfig()
+        assert config.index and config.containment
+        assert config.jobs is None and config.cache is None
+        assert config.retries == 2
+
+    def test_config_builds_analyzer(self):
+        analyzer = AnalysisConfig(jobs=1).analyzer()
+        assert isinstance(analyzer, BatchAnalyzer)
+        assert analyzer.jobs == 1
+
+
+class TestLegacyShims:
+    def test_conflict_matrix_warns_and_agrees(self):
+        with pytest.warns(DeprecationWarning, match="conflict_matrix"):
+            legacy = conflict_matrix(OPERATIONS)
+        modern = analyze(OPERATIONS)
+        for name_a in OPERATIONS:
+            for name_b in OPERATIONS:
+                assert legacy.verdict(name_a, name_b) is modern.verdict(
+                    name_a, name_b
+                )
+
+    def test_parallel_schedule_warns_and_agrees(self):
+        with pytest.warns(DeprecationWarning, match="parallel_schedule"):
+            legacy = parallel_schedule(OPERATIONS)
+        assert legacy == analyze(OPERATIONS, mode="schedule")
+
+    def test_conflict_matrix_signature_parity(self):
+        parameters = inspect.signature(conflict_matrix).parameters
+        assert list(parameters) == ["operations", "detector", "jobs", "cache"]
+        assert parameters["detector"].default is None
+        assert parameters["jobs"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert parameters["cache"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_parallel_schedule_signature_parity(self):
+        parameters = inspect.signature(parallel_schedule).parameters
+        assert list(parameters) == ["operations", "detector", "jobs", "cache"]
+        assert parameters["jobs"].kind is inspect.Parameter.KEYWORD_ONLY
+
+    def test_analyze_emits_no_deprecation_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            analyze(OPERATIONS)

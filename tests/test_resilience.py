@@ -294,7 +294,13 @@ class TestBatchHardening:
         faults.install(
             faults.FaultInjector.parse("worker_crash:1:only=poisonlabel", seed=5)
         )
-        analyzer = BatchAnalyzer(jobs=2, retries=1, retry_backoff_s=0.001)
+        # Index off: the static index would (correctly) discharge some
+        # poison pairs before they ever reach a worker, which is exactly
+        # what tests/test_index.py pins; here we want every poison pair
+        # to hit the crashing pool.
+        analyzer = BatchAnalyzer(
+            jobs=2, retries=1, retry_backoff_s=0.001, index=False, containment=False
+        )
         matrix = analyzer.analyze(ops)
         degraded = matrix.degraded_pairs()
         assert degraded, "poison pairs should have been quarantined"

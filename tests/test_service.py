@@ -205,6 +205,38 @@ class TestMatrixAndSchedule:
         assert sorted(names) == sorted(CATALOGUE)
         assert result["stats"]["batches"] == len(result["batches"])
 
+    def test_matrix_carries_discharge_schema(self, client):
+        spread = dict(CATALOGUE)
+        spread["faraway"] = {"op": "delete", "xpath": "inv/item/stale"}
+        result = client.matrix(spread)
+        assert "discharged" in result["stats"]
+        by_pair = {
+            (e["first"], e["second"]): e["discharge"]
+            for e in result["verdicts"]
+        }
+        # Disjoint root labels: the chain rule fires at position 0.
+        pair = ("titles", "faraway")
+        key = pair if pair in by_pair else pair[::-1]
+        assert by_pair[key] == "index:chain"
+
+    def test_matrix_index_toggle(self, client):
+        spread = dict(CATALOGUE)
+        spread["faraway"] = {"op": "delete", "xpath": "inv/item/stale"}
+        default = client.matrix(spread)
+        plain = client.matrix(spread, index=False, containment=False)
+        assert default["stats"]["discharged"] >= 1
+        assert plain["stats"]["discharged"] == 0
+        assert all(
+            not e["discharge"].startswith(("index:", "containment:"))
+            for e in plain["verdicts"]
+        )
+        for on, off in zip(default["verdicts"], plain["verdicts"]):
+            assert (on["first"], on["second"], on["verdict"]) == (
+                off["first"],
+                off["second"],
+                off["verdict"],
+            )
+
     def test_missing_ops_is_400(self, client):
         with pytest.raises(ServiceProtocolError, match="'ops'"):
             client._request("POST", "/v1/matrix", {"operations": {}})
