@@ -1,0 +1,303 @@
+"""Cluster headline: shard scale-out throughput and the kill-recovery dip.
+
+Two questions, both answered with real shard subprocesses behind a real
+:class:`~repro.cluster.router.ClusterRouter`:
+
+* **Scale-out** — closed-loop ``/v1/check`` throughput (RPS, p50/p99)
+  against 1 shard vs 3 shards, same workload, verdicts asserted
+  identical.  Informational, no floor: on a small CI box three Python
+  processes contending for two cores can legitimately tie one warm
+  shard; the number that matters is recorded for trend lines.
+* **Dip and recovery** — sustained mixed load over a 3-shard cluster
+  while one shard is SIGKILLed mid-run.  Completed requests are bucketed
+  into a per-interval RPS curve across the kill and the supervisor's
+  restart; the curve (the dip, the floor, the recovery) is the recorded
+  artifact.  Hard-asserted even in smoke mode: **zero failed requests**
+  and **zero lost requests** — every admitted request completes with a
+  real verdict (failover) or a machine-readable degraded ``unknown``,
+  and the cluster ends the run with all shards live again.
+
+Emits ``BENCH_cluster.json`` next to this file (override with
+``BENCH_CLUSTER_OUT``).  ``BENCH_SMOKE=1`` shrinks durations.
+
+Run with ``PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_cluster.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.cluster import ClusterClient, ClusterConfig, ClusterRouter, is_degraded
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: Distinct check pairs so consistent hashing spreads keys over shards.
+PAIRS = [
+    (
+        {"op": "read", "xpath": f"bench/s{i}/leaf"},
+        {"op": "delete", "xpath": f"bench/s{i}"},
+    )
+    for i in range(32)
+]
+
+CLIENT_THREADS = 4
+
+
+def _emit(key: str, payload: dict) -> None:
+    """Update one top-level key of BENCH_cluster.json, keeping the rest."""
+    default = os.path.join(os.path.dirname(__file__), "BENCH_cluster.json")
+    path = os.environ.get("BENCH_CLUSTER_OUT", default)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing[key] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"\nupdated {path} [{key}]")
+
+
+def make_cluster(shards: int) -> ClusterRouter:
+    router = ClusterRouter(
+        ClusterConfig(
+            port=0,
+            shards=shards,
+            workers_per_shard=2,
+            probe_interval_s=0.2,
+            restart_backoff_base_s=0.1,
+            restart_backoff_jitter=0.0,
+        )
+    )
+    router.start_background()
+    return router
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+class _LoadResult:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.completions: list[tuple[float, float]] = []  # (t_done, latency)
+        self.verdicts: set[str] = set()
+        self.degraded = 0
+        self.errors: list[str] = []
+
+    def record(self, t_done: float, latency: float, payload: dict) -> None:
+        with self.lock:
+            self.completions.append((t_done, latency))
+            self.verdicts.add(payload.get("verdict", "?"))
+            if is_degraded(payload):
+                self.degraded += 1
+
+    def record_error(self, message: str) -> None:
+        with self.lock:
+            self.errors.append(message)
+
+
+def run_load(
+    port: int,
+    *,
+    duration_s: float | None = None,
+    total_requests: int | None = None,
+) -> _LoadResult:
+    """Closed-loop load from ``CLIENT_THREADS`` clients; every request is
+    accounted for: completed (+latency) or recorded as an error."""
+    result = _LoadResult()
+    stop = threading.Event()
+    issued = [0]
+    issue_lock = threading.Lock()
+    start = time.perf_counter()
+
+    def worker(thread_id: int) -> None:
+        with ClusterClient(port=port, timeout=60.0) as client:
+            while not stop.is_set():
+                with issue_lock:
+                    if total_requests is not None and issued[0] >= total_requests:
+                        return
+                    issued[0] += 1
+                    index = issued[0]
+                read, update = PAIRS[index % len(PAIRS)]
+                sent = time.perf_counter()
+                try:
+                    payload = client.check(read, update)
+                except Exception as exc:  # noqa: BLE001 - counted, asserted 0
+                    result.record_error(f"{type(exc).__name__}: {exc}")
+                    continue
+                now = time.perf_counter()
+                result.record(now - start, now - sent, payload)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(CLIENT_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    if duration_s is not None:
+        time.sleep(duration_s)
+        stop.set()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    stop.set()
+    return result
+
+
+def _stats(result: _LoadResult) -> dict:
+    latencies = sorted(latency for _, latency in result.completions)
+    elapsed = max((t for t, _ in result.completions), default=0.0)
+    return {
+        "requests": len(result.completions),
+        "rps": len(result.completions) / elapsed if elapsed else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "degraded": result.degraded,
+        "errors": len(result.errors),
+    }
+
+
+def test_one_vs_three_shards(benchmark):
+    """Same closed-loop check workload against 1 shard and 3 shards."""
+    total = 80 if SMOKE else 600
+    sections = {}
+    verdicts = {}
+    for shards in (1, 3):
+        router = make_cluster(shards)
+        try:
+            # Warm-up: touch every pair once so compile caches are hot
+            # and the comparison measures steady-state routing.
+            with ClusterClient(port=router.port) as client:
+                for read, update in PAIRS[: 8 if SMOKE else len(PAIRS)]:
+                    client.check(read, update)
+
+            if shards == 3:
+                result = benchmark.pedantic(
+                    lambda: run_load(router.port, total_requests=total),
+                    rounds=1, iterations=1,
+                )
+            else:
+                result = run_load(router.port, total_requests=total)
+            assert not result.errors, result.errors[:5]
+            sections[f"shards_{shards}"] = _stats(result)
+            verdicts[shards] = result.verdicts
+        finally:
+            router.drain()
+    assert verdicts[1] == verdicts[3], "shard count changed verdicts"
+    speedup = (
+        sections["shards_3"]["rps"] / sections["shards_1"]["rps"]
+        if sections["shards_1"]["rps"]
+        else 0.0
+    )
+    print(
+        f"\n1 shard:  {sections['shards_1']['rps']:8.1f} rps  "
+        f"p50 {sections['shards_1']['p50_ms']:6.2f} ms  "
+        f"p99 {sections['shards_1']['p99_ms']:6.2f} ms"
+    )
+    print(
+        f"3 shards: {sections['shards_3']['rps']:8.1f} rps  "
+        f"p50 {sections['shards_3']['p50_ms']:6.2f} ms  "
+        f"p99 {sections['shards_3']['p99_ms']:6.2f} ms"
+        f"   ({speedup:.2f}x)"
+    )
+    _emit(
+        "scale_out",
+        {
+            "workload": {
+                "total_requests": total,
+                "client_threads": CLIENT_THREADS,
+                "distinct_pairs": len(PAIRS),
+                "smoke": SMOKE,
+            },
+            **sections,
+            "rps_speedup_3_over_1": speedup,
+            "verdicts_identical": True,
+        },
+    )
+
+
+def test_kill_dip_and_recovery(benchmark):
+    """Sustained load across a SIGKILL: the RPS dip-and-recovery curve."""
+    duration_s = 3.0 if SMOKE else 9.0
+    kill_at_s = 1.0 if SMOKE else 3.0
+    bucket_s = 0.25
+
+    router = make_cluster(3)
+    try:
+        with ClusterClient(port=router.port) as client:
+            for read, update in PAIRS[:8]:
+                client.check(read, update)
+
+        killed = {}
+
+        def killer() -> None:
+            time.sleep(kill_at_s)
+            victim = router.supervisor.live_shards()[0]
+            killed["shard"] = victim
+            killed["generation"] = router.supervisor.generation(victim)
+            router.supervisor.kill(victim, hard=True)
+
+        kill_thread = threading.Thread(target=killer, daemon=True)
+        kill_thread.start()
+        result = benchmark.pedantic(
+            lambda: run_load(router.port, duration_s=duration_s),
+            rounds=1, iterations=1,
+        )
+        kill_thread.join(timeout=10.0)
+
+        # The acceptance bar, not a soft metric: nothing failed, nothing
+        # was lost, and the killed shard came back.
+        assert not result.errors, result.errors[:5]
+        assert result.completions, "load loop produced no requests"
+        assert router.supervisor.wait_all_live(timeout_s=30.0)
+        assert (
+            router.supervisor.generation(killed["shard"])
+            > killed["generation"]
+        )
+
+        buckets: dict[int, int] = {}
+        for t_done, _ in result.completions:
+            buckets[int(t_done / bucket_s)] = (
+                buckets.get(int(t_done / bucket_s), 0) + 1
+            )
+        curve = [
+            {
+                "t_s": round(index * bucket_s, 2),
+                "rps": buckets.get(index, 0) / bucket_s,
+            }
+            for index in range(int(duration_s / bucket_s) + 1)
+        ]
+        print(f"\nkilled shard {killed['shard']} at t={kill_at_s:.1f}s")
+        for point in curve:
+            bar = "#" * max(1, int(point["rps"] / 4)) if point["rps"] else ""
+            print(f"  t={point['t_s']:5.2f}s  {point['rps']:7.1f} rps  {bar}")
+        stats = _stats(result)
+        print(
+            f"total {stats['requests']} requests, {stats['degraded']} "
+            f"degraded, {stats['errors']} errors"
+        )
+        _emit(
+            "kill_recovery",
+            {
+                "workload": {
+                    "duration_s": duration_s,
+                    "kill_at_s": kill_at_s,
+                    "bucket_s": bucket_s,
+                    "client_threads": CLIENT_THREADS,
+                    "smoke": SMOKE,
+                },
+                "killed_shard": killed["shard"],
+                **stats,
+                "lost_requests": 0,
+                "recovered_all_live": True,
+                "rps_curve": curve,
+            },
+        )
+    finally:
+        router.drain()

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Nine subcommands expose the library's main entry points:
+The subcommands expose the library's main entry points:
 
 * ``eval``      — evaluate an XPath pattern against a document;
 * ``check``     — decide a read-update conflict (the core question);
@@ -12,6 +12,9 @@ Nine subcommands expose the library's main entry points:
 * ``serve``     — run the long-running conflict-analysis server
   (``docs/SERVICE.md``): warm caches, admission control, graceful
   SIGTERM drain;
+* ``cluster serve`` — the fault-tolerant sharded tier: N supervised
+  shard processes behind a health-checked consistent-hash router
+  (``docs/SERVICE.md``, "Sharding & failover");
 * ``cache``     — operate on verdict-cache snapshots: ``inspect`` one,
   or ``merge`` several into one.
 
@@ -314,7 +317,83 @@ def _build_parser() -> argparse.ArgumentParser:
         "verdict, cache hit, queue wait, timings, outcome); aggregate "
         "with 'repro report'",
     )
+    p_serve.add_argument(
+        "--shard-id", type=int, default=None, metavar="N",
+        help="run as shard N of a cluster: the cache snapshot becomes "
+        "<path>.shardN, /healthz reports the shard identity, and the "
+        "cluster fault rules (shard_kill/shard_hang) arm against this "
+        "shard's keys.  Set by 'repro cluster serve'; the shard "
+        "generation is read from $REPRO_SHARD_GENERATION",
+    )
     p_serve.set_defaults(handler=_cmd_serve)
+
+    p_cluster = add_command(
+        "cluster",
+        help="run the fault-tolerant sharded service tier",
+    )
+    cluster_sub = p_cluster.add_subparsers(
+        required=True, dest="cluster_command",
+        parser_class=argparse.ArgumentParser,
+    )
+    p_cluster_serve = cluster_sub.add_parser(
+        "serve",
+        help="supervise N shard processes behind a health-checked "
+        "consistent-hash router (docs/SERVICE.md, 'Sharding & failover')",
+    )
+    p_cluster_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface the router binds (default loopback)",
+    )
+    p_cluster_serve.add_argument(
+        "--port", type=int, default=0,
+        help="router TCP port (default 0: ephemeral, printed on the "
+        "'listening' line for scripts to parse)",
+    )
+    p_cluster_serve.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="supervised shard processes (default 3)",
+    )
+    p_cluster_serve.add_argument(
+        "--workers-per-shard", type=int, default=2, metavar="N",
+        help="decision worker threads inside each shard (default 2)",
+    )
+    p_cluster_serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="each shard's admission queue depth (default 64)",
+    )
+    p_cluster_serve.add_argument(
+        "--cache", metavar="FILE",
+        help="shared verdict-cache base path; shard N persists to "
+        "FILE.shardN",
+    )
+    p_cluster_serve.add_argument(
+        "--snapshot-interval", type=float, default=30.0, metavar="SECONDS",
+        help="per-shard periodic cache snapshot interval (default 30)",
+    )
+    p_cluster_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-decision deadline forwarded to each shard",
+    )
+    p_cluster_serve.add_argument(
+        "--probe-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between shard liveness probes (default 0.5)",
+    )
+    p_cluster_serve.add_argument(
+        "--unhealthy-after", type=int, default=3, metavar="K",
+        help="consecutive probe-or-request failures that evict a shard "
+        "from routing (default 3)",
+    )
+    p_cluster_serve.add_argument(
+        "--healthy-after", type=int, default=2, metavar="K",
+        help="consecutive probe successes that restore an evicted shard "
+        "(default 2)",
+    )
+    p_cluster_serve.add_argument(
+        "--log-requests", action="store_true",
+        help="emit access-log lines from the router and every shard",
+    )
+    p_cluster_serve.set_defaults(handler=_cmd_cluster_serve)
+    p_cluster.set_defaults(handler=_cmd_cluster_serve)
 
     p_report = add_command(
         "report",
@@ -770,6 +849,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ConflictService, ServiceConfig
     from repro.service.config import DEFAULT_PORT
 
+    try:
+        shard_generation = int(os.environ.get("REPRO_SHARD_GENERATION", "0"))
+    except ValueError:
+        shard_generation = 0
     config = ServiceConfig(
         host=args.host,
         port=args.port if args.port is not None else DEFAULT_PORT,
@@ -782,6 +865,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         log_requests=args.log_requests,
         access_log_path=args.access_log,
+        shard_id=args.shard_id,
+        shard_generation=shard_generation,
     )
     service = ConflictService(config)
     service.start()
@@ -809,6 +894,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("repro service draining: finishing admitted requests", flush=True)
     service.drain()
     print("repro service stopped", flush=True)
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster import ClusterConfig, ClusterRouter
+
+    # REPRO_FAULTS in this process would arm the *router*; chaos drills
+    # want the shard children armed instead.  REPRO_FAULTS_FOR_SHARDS is
+    # forwarded to every shard as its REPRO_FAULTS (seed rides along).
+    shard_env: dict[str, str] = {}
+    shard_faults = os.environ.get("REPRO_FAULTS_FOR_SHARDS")
+    if shard_faults:
+        shard_env["REPRO_FAULTS"] = shard_faults
+        seed = os.environ.get("REPRO_FAULTS_SEED")
+        if seed:
+            shard_env["REPRO_FAULTS_SEED"] = seed
+
+    config = ClusterConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        workers_per_shard=args.workers_per_shard,
+        queue_depth=args.queue_depth,
+        cache_path=args.cache,
+        snapshot_interval_s=args.snapshot_interval,
+        default_deadline_ms=(
+            args.timeout * 1000.0 if args.timeout is not None else None
+        ),
+        probe_interval_s=args.probe_interval,
+        unhealthy_after=args.unhealthy_after,
+        healthy_after=args.healthy_after,
+        log_requests=args.log_requests,
+        shard_env=shard_env or None,
+    )
+    router = ClusterRouter(config)
+    router.start()
+    # Same contract as 'repro serve': scripts parse this line for the port.
+    print(
+        f"repro cluster listening on http://{router.host}:{router.port} "
+        f"({config.shards} shard(s))",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    serve_thread = threading.Thread(
+        target=router.serve_forever, name="repro-cluster-serve", daemon=True
+    )
+    serve_thread.start()
+    while not stop.wait(0.2):
+        pass
+    print("repro cluster draining: finishing admitted requests", flush=True)
+    router.drain()
+    print("repro cluster stopped", flush=True)
     return 0
 
 

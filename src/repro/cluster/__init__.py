@@ -1,0 +1,45 @@
+"""Fault-tolerant sharded service tier.
+
+``repro.cluster`` scales the single-process conflict service
+(:mod:`repro.service`) out to N supervised shard processes behind one
+health-checked, consistent-hash-routing front:
+
+* :class:`~repro.cluster.supervisor.ShardSupervisor` — forks and watches
+  the shard processes, restarts crashes with jittered exponential
+  backoff, and trips a crash-loop circuit breaker on shards that die on
+  arrival;
+* :class:`~repro.cluster.hashring.HashRing` — stable request→shard
+  placement (warm caches) with a deterministic failover order;
+* :class:`~repro.cluster.probes.ShardHealth` /
+  :class:`~repro.cluster.probes.HealthProber` — consecutive-failure
+  hysteresis fed by both liveness probes and real request outcomes;
+* :class:`~repro.cluster.router.ClusterRouter` — the HTTP front: routes,
+  fails over in-flight-safe requests, and degrades to machine-readable
+  ``UNKNOWN`` (never a 5xx hang) when no shard can take work;
+* :class:`~repro.cluster.client.ClusterClient` — a failover-aware
+  client with busy retries on by default.
+
+Chaos drills are first-class: the ``REPRO_FAULTS`` rules ``shard_kill``,
+``shard_hang``, and ``probe_flap`` (see :mod:`repro.resilience.faults`)
+deterministically kill, stall, or flap individual shard incarnations so
+the whole supervise→evict→restart→reabsorb loop is testable in CI.
+Run a cluster from the CLI with ``repro cluster serve``.
+"""
+
+from repro.cluster.client import ClusterClient, is_degraded
+from repro.cluster.config import ClusterConfig
+from repro.cluster.hashring import HashRing
+from repro.cluster.probes import HealthProber, ShardHealth
+from repro.cluster.router import ClusterRouter
+from repro.cluster.supervisor import ShardSupervisor
+
+__all__ = [
+    "ClusterClient",
+    "ClusterConfig",
+    "ClusterRouter",
+    "HashRing",
+    "HealthProber",
+    "ShardHealth",
+    "ShardSupervisor",
+    "is_degraded",
+]

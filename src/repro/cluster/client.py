@@ -1,0 +1,65 @@
+"""Failover-aware client for the sharded tier.
+
+A :class:`ClusterClient` talks to a :class:`~repro.cluster.router.
+ClusterRouter` with the same ``check``/``matrix``/``schedule`` API as a
+single-service :class:`~repro.service.client.ServiceClient` — it *is*
+one, with the defaults a fault-tolerant front deserves:
+
+* **busy retries on by default** (``busy_retries=3``): the router relays
+  a shard's 429/503 only when *every* healthy shard was shedding load,
+  so a short jittered wait (honoring the relayed ``Retry-After``) and a
+  second attempt usually lands — the cluster's whole point is that the
+  caller should not have to orchestrate retries itself;
+* the reconnect retry budget is slightly larger (the router itself never
+  restarts mid-drill, but a laptop-grade chaos run can stall its accept
+  loop for a beat).
+
+Degraded answers are surfaced, not hidden: when the router had no shard
+to ask it answers 200 with ``"degraded": true`` and machine-readable
+``reason``; :meth:`ClusterClient.check` and friends return that payload
+as-is so callers can distinguish a real verdict from a conservative
+``unknown``.  :func:`is_degraded` is the one-line test.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+from repro.service.retry import RetryPolicy
+
+__all__ = ["ClusterClient", "is_degraded"]
+
+
+def is_degraded(payload: dict) -> bool:
+    """Did the cluster answer conservatively instead of deciding?"""
+    return bool(payload.get("degraded"))
+
+
+class ClusterClient(ServiceClient):
+    """A :class:`ServiceClient` pointed at the cluster router, with
+    busy-retry defaults suited to a front that sheds load transiently.
+
+    ::
+
+        with ClusterClient(port=router.port) as client:
+            verdict = client.check(a, b)
+            if is_degraded(verdict):
+                ...  # conservative unknown: retry later or serialize
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        timeout: float = 60.0,
+        request_id: str | None = None,
+        retry: RetryPolicy | None = None,
+        busy_retries: int = 3,
+    ) -> None:
+        super().__init__(
+            port=port,
+            host=host,
+            timeout=timeout,
+            request_id=request_id,
+            retry=retry if retry is not None else RetryPolicy(attempts=5),
+            busy_retries=busy_retries,
+        )

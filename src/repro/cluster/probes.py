@@ -1,0 +1,171 @@
+"""Shard health: hysteresis state machines fed by liveness probes.
+
+A shard's routability is decided by one :class:`ShardHealth` per shard —
+a pure state machine with hysteresis: ``unhealthy_after`` *consecutive*
+failures take a shard out of routing, ``healthy_after`` consecutive
+probe successes bring it back.  Both the background ``/healthz`` prober
+and the router's forwarding path feed the same machine (the issue's "K
+consecutive probe **or** request failures"), so a shard that answers
+probes but drops real requests is still evicted.
+
+:class:`HealthProber` is the background thread: every
+``probe_interval_s`` it GETs each live shard's ``/healthz`` with a tight
+timeout and records the outcome.  The ``probe_flap`` fault rule hooks in
+here — a matched probe is *counted as failed* even though the shard
+answered, which is how chaos drills exercise the eviction/recovery
+hysteresis without harming any real process.  Probe keys are
+``shard<N>|probe<K>`` with ``K`` the per-shard probe sequence number, so
+a spec like ``probe_flap:1:only=shard1`` flaps every probe of shard 1
+deterministically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from collections.abc import Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import faults
+
+__all__ = ["ShardHealth", "HealthProber"]
+
+
+class ShardHealth:
+    """Consecutive-outcome hysteresis for one shard (thread-safe).
+
+    Starts healthy: a shard enters the routing set when the supervisor
+    reports it live, and the first ``unhealthy_after`` failures are what
+    take it out.
+    """
+
+    def __init__(self, unhealthy_after: int, healthy_after: int) -> None:
+        self.unhealthy_after = unhealthy_after
+        self.healthy_after = healthy_after
+        self._lock = threading.Lock()
+        self._healthy = True
+        self._failures = 0
+        self._successes = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self._healthy
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def record_failure(self) -> bool:
+        """Count one failure; True when this flipped healthy→unhealthy."""
+        with self._lock:
+            self._successes = 0
+            self._failures += 1
+            if self._healthy and self._failures >= self.unhealthy_after:
+                self._healthy = False
+                return True
+            return False
+
+    def record_success(self) -> bool:
+        """Count one success; True when this flipped unhealthy→healthy."""
+        with self._lock:
+            self._failures = 0
+            self._successes += 1
+            if not self._healthy and self._successes >= self.healthy_after:
+                self._healthy = True
+                return True
+            return False
+
+    def reset(self) -> None:
+        """Forget history (a freshly restarted shard starts clean)."""
+        with self._lock:
+            self._healthy = True
+            self._failures = 0
+            self._successes = 0
+
+
+class HealthProber:
+    """Background ``/healthz`` prober feeding the shards' health machines.
+
+    ``endpoints`` is called each round to get the current
+    ``{shard_id: (host, port)}`` map (ports move when the supervisor
+    restarts a shard); shards without an endpoint (down, backoff,
+    open circuit) are skipped — the supervisor already knows they are
+    not live, and probing a corpse would only double-count failures.
+    """
+
+    def __init__(
+        self,
+        endpoints: Callable[[], dict[int, tuple[str, int]]],
+        health: dict[int, ShardHealth],
+        *,
+        interval_s: float,
+        timeout_s: float,
+        registry: MetricsRegistry | None = None,
+        on_transition: Callable[[int, bool], None] | None = None,
+    ) -> None:
+        self._endpoints = endpoints
+        self._health = health
+        self._interval_s = interval_s
+        self._timeout_s = timeout_s
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._on_transition = on_transition
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._probe_counts: dict[int, int] = {}
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster-prober", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self._timeout_s + self._interval_s + 5.0)
+            self._thread = None
+
+    def probe_round(self) -> None:
+        """One synchronous probe pass over every live shard (also the
+        unit tests' entry point — no thread, no sleeping)."""
+        for shard_id, (host, port) in sorted(self._endpoints().items()):
+            health = self._health.get(shard_id)
+            if health is None:
+                continue
+            count = self._probe_counts.get(shard_id, 0)
+            self._probe_counts[shard_id] = count + 1
+            flap = faults.match("probe_flap", f"shard{shard_id}|probe{count}")
+            ok = False if flap is not None else self._probe_once(host, port)
+            if ok:
+                self._registry.inc("cluster.probes_total", shard=shard_id,
+                                   outcome="ok")
+                if health.record_success() and self._on_transition:
+                    self._on_transition(shard_id, True)
+            else:
+                self._registry.inc("cluster.probes_total", shard=shard_id,
+                                   outcome="fail")
+                if health.record_failure() and self._on_transition:
+                    self._on_transition(shard_id, False)
+
+    def _probe_once(self, host: str, port: int) -> bool:
+        conn = http.client.HTTPConnection(host, port, timeout=self._timeout_s)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            return response.status == 200
+        except OSError:
+            return False
+        finally:
+            conn.close()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self.probe_round()
+            except Exception:  # noqa: BLE001 - prober must never die
+                self._registry.inc("cluster.prober_errors_total")
+                time.sleep(self._interval_s)

@@ -1,0 +1,661 @@
+"""The cluster front: consistent-hash routing with health-checked failover.
+
+:class:`ClusterRouter` is the one address clients talk to.  It owns a
+:class:`~repro.cluster.supervisor.ShardSupervisor` (the shard processes),
+a :class:`~repro.cluster.hashring.HashRing` (placement), per-shard
+:class:`~repro.cluster.probes.ShardHealth` machines fed by both the
+background prober and real forwarding outcomes, and a small per-shard
+connection pool.
+
+**Routing.**  Every decision request gets a *routing key* derived from
+its payload — the operand specs for ``/v1/check``, the sorted name/spec
+catalogue for ``/v1/matrix``/``/v1/schedule`` — so the same question
+always lands on the same shard and that shard's warm compiler and
+verdict cache answer it.  The knobs (deadline, budget) are deliberately
+left out of the key: the caches ignore them too.
+
+**Failover.**  Decisions are pure functions of their payload, which
+makes every request in-flight-safe: if the owning shard's connection
+drops mid-request (killed, hung past ``shard_timeout_s``, refused), the
+router records the failure against that shard and *re-executes* the
+request on the next shard in ring order — verdict-identical by
+construction.  429/503 answers fail over too (another shard may have
+room) but do not count against health: a shard shedding load is alive.
+
+**Degradation.**  When no shard can take the work, the router answers —
+never a 5xx hang: a check degrades to a machine-readable ``unknown``
+verdict with reason ``no_live_shard``; a matrix/schedule degrades to the
+all-pairs-unknown (= all-serial) conservative answer in the same schema
+a shard would have produced.  If every reachable shard was merely busy,
+the busiest-truth answer (429 with ``Retry-After``) is relayed instead.
+
+``GET /healthz`` reports the cluster view (per-shard supervision state,
+health, generation, restarts); ``GET /metrics`` exposes the router's own
+registry (forwards, failovers, degradations, per-shard labels) with the
+same JSON/Prometheus content negotiation as a single service.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.hashring import HashRing
+from repro.cluster.probes import HealthProber, ShardHealth
+from repro.cluster.supervisor import ShardSupervisor
+from repro.errors import ClusterError, ServiceProtocolError, ShardUnavailable
+from repro.obs.metrics import MetricsRegistry, global_metrics
+from repro.obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import request_context, span
+from repro.service.protocol import mint_request_id, normalize_request_id
+
+__all__ = ["ClusterRouter"]
+
+_POST_ROUTES = ("/v1/check", "/v1/matrix", "/v1/schedule")
+
+#: Reason stamped into responses the router degraded itself.
+NO_LIVE_SHARD = "no_live_shard"
+
+
+class _RouterHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    block_on_close = False
+
+    router: "ClusterRouter"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-cluster/1.0"
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        router = self.server.router
+        if self.path == "/healthz":
+            self._send_json(200, router.health())
+        elif self.path == "/metrics":
+            status, body, content_type = router.metrics_response(
+                self.headers.get("Accept", "")
+            )
+            self._send_raw(status, body, content_type)
+        elif self.path in _POST_ROUTES:
+            self._send_json(405, {"error": f"{self.path} requires POST"})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        router = self.server.router
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            self.close_connection = True
+            self._send_json(411, {"error": "Content-Length required"})
+            return
+        # Always consume the body — an unread body would be parsed as the
+        # next request line on this keep-alive connection.
+        body = self.rfile.read(length)
+        if self.path not in _POST_ROUTES:
+            if self.path in ("/healthz", "/metrics"):
+                self._send_json(405, {"error": f"{self.path} requires GET"})
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            request_id = normalize_request_id(self.headers.get("X-Request-Id"))
+        except ServiceProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        router.begin_request()
+        try:
+            try:
+                status, payload, headers = router.handle(
+                    self.path, body, request_id=request_id
+                )
+            except Exception as exc:  # noqa: BLE001 - never drop the conn
+                router.registry.inc("cluster.router_errors_total")
+                status = 500
+                payload = json.dumps(
+                    {"error": f"router failure: {type(exc).__name__}: {exc}"}
+                ).encode("utf-8")
+                headers = {}
+            self._send_raw(
+                status, payload, "application/json", extra=headers
+            )
+        finally:
+            router.end_request()
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_raw(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
+    def _send_raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def setup(self) -> None:
+        super().setup()
+        self.connection.settimeout(
+            self.server.router.config.shard_timeout_s + 30.0
+        )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.router.config.log_requests:
+            super().log_message(format, *args)
+
+
+class ClusterRouter:
+    """Supervisor + ring + prober + HTTP front, one lifecycle.
+
+    ::
+
+        router = ClusterRouter(ClusterConfig(shards=3, port=0))
+        router.start()                # boots shards, prober, listener
+        router.start_background()     # or serve_forever()
+        ...
+        router.drain()                # in-flight finishes, shards drain
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        supervisor: ShardSupervisor | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.health_by_shard = {
+            shard_id: ShardHealth(
+                self.config.unhealthy_after, self.config.healthy_after
+            )
+            for shard_id in range(self.config.shards)
+        }
+        self.supervisor = (
+            supervisor
+            if supervisor is not None
+            else ShardSupervisor(
+                self.config,
+                registry=self.registry,
+                on_shard_live=self._on_shard_live,
+            )
+        )
+        self.ring = HashRing(
+            range(self.config.shards), replicas=self.config.hash_replicas
+        )
+        self.prober = HealthProber(
+            self.supervisor.endpoints,
+            self.health_by_shard,
+            interval_s=self.config.probe_interval_s,
+            timeout_s=self.config.probe_timeout_s,
+            registry=self.registry,
+            on_transition=self._on_health_transition,
+        )
+        self._httpd: _RouterHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._pools: dict[int, list] = {}
+        self._pool_lock = threading.Lock()
+        self._drain_lock = threading.Lock()
+        self._drained = False
+        self._draining = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._httpd is not None:
+            raise ClusterError("cluster router already started")
+        self.supervisor.start()
+        httpd = _RouterHTTPServer((self.config.host, self.config.port), _Handler)
+        httpd.router = self
+        self._httpd = httpd
+        self.prober.start()
+
+    def serve_forever(self) -> None:
+        if self._httpd is None:
+            raise ClusterError("call start() before serve_forever()")
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start_background(self) -> threading.Thread:
+        if self._httpd is None:
+            self.start()
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-cluster-accept", daemon=True
+        )
+        thread.start()
+        self._serve_thread = thread
+        return thread
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0] if self._httpd else self.config.host
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1] if self._httpd else self.config.port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self) -> None:
+        """Ordered shutdown losing nothing admitted anywhere.
+
+        New router requests → 503; every in-flight request finishes
+        (shards are still up — they are what in-flight requests need);
+        then the prober stops, the shards drain gracefully (their own
+        admitted work and final snapshots), and the listener closes.
+        """
+        with self._drain_lock:
+            if self._drained:
+                return
+            self._drained = True
+            self._draining = True
+            self._await_inflight()
+            self.prober.stop()
+            self.supervisor.stop(graceful=True)
+            if self._httpd is not None:
+                self._httpd.shutdown()
+                self._httpd.server_close()
+            if self._serve_thread is not None:
+                self._serve_thread.join(timeout=5.0)
+
+    def begin_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+            self.registry.set_gauge("cluster.inflight", self._inflight)
+
+    def end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self.registry.set_gauge("cluster.inflight", self._inflight)
+            self._inflight_cv.notify_all()
+
+    def _await_inflight(self) -> None:
+        with self._inflight_cv:
+            self._inflight_cv.wait_for(lambda: self._inflight == 0)
+
+    # ------------------------------------------------------------------
+    # Health plumbing
+    # ------------------------------------------------------------------
+
+    def _on_shard_live(self, shard_id: int, generation: int) -> None:
+        """Supervisor callback: a (re)booted shard starts with clean health."""
+        health = self.health_by_shard.get(shard_id)
+        if health is not None:
+            health.reset()
+        self._discard_pool(shard_id)
+        self.registry.set_gauge(
+            "cluster.shard_healthy", 1, shard=shard_id
+        )
+
+    def _on_health_transition(self, shard_id: int, healthy: bool) -> None:
+        self.registry.inc(
+            "cluster.health_transitions_total",
+            shard=shard_id,
+            to="healthy" if healthy else "unhealthy",
+        )
+        self.registry.set_gauge(
+            "cluster.shard_healthy", 1 if healthy else 0, shard=shard_id
+        )
+
+    def _routable(self, shard_id: int) -> bool:
+        health = self.health_by_shard.get(shard_id)
+        return (
+            health is not None
+            and health.healthy
+            and shard_id in self.supervisor.endpoints()
+        )
+
+    def _note_failure(self, shard_id: int) -> None:
+        self.registry.inc("cluster.forward_failures_total", shard=shard_id)
+        health = self.health_by_shard.get(shard_id)
+        if health is not None and health.record_failure():
+            self._on_health_transition(shard_id, False)
+
+    def _note_success(self, shard_id: int) -> None:
+        health = self.health_by_shard.get(shard_id)
+        if health is not None and health.record_success():
+            self._on_health_transition(shard_id, True)
+
+    # ------------------------------------------------------------------
+    # Routing core (HTTP-independent; tests call it directly)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def routing_key(route: str, payload: dict) -> str:
+        """The placement key for one request (knobs excluded, see module
+        docstring)."""
+        if route == "/v1/check":
+            detail = json.dumps(
+                [payload.get("first"), payload.get("second")], sort_keys=True
+            )
+            return f"check|{detail}"
+        ops = payload.get("ops")
+        detail = json.dumps(ops, sort_keys=True) if isinstance(ops, dict) else ""
+        return f"catalogue|{detail}"
+
+    def handle(
+        self,
+        route: str,
+        body: bytes,
+        request_id: str | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Route one request; returns ``(status, body, extra headers)``."""
+        started = time.perf_counter()
+        if request_id is None:
+            request_id = mint_request_id()
+        self.registry.inc("cluster.requests_total", route=route)
+        if self._draining:
+            return self._json_response(
+                503,
+                {"error": "cluster is draining", "request_id": request_id},
+                request_id,
+            )
+        try:
+            payload = json.loads(body)
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except (json.JSONDecodeError, ValueError) as exc:
+            return self._json_response(
+                400,
+                {"error": f"body is not a JSON object: {exc}",
+                 "request_id": request_id},
+                request_id,
+            )
+        with request_context(request_id):
+            with span("cluster.route", route=route) as sp:
+                result = self._route_with_failover(
+                    route, body, payload, request_id
+                )
+                sp.set("status", result[0])
+        self.registry.observe(
+            "cluster.request_ms",
+            (time.perf_counter() - started) * 1000.0,
+            route=route,
+        )
+        return result
+
+    def _route_with_failover(
+        self,
+        route: str,
+        body: bytes,
+        payload: dict,
+        request_id: str,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        key = self.routing_key(route, payload)
+        order = self.ring.route_order(key)
+        busy: tuple[int, bytes, dict[str, str]] | None = None
+        attempts = 0
+        for position, shard_id in enumerate(order):
+            if not self._routable(shard_id):
+                continue
+            attempts += 1
+            try:
+                status, data, headers = self._forward(
+                    shard_id, route, body, request_id
+                )
+            except ShardUnavailable:
+                self._note_failure(shard_id)
+                self.registry.inc(
+                    "cluster.failovers_total", shard=shard_id
+                )
+                continue
+            self._note_success(shard_id)
+            if status in (429, 503):
+                # Alive but shedding; remember the rejection (it carries
+                # the server's Retry-After) and try a less-loaded shard.
+                self.registry.inc(
+                    "cluster.shard_busy_total", shard=shard_id
+                )
+                busy = (status, data, headers)
+                continue
+            if position > 0:
+                self.registry.inc("cluster.failover_hits_total", route=route)
+            return status, data, headers
+        if busy is not None:
+            return busy
+        self.registry.inc("cluster.degraded_total", route=route)
+        return self._json_response(
+            200, self._degraded_payload(route, payload, request_id), request_id
+        )
+
+    def _forward(
+        self,
+        shard_id: int,
+        route: str,
+        body: bytes,
+        request_id: str,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One shard round-trip; raises :class:`ShardUnavailable` on any
+        transport-level failure (refused, dropped mid-flight, hung past
+        ``shard_timeout_s``)."""
+        endpoint = self.supervisor.endpoints().get(shard_id)
+        if endpoint is None:
+            raise ShardUnavailable(f"shard {shard_id} has no live endpoint")
+        started = time.perf_counter()
+        try:
+            conn = self._lease(shard_id, endpoint)
+        except (OSError, http.client.HTTPException) as exc:
+            raise ShardUnavailable(
+                f"shard {shard_id} refused a connection: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        try:
+            conn.request(
+                "POST",
+                route,
+                body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Request-Id": request_id,
+                },
+            )
+            response = conn.getresponse()
+            data = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            raise ShardUnavailable(
+                f"shard {shard_id} failed mid-request: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self._release(shard_id, conn)
+        self.registry.inc("cluster.forwards_total", shard=shard_id)
+        self.registry.observe(
+            "cluster.forward_ms",
+            (time.perf_counter() - started) * 1000.0,
+            shard=shard_id,
+        )
+        headers: dict[str, str] = {}
+        retry_after = response.getheader("Retry-After")
+        if retry_after:
+            headers["Retry-After"] = retry_after
+        echoed = response.getheader("X-Request-Id")
+        if echoed:
+            headers["X-Request-Id"] = echoed
+        return response.status, data, headers
+
+    # -- connection pooling ------------------------------------------------
+
+    def _lease(
+        self, shard_id: int, endpoint: tuple[str, int]
+    ) -> http.client.HTTPConnection:
+        host, port = endpoint
+        with self._pool_lock:
+            pool = self._pools.get(shard_id)
+            while pool:
+                conn = pool.pop()
+                # Endpoints move across restarts; a pooled connection to
+                # the old port must not be reused against the new one.
+                if (conn.host, conn.port) == (host, port):
+                    return conn
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        conn = http.client.HTTPConnection(
+            host, port, timeout=self.config.shard_timeout_s
+        )
+        conn.connect()
+        conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return conn
+
+    def _release(
+        self, shard_id: int, conn: http.client.HTTPConnection
+    ) -> None:
+        with self._pool_lock:
+            pool = self._pools.setdefault(shard_id, [])
+            if len(pool) < 8:
+                pool.append(conn)
+                return
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _discard_pool(self, shard_id: int) -> None:
+        with self._pool_lock:
+            pool = self._pools.pop(shard_id, [])
+        for conn in pool:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- degraded answers --------------------------------------------------
+
+    @staticmethod
+    def _degraded_payload(
+        route: str, payload: dict, request_id: str
+    ) -> dict:
+        """The conservative 200 answer when no shard can take the work.
+
+        Machine-readable ``UNKNOWN`` in the same schema a shard would
+        have produced: a degraded check is one unknown verdict; a
+        degraded matrix is all-pairs-unknown; a degraded schedule is the
+        fully serial plan (unknown = may-conflict = nothing runs
+        together).  ``degraded`` and ``reason`` are top-level so clients
+        need no schema-specific digging to notice.
+        """
+        base = {
+            "request_id": request_id,
+            "degraded": True,
+            "reason": NO_LIVE_SHARD,
+            "notes": ["no shard could take the work; conservative answer"],
+        }
+        if route == "/v1/check":
+            return {
+                "command": "check",
+                "verdict": "unknown",
+                "kind": None,
+                "method": "degraded",
+                "witness": None,
+                "cached": False,
+                **base,
+            }
+        ops = payload.get("ops")
+        names = sorted(str(name) for name in ops) if isinstance(ops, dict) else []
+        if route == "/v1/matrix":
+            verdicts = [
+                {
+                    "first": first,
+                    "second": second,
+                    "verdict": "unknown",
+                    "reason": NO_LIVE_SHARD,
+                    "discharge": "degraded",
+                }
+                for i, first in enumerate(names)
+                for second in names[i:]
+            ]
+            return {
+                "command": "matrix",
+                "names": names,
+                "verdicts": verdicts,
+                "stats": {
+                    "operations": len(names),
+                    "unknown": len(verdicts),
+                    "degraded": len(verdicts),
+                },
+                "quarantine": [],
+                **base,
+            }
+        return {
+            "command": "schedule",
+            "batches": [[name] for name in names],
+            "quarantine": [],
+            "stats": {
+                "operations": len(names),
+                "batches": len(names),
+                "largest_batch": 1 if names else 0,
+                "degraded": len(names),
+            },
+            **base,
+        }
+
+    @staticmethod
+    def _json_response(
+        status: int, payload: dict, request_id: str
+    ) -> tuple[int, bytes, dict[str, str]]:
+        headers = {"X-Request-Id": request_id}
+        if status in (429, 503):
+            headers["Retry-After"] = "1"
+        return status, json.dumps(payload).encode("utf-8"), headers
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The cluster ``/healthz`` view: supervision x routing health."""
+        supervision = self.supervisor.snapshot()
+        shards = {}
+        live = 0
+        for shard_id in range(self.config.shards):
+            view = supervision.get(shard_id, {"state": "unknown"})
+            health = self.health_by_shard.get(shard_id)
+            view["healthy"] = bool(health is not None and health.healthy)
+            if view.get("state") == "live" and view["healthy"]:
+                live += 1
+            shards[str(shard_id)] = view
+        status = "ok" if live == self.config.shards else (
+            "degraded" if live else "down"
+        )
+        if self._draining:
+            status = "draining"
+        return {
+            "status": status,
+            "shards": shards,
+            "live": live,
+            "total": self.config.shards,
+        }
+
+    def metrics_response(self, accept: str) -> tuple[int, bytes, str]:
+        """``GET /metrics`` body: router registry over the global one."""
+        snapshot = global_metrics().merged_with(self.registry)
+        if "text/plain" in accept or "openmetrics" in accept:
+            body = render_prometheus(snapshot).encode("utf-8")
+            return 200, body, PROMETHEUS_CONTENT_TYPE
+        return 200, json.dumps(snapshot).encode("utf-8"), "application/json"

@@ -62,7 +62,12 @@ from repro.compile.compiler import CompiledArtifact, compiler_for_config
 from repro.conflicts.detector import ConflictDetector, DetectorConfig
 from repro.conflicts.index import PatternIndex, StaticProfile, profile_pattern, result_containment
 from repro.conflicts.semantics import ConflictKind, Verdict
-from repro.errors import CacheCorrupt, CacheCorruptWarning, ConflictEngineError
+from repro.errors import (
+    CacheCorrupt,
+    CacheCorruptWarning,
+    CacheShardMismatch,
+    ConflictEngineError,
+)
 from repro.obs.metrics import MetricsRegistry, histogram_delta
 from repro.obs.trace import current_request_id, set_request_id
 from repro.operations.ops import Delete, Insert, Read, UpdateOp
@@ -167,11 +172,25 @@ class VerdictCache:
     one store without ever mixing their answers.
 
     Thread-safe; share one instance across analyzers to pool verdicts.
+
+    A cache may be **owned by a shard** (``shard_id``): snapshots record
+    the writing shard, and :meth:`save` refuses to overwrite a snapshot
+    written by a *different* shard unless merging — two shard processes
+    misconfigured onto one ``cache_path`` fail loudly instead of silently
+    clobbering each other's accumulated verdicts on every save.  Use
+    :meth:`shard_snapshot_path` to derive the conventional per-shard
+    location (``<path>.shard<N>``) from a shared base path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, shard_id: int | None = None) -> None:
         self._lock = threading.Lock()
         self._verdicts: dict[PairKey, Verdict] = {}
+        self.shard_id = shard_id
+
+    @staticmethod
+    def shard_snapshot_path(path: str | os.PathLike, shard_id: int) -> str:
+        """The per-shard snapshot location for a shared base ``path``."""
+        return f"{os.fspath(path)}.shard{shard_id}"
 
     @staticmethod
     def pair_key(
@@ -254,7 +273,7 @@ class VerdictCache:
                     added += 1
         return added
 
-    def save(self, path: str | os.PathLike) -> None:
+    def save(self, path: str | os.PathLike, *, merge: bool = False) -> None:
         """Snapshot to ``path`` as JSON, durably and atomically.
 
         The bytes are flushed and ``fsync``'d before the ``os.replace``
@@ -266,12 +285,41 @@ class VerdictCache:
         Missing parent directories of ``path`` are created, so a fresh
         snapshot location like ``runs/2026-08-07/cache.json`` works on
         the first save instead of failing until someone mkdirs it.
+
+        Snapshots record the writing shard (:attr:`shard_id`).  When
+        ``path`` already holds a snapshot owned by a *different* shard,
+        the save raises :class:`~repro.errors.CacheShardMismatch` — two
+        shards misconfigured onto one path must not take turns erasing
+        each other.  Pass ``merge=True`` to fold the existing snapshot's
+        entries into this cache first (existing in-memory entries win)
+        and write the union instead of refusing.
+
+        Raises:
+            CacheShardMismatch: ``path`` holds another shard's snapshot
+                and ``merge`` is false.
         """
         path = os.fspath(path)
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        text = json.dumps({"version": 1, "entries": self.export()})
+        existing_shard = self._snapshot_owner(path)
+        if (
+            existing_shard is not None
+            and existing_shard != self.shard_id
+        ):
+            if not merge:
+                raise CacheShardMismatch(
+                    f"snapshot {path!r} was written by shard "
+                    f"{existing_shard}; this cache belongs to shard "
+                    f"{self.shard_id} (pass merge=True to fold it in, or "
+                    "use VerdictCache.shard_snapshot_path for per-shard "
+                    "files)"
+                )
+        if merge and os.path.exists(path):
+            self.merge(VerdictCache.load(path))
+        text = json.dumps(
+            {"version": 1, "shard": self.shard_id, "entries": self.export()}
+        )
         rule = faults.match("cache_corrupt", path)
         if rule is not None:
             text = _corrupt_snapshot(text, rule.mode)
@@ -281,6 +329,24 @@ class VerdictCache:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+
+    @staticmethod
+    def _snapshot_owner(path: str) -> int | None:
+        """The ``shard`` recorded in the snapshot at ``path``, if any.
+
+        Reads only a bounded prefix: the writer emits ``shard`` before
+        the (potentially huge) entries array, so ownership never costs a
+        full parse.  Missing files, pre-shard snapshots, and corrupt
+        prefixes all answer ``None`` — only a *positively identified*
+        other owner blocks a save.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                head = handle.read(4096)
+        except OSError:
+            return None
+        found = re.search(r'"shard"\s*:\s*(\d+)', head)
+        return int(found.group(1)) if found else None
 
     @classmethod
     def load(
@@ -317,14 +383,15 @@ class VerdictCache:
                 ),
                 stacklevel=2,
             )
-            cache = cls()
+            cache = cls(shard_id=cls._snapshot_owner(path))
             cache.merge(entries)
             return cache
         if payload.get("version") != 1:
             raise ConflictEngineError(
                 f"unsupported verdict-cache version {payload.get('version')!r}"
             )
-        cache = cls()
+        shard = payload.get("shard")
+        cache = cls(shard_id=shard if isinstance(shard, int) else None)
         cache.merge(payload["entries"])
         return cache
 

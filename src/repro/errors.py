@@ -132,6 +132,18 @@ class CacheCorrupt(ConflictEngineError):
     """
 
 
+class CacheShardMismatch(ConflictEngineError):
+    """A verdict-cache save would overwrite another shard's snapshot.
+
+    Two shard processes pointed at the same ``cache_path`` used to
+    silently clobber each other's snapshots on every save.  Snapshots now
+    record the writing shard id, and ``VerdictCache.save`` refuses to
+    overwrite a snapshot owned by a *different* shard unless asked to
+    merge (``save(path, merge=True)``) — losing a shard's accumulated
+    verdicts is a misconfiguration, not a race to tolerate.
+    """
+
+
 class CacheCorruptWarning(UserWarning):
     """A verdict-cache snapshot was corrupt; valid entries were salvaged.
 
@@ -179,6 +191,26 @@ class ServiceDraining(ServiceError):
 
 class ServiceProtocolError(ServiceError):
     """A malformed request or response crossed the service boundary (HTTP 400)."""
+
+
+class ClusterError(ServiceError):
+    """An error in the sharded service tier (:mod:`repro.cluster`).
+
+    Raised for cluster lifecycle problems — a shard that never finished
+    booting, an empty hash ring, invalid cluster configuration.  Routing
+    failures are *not* errors: a request that no shard can take degrades
+    to a machine-readable ``UNKNOWN`` response instead of raising.
+    """
+
+
+class ShardUnavailable(ClusterError):
+    """A forwarded request could not reach its shard (died/hung/refused).
+
+    Internal to the router's failover loop: each occurrence marks one
+    consecutive failure against the shard and the request moves on to
+    the next shard in ring order.  Only surfaces to callers wrapped in a
+    degraded response when *every* shard is unavailable.
+    """
 
 
 class LanguageError(ReproError):

@@ -15,6 +15,22 @@ seeded decisions:
   :meth:`~repro.conflicts.batch.VerdictCache.save` snapshot, driving the
   salvage path in ``VerdictCache.load``.
 
+Three **cluster-level** rules drive the sharded service tier
+(:mod:`repro.cluster`); their injection-site keys embed the shard id and
+restart generation (``shard<N>|gen<G>|<route>|...``), so a drill can
+target one process of one shard deterministically:
+
+* ``shard_kill`` — ``os._exit(23)`` inside a shard process at request
+  admission, simulating a SIGKILL/OOM-kill mid-request; the router must
+  fail the request over and the supervisor must restart the shard.
+  ``only=shard1|gen0`` kills shard 1's original process exactly once —
+  the restarted generation no longer matches, so drills converge;
+* ``shard_hang`` — sleep ``delay=`` seconds inside a shard before
+  serving a request, driving the router's per-shard timeout + failover;
+* ``probe_flap`` — fires in the *router's* health prober (keys
+  ``shard<N>|probe<K>``), making a healthy shard's probe report failure,
+  driving the unhealthy-marking / recovery hysteresis.
+
 Activation is environment-driven so no production code path changes::
 
     REPRO_FAULTS="worker_crash:0.1,slow_decide:0.05,cache_corrupt" \
@@ -66,6 +82,7 @@ __all__ = [
     "uninstall",
     "match",
     "inject_worker_fault",
+    "inject_shard_fault",
 ]
 
 #: Environment variables consulted by :func:`current`.
@@ -73,7 +90,14 @@ ENV_SPEC = "REPRO_FAULTS"
 ENV_SEED = "REPRO_FAULTS_SEED"
 
 #: Fault names with injection points wired into the engine.
-KNOWN_FAULTS = ("worker_crash", "slow_decide", "cache_corrupt")
+KNOWN_FAULTS = (
+    "worker_crash",
+    "slow_decide",
+    "cache_corrupt",
+    "shard_kill",
+    "shard_hang",
+    "probe_flap",
+)
 
 
 @dataclass(frozen=True)
@@ -293,6 +317,31 @@ def inject_worker_fault(key: str, salt: int = 0) -> None:
         raise InjectedFault(
             f"injected worker_crash (attempt {salt}) while deciding {key!r}"
         )
+
+
+def inject_shard_fault(key: str, salt: int = 0) -> None:
+    """The shard process's injection point, called once per request.
+
+    Applies ``shard_hang`` (sleep ``delay=`` seconds — long enough to
+    trip the router's per-shard timeout and drive failover) then
+    ``shard_kill`` (``os._exit(23)``, the moral equivalent of a SIGKILL
+    landing mid-request).  Keys are ``shard<N>|gen<G>|<route>|...``; see
+    :meth:`repro.service.state.ServiceState._shard_fault_key`.  No-op
+    without an injector.
+    """
+    injector = current()
+    if injector is None:
+        return
+    hang = injector.match("shard_hang", key, salt)
+    if hang is not None:
+        _count("shard_hang")
+        import time
+
+        time.sleep(hang.delay_s)
+    kill = injector.match("shard_kill", key, salt)
+    if kill is not None:
+        _count("shard_kill")
+        os._exit(23)
 
 
 def _count(fault: str) -> None:

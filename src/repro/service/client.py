@@ -25,6 +25,15 @@ to stamp every request from this client with one id, or pass
 shows up in the server's spans, access log, and degraded-verdict notes —
 so "why was *my* request slow/degraded?" is a grep, not an archaeology
 dig.  Clients that don't pass one get a server-minted id back.
+
+**Retries**: reconnects after a dropped keep-alive connection follow a
+capped jittered exponential backoff (:class:`~repro.service.retry.
+RetryPolicy`; the old behavior was one immediate retry, which lost races
+against a server restart every time).  ``busy_retries=N`` additionally
+retries 429/503 responses up to N times, honoring the server's
+``Retry-After`` header over the computed backoff; the default ``0``
+keeps the historical contract that overload raises
+:class:`~repro.errors.ServiceOverloaded` immediately.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.errors import (
 )
 from repro.service import protocol
 from repro.service.config import DEFAULT_PORT
+from repro.service.retry import RetryPolicy, parse_retry_after
 
 __all__ = ["ServiceClient"]
 
@@ -68,11 +78,15 @@ class ServiceClient:
         host: str = "127.0.0.1",
         timeout: float = 60.0,
         request_id: str | None = None,
+        retry: RetryPolicy | None = None,
+        busy_retries: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.request_id = request_id
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.busy_retries = busy_retries
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
@@ -180,9 +194,12 @@ class ServiceClient:
         payload: bytes | None,
         headers: dict[str, str],
     ) -> tuple[http.client.HTTPResponse, bytes]:
-        # One transparent retry after reconnecting: the server (or an
-        # intermediary) may have closed the idle keep-alive connection.
-        for attempt in (0, 1):
+        # Transparent reconnect retries: the server (or an intermediary)
+        # may have closed the idle keep-alive connection, or the server
+        # may be mid-restart.  Each retry reconnects after the policy's
+        # capped jittered exponential backoff.
+        last = self.retry.attempts - 1
+        for attempt in range(self.retry.attempts):
             try:
                 conn = self._connection()
                 conn.request(method, path, body=payload, headers=headers)
@@ -195,13 +212,14 @@ class ServiceClient:
                 ConnectionResetError,
             ):
                 self.close()
-                if attempt:
+                if attempt == last:
                     raise
             except (ConnectionRefusedError, socket.timeout, OSError) as exc:
                 self.close()
                 raise ServiceError(
                     f"cannot reach service at {self.host}:{self.port}: {exc}"
                 ) from exc
+            self.retry.sleep(attempt)
         raise ServiceError("unreachable")  # pragma: no cover
 
     def _headers(
@@ -223,9 +241,24 @@ class ServiceClient:
         request_id: str | None = None,
     ) -> dict:
         payload = json.dumps(body).encode("utf-8") if body is not None else None
-        response, data = self._roundtrip(
-            method, path, payload, self._headers(payload, request_id)
-        )
+        headers = self._headers(payload, request_id)
+        # 429/503 are the server shedding load; with busy_retries > 0 we
+        # back off (honoring its Retry-After estimate) and try again
+        # instead of surfacing the rejection to the caller immediately.
+        for busy_attempt in range(self.busy_retries + 1):
+            response, data = self._roundtrip(method, path, payload, headers)
+            if (
+                response.status in (429, 503)
+                and busy_attempt < self.busy_retries
+            ):
+                self.retry.sleep(
+                    busy_attempt,
+                    retry_after_s=parse_retry_after(
+                        response.getheader("Retry-After")
+                    ),
+                )
+                continue
+            break
         try:
             result = json.loads(data) if data else {}
         except json.JSONDecodeError as exc:

@@ -63,6 +63,19 @@ class ServiceConfig:
             an oversized JSON form is replaced with an error body.  The
             introspection routes answer inline on the listener thread,
             so an unbounded response is a drain/latency hazard.
+        shard_id: this process's shard number when it runs as one shard
+            of a ``repro cluster serve`` deployment (``None`` = the
+            plain single-process service).  Shard mode derives a
+            per-shard snapshot location from ``cache_path``
+            (``<path>.shard<N>``), stamps the shard into ``/healthz``
+            and metric labels, and arms the cluster-level fault
+            injection points (``shard_kill`` / ``shard_hang``).
+        shard_generation: how many times the supervisor has restarted
+            this shard (0 = first boot).  Injected fault keys embed it,
+            so a chaos rule like ``shard_kill:1:only=shard1|gen0`` kills
+            the original process exactly once and lets the restarted
+            generation live — deterministic drills converge instead of
+            crash-looping.
     """
 
     host: str = "127.0.0.1"
@@ -80,6 +93,8 @@ class ServiceConfig:
     log_requests: bool = False
     access_log_path: str | None = None
     max_metrics_bytes: int = 4 * 1024 * 1024
+    shard_id: int | None = None
+    shard_generation: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -103,4 +118,12 @@ class ServiceConfig:
             raise ServiceError(
                 "max_metrics_bytes must be >= 1024, got "
                 f"{self.max_metrics_bytes}"
+            )
+        if self.shard_id is not None and self.shard_id < 0:
+            raise ServiceError(
+                f"shard_id must be >= 0, got {self.shard_id}"
+            )
+        if self.shard_generation < 0:
+            raise ServiceError(
+                f"shard_generation must be >= 0, got {self.shard_generation}"
             )

@@ -1,0 +1,122 @@
+"""Capped jittered exponential backoff shared by the service clients.
+
+One :class:`RetryPolicy` value answers the only question a retry loop
+needs answered — *how long to sleep before attempt N* — so
+:class:`~repro.service.client.ServiceClient` (reconnects) and
+:class:`~repro.cluster.client.ClusterClient` (reconnects *and* 429/503
+busy retries) share identical backoff behavior instead of each growing
+its own off-by-one sleep loop.
+
+The policy is deliberately a pure calculator: callers drive their own
+loops (a reconnect loop and a status-code loop retry *different* things)
+and inject ``rng``/``sleep`` in tests, so every delay is assertable
+without wall-clock time.
+
+Two server signals are honored:
+
+* ``Retry-After: <seconds>`` on a 429/503 response overrides the
+  computed backoff — the server knows its own drain/overload horizon
+  better than any client-side curve — capped at
+  :attr:`RetryPolicy.max_retry_after_s` so a buggy or hostile header
+  cannot park a client for an hour;
+* **full jitter** (AWS-style): the sleep is drawn uniformly from
+  ``[delay * (1 - jitter), delay]``, so a thundering herd of clients
+  that all failed together does not retry together.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+__all__ = ["RetryPolicy", "parse_retry_after"]
+
+
+def parse_retry_after(value: object) -> float | None:
+    """Seconds from a ``Retry-After`` header value, or ``None``.
+
+    Only the delta-seconds form is produced by this repo's servers;
+    an HTTP-date (or any other unparseable value) yields ``None`` and
+    the caller falls back to its computed backoff.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(str(value).strip())
+    except ValueError:
+        return None
+    if seconds < 0:
+        return None
+    return seconds
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for transient failures (see module docstring).
+
+    Args:
+        attempts: total tries including the first one.  ``attempts=1``
+            means "never retry"; the old ``ServiceClient`` behavior of
+            one reconnect retry is ``attempts=2`` with zero delay.
+        base_s: delay before the first retry.
+        cap_s: upper bound every computed delay is clamped to.
+        multiplier: exponential growth factor between retries.
+        jitter: fraction of each delay that is randomized away
+            (``0`` = deterministic, ``0.5`` = sleep in ``[d/2, d]``).
+        max_retry_after_s: cap applied to a server-sent ``Retry-After``.
+    """
+
+    attempts: int = 4
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    max_retry_after_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ServiceError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ServiceError("base_s and cap_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ServiceError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServiceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(
+        self,
+        attempt: int,
+        retry_after_s: float | None = None,
+        rng: random.Random | None = None,
+    ) -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (0-based).
+
+        A server-sent ``retry_after_s`` wins over the computed curve
+        (capped); otherwise the capped exponential delay is jittered
+        downward so synchronized clients desynchronize.
+        """
+        if retry_after_s is not None:
+            return min(max(retry_after_s, 0.0), self.max_retry_after_s)
+        delay = min(self.cap_s, self.base_s * (self.multiplier ** attempt))
+        if self.jitter > 0.0:
+            draw = (rng or random).random()
+            delay *= 1.0 - self.jitter * draw
+        return delay
+
+    def sleep(
+        self,
+        attempt: int,
+        retry_after_s: float | None = None,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ) -> float:
+        """:meth:`delay_s` then actually sleep; returns the slept delay."""
+        delay = self.delay_s(attempt, retry_after_s=retry_after_s, rng=rng)
+        if delay > 0:
+            sleep(delay)
+        return delay

@@ -56,19 +56,40 @@ class ServiceState:
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
         self.compiler = global_compiler()
+        self.snapshot_path = self._snapshot_path()
         self.cache = self._load_cache()
         self.started_at = time.monotonic()
         self._snapshot_lock = threading.Lock()
         self._snapshotted_entries = len(self.cache)
         self.registry.set_gauge("service.cache_entries", len(self.cache))
+        if config.shard_id is not None:
+            self.registry.set_gauge(
+                "service.shard_generation",
+                config.shard_generation,
+                shard=config.shard_id,
+            )
+
+    def _snapshot_path(self) -> str | None:
+        """Where this process snapshots its verdict cache.
+
+        In shard mode the shared ``cache_path`` is specialized to
+        ``<path>.shard<N>`` — every shard of a cluster is handed the
+        *same* base path and derives its own file, so no two shards can
+        ever race on one snapshot.
+        """
+        path = self.config.cache_path
+        if path and self.config.shard_id is not None:
+            return VerdictCache.shard_snapshot_path(path, self.config.shard_id)
+        return path
 
     def _load_cache(self) -> VerdictCache:
-        path = self.config.cache_path
+        path = self.snapshot_path
         if path and os.path.exists(path):
             cache = VerdictCache.load(path)  # salvages corrupt snapshots
+            cache.shard_id = self.config.shard_id
             self.registry.inc("service.cache_loaded_entries", len(cache))
             return cache
-        return VerdictCache()
+        return VerdictCache(shard_id=self.config.shard_id)
 
     # ------------------------------------------------------------------
     # Decisions (run on admission-controller worker threads)
@@ -85,6 +106,9 @@ class ServiceState:
         config = self._detector_config(payload)
         canon_a = CanonicalOp.from_operation(first)
         canon_b = CanonicalOp.from_operation(second)
+        faults.inject_shard_fault(
+            self._shard_fault_key("check", f"{canon_a.key}|{canon_b.key}")
+        )
         if canon_a.is_read and canon_b.is_read:
             return self._check_payload(
                 verdict=Verdict.NO_CONFLICT.value,
@@ -157,6 +181,9 @@ class ServiceState:
         if "ops" not in payload:
             raise ServiceProtocolError("body must carry an 'ops' catalogue")
         catalogue = protocol.catalogue_from_specs(payload["ops"])
+        faults.inject_shard_fault(
+            self._shard_fault_key("matrix", "|".join(sorted(catalogue)))
+        )
         config = self._detector_config(payload)
         # One fresh detector per request, on the shared compiler and the
         # shared verdict cache; jobs stays 1 because request concurrency
@@ -176,6 +203,22 @@ class ServiceState:
         matrix = analyzer.analyze(catalogue)
         self.registry.set_gauge("service.cache_entries", len(self.cache))
         return analyzer, matrix
+
+    def _shard_fault_key(self, route: str, detail: str) -> str:
+        """The cluster fault-injection key for one request on this shard.
+
+        Embeds the shard id and its restart generation so chaos rules
+        can target ``only=shard1|gen0`` — the original process of shard
+        1, but not its restarted successor.  Single-process services
+        inject under ``shard-`` so a cluster-targeted spec never fires
+        on them by accident.
+        """
+        shard = (
+            self.config.shard_id if self.config.shard_id is not None else "-"
+        )
+        return (
+            f"shard{shard}|gen{self.config.shard_generation}|{route}|{detail}"
+        )
 
     def _detector_config(self, payload: Mapping) -> DetectorConfig:
         return protocol.detector_config_from(
@@ -261,13 +304,17 @@ class ServiceState:
     # ------------------------------------------------------------------
 
     def health(self, *, draining: bool = False) -> dict:
-        return {
+        payload = {
             "status": "draining" if draining else "ok",
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "cache_entries": len(self.cache),
             "workers": self.config.workers,
             "queue_depth": self.config.queue_depth,
         }
+        if self.config.shard_id is not None:
+            payload["shard_id"] = self.config.shard_id
+            payload["shard_generation"] = self.config.shard_generation
+        return payload
 
     def metrics_snapshot(self) -> dict:
         """``GET /metrics``: service + engine + compile counters, one view.
@@ -298,7 +345,7 @@ class ServiceState:
         and parent-directory creation are :meth:`VerdictCache.save`'s
         contract.
         """
-        path = self.config.cache_path
+        path = self.snapshot_path
         if not path:
             return False
         with self._snapshot_lock:

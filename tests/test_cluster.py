@@ -1,0 +1,610 @@
+"""Tests for the fault-tolerant sharded tier (:mod:`repro.cluster`).
+
+The unit tests exercise the pure machinery — hash ring, retry policy,
+health hysteresis, snapshot ownership, degraded answers — with no
+processes.  The integration tests boot a real 3-shard cluster (real
+``repro serve`` subprocesses behind a real router) and drive the full
+supervise → kill → failover → restart → reabsorb loop, including the
+deterministic ``shard_kill`` chaos drill from ``docs/RESILIENCE.md``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterRouter,
+    HashRing,
+    HealthProber,
+    ShardHealth,
+    ShardSupervisor,
+    is_degraded,
+)
+from repro.conflicts.batch import VerdictCache
+from repro.conflicts.detector import ConflictDetector
+from repro.errors import CacheShardMismatch, ClusterError
+from repro.operations.ops import Delete, Read
+from repro.resilience import faults
+from repro.service import ServiceClient
+from repro.service.retry import RetryPolicy, parse_retry_after
+
+CATALOGUE = {
+    "titles": {"op": "read", "xpath": "bib/book/title"},
+    "restock": {"op": "insert", "xpath": "bib/book", "xml": "<restock/>"},
+    "purge": {"op": "delete", "xpath": "bib/book"},
+}
+
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        first = HashRing([0, 1, 2])
+        second = HashRing([0, 1, 2])
+        for i in range(50):
+            assert first.route(f"key{i}") == second.route(f"key{i}")
+
+    def test_route_order_covers_every_shard_once(self):
+        ring = HashRing([0, 1, 2, 3])
+        order = ring.route_order("some-key")
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order[0] == ring.route("some-key")
+
+    def test_removal_moves_only_the_dead_shards_keys(self):
+        ring = HashRing([0, 1, 2])
+        before = {f"k{i}": ring.route(f"k{i}") for i in range(200)}
+        ring.remove(1)
+        for key, owner in before.items():
+            if owner != 1:
+                assert ring.route(key) == owner
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing([0, 1, 2], replicas=64)
+        counts = {0: 0, 1: 0, 2: 0}
+        for i in range(900):
+            counts[ring.route(f"key-{i}")] += 1
+        assert min(counts.values()) > 120  # fair share would be 300
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing([0])
+        ring.add(0)
+        assert len(ring) == 1
+        ring.remove(7)
+        ring.remove(0)
+        ring.remove(0)
+        assert len(ring) == 0
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.route_order("k") == []
+        with pytest.raises(ClusterError, match="empty"):
+            ring.route("k")
+
+
+# ----------------------------------------------------------------------
+# Retry policy (satellite: capped jittered exponential backoff)
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(base_s=0.1, multiplier=2.0, cap_s=0.5, jitter=0.0)
+        assert policy.delay_s(0) == pytest.approx(0.1)
+        assert policy.delay_s(1) == pytest.approx(0.2)
+        assert policy.delay_s(2) == pytest.approx(0.4)
+        assert policy.delay_s(3) == pytest.approx(0.5)  # capped
+        assert policy.delay_s(9) == pytest.approx(0.5)
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(base_s=0.2, jitter=0.5)
+        for _ in range(100):
+            delay = policy.delay_s(0)
+            assert 0.1 <= delay <= 0.2
+
+    def test_retry_after_wins_over_backoff(self):
+        policy = RetryPolicy(base_s=0.01, max_retry_after_s=5.0)
+        assert policy.delay_s(0, retry_after_s=2.5) == pytest.approx(2.5)
+
+    def test_retry_after_is_capped(self):
+        policy = RetryPolicy(max_retry_after_s=3.0)
+        assert policy.delay_s(0, retry_after_s=600.0) == pytest.approx(3.0)
+
+    def test_parse_retry_after(self):
+        assert parse_retry_after("2") == pytest.approx(2.0)
+        assert parse_retry_after("1.5") == pytest.approx(1.5)
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("soon") is None
+        assert parse_retry_after("-3") is None
+
+    def test_validation(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ServiceError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_sleep_uses_injected_sleeper(self):
+        slept: list[float] = []
+        policy = RetryPolicy(base_s=0.25, jitter=0.0)
+        policy.sleep(1, sleep=slept.append)
+        assert slept == [pytest.approx(0.5)]
+
+    def test_client_busy_retries_default_off(self):
+        # The historical contract: a plain ServiceClient surfaces 429
+        # immediately; ClusterClient opts into busy retries.
+        assert ServiceClient(port=1).busy_retries == 0
+        assert ClusterClient(port=1).busy_retries == 3
+
+
+# ----------------------------------------------------------------------
+# Health hysteresis
+# ----------------------------------------------------------------------
+
+
+class TestShardHealth:
+    def test_flips_unhealthy_after_k_consecutive_failures(self):
+        health = ShardHealth(unhealthy_after=3, healthy_after=2)
+        assert health.healthy
+        assert not health.record_failure()
+        assert not health.record_failure()
+        assert health.record_failure()  # the flip
+        assert not health.healthy
+        assert not health.record_failure()  # already unhealthy
+
+    def test_success_resets_the_failure_streak(self):
+        health = ShardHealth(unhealthy_after=3, healthy_after=1)
+        health.record_failure()
+        health.record_failure()
+        health.record_success()
+        health.record_failure()
+        health.record_failure()
+        assert health.healthy  # streak restarted: only 2 consecutive
+
+    def test_recovery_needs_m_consecutive_successes(self):
+        health = ShardHealth(unhealthy_after=1, healthy_after=2)
+        health.record_failure()
+        assert not health.healthy
+        assert not health.record_success()
+        assert health.record_success()
+        assert health.healthy
+
+    def test_reset_restores_clean_health(self):
+        health = ShardHealth(unhealthy_after=1, healthy_after=5)
+        health.record_failure()
+        health.reset()
+        assert health.healthy
+        assert health.consecutive_failures == 0
+
+
+class TestProbeFlapHysteresis:
+    def test_flapped_probes_evict_then_recovery(self, monkeypatch):
+        health = {0: ShardHealth(3, 2), 1: ShardHealth(3, 2)}
+        prober = HealthProber(
+            lambda: {0: ("127.0.0.1", 1), 1: ("127.0.0.1", 1)},
+            health,
+            interval_s=0.1,
+            timeout_s=0.1,
+        )
+        monkeypatch.setattr(prober, "_probe_once", lambda host, port: True)
+        faults.install(faults.FaultInjector.parse("probe_flap:1:only=shard1"))
+        try:
+            for _ in range(3):
+                prober.probe_round()
+            assert health[0].healthy
+            assert not health[1].healthy
+        finally:
+            faults.uninstall()
+        prober.probe_round()
+        assert not health[1].healthy  # one success is not enough
+        prober.probe_round()
+        assert health[1].healthy
+
+
+# ----------------------------------------------------------------------
+# Supervisor state machine (no processes)
+# ----------------------------------------------------------------------
+
+
+class TestCrashLoopBreaker:
+    def make_supervisor(self, **overrides) -> ShardSupervisor:
+        overrides.setdefault("shards", 1)
+        overrides.setdefault("restart_backoff_base_s", 0.05)
+        overrides.setdefault("restart_backoff_jitter", 0.0)
+        overrides.setdefault("crash_loop_threshold", 3)
+        overrides.setdefault("crash_loop_window_s", 30.0)
+        overrides.setdefault("circuit_reset_s", 10.0)
+        return ShardSupervisor(ClusterConfig(**overrides))
+
+    def test_backoff_grows_then_circuit_opens(self):
+        supervisor = self.make_supervisor()
+        handle = supervisor._handles[0]
+        supervisor._record_crash(handle, exit_code=23)
+        assert handle.state == "backoff"
+        first_delay = handle.restart_at - time.monotonic()
+        supervisor._record_crash(handle, exit_code=23)
+        second_delay = handle.restart_at - time.monotonic()
+        assert second_delay > first_delay
+        supervisor._record_crash(handle, exit_code=23)
+        assert handle.state == "open_circuit"
+        assert handle.restart_at - time.monotonic() > 5.0
+
+    def test_slow_crashes_never_trip_the_breaker(self):
+        supervisor = self.make_supervisor(crash_loop_window_s=0.05)
+        handle = supervisor._handles[0]
+        for _ in range(5):
+            supervisor._record_crash(handle, exit_code=1)
+            time.sleep(0.06)  # each crash ages out of the window
+        assert handle.state == "backoff"
+
+    def test_uptime_past_window_resets_the_backoff_curve(self):
+        supervisor = self.make_supervisor(crash_loop_threshold=10)
+        handle = supervisor._handles[0]
+        supervisor._record_crash(handle, exit_code=1)
+        supervisor._record_crash(handle, exit_code=1)
+        assert handle.backoff_attempt == 2
+        handle.booted_at = time.monotonic() - 60.0  # outlived the window
+        supervisor._record_crash(handle, exit_code=1)
+        assert handle.backoff_attempt == 1  # reset, then this crash
+
+    def test_all_shards_dead_on_boot_raises(self, monkeypatch):
+        supervisor = self.make_supervisor(boot_timeout_s=5.0)
+        monkeypatch.setattr(
+            supervisor, "_shard_command", lambda handle: ["/bin/false"]
+        )
+        with pytest.raises(ClusterError, match="finished booting"):
+            supervisor.start()
+
+
+# ----------------------------------------------------------------------
+# Per-shard snapshot ownership (satellite 2)
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotOwnership:
+    def test_shard_snapshot_path(self, tmp_path):
+        base = tmp_path / "cache.json"
+        assert VerdictCache.shard_snapshot_path(base, 2) == f"{base}.shard2"
+
+    def seeded_cache(
+        self, shard_id: int | None, xpath: str = "a/b/c"
+    ) -> VerdictCache:
+        cache = VerdictCache(shard_id=shard_id)
+        cache.merge([{
+            "config": ["test"],
+            "a": ["Read", xpath, ""],
+            "b": ["Delete", xpath.rsplit("/", 1)[0], ""],
+            "verdict": "conflict",
+        }])
+        return cache
+
+    def test_save_stamps_owner_and_load_restores_it(self, tmp_path):
+        path = tmp_path / "cache.json.shard1"
+        self.seeded_cache(1).save(path)
+        loaded = VerdictCache.load(path)
+        assert loaded.shard_id == 1
+        assert len(loaded) == 1
+
+    def test_cross_shard_overwrite_is_refused(self, tmp_path):
+        path = tmp_path / "cache.json.shard1"
+        self.seeded_cache(1).save(path)
+        with pytest.raises(CacheShardMismatch, match="shard 1"):
+            self.seeded_cache(2).save(path)
+        # The refused save must not have clobbered the file.
+        assert VerdictCache.load(path).shard_id == 1
+
+    def test_merge_allows_cross_shard_consolidation(self, tmp_path):
+        path = tmp_path / "merged.json"
+        self.seeded_cache(1).save(path)
+        self.seeded_cache(2, xpath="x/y/z").save(path, merge=True)
+        assert len(VerdictCache.load(path)) == 2
+
+    def test_legacy_unowned_snapshot_never_blocks(self, tmp_path):
+        path = tmp_path / "cache.json"
+        self.seeded_cache(None).save(path)  # pre-cluster snapshot: no owner
+        self.seeded_cache(3).save(path)  # adoption is fine
+        assert VerdictCache.load(path).shard_id == 3
+
+
+# ----------------------------------------------------------------------
+# Router without processes: keys, degraded answers, drain semantics
+# ----------------------------------------------------------------------
+
+
+class _DeadSupervisor:
+    """A supervisor stub with no live shards (the all-dead cluster)."""
+
+    def endpoints(self) -> dict:
+        return {}
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def stop(self, **kwargs) -> None:
+        pass
+
+
+def make_dead_router(**overrides) -> ClusterRouter:
+    overrides.setdefault("shards", 3)
+    return ClusterRouter(
+        ClusterConfig(**overrides), supervisor=_DeadSupervisor()
+    )
+
+
+class TestRoutingKey:
+    def test_check_key_ignores_knobs(self):
+        base = {"first": CATALOGUE["titles"], "second": CATALOGUE["purge"]}
+        with_knobs = dict(base, deadline_ms=50, budget=9)
+        assert ClusterRouter.routing_key("/v1/check", base) == \
+            ClusterRouter.routing_key("/v1/check", with_knobs)
+
+    def test_catalogue_key_is_stable_under_dict_order(self):
+        forward = {"ops": dict(CATALOGUE)}
+        backward = {"ops": dict(reversed(list(CATALOGUE.items())))}
+        assert ClusterRouter.routing_key("/v1/matrix", forward) == \
+            ClusterRouter.routing_key("/v1/matrix", backward)
+
+    def test_check_and_catalogue_keys_differ(self):
+        payload = {"ops": CATALOGUE}
+        assert ClusterRouter.routing_key("/v1/matrix", payload) != \
+            ClusterRouter.routing_key("/v1/check", payload)
+
+
+class TestDegradedAnswers:
+    def post(self, router: ClusterRouter, route: str, payload: dict):
+        status, body, headers = router.handle(
+            route, json.dumps(payload).encode()
+        )
+        return status, json.loads(body), headers
+
+    def test_check_degrades_to_unknown_not_5xx(self):
+        router = make_dead_router()
+        status, payload, headers = self.post(
+            router,
+            "/v1/check",
+            {"first": CATALOGUE["titles"], "second": CATALOGUE["purge"]},
+        )
+        assert status == 200
+        assert payload["verdict"] == "unknown"
+        assert payload["method"] == "degraded"
+        assert payload["reason"] == "no_live_shard"
+        assert is_degraded(payload)
+        assert headers["X-Request-Id"]
+
+    def test_matrix_degrades_to_all_pairs_unknown(self):
+        router = make_dead_router()
+        status, payload, _ = self.post(
+            router, "/v1/matrix", {"ops": CATALOGUE}
+        )
+        assert status == 200
+        assert is_degraded(payload)
+        assert payload["names"] == sorted(CATALOGUE)
+        pairs = {(v["first"], v["second"]) for v in payload["verdicts"]}
+        assert len(pairs) == 6  # 3 distinct + 3 self pairs
+        assert all(v["verdict"] == "unknown" for v in payload["verdicts"])
+
+    def test_schedule_degrades_to_fully_serial(self):
+        router = make_dead_router()
+        status, payload, _ = self.post(
+            router, "/v1/schedule", {"ops": CATALOGUE}
+        )
+        assert status == 200
+        assert is_degraded(payload)
+        assert payload["batches"] == [[name] for name in sorted(CATALOGUE)]
+        assert payload["stats"]["largest_batch"] == 1
+
+    def test_degradations_are_counted(self):
+        router = make_dead_router()
+        self.post(router, "/v1/check",
+                  {"first": CATALOGUE["titles"], "second": CATALOGUE["purge"]})
+        counters = router.registry.snapshot()["counters"]
+        assert counters['cluster.degraded_total{route=/v1/check}'] == 1
+
+    def test_malformed_body_is_400(self):
+        router = make_dead_router()
+        status, body, _ = router.handle("/v1/check", b"not json")
+        assert status == 400
+        assert "JSON" in json.loads(body)["error"]
+
+    def test_draining_router_says_503(self):
+        router = make_dead_router()
+        router._draining = True
+        status, body, headers = router.handle("/v1/check", b"{}")
+        assert status == 503
+        assert headers["Retry-After"]
+
+    def test_health_reports_down_when_nothing_lives(self):
+        router = make_dead_router()
+        health = router.health()
+        assert health["status"] == "down"
+        assert health["live"] == 0
+        assert health["total"] == 3
+
+
+# ----------------------------------------------------------------------
+# Integration: a real 3-shard cluster
+# ----------------------------------------------------------------------
+
+
+def make_cluster(**overrides) -> ClusterRouter:
+    overrides.setdefault("shards", 3)
+    overrides.setdefault("workers_per_shard", 1)
+    overrides.setdefault("probe_interval_s", 0.2)
+    overrides.setdefault("restart_backoff_base_s", 0.1)
+    overrides.setdefault("restart_backoff_jitter", 0.0)
+    router = ClusterRouter(ClusterConfig(port=0, **overrides))
+    router.start_background()
+    return router
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    cache_base = tmp_path_factory.mktemp("cluster") / "cache.json"
+    router = make_cluster(cache_path=str(cache_base))
+    yield router
+    router.drain()
+
+
+@pytest.fixture
+def cluster_client(cluster):
+    with ClusterClient(port=cluster.port) as client:
+        yield client
+
+
+class TestClusterIntegration:
+    def test_healthz_reports_every_shard_live(self, cluster, cluster_client):
+        health = cluster_client.healthz()
+        assert health["status"] == "ok"
+        assert health["live"] == health["total"] == 3
+        for view in health["shards"].values():
+            assert view["state"] == "live"
+            assert view["healthy"] is True
+
+    def test_check_verdict_matches_direct_detector(self, cluster_client):
+        result = cluster_client.check(CATALOGUE["titles"], CATALOGUE["purge"])
+        direct = ConflictDetector().read_update(
+            Read("bib/book/title"), Delete("bib/book")
+        )
+        assert result["verdict"] == direct.verdict.value
+        assert not is_degraded(result)
+
+    def test_same_question_lands_on_the_same_warm_shard(self, cluster_client):
+        first = cluster_client.check(
+            {"op": "read", "xpath": "warm/route/probe"},
+            {"op": "delete", "xpath": "warm/route"},
+        )
+        second = cluster_client.check(
+            {"op": "read", "xpath": "warm/route/probe"},
+            {"op": "delete", "xpath": "warm/route"},
+        )
+        assert first["cached"] is False
+        assert second["cached"] is True  # same shard's verdict cache hit
+
+    def test_matrix_and_schedule_route_whole_catalogues(self, cluster_client):
+        matrix = cluster_client.matrix(CATALOGUE)
+        assert matrix["stats"]["operations"] == 3
+        assert not is_degraded(matrix)
+        schedule = cluster_client.schedule(CATALOGUE)
+        assert sorted(
+            name for batch in schedule["batches"] for name in batch
+        ) == sorted(CATALOGUE)
+
+    def test_sigkill_fails_over_and_shard_is_reabsorbed(
+        self, cluster, cluster_client
+    ):
+        spec_read = {"op": "read", "xpath": "kill/drill/leaf"}
+        spec_del = {"op": "delete", "xpath": "kill/drill"}
+        key = ClusterRouter.routing_key(
+            "/v1/check", {"first": spec_read, "second": spec_del}
+        )
+        owner = cluster.ring.route_order(key)[0]
+        generation_before = cluster.supervisor.generation(owner)
+        assert cluster.supervisor.kill(owner, hard=True)
+        # The very next request for the dead shard's key must fail over
+        # and still produce a real verdict, not an error or a hang.
+        result = cluster_client.check(spec_read, spec_del)
+        assert result["verdict"] == "conflict"
+        assert not is_degraded(result)
+        # The supervisor restarts the shard (a new generation) and the
+        # router reabsorbs it.
+        assert cluster.supervisor.wait_all_live(timeout_s=30.0)
+        assert cluster.supervisor.generation(owner) == generation_before + 1
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if cluster_client.healthz()["live"] == 3:
+                break
+            time.sleep(0.1)
+        assert cluster_client.healthz()["live"] == 3
+        crashes = cluster.registry.snapshot()["counters"]
+        assert crashes[f"cluster.shard_crashes_total{{shard={owner}}}"] >= 1
+
+    def test_metrics_expose_cluster_counters(self, cluster, cluster_client):
+        text = cluster_client.metrics_text()
+        assert "cluster_requests_total" in text
+        assert "cluster_forwards_total" in text
+        snapshot = cluster_client.metrics()
+        assert any(
+            key.startswith("cluster.requests_total")
+            for key in snapshot["counters"]
+        )
+
+    def test_router_http_surface(self, cluster):
+        conn = http.client.HTTPConnection("127.0.0.1", cluster.port, timeout=10)
+        try:
+            for method, path, status in (
+                ("GET", "/v1/check", 405),
+                ("POST", "/healthz", 405),
+                ("GET", "/nope", 404),
+            ):
+                body = b"{}" if method == "POST" else None
+                conn.request(method, path, body=body)
+                response = conn.getresponse()
+                response.read()  # drain so the keep-alive conn is reusable
+                assert response.status == status
+        finally:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# The chaos drill: deterministic shard_kill mid-matrix (the acceptance
+# scenario from ISSUE/docs).
+# ----------------------------------------------------------------------
+
+
+class TestChaosDrill:
+    def test_shard_kill_drill_converges_verdict_identical(self, tmp_path):
+        # Compute the owning shard *before* booting anything: the ring is
+        # a pure function of (shards, replicas), so the drill can target
+        # exactly the shard that will serve the matrix.
+        key = ClusterRouter.routing_key("/v1/matrix", {"ops": CATALOGUE})
+        owner = HashRing(range(3)).route_order(key)[0]
+        spec = f"shard_kill:1:only=shard{owner}|gen0|matrix"
+        router = make_cluster(
+            cache_path=str(tmp_path / "cache.json"),
+            shard_env={"REPRO_FAULTS": spec},
+        )
+        try:
+            with ClusterClient(port=router.port) as client:
+                # The owning shard os._exit(23)s mid-request; the router
+                # must fail over and still return the real verdicts.
+                matrix = client.matrix(CATALOGUE)
+                assert not is_degraded(matrix)
+                assert matrix["stats"]["operations"] == 3
+                assert matrix["stats"]["conflict"] >= 1
+                # The supervisor restarts the killed shard; generation 1
+                # no longer matches the fault rule, so the drill converges:
+                # the same request to the restarted owner now succeeds.
+                assert router.supervisor.wait_all_live(timeout_s=30.0)
+                assert router.supervisor.generation(owner) == 1
+                again = client.matrix(CATALOGUE)
+                assert again["stats"] == matrix["stats"]
+                assert client.healthz()["live"] == 3
+                counters = router.registry.snapshot()["counters"]
+                assert (
+                    counters[f"cluster.failovers_total{{shard={owner}}}"] >= 1
+                )
+        finally:
+            router.drain()
+
+    def test_drain_writes_per_shard_snapshots(self, tmp_path):
+        base = tmp_path / "cache.json"
+        router = make_cluster(shards=2, cache_path=str(base))
+        try:
+            with ClusterClient(port=router.port) as client:
+                client.check(CATALOGUE["titles"], CATALOGUE["purge"])
+        finally:
+            router.drain()
+        written = sorted(p.name for p in tmp_path.glob("cache.json.shard*"))
+        assert written  # at least the serving shard snapshotted on drain
+        for path in tmp_path.glob("cache.json.shard*"):
+            shard_id = int(path.name.rsplit("shard", 1)[1])
+            assert VerdictCache.load(path).shard_id == shard_id

@@ -259,6 +259,45 @@ class TestFaultRules:
         assert injector.match("worker_crash", "has-poison-inside") is not None
         assert injector.match("worker_crash", "healthy") is None
 
+    def test_cluster_rules_parse_and_round_trip(self):
+        spec = (
+            "probe_flap:0.5:only=shard1,"
+            "shard_hang:1:only=shard2|gen0:delay=1.5,"
+            "shard_kill:1:only=shard0|gen0|matrix"
+        )
+        injector = faults.FaultInjector.parse(spec, seed=3)
+        kill = injector.rule("shard_kill")
+        assert kill.only == "shard0|gen0|matrix"
+        hang = injector.rule("shard_hang")
+        assert hang.only == "shard2|gen0" and hang.delay_s == 1.5
+        flap = injector.rule("probe_flap")
+        assert flap.rate == 0.5
+        again = faults.FaultInjector.parse(injector.spec(), seed=3)
+        for name in ("probe_flap", "shard_hang", "shard_kill"):
+            assert again.rule(name) == injector.rule(name)
+
+    def test_shard_kill_targets_one_generation(self):
+        injector = faults.FaultInjector.parse(
+            "shard_kill:1:only=shard1|gen0"
+        )
+        assert injector.match(
+            "shard_kill", "shard1|gen0|check|a/b|c/d"
+        ) is not None
+        # The restarted incarnation (gen1) no longer matches: the drill
+        # converges instead of crash-looping the replacement shard.
+        assert injector.match("shard_kill", "shard1|gen1|check|a/b|c/d") is None
+        assert injector.match("shard_kill", "shard0|gen0|check|a/b|c/d") is None
+
+    def test_shard_hang_injection_sleeps_without_killing(self, monkeypatch):
+        slept: list[float] = []
+        monkeypatch.setattr("time.sleep", slept.append)
+        faults.install(faults.FaultInjector.parse("shard_hang:1:delay=9.5"))
+        try:
+            faults.inject_shard_fault("shard0|gen0|check|x")
+        finally:
+            faults.uninstall()
+        assert slept == [9.5]
+
     def test_env_loading(self, monkeypatch):
         monkeypatch.setenv(faults.ENV_SPEC, "slow_decide:0.5:delay=0.01")
         monkeypatch.setenv(faults.ENV_SEED, "99")

@@ -453,6 +453,23 @@ class TestPersistence:
         finally:
             service.drain(snapshot=False)
 
+    def test_shard_mode_derives_per_shard_snapshot(self, tmp_path):
+        base = tmp_path / "cache.json"
+        service = make_service(cache_path=str(base), shard_id=2)
+        try:
+            with ServiceClient(port=service.port) as c:
+                c.check(Read("shardmode/a/b"), Delete("shardmode/a"))
+                health = c.healthz()
+            assert health["shard_id"] == 2
+            assert health["shard_generation"] == 0
+        finally:
+            service.drain()
+        # The shard persists to <base>.shard2, never the shared base path.
+        assert not base.exists()
+        shard_path = tmp_path / "cache.json.shard2"
+        assert shard_path.exists()
+        assert json.loads(shard_path.read_text())["shard"] == 2
+
     def test_periodic_snapshot_thread_writes(self, tmp_path):
         cache_path = tmp_path / "cache.json"
         service = make_service(
