@@ -1,0 +1,553 @@
+"""Bit-parallel automata kernel for the per-pair decision hot path.
+
+The PTIME deciders of Section 4 bottom out in three regular-language
+questions over small alphabets — product emptiness, language-intersection
+reachability, and joint-shortest-word — answered by the dict-of-sets
+machinery in :mod:`repro.automata.nfa`/:mod:`repro.automata.dfa`.  This
+module re-represents NFA state sets as machine integers: state ``i`` is
+bit ``1 << i``, a subset is one arbitrary-precision ``int``, a
+nondeterministic step is an OR of per-state target masks, and subset
+union/intersection are single ``|``/``&`` operations.  Python ints are
+unbounded, so automata spanning 64-bit word boundaries (63/64/65 states)
+need no special casing — the word-boundary tests in
+``tests/test_bitkernel.py`` pin this down.
+
+Because a linear pattern's matching NFA (:func:`linear_pattern_nfa`) has
+transitions that are either *any-symbol* (wildcards, descendant-gap
+loops) or labeled by one fixed symbol, its transition relation is
+**alphabet independent**: a :class:`MaskTable` stores one ``any_rows``
+vector plus sparse per-label rows, and the row for a concrete symbol is
+``any_rows[i] | label_rows[symbol].get(i, 0)``.  Tables are therefore
+precomputed once per pattern at compile time (the ``compile.bitmask``
+artifact family of :class:`repro.compile.PatternCompiler`), shipped to
+fork *and* spawn pool workers through :class:`CompiledArtifact` payloads
+(:meth:`MaskTable.to_payload` round-trips through pickle and JSON alike),
+and reused across every alphabet a pattern pair induces.
+
+The three decision loops mirror their set-based counterparts exactly:
+
+* :func:`joint_shortest_word_bits` is the bitset twin of
+  :func:`repro.automata.dfa.joint_shortest_word` — BFS over pairs of
+  determinized subsets in sorted-alphabet order with parent pointers, so
+  it returns the *same* (length, lexicographically) least witness word
+  and the conflict algorithms produce byte-identical witnesses;
+* :func:`intersection_nonempty` is the decision-only form (no parent
+  tracking, symbol classes collapsed) used where only a verdict is
+  needed;
+* :func:`bitset_matching_profile` packs the ``(i, j)`` reachability DP of
+  :func:`repro.conflicts.linear_dp.matching_profile` into one integer and
+  advances whole frontiers per shift instead of one state per queue pop.
+
+Every loop keeps a cooperative budget checkpoint
+(:func:`repro.resilience.budget.checkpoint`), so armed deadlines and step
+limits degrade decisions to ``UNKNOWN`` exactly as on the sets kernel.
+The sets kernel survives as the reference oracle behind
+``DetectorConfig(kernel="sets")``; the kernel-differential battery
+(``tests/test_bitkernel.py`` and the 3-way pass in
+``tests/test_differential.py``) holds the two to byte-identical verdicts,
+witnesses, and discharge reasons.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.patterns.pattern import WILDCARD, Axis, TreePattern, fresh_label
+from repro.resilience.budget import checkpoint
+
+__all__ = [
+    "MaskTable",
+    "BitsetAutomaton",
+    "spine_spec",
+    "joint_shortest_word_bits",
+    "intersection_nonempty",
+    "bitset_matching_profile",
+    "matching_word_bits",
+    "match_bits",
+]
+
+#: Spine spec entry: ``(label_or_wildcard, incoming_edge_is_descendant)``.
+SpineSpec = tuple[tuple[str, bool], ...]
+
+
+def spine_spec(pattern: TreePattern) -> SpineSpec:
+    """The linear pattern's spine as ``(label, is_descendant)`` pairs.
+
+    This is the only view of a pattern the kernel needs — the same
+    projection :func:`repro.conflicts.linear_dp.matching_profile` and
+    :func:`repro.automata.matching.match_dp` work from.
+    """
+    pattern.require_linear("bitset kernel operand")
+    return tuple(
+        (pattern.label(node), pattern.axis(node) is Axis.DESCENDANT)
+        for node in pattern.spine()
+    )
+
+
+class MaskTable:
+    """Alphabet-independent bitmask transition tables of one matching NFA.
+
+    State ``i`` owns bit ``1 << i``.  ``any_rows[i]`` is the target mask
+    of state ``i`` under *every* symbol (wildcard and descendant-gap
+    edges); ``label_rows[label][i]`` adds the targets reached from ``i``
+    on that specific label.  The full row for a concrete symbol is the OR
+    of the two, so one table serves every alphabet.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        start: int,
+        accepting: int,
+        any_rows: Sequence[int],
+        label_rows: dict[str, dict[int, int]],
+    ) -> None:
+        self.size = size
+        self.start = start
+        self.accepting = accepting
+        self.any_rows = tuple(any_rows)
+        self.label_rows = {
+            label: dict(rows) for label, rows in label_rows.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pattern(cls, pattern: TreePattern) -> "MaskTable":
+        """The table of :func:`linear_pattern_nfa`, built without the NFA.
+
+        State numbering mirrors the NFA builder exactly (target before
+        the optional descendant-loop state), so ``from_pattern(p)`` and
+        ``from_nfa(linear_pattern_nfa(p, alphabet))`` agree on every
+        symbol of every alphabet — a pinned test property.
+        """
+        pattern.require_linear("bitset kernel operand")
+        any_rows: list[int] = [0]
+        label_rows: dict[str, dict[int, int]] = {}
+
+        def add_state() -> int:
+            any_rows.append(0)
+            return len(any_rows) - 1
+
+        def add_edge(source: int, label: str, target: int) -> None:
+            if label == WILDCARD:
+                any_rows[source] |= 1 << target
+            else:
+                rows = label_rows.setdefault(label, {})
+                rows[source] = rows.get(source, 0) | (1 << target)
+
+        current = 0
+        accepting = 0
+        spine = pattern.spine()
+        for index, pnode in enumerate(spine):
+            checkpoint("bitkernel.mask_build")
+            label = pattern.label(pnode)
+            target = add_state()
+            if index == len(spine) - 1:
+                accepting |= 1 << target
+            if pattern.axis(pnode) is Axis.DESCENDANT:
+                loop = add_state()
+                any_rows[current] |= 1 << loop
+                any_rows[loop] |= 1 << loop
+                add_edge(loop, label, target)
+            add_edge(current, label, target)
+            current = target
+        return cls(len(any_rows), 0, accepting, any_rows, label_rows)
+
+    @classmethod
+    def from_nfa(cls, nfa) -> "MaskTable":  # type: ignore[no-untyped-def]
+        """The table of an explicit :class:`repro.automata.nfa.NFA`.
+
+        No any-row compression is attempted — every transition lands in a
+        per-label row.  Used by the differential battery to compare the
+        bitset step against the set step on *arbitrary* automata, not
+        just pattern-shaped ones.
+        """
+        if nfa.start is None:
+            raise ValueError("cannot build masks for an NFA without a start")
+        any_rows = [0] * nfa.state_count
+        label_rows: dict[str, dict[int, int]] = {}
+        for state in range(nfa.state_count):
+            for symbol in nfa.alphabet:
+                targets = nfa.successors(state, symbol)
+                if not targets:
+                    continue
+                mask = 0
+                for target in targets:
+                    mask |= 1 << target
+                rows = label_rows.setdefault(symbol, {})
+                rows[state] = rows.get(state, 0) | mask
+        accepting = 0
+        for state in nfa.accepting:
+            accepting |= 1 << state
+        return cls(nfa.state_count, nfa.start, accepting, any_rows, label_rows)
+
+    def with_any_suffix(self) -> "MaskTable":
+        """The table for ``L(self)·(.)*`` — Definition 7's weak side.
+
+        Mirrors :meth:`NFA.with_any_suffix`: a fresh accepting sink with
+        an any-symbol self-loop, reachable from every accepting state on
+        any symbol.
+        """
+        sink = self.size
+        any_rows = list(self.any_rows) + [1 << sink]
+        acc = self.accepting
+        while acc:
+            low = acc & -acc
+            any_rows[low.bit_length() - 1] |= 1 << sink
+            acc ^= low
+        return MaskTable(
+            self.size + 1,
+            self.start,
+            self.accepting | (1 << sink),
+            any_rows,
+            self.label_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Rows and transport
+    # ------------------------------------------------------------------
+
+    def rows(self, symbol: str) -> tuple[int, ...]:
+        """The per-state target masks under one concrete symbol."""
+        labeled = self.label_rows.get(symbol)
+        if not labeled:
+            return self.any_rows
+        return tuple(
+            base | labeled.get(state, 0)
+            for state, base in enumerate(self.any_rows)
+        )
+
+    def to_payload(self) -> tuple:
+        """A nested-tuple transport (pickles small, JSON-encodes cleanly)."""
+        return (
+            self.size,
+            self.start,
+            self.accepting,
+            tuple(self.any_rows),
+            tuple(
+                (label, tuple(sorted(rows.items())))
+                for label, rows in sorted(self.label_rows.items())
+            ),
+        )
+
+    @classmethod
+    def from_payload(cls, payload: Sequence) -> "MaskTable":
+        """Rebuild a table shipped through :meth:`to_payload`."""
+        size, start, accepting, any_rows, labeled = payload
+        return cls(
+            int(size),
+            int(start),
+            int(accepting),
+            tuple(int(row) for row in any_rows),
+            {
+                label: {int(state): int(mask) for state, mask in rows}
+                for label, rows in labeled
+            },
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaskTable):
+            return NotImplemented
+        return self.to_payload() == other.to_payload()
+
+    def __hash__(self) -> int:
+        return hash(self.to_payload())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaskTable(size={self.size}, labels={len(self.label_rows)}, "
+            f"accepting={bin(self.accepting)})"
+        )
+
+
+class BitsetAutomaton:
+    """A :class:`MaskTable` plus memoized subset stepping.
+
+    The working currency is the determinized subset-as-int: ``step``
+    ORs the target masks of every set bit and memoizes the result per
+    ``(subset, symbol)``, so a compile-cached automaton warms exactly
+    like a :class:`repro.automata.dfa.LazyDFA` — repeated queries walk
+    already-materialized transitions.
+    """
+
+    def __init__(self, table: MaskTable) -> None:
+        self.table = table
+        self.start_mask = 1 << table.start
+        self.accepting = table.accepting
+        self._rows: dict[str, tuple[int, ...]] = {}
+        self._steps: dict[tuple[int, str], int] = {}
+
+    def rows(self, symbol: str) -> tuple[int, ...]:
+        rows = self._rows.get(symbol)
+        if rows is None:
+            rows = self.table.rows(symbol)
+            self._rows[symbol] = rows
+        return rows
+
+    def step(self, subset: int, symbol: str) -> int:
+        """The successor subset (``0`` is the dead state)."""
+        key = (subset, symbol)
+        cached = self._steps.get(key)
+        if cached is not None:
+            return cached
+        rows = self.rows(symbol)
+        nxt = 0
+        remaining = subset
+        while remaining:
+            low = remaining & -remaining
+            nxt |= rows[low.bit_length() - 1]
+            remaining ^= low
+        self._steps[key] = nxt
+        return nxt
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Subset-simulation acceptance (the NFA-equivalence test hook)."""
+        subset = self.start_mask
+        for symbol in word:
+            subset = self.step(subset, symbol)
+            if not subset:
+                return False
+        return bool(subset & self.accepting)
+
+
+# ----------------------------------------------------------------------
+# The three bitwise decision loops
+# ----------------------------------------------------------------------
+
+
+def joint_shortest_word_bits(
+    left: BitsetAutomaton,
+    right: BitsetAutomaton,
+    alphabet: tuple[str, ...],
+) -> list[str] | None:
+    """A shortest word of ``L(left) ∩ L(right)``, or ``None`` when empty.
+
+    The bitset twin of :func:`repro.automata.dfa.joint_shortest_word`:
+    BFS over pairs of determinized subsets, symbols tried in (sorted)
+    alphabet order, parent pointers for reconstruction.  Both BFSs
+    discover states in (length, lexicographic) order and stop at the
+    first accepting discovery, so they return the *same* word — the
+    byte-identical-witness guarantee the kernel-differential suite pins.
+    A cooperative budget checkpoint per expanded pair keeps pathological
+    products abortable, mirroring the sets kernel.
+    """
+    shift = right.table.size
+    left_start, right_start = left.start_mask, right.start_mask
+    if (left_start & left.accepting) and (right_start & right.accepting):
+        return []
+    parent: dict[int, tuple[int, str]] = {}
+    seen = {(left_start << shift) | right_start}
+    queue: deque[tuple[int, int]] = deque([(left_start, right_start)])
+    while queue:
+        checkpoint("bitkernel.product")
+        ls, rs = queue.popleft()
+        source = (ls << shift) | rs
+        for symbol in alphabet:
+            lt = left.step(ls, symbol)
+            if not lt:
+                continue
+            rt = right.step(rs, symbol)
+            if not rt:
+                continue
+            target = (lt << shift) | rt
+            if target in seen:
+                continue
+            parent[target] = (source, symbol)
+            if (lt & left.accepting) and (rt & right.accepting):
+                word: list[str] = []
+                current = target
+                while current in parent:
+                    current, sym = parent[current]
+                    word.append(sym)
+                word.reverse()
+                return word
+            seen.add(target)
+            queue.append((lt, rt))
+    return None
+
+
+def intersection_nonempty(
+    left: BitsetAutomaton,
+    right: BitsetAutomaton,
+    alphabet: tuple[str, ...],
+) -> bool:
+    """Decision-only product emptiness: ``L(left) ∩ L(right) ≠ ∅``.
+
+    Same reachability frontier as :func:`joint_shortest_word_bits` minus
+    parent tracking, and symbols collapsed into row-equivalence classes
+    first (two symbols with identical rows on both sides step every pair
+    identically, so only one representative is explored — the spare
+    alphabet symbol always collapses into the wildcard class).
+    """
+    left_start, right_start = left.start_mask, right.start_mask
+    if (left_start & left.accepting) and (right_start & right.accepting):
+        return True
+    classes: dict[tuple[tuple[int, ...], tuple[int, ...]], str] = {}
+    for symbol in alphabet:
+        classes.setdefault((left.rows(symbol), right.rows(symbol)), symbol)
+    symbols = tuple(classes.values())
+    shift = right.table.size
+    seen = {(left_start << shift) | right_start}
+    queue: deque[tuple[int, int]] = deque([(left_start, right_start)])
+    while queue:
+        checkpoint("bitkernel.product")
+        ls, rs = queue.popleft()
+        for symbol in symbols:
+            lt = left.step(ls, symbol)
+            if not lt:
+                continue
+            rt = right.step(rs, symbol)
+            if not rt:
+                continue
+            if (lt & left.accepting) and (rt & right.accepting):
+                return True
+            key = (lt << shift) | rt
+            if key not in seen:
+                seen.add(key)
+                queue.append((lt, rt))
+    return False
+
+
+def bitset_matching_profile(
+    left: SpineSpec, right: SpineSpec
+) -> tuple[set[int], set[int]]:
+    """Bit-parallel twin of :func:`repro.conflicts.linear_dp.matching_profile`.
+
+    The DP state ``(i, j)`` — trunk consumed ``i`` spine nodes of a
+    hypothetical witness chain, the read consumed ``j`` — becomes bit
+    ``i * (n + 1) + j`` of a single integer, and one fixpoint round
+    advances the *whole* frontier per symbol class with three shifts
+    (both-consume ``<< n + 2``, left-only ``<< n + 1``, right-only
+    ``<< 1``) instead of popping states off a queue one at a time.
+    Returns the same ``(strong, weak)`` prefix-status sets as the
+    reference (pinned by the kernel-differential battery).
+    """
+    m, n = len(left), len(right)
+    width = n + 1
+
+    def bit(i: int, j: int) -> int:
+        return 1 << (i * width + j)
+
+    # Whole-row / whole-column masks, built once: ``row[i]`` covers every
+    # j at trunk position i, ``col_unit << j`` covers every i at read
+    # position j.  Fit and gap vectors below are then O(m + n) ORs of
+    # these instead of per-cell bit loops.
+    full_row = (1 << width) - 1
+    rows = [full_row << (i * width) for i in range(m + 1)]
+    col_unit = ((1 << ((m + 1) * width)) - 1) // full_row  # bit j=0, every i
+
+    # Static gap masks: positions whose *pending* edge is a descendant
+    # edge may let the other side consume a chain symbol alone.
+    left_gap_rows = 0
+    for i in range(1, m):
+        if left[i][1]:
+            left_gap_rows |= rows[i]
+    right_gap_cols = 0
+    for j in range(1, n):
+        if right[j][1]:
+            right_gap_cols |= col_unit << j
+    last_col = col_unit << n
+    last_row = rows[m]
+
+    # One transition-mask triple per symbol *class* — all labels sharing
+    # a fit vector on both spines step identically, and the spare symbol
+    # of the matching alphabet is exactly the wildcard-only class.
+    labels = {spec[0] for spec in left if spec[0] != WILDCARD}
+    labels |= {spec[0] for spec in right if spec[0] != WILDCARD}
+    classes: dict[tuple[int, int], tuple[int, int, int]] = {}
+    for symbol in tuple(sorted(labels)) + (None,):  # None: the spare class
+        left_fit = 0  # rows whose next trunk node accepts this symbol
+        for i in range(m):
+            if left[i][0] == WILDCARD or left[i][0] == symbol:
+                left_fit |= rows[i]
+        right_fit = 0  # columns whose next read node accepts this symbol
+        for j in range(n):
+            if right[j][0] == WILDCARD or right[j][0] == symbol:
+                right_fit |= col_unit << j
+        key = (left_fit, right_fit)
+        if key in classes:
+            continue
+        both = left_fit & right_fit
+        left_only = left_fit & (last_col | right_gap_cols)
+        right_only = right_fit & (last_row | left_gap_rows)
+        classes[key] = (both, left_only, right_only)
+
+    masks = tuple(classes.values())
+    reach = bit(0, 0)
+    frontier = reach
+    while frontier:
+        checkpoint("bitkernel.profile")
+        advanced = 0
+        for both, left_only, right_only in masks:
+            advanced |= (frontier & both) << (width + 1)
+            advanced |= (frontier & left_only) << width
+            advanced |= (frontier & right_only) << 1
+        frontier = advanced & ~reach
+        reach |= frontier
+
+    strong: set[int] = set()
+    final_trunk_row = 0
+    for j in range(width):
+        final_trunk_row |= bit(m - 1, j)
+    for both, _left_only, _right_only in masks:
+        hits = reach & both & final_trunk_row
+        while hits:
+            low = hits & -hits
+            strong.add(low.bit_length() - 1 - (m - 1) * width + 1)
+            hits ^= low
+    weak: set[int] = set(strong)
+    unfinished = reach & ~last_row & ~col_unit
+    while unfinished:
+        low = unfinished & -unfinished
+        weak.add((low.bit_length() - 1) % width)
+        unfinished ^= low
+    return strong, weak
+
+
+# ----------------------------------------------------------------------
+# Pattern-level entry points (the uncached bitset reference path)
+# ----------------------------------------------------------------------
+
+
+def _pattern_alphabet(left: TreePattern, right: TreePattern) -> tuple[str, ...]:
+    # Same construction as matching.matching_alphabet (kept dependency-free
+    # to avoid an import cycle); identical output is pinned by tests.
+    labels = left.labels() | right.labels()
+    return tuple(sorted(labels | {fresh_label(labels)}))
+
+
+def _pattern_automata(
+    left: TreePattern, right: TreePattern, weak: bool
+) -> tuple[BitsetAutomaton, BitsetAutomaton]:
+    left_table = MaskTable.from_pattern(left)
+    right_table = MaskTable.from_pattern(right)
+    if weak:
+        right_table = right_table.with_any_suffix()
+    return BitsetAutomaton(left_table), BitsetAutomaton(right_table)
+
+
+def matching_word_bits(
+    left: TreePattern, right: TreePattern, weak: bool
+) -> list[str] | None:
+    """Uncached bitset reference: fresh mask tables, joint subset BFS.
+
+    Contract of :func:`repro.automata.matching.matching_word` — including
+    the exact witness word — without any compile cache.  This is what a
+    disabled compiler runs under ``kernel="bitset"``.
+    """
+    left_auto, right_auto = _pattern_automata(left, right, weak)
+    return joint_shortest_word_bits(
+        left_auto, right_auto, _pattern_alphabet(left, right)
+    )
+
+
+def match_bits(left: TreePattern, right: TreePattern, weak: bool) -> bool:
+    """Decision-only form of :func:`matching_word_bits` (emptiness test)."""
+    left_auto, right_auto = _pattern_automata(left, right, weak)
+    return intersection_nonempty(
+        left_auto, right_auto, _pattern_alphabet(left, right)
+    )

@@ -95,38 +95,53 @@ class NFA:
         return self.shortest_accepted_word() is None
 
     def shortest_accepted_word(self) -> list[str] | None:
-        """A shortest word in the language, or ``None`` when empty.
+        """The canonical shortest word in the language, or ``None`` when empty.
 
-        BFS over states with parent pointers; the returned word is what the
-        conflict algorithms turn into a witness chain.
+        BFS over *determinized subsets* with parent pointers, symbols in
+        (sorted) alphabet order.  Determinizing makes each reachable
+        subset correspond to exactly one word, so states are discovered
+        in (length, lexicographic) order and the returned word is the
+        (length, lex)-least accepted word — the same canonical witness
+        :func:`repro.automata.dfa.joint_shortest_word` and the bitset
+        kernel's :func:`repro.automata.bitkernel.joint_shortest_word_bits`
+        produce.  (Per-state BFS cannot guarantee this: two states first
+        reached by the *same* word may expand their successors in an
+        order that inverts lexicographic order.)  The word is what the
+        conflict algorithms turn into a witness chain, so canonicality
+        here is what makes witnesses byte-identical across kernels and
+        cache modes.
         """
         if self.start is None:
             raise ValueError("NFA has no start state")
+        start = frozenset({self.start})
         if self.start in self.accepting:
             return []
-        parent: dict[int, tuple[int, str]] = {}
-        queue: deque[int] = deque([self.start])
-        seen = {self.start}
+        parent: dict[frozenset[int], tuple[frozenset[int], str]] = {}
+        queue: deque[frozenset[int]] = deque([start])
+        seen = {start}
         while queue:
-            state = queue.popleft()
+            subset = queue.popleft()
             for symbol in self.alphabet:
-                for target in self.successors(state, symbol):
-                    if target in seen:
-                        continue
-                    parent[target] = (state, symbol)
-                    if target in self.accepting:
-                        return self._reconstruct(parent, target)
-                    seen.add(target)
-                    queue.append(target)
+                targets: set[int] = set()
+                for state in subset:
+                    targets |= self.successors(state, symbol)
+                if not targets:
+                    continue
+                frozen = frozenset(targets)
+                if frozen in seen:
+                    continue
+                parent[frozen] = (subset, symbol)
+                if targets & self.accepting:
+                    word: list[str] = []
+                    current = frozen
+                    while current in parent:
+                        current, sym = parent[current]
+                        word.append(sym)
+                    word.reverse()
+                    return word
+                seen.add(frozen)
+                queue.append(frozen)
         return None
-
-    def _reconstruct(self, parent: dict[int, tuple[int, str]], state: int) -> list[str]:
-        word: list[str] = []
-        while state in parent:
-            state, symbol = parent[state]
-            word.append(symbol)
-        word.reverse()
-        return word
 
     # ------------------------------------------------------------------
     # Combinators

@@ -469,16 +469,27 @@ def _add_compile_args(parser: argparse.ArgumentParser) -> None:
         "matching words, ...).  Default shares the process-wide cache; "
         "0 disables compilation entirely (the uncached reference path)",
     )
+    parser.add_argument(
+        "--kernel", choices=["bitset", "sets"], default=None,
+        help="matching kernel for the PTIME decision path: 'bitset' "
+        "(default, bit-parallel) or 'sets' (the frozenset reference "
+        "oracle — slower, useful for cross-checking)",
+    )
 
 
 def _compile_config_kwargs(args: argparse.Namespace) -> dict:
     """The :class:`DetectorConfig` compile knobs implied by the CLI flags."""
+    kwargs: dict = {}
+    kernel = getattr(args, "kernel", None)
+    if kernel is not None:
+        kwargs["kernel"] = kernel
     size = getattr(args, "compile_cache_size", None)
-    if size is None:
-        return {}
-    if size <= 0:
-        return {"compile_cache": False}
-    return {"compile_cache_size": size}
+    if size is not None:
+        if size <= 0:
+            kwargs["compile_cache"] = False
+        else:
+            kwargs["compile_cache_size"] = size
+    return kwargs
 
 
 def _add_catalogue_args(parser: argparse.ArgumentParser) -> None:

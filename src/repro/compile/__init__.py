@@ -7,6 +7,7 @@ See :mod:`repro.compile.compiler` for the architecture overview and
 from repro.compile.cache import MISS, LRUCache
 from repro.compile.compiler import (
     DEFAULT_CACHE_SIZE,
+    KERNELS,
     CompiledArtifact,
     PatternCompiler,
     compiler_for_config,
@@ -19,6 +20,7 @@ __all__ = [
     "MISS",
     "LRUCache",
     "DEFAULT_CACHE_SIZE",
+    "KERNELS",
     "CompiledArtifact",
     "PatternCompiler",
     "compiler_for_config",

@@ -19,11 +19,25 @@ every call.  :class:`PatternCompiler` owns those artifacts:
   ``compile.<family>.{hits,misses,evictions}`` counters in the metrics
   registry.
 
+Orthogonally to caching, the compiler selects the *automata kernel*
+(``kernel="bitset"`` by default): the matching primitives run on the
+bit-parallel kernel of :mod:`repro.automata.bitkernel` — per-pattern
+:class:`~repro.automata.bitkernel.MaskTable` artifacts are precomputed
+once into the ``compile.bitmask`` family and every product/profile
+question becomes bitwise AND/OR/shift loops — while ``kernel="sets"``
+retains the dict-of-sets machinery as the reference oracle.  The two
+kernels are held to byte-identical verdicts, witnesses, and discharge
+reasons by the kernel-differential battery (``tests/test_bitkernel.py``
+and ``tests/test_differential.py``).
+
 A compiler constructed with ``enabled=False`` is a *pass-through*: every
-method computes from scratch along the pre-compile code path (eager NFA
-products via :func:`repro.automata.matching._matching_word_impl`), which
-is both the uncached reference the benchmarks compare against and an
-independent implementation for the differential test suite.
+method computes from scratch along the uncached code path (eager NFA
+products via :func:`repro.automata.matching._matching_word_impl` under
+``kernel="sets"``, fresh mask tables via
+:func:`repro.automata.bitkernel.matching_word_bits` under
+``kernel="bitset"``), which is both the uncached reference the
+benchmarks compare against and an independent implementation for the
+differential test suite.
 
 Process-global sharing: :func:`global_compiler` returns one process-wide
 instance (counters land in :func:`repro.obs.global_metrics`); detectors
@@ -37,6 +51,15 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.automata.bitkernel import (
+    BitsetAutomaton,
+    MaskTable,
+    bitset_matching_profile,
+    joint_shortest_word_bits,
+    match_bits,
+    matching_word_bits,
+    spine_spec,
+)
 from repro.automata.dfa import LazyDFA, joint_shortest_word
 from repro.automata.matching import _matching_word_impl, linear_pattern_nfa
 from repro.automata.nfa import NFA
@@ -50,6 +73,7 @@ from repro.patterns.xpath import parse_xpath, to_xpath
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
+    "KERNELS",
     "CompiledArtifact",
     "PatternCompiler",
     "global_compiler",
@@ -59,6 +83,9 @@ __all__ = [
 
 #: Default entries per memo family (intern table, NFAs, DFAs, words, ...).
 DEFAULT_CACHE_SIZE = 1024
+
+#: Recognized automata kernels (see module docstring).
+KERNELS = ("bitset", "sets")
 
 #: Union of the two pattern handles the compiler accepts everywhere.
 PatternLike = TreePattern | InternedPattern
@@ -81,6 +108,12 @@ class CompiledArtifact:
     pattern_key: str
     trunk_xpath: str | None = None
     linear: bool = True
+    #: Bitset-kernel mask tables (:meth:`MaskTable.to_payload`) of the
+    #: decision-hot pattern side — the read pattern itself for reads, the
+    #: trunk for updates.  ``None`` for branching reads or sets-kernel
+    #: compilers.  Nested tuples of ints/strs, so the artifact stays
+    #: picklable under both fork and spawn start methods.
+    mask_payload: tuple | None = None
 
 
 class PatternCompiler:
@@ -91,14 +124,21 @@ class PatternCompiler:
         maxsize: int = DEFAULT_CACHE_SIZE,
         registry: MetricsRegistry | None = None,
         enabled: bool = True,
+        kernel: str = "bitset",
     ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown automata kernel {kernel!r}; expected one of {KERNELS}"
+            )
         self.enabled = enabled
+        self.kernel = kernel
         self.registry = registry
         if not enabled:
             return
         self._interner = PatternInterner(maxsize, registry)
         self._nfa = LRUCache(maxsize, registry, family="compile.nfa")
         self._dfa = LRUCache(maxsize, registry, family="compile.dfa")
+        self._bitmask = LRUCache(maxsize, registry, family="compile.bitmask")
         self._match = LRUCache(maxsize, registry, family="compile.match")
         self._profile = LRUCache(maxsize, registry, family="compile.profile")
         self._derived = LRUCache(maxsize, registry, family="compile.derived")
@@ -141,7 +181,7 @@ class PatternCompiler:
 
     def _caches(self) -> list[LRUCache]:
         return [
-            self._interner.cache, self._nfa, self._dfa,
+            self._interner.cache, self._nfa, self._dfa, self._bitmask,
             self._match, self._profile, self._derived, self._edge,
         ]
 
@@ -246,6 +286,37 @@ class PatternCompiler:
         self._dfa.put(key, dfa)
         return dfa
 
+    def bitset_automaton(
+        self, pattern: PatternLike, weak: bool
+    ) -> BitsetAutomaton:
+        """The pattern's bit-parallel matcher, per weak/strong side.
+
+        Mask tables are **alphabet independent** (a linear pattern's NFA
+        only has any-symbol and single-label transitions), so unlike
+        :meth:`dfa` the memo key is just ``(pattern, weak)`` — one
+        artifact serves every alphabet the pattern ever meets, and its
+        memoized subset steps warm across queries like a
+        :class:`LazyDFA`'s transitions.  The weak side reuses the cached
+        strong table (one extra sink state, not a rebuild).
+        """
+        if not self.enabled:
+            table = MaskTable.from_pattern(self.as_pattern(pattern))
+            return BitsetAutomaton(table.with_any_suffix() if weak else table)
+        p = self.intern(pattern)
+        key = (p, weak)
+        hit = self._bitmask.get(key)
+        if hit is not MISS:
+            return hit
+        if weak:
+            table = self.bitset_automaton(p, False).table.with_any_suffix()
+        else:
+            table = MaskTable.from_pattern(p.pattern)
+        automaton = BitsetAutomaton(table)
+        if obs_enabled():
+            global_metrics().inc("bitkernel.tables_built")
+        self._bitmask.put(key, automaton)
+        return automaton
+
     def alphabet(
         self, left: PatternLike, right: PatternLike
     ) -> tuple[str, ...]:
@@ -287,33 +358,57 @@ class PatternCompiler:
         self, left: PatternLike, right: PatternLike, weak: bool
     ) -> list[str] | None:
         if not self.enabled:
-            return _matching_word_impl(
-                self.as_pattern(left), self.as_pattern(right), weak
-            )
+            lp, rp = self.as_pattern(left), self.as_pattern(right)
+            if self.kernel == "bitset":
+                return matching_word_bits(lp, rp, weak)
+            return _matching_word_impl(lp, rp, weak)
         li, ri = self.intern(left), self.intern(right)
         key = (li, ri, weak)
         hit = self._match.get(key)
         if hit is not MISS:
             return None if hit is None else list(hit)
         alphabet = self.alphabet(li, ri)
-        word = joint_shortest_word(
-            self.dfa(li, alphabet, weak=False), self.dfa(ri, alphabet, weak=weak)
-        )
+        if self.kernel == "bitset":
+            word = joint_shortest_word_bits(
+                self.bitset_automaton(li, False),
+                self.bitset_automaton(ri, weak),
+                alphabet,
+            )
+        else:
+            word = joint_shortest_word(
+                self.dfa(li, alphabet, weak=False),
+                self.dfa(ri, alphabet, weak=weak),
+            )
         self._match.put(key, None if word is None else tuple(word))
         return word
 
     def match(self, left: PatternLike, right: PatternLike, weak: bool) -> bool:
-        """Decision form of :meth:`matching_word`."""
+        """Decision form of :meth:`matching_word`.
+
+        On a *disabled* bitset-kernel compiler this short-circuits to the
+        parent-free emptiness test (:func:`match_bits`) — there is no
+        memo to share with later witness extraction, so skipping the BFS
+        parent pointers is pure win on the uncached decision path.  Both
+        forms answer identically (a word exists iff the intersection is
+        non-empty).
+        """
+        if not self.enabled and self.kernel == "bitset":
+            return match_bits(self.as_pattern(left), self.as_pattern(right), weak)
         return self.matching_word(left, right, weak) is not None
 
     def matching_profile(
         self, trunk: PatternLike, read: PatternLike
     ) -> tuple[frozenset[int], frozenset[int]]:
-        """Memoized :func:`repro.conflicts.linear_dp.matching_profile`."""
-        from repro.conflicts.linear_dp import matching_profile as raw_profile
+        """Memoized weak/strong prefix profile of a (trunk, read) pair.
 
+        Dispatches on the kernel: the queue-based reference
+        (:func:`repro.conflicts.linear_dp.matching_profile`) under
+        ``sets``, the packed-frontier fixpoint
+        (:func:`repro.automata.bitkernel.bitset_matching_profile`) under
+        ``bitset``.  Identical results, pinned by the differential suite.
+        """
         if not self.enabled:
-            strong, weak = raw_profile(
+            strong, weak = self._raw_profile(
                 self.as_pattern(trunk), self.as_pattern(read)
             )
             return frozenset(strong), frozenset(weak)
@@ -322,10 +417,21 @@ class PatternCompiler:
         hit = self._profile.get(key)
         if hit is not MISS:
             return hit
-        strong, weak = raw_profile(ti.pattern, ri.pattern)
+        strong, weak = self._raw_profile(ti.pattern, ri.pattern)
         value = (frozenset(strong), frozenset(weak))
         self._profile.put(key, value)
         return value
+
+    def _raw_profile(
+        self, trunk: TreePattern, read: TreePattern
+    ) -> tuple[set[int], set[int]]:
+        if self.kernel == "bitset":
+            trunk.require_linear("update trunk")
+            read.require_linear("read pattern")
+            return bitset_matching_profile(spine_spec(trunk), spine_spec(read))
+        from repro.conflicts.linear_dp import matching_profile as raw_profile
+
+        return raw_profile(trunk, read)
 
     def edge_scan(
         self,
@@ -377,24 +483,43 @@ class PatternCompiler:
         return self.artifact_from(type(op).__name__, op.pattern)
 
     def artifact_from(self, kind: str, pattern: PatternLike) -> CompiledArtifact:
-        """Build a :class:`CompiledArtifact` from a kind name and pattern."""
+        """Build a :class:`CompiledArtifact` from a kind name and pattern.
+
+        Under the bitset kernel the artifact also carries the mask-table
+        payload of the decision-hot side (the read pattern itself, or an
+        update's trunk), so pool workers start with warm ``compile.bitmask``
+        entries under both fork and spawn.
+        """
         pattern = self.as_pattern(pattern)
         trunk_xpath: str | None = None
+        mask_payload: tuple | None = None
         if self.enabled:
             interned = self.intern(pattern)
             pattern_key = interned.key
+            hot: PatternLike | None = interned if pattern.is_linear else None
             if kind != "Read":
-                trunk_xpath = to_xpath(self.as_pattern(self.trunk(interned)))
+                trunk = self.trunk(interned)
+                trunk_xpath = to_xpath(self.as_pattern(trunk))
+                hot = trunk
+            if self.kernel == "bitset" and hot is not None:
+                mask_payload = self.bitset_automaton(hot, False).table.to_payload()
         else:
             pattern_key = pattern.canonical_form()
+            hot_plain: TreePattern | None = (
+                pattern if pattern.is_linear else None
+            )
             if kind != "Read":
-                trunk_xpath = to_xpath(pattern.trunk())
+                hot_plain = pattern.trunk()
+                trunk_xpath = to_xpath(hot_plain)
+            if self.kernel == "bitset" and hot_plain is not None:
+                mask_payload = MaskTable.from_pattern(hot_plain).to_payload()
         return CompiledArtifact(
             kind=kind,
             xpath=to_xpath(pattern),
             pattern_key=pattern_key,
             trunk_xpath=trunk_xpath,
             linear=pattern.is_linear,
+            mask_payload=mask_payload,
         )
 
     def seed(self, artifact: CompiledArtifact) -> InternedPattern | None:
@@ -410,12 +535,29 @@ class PatternCompiler:
         interned = self.intern(parse_xpath(artifact.xpath))
         if interned.key != artifact.pattern_key:
             return interned  # defensive: never seed from a mismatched key
+        hot: InternedPattern | None = None
         if artifact.trunk_xpath is not None:
             trunk = self.intern(parse_xpath(artifact.trunk_xpath))
             self._derived.put((interned, "trunk"), trunk)
+            hot = trunk
         if artifact.kind == "Read" and artifact.linear:
             self._prefixes(interned)
             self._suffixes(interned)
+            hot = interned
+        if (
+            artifact.mask_payload is not None
+            and self.kernel == "bitset"
+            and hot is not None
+        ):
+            table = MaskTable.from_payload(artifact.mask_payload)
+            expected = 1 + sum(
+                2 if descendant else 1
+                for _, descendant in spine_spec(hot.pattern)
+            )
+            # Shape mismatch (a transport bug) falls back to lazy local
+            # derivation rather than seeding a wrong automaton.
+            if table.size == expected:
+                self._bitmask.put((hot, False), BitsetAutomaton(table))
         return interned
 
 
@@ -448,18 +590,27 @@ def compiler_for_config(
     compile_cache: bool,
     compile_cache_size: int | None,
     registry: MetricsRegistry | None = None,
+    kernel: str = "bitset",
 ) -> PatternCompiler:
-    """The compiler implied by the two :class:`DetectorConfig` knobs.
+    """The compiler implied by the :class:`DetectorConfig` compile knobs.
 
     ``compile_cache=False`` (or a non-positive size) yields a disabled
     pass-through compiler; an explicit positive size yields a private
     compiler reporting into ``registry``; the default shares
-    :func:`global_compiler`.
+    :func:`global_compiler`.  All variants honor ``kernel`` — except that
+    the shared global compiler always runs the default bitset kernel, so
+    a sets-kernel detector with default cache settings gets a private
+    compiler instead (the reference oracle must never be silently served
+    bitset artifacts).
     """
     if not compile_cache:
-        return PatternCompiler(enabled=False)
+        return PatternCompiler(enabled=False, kernel=kernel)
     if compile_cache_size is not None:
         if compile_cache_size <= 0:
-            return PatternCompiler(enabled=False)
-        return PatternCompiler(maxsize=compile_cache_size, registry=registry)
+            return PatternCompiler(enabled=False, kernel=kernel)
+        return PatternCompiler(
+            maxsize=compile_cache_size, registry=registry, kernel=kernel
+        )
+    if kernel != "bitset":
+        return PatternCompiler(registry=registry, kernel=kernel)
     return global_compiler()

@@ -70,6 +70,16 @@ class DetectorConfig:
     max_steps: int | None = None
     compile_cache: bool = True
     compile_cache_size: int | None = None
+    kernel: str = "bitset"
+
+    def __post_init__(self) -> None:
+        from repro.compile.compiler import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown automata kernel {self.kernel!r}; "
+                f"expected one of {KERNELS}"
+            )
 
     def fingerprint(self) -> tuple[str, int | None, bool]:
         """The knobs that can change a *verdict* (cache-key component).
@@ -81,9 +91,10 @@ class DetectorConfig:
         ``UNKNOWN`` verdicts are *never cached* (see :meth:`_cache_put`),
         so every cached answer is budget-independent and caches built
         under different budgets can safely share entries.  The compile
-        knobs (``compile_cache``/``compile_cache_size``) are speed-only —
-        the compiled and uncached paths are verdict-identical (enforced by
-        the differential suite) — and are likewise excluded.
+        knobs (``compile_cache``/``compile_cache_size``) and the automata
+        ``kernel`` are speed-only — compiled vs uncached and bitset vs
+        sets are all verdict-identical (enforced by the differential and
+        kernel-differential suites) — and are likewise excluded.
         """
         return (self.kind.value, self.exhaustive_cap, self.use_heuristics)
 
@@ -137,6 +148,13 @@ class ConflictDetector:
             reporting ``compile.*`` counters into this detector's
             registry; ``0`` disables compilation like
             ``compile_cache=False``.
+        kernel: the automata kernel the matching primitives run on —
+            ``"bitset"`` (default) for the bit-parallel loops of
+            :mod:`repro.automata.bitkernel`, ``"sets"`` for the
+            dict-of-sets reference oracle.  Speed-only: the two kernels
+            produce byte-identical verdicts, witnesses, and discharge
+            reasons (enforced by the kernel-differential suite), so the
+            knob is excluded from :meth:`DetectorConfig.fingerprint`.
         compiler: an explicit :class:`repro.compile.PatternCompiler` to
             use, overriding the two knobs above (the batch engine shares
             one across its per-chunk detectors).
@@ -157,6 +175,7 @@ class ConflictDetector:
         max_steps: int | None = None,
         compile_cache: bool = True,
         compile_cache_size: int | None = None,
+        kernel: str = "bitset",
         compiler: PatternCompiler | None = None,
         config: DetectorConfig | None = None,
     ) -> None:
@@ -171,6 +190,7 @@ class ConflictDetector:
             max_steps = config.max_steps
             compile_cache = config.compile_cache
             compile_cache_size = config.compile_cache_size
+            kernel = config.kernel
         self.kind = kind
         self.exhaustive_cap = exhaustive_cap
         self.use_heuristics = use_heuristics
@@ -182,11 +202,15 @@ class ConflictDetector:
         self._cache: dict[tuple, ConflictReport] | None = {} if cache else None
         self._metrics = registry if registry is not None else MetricsRegistry()
         if compiler is not None:
+            # An explicit compiler wins outright; the detector reports the
+            # kernel it actually runs, not the knob it was asked for.
             self._compiler = compiler
+            kernel = compiler.kernel
         else:
             self._compiler = compiler_for_config(
-                compile_cache, compile_cache_size, self._metrics
+                compile_cache, compile_cache_size, self._metrics, kernel=kernel
             )
+        self.kernel = kernel
         if trace:
             obs.enable()
 
@@ -209,6 +233,7 @@ class ConflictDetector:
             max_steps=self.max_steps,
             compile_cache=self.compile_cache,
             compile_cache_size=self.compile_cache_size,
+            kernel=self.kernel,
         )
 
     @property
@@ -414,6 +439,7 @@ class ConflictDetector:
                 self.kind,
                 exhaustive_cap=self.exhaustive_cap,
                 use_heuristics=self.use_heuristics,
+                compiler=self._compiler,
             )
         if self.minimize_witnesses and report.witness is not None:
             from repro.conflicts.witness_min import minimize_witness

@@ -18,9 +18,24 @@ side constructively:
   themselves (canonical models of the update pattern, of the read pattern,
   and merged variants).  In practice it resolves most conflicting instances
   without enumeration; "not found" means nothing.
-* :func:`decide_conflict` — the combined procedure: heuristics first, then
-  bounded enumeration; verdict ``UNKNOWN`` when the cap was below the
-  Lemma 11 bound and no witness was found.
+* :func:`decide_conflict` — the combined procedure: a sound PTIME trunk
+  prefilter (below), then heuristics, then bounded enumeration; verdict
+  ``UNKNOWN`` when the cap was below the Lemma 11 bound and no witness
+  was found.
+
+The *trunk prefilter* discharges pairs the search could never certify:
+any read-update conflict requires some root-to-leaf chain of the read to
+weakly match the update's trunk (a changed result embedding must route an
+image through a node the update created or destroyed, and the chain from
+the root to that image is a common witness chain in the sense of
+Definition 7) — and for tree/value semantics, additionally the update
+point may sit at or below a read result (``trunk(U)`` weakly matching
+``trunk(R)``).  When every one of those linear matching questions is
+empty, ``NO_CONFLICT`` is definitive — turning many small-cap ``UNKNOWN``
+verdicts into exact answers at PTIME cost.  The matching questions run on
+the configured automata kernel via the compile layer
+(:class:`repro.compile.PatternCompiler`), so the branching path shares
+the bitset kernel's mask artifacts with the linear path.
 """
 
 from __future__ import annotations
@@ -229,8 +244,9 @@ def decide_conflict(
     kind: ConflictKind = ConflictKind.NODE,
     exhaustive_cap: int | None = DEFAULT_EXHAUSTIVE_CAP,
     use_heuristics: bool = True,
+    compiler=None,
 ) -> ConflictReport:
-    """Combined general-case decision: heuristics, then bounded enumeration.
+    """Combined general-case decision: prefilter, heuristics, enumeration.
 
     Args:
         exhaustive_cap: largest candidate size to enumerate; ``None``
@@ -239,6 +255,10 @@ def decide_conflict(
             is definitive; otherwise absence of a witness yields
             ``UNKNOWN``.
         use_heuristics: try the candidate family first.
+        compiler: the :class:`repro.compile.PatternCompiler` the trunk
+            prefilter's linear matching questions memoize in (and whose
+            automata kernel they run on); the process-global compiler by
+            default.
 
     Value tests are stripped before searching: the candidate enumeration
     produces element-only trees, so test-carrying patterns would silently
@@ -254,7 +274,7 @@ def decide_conflict(
     ) as sp:
         read, update, strip_notes = _strip_value_tests(read, update)
         report = _decide_conflict_stripped(
-            read, update, kind, exhaustive_cap, use_heuristics
+            read, update, kind, exhaustive_cap, use_heuristics, compiler
         )
         report.notes.extend(strip_notes)
         sp.set("verdict", report.verdict.value)
@@ -290,14 +310,48 @@ def _decide_conflict_stripped(
     kind: ConflictKind,
     exhaustive_cap: int | None,
     use_heuristics: bool,
+    compiler,
 ) -> ConflictReport:
     stats = SearchStats(bound=witness_size_bound(read, update))
     try:
-        return _run_search(read, update, kind, exhaustive_cap, use_heuristics, stats)
+        return _run_search(
+            read, update, kind, exhaustive_cap, use_heuristics, stats, compiler
+        )
     finally:
         # One batched registry update per query, win or lose, so counter
         # totals match what the reports saw even on early returns.
         stats.publish()
+
+
+def _trunk_prefilter_discharges(
+    read: Read, update: UpdateOp, kind: ConflictKind, comp
+) -> bool:
+    """Sound PTIME independence test for a (possibly branching) read.
+
+    A node conflict needs an embedding of the read whose output image was
+    created or destroyed by the update, i.e. an image at or below the
+    update point — so *some* root-to-leaf chain of the read must weakly
+    match the update trunk (checking leaves suffices: a weak match of
+    ``SEQ_ROOT(R)`` through any node survives extending the chain down to
+    a leaf below it).  Tree/value conflicts additionally arise when the
+    update fires inside a surviving result's subtree, which requires the
+    update point at or below a read result: ``trunk(U)`` weakly matching
+    ``trunk(R)``.  When every such matching question is empty, no tree on
+    which both operations interact exists at all, and ``NO_CONFLICT`` is
+    definitive regardless of the enumeration cap.
+    """
+    rp = read.pattern
+    trunk_c = comp.trunk(update.pattern)
+    for node in rp.nodes():
+        if rp.children(node):
+            continue  # inner node: a leaf below it subsumes its chain
+        chain = comp.handle(rp.seq_root_to(node))
+        if comp.match(chain, trunk_c, weak=True):
+            return False
+    if kind is not ConflictKind.NODE:
+        if comp.match(trunk_c, comp.trunk(rp), weak=True):
+            return False
+    return True
 
 
 def _run_search(
@@ -307,7 +361,29 @@ def _run_search(
     exhaustive_cap: int | None,
     use_heuristics: bool,
     stats: SearchStats,
+    compiler,
 ) -> ConflictReport:
+    if compiler is None:
+        from repro.compile.compiler import global_compiler
+
+        compiler = global_compiler()
+    with span("general.prefilter", bound=stats.bound) as sp:
+        discharged = _trunk_prefilter_discharges(read, update, kind, compiler)
+        sp.set("discharged", discharged)
+    if discharged:
+        global_metrics().inc("general.prefilter_discharged")
+        return ConflictReport(
+            Verdict.NO_CONFLICT,
+            kind,
+            method="trunk-prefilter",
+            notes=[
+                "no root-to-leaf chain of the read weakly matches the "
+                "update trunk (and, for tree/value semantics, the update "
+                "point cannot sit at or below a read result), so no "
+                "witness of any size exists"
+            ],
+            stats=_stats_dict(stats),
+        )
     if use_heuristics:
         with span("general.heuristic", bound=stats.bound) as sp:
             witness = find_witness_heuristic(read, update, kind, stats=stats)

@@ -19,9 +19,13 @@ The decision procedures follow the paper exactly:
   edge).
 
 Matching is decided by regular-language intersection
-(:mod:`repro.automata.matching`); its shortest witness word is then grown
-into a full conflict witness tree, which is **always re-verified** with the
-Lemma 1 checker before being reported.
+(:mod:`repro.automata.matching`), executed on the automata kernel the
+``compiler`` argument carries — the bit-parallel loops of
+:mod:`repro.automata.bitkernel` by default, the dict-of-sets reference
+under ``DetectorConfig(kernel="sets")``; both kernels return the same
+shortest witness word, which is then grown into a full conflict witness
+tree and **always re-verified** with the Lemma 1 checker before being
+reported.
 
 Tree conflicts reduce to "node conflict ∨ weak match of the update trunk
 against the whole read" (the REMARKS after Theorems 1 and 2), and for
@@ -119,6 +123,22 @@ def _read_delete_node_edge(
 
     def scan() -> int | None:
         spine = rp.spine()
+        if comp.kernel == "bitset":
+            # One packed-fixpoint profile answers every edge's weak/strong
+            # flag at once — the per-pair decision the bitset kernel
+            # accelerates.  ``spine_prefix(read_c, k)`` has ``k + 1``
+            # nodes, so the edge at ``index`` reads profile entry
+            # ``index + 1`` (weak) or ``index + 2`` (strong).
+            strong, weak = comp.matching_profile(trunk_c, read_c)
+            for index in range(len(spine) - 1):
+                axis = rp.axis(spine[index + 1])
+                assert axis is not None
+                if axis is Axis.DESCENDANT:
+                    if index + 1 in weak:
+                        return index
+                elif index + 2 in strong:
+                    return index
+            return None
         for index in range(len(spine) - 1):
             axis = rp.axis(spine[index + 1])
             assert axis is not None
@@ -254,6 +274,18 @@ def _find_cut_edge_index(
     spine = rp.spine()
 
     def scan() -> tuple[bool, ...]:
+        if comp.kernel == "bitset":
+            # Same profile-at-once shortcut as the Lemma 3 scan: edge
+            # ``index`` tests prefix ``index + 1`` against the kernel's
+            # weak or strong set.
+            strong, weak = comp.matching_profile(trunk_c, read_c)
+            flags = []
+            for index in range(len(spine) - 1):
+                axis = rp.axis(spine[index + 1])
+                assert axis is not None
+                sets = weak if axis is Axis.DESCENDANT else strong
+                flags.append(index + 1 in sets)
+            return tuple(flags)
         flags = []
         for index in range(len(spine) - 1):
             axis = rp.axis(spine[index + 1])

@@ -29,6 +29,13 @@ The resulting detectors are decision-only (no witness construction — use
 the NFA-based detectors when a witness is needed); the test-suite
 cross-validates them against the per-edge algorithms on randomized
 instances.
+
+The queue-based :func:`matching_profile` below is the *reference*
+implementation; when the compiler runs the bitset kernel (the default),
+:meth:`repro.compile.PatternCompiler.matching_profile` answers the same
+question with the packed-frontier fixpoint of
+:func:`repro.automata.bitkernel.bitset_matching_profile`, and the
+kernel-differential battery pins the two to identical profiles.
 """
 
 from __future__ import annotations

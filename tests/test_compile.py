@@ -293,8 +293,9 @@ class TestPatternCompiler:
     def test_stats_lists_every_family(self):
         families = set(PatternCompiler().stats())
         assert families == {
-            "compile.intern", "compile.nfa", "compile.dfa", "compile.match",
-            "compile.profile", "compile.derived", "compile.edge",
+            "compile.intern", "compile.nfa", "compile.dfa", "compile.bitmask",
+            "compile.match", "compile.profile", "compile.derived",
+            "compile.edge",
         }
 
 

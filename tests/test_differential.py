@@ -62,10 +62,14 @@ ALPHABET = ("a", "b")
 SEARCH_CAP = 4
 KINDS = (ConflictKind.NODE, ConflictKind.TREE, ConflictKind.VALUE)
 
-# One warm compiler for the whole module: repeated patterns across the seed
-# range exercise real cache hits, which is exactly the path under test.
-COMPILED = PatternCompiler()
-UNCACHED = PatternCompiler(enabled=False)
+# One warm compiler per kernel for the whole module: repeated patterns
+# across the seed range exercise real cache hits, which is exactly the
+# path under test.  The bitset kernel is the production default; the sets
+# kernel is the reference oracle it must match byte-for-byte.
+COMPILED = PatternCompiler(kernel="bitset")
+UNCACHED = PatternCompiler(enabled=False, kernel="bitset")
+COMPILED_SETS = PatternCompiler(kernel="sets")
+UNCACHED_SETS = PatternCompiler(enabled=False, kernel="sets")
 
 
 def _case_rng(offset: int, seed: int) -> random.Random:
@@ -178,6 +182,102 @@ class TestReadInsertDifferential:
         assert detect_read_insert_linear_dp(read, insert, compiler=COMPILED) is (
             node.verdict is Verdict.CONFLICT
         ), f"seed {seed}: DP decision disagrees with compiled detector"
+
+
+def _report_fingerprint(report):
+    """Everything two kernels must agree on, byte for byte."""
+    from repro.xml.isomorphism import canonical_form
+
+    witness = (
+        canonical_form(report.witness) if report.witness is not None else None
+    )
+    return (report.verdict, witness, report.method, report.reason)
+
+
+class TestKernelDifferential:
+    """3-way agreement: bitset kernel vs sets kernel vs brute force.
+
+    The kernel is a speed knob, never a semantics knob: all four compiler
+    configurations (compiled/uncached x bitset/sets) must produce the
+    same verdict, the same canonical witness tree, the same method tag,
+    and the same (absent) degradation reason — and the answer must
+    survive the embedding-semantics brute-force oracle.
+    """
+
+    ALL_COMPILERS = (
+        ("bitset", COMPILED),
+        ("bitset-uncached", UNCACHED),
+        ("sets", COMPILED_SETS),
+        ("sets-uncached", UNCACHED_SETS),
+    )
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_read_delete_three_way(self, seed):
+        read, delete = _read_delete_case(seed)
+        for kind in KINDS:
+            reports = {
+                name: detect_read_delete_linear(
+                    read, delete, kind, compiler=comp
+                )
+                for name, comp in self.ALL_COMPILERS
+            }
+            prints = {
+                name: _report_fingerprint(r) for name, r in reports.items()
+            }
+            assert len(set(prints.values())) == 1, (
+                f"seed {seed} ({kind.value}): kernels disagree: {prints}"
+            )
+        kind = KINDS[seed % len(KINDS)]
+        _check_against_oracle(
+            detect_read_delete_linear(read, delete, kind, compiler=COMPILED),
+            read,
+            delete,
+            kind,
+            seed,
+        )
+
+    @pytest.mark.parametrize("seed", range(CASES))
+    def test_read_insert_three_way(self, seed):
+        read, insert = _read_insert_case(seed)
+        for kind in KINDS:
+            reports = {
+                name: detect_read_insert_linear(
+                    read, insert, kind, compiler=comp
+                )
+                for name, comp in self.ALL_COMPILERS
+            }
+            prints = {
+                name: _report_fingerprint(r) for name, r in reports.items()
+            }
+            assert len(set(prints.values())) == 1, (
+                f"seed {seed} ({kind.value}): kernels disagree: {prints}"
+            )
+        kind = KINDS[seed % len(KINDS)]
+        _check_against_oracle(
+            detect_read_insert_linear(read, insert, kind, compiler=COMPILED),
+            read,
+            insert,
+            kind,
+            seed,
+        )
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_matching_word_identical_across_kernels(self, seed):
+        rng = _case_rng(900_000, seed)
+        left = random_linear_pattern(
+            rng.randint(1, 5), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        right = random_linear_pattern(
+            rng.randint(1, 5), ALPHABET, p_wildcard=0.3, seed=rng
+        )
+        for weak in (False, True):
+            words = {
+                name: comp.matching_word(left, right, weak=weak)
+                for name, comp in self.ALL_COMPILERS
+            }
+            assert len({tuple(w) if w else w for w in words.values()}) == 1, (
+                f"seed {seed} (weak={weak}): witness words differ: {words}"
+            )
 
 
 class TestMatchingEquivalence:

@@ -137,9 +137,11 @@ class TestDecideConflict:
         assert report.verdict is Verdict.NO_CONFLICT
 
     def test_unknown_when_bound_not_covered(self):
-        # Large patterns: bound far exceeds any tractable cap.
-        read = Read("a[b][c][d]/e/f/g")
-        delete = Delete("z/y/x/w/v")
+        # Large overlapping patterns (the trunk prefilter cannot discharge
+        # the pair): the bound far exceeds any tractable cap and the
+        # smallest witness has 7 nodes.
+        read = Read("a[b][c][d]/e//f")
+        delete = Delete("a/e/e/f")
         report = decide_conflict(
             read, delete, exhaustive_cap=2, use_heuristics=False
         )

@@ -326,7 +326,9 @@ class TestDetectorInstrumentation:
         # embedding.evaluations is a gated per-inner-call instrument.
         with obs.tracing():
             detector = ConflictDetector(use_heuristics=False, exhaustive_cap=3)
-            detector.read_insert(Read("a[b]/c"), Insert("a/d", "<e/>"))
+            # Overlapping pair: the trunk prefilter cannot discharge it,
+            # so the exhaustive search (and its counters) actually run.
+            detector.read_insert(Read("a[b]/c"), Insert("a/c", "<e/>"))
         counters = obs.global_metrics().snapshot()["counters"]
         assert counters.get("search.candidates_checked", 0) > 0
         assert counters.get("embedding.evaluations", 0) > 0
@@ -334,7 +336,7 @@ class TestDetectorInstrumentation:
     def test_search_counters_always_on(self):
         assert not obs.enabled()
         detector = ConflictDetector(use_heuristics=False, exhaustive_cap=3)
-        detector.read_insert(Read("a[b]/c"), Insert("a/d", "<e/>"))
+        detector.read_insert(Read("a[b]/c"), Insert("a/c", "<e/>"))
         counters = obs.global_metrics().snapshot()["counters"]
         assert counters.get("search.candidates_checked", 0) > 0
 
@@ -347,12 +349,22 @@ class TestDetectorInstrumentation:
         assert "embedding.evaluations" not in counters
 
     def test_nfa_counters(self):
+        # The sets kernel is the path that builds explicit NFAs.
         with obs.tracing():
-            detector = ConflictDetector(cache=False)
+            detector = ConflictDetector(cache=False, kernel="sets")
             detector.read_delete(Read("a//b"), Delete("a/b"))
         counters = obs.global_metrics().snapshot()["counters"]
         assert counters.get("nfa.built", 0) >= 1
         assert counters.get("nfa.states_built", 0) >= counters["nfa.built"]
+
+    def test_bitkernel_counters(self):
+        # The default bitset kernel builds mask tables instead of NFAs.
+        with obs.tracing():
+            detector = ConflictDetector(cache=False)
+            detector.read_delete(Read("a//b"), Delete("a/b"))
+        counters = obs.global_metrics().snapshot()["counters"]
+        assert counters.get("bitkernel.tables_built", 0) >= 1
+        assert "nfa.built" not in counters
 
 
 class TestStatsBackwardCompat:
@@ -366,8 +378,11 @@ class TestStatsBackwardCompat:
         assert self.GENERAL_KEYS <= set(report.stats)
 
     def test_general_unknown_report_keys(self):
+        # Overlapping pair with no witness at cap 2: survives the trunk
+        # prefilter, heuristics find nothing, and the truncated cap yields
+        # UNKNOWN with the full stats payload.
         report = decide_conflict(
-            Read("a[b]//c"), Insert("a/d", "<e/>"), exhaustive_cap=2
+            Read("a[b]//c"), Insert("a/b", "<x/>"), exhaustive_cap=2
         )
         assert self.GENERAL_KEYS <= set(report.stats)
         assert report.stats["cap_used"] == 2
