@@ -1,0 +1,189 @@
+"""Replication headline: sync throughput and convergence cost.
+
+Two questions about the scenario engine (``docs/REPLICATION.md``):
+
+* **Sync-round throughput** — seeded multi-writer sessions at 2/4/8
+  replicas and three certified-conflict rates: pairwise syncs per
+  second, classified pairs per second, and sync p50/p95 latency.  The
+  per-sync cost is dominated by pair classification plus the replay
+  rebuild, so this is the end-to-end price of the paper's detection
+  procedure inside a replication loop.
+* **Rounds to convergence** — full gossip rounds until quiescence for
+  the same grid, plus the realized conflict-rate so the knob can be
+  read against what it actually produced.
+
+Verdicts come from the in-process engine by default; set
+``BENCH_REPLICATION_SERVICE=1`` to route classification through a live
+:class:`~repro.service.ConflictService` on a loopback port instead —
+the recorded ``verdict_source`` says which one produced the numbers.
+
+Emits ``BENCH_replication.json`` next to this file (override with
+``BENCH_REPLICATION_OUT``).  ``BENCH_SMOKE=1`` shrinks the grid.
+
+Run with ``PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_replication.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.replication import InProcessBackend, ServiceBackend, run_scenario
+from repro.workloads import random_replication_scenario
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+USE_SERVICE = bool(os.environ.get("BENCH_REPLICATION_SERVICE"))
+
+REPLICA_COUNTS = [2, 4] if SMOKE else [2, 4, 8]
+CONFLICT_RATES = [0.0, 0.5] if SMOKE else [0.0, 0.3, 0.8]
+EDITS = 12 if SMOKE else 48
+SEED = 20_060_301  # EDBT 2006 vintage
+
+
+def _emit(key: str, payload: dict) -> None:
+    """Update one top-level key of BENCH_replication.json, keeping the rest."""
+    default = os.path.join(os.path.dirname(__file__), "BENCH_replication.json")
+    path = os.environ.get("BENCH_REPLICATION_OUT", default)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    existing[key] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+    print(f"\nupdated {path} [{key}]")
+
+
+class _BackendFactory:
+    """One live service shared by every cell when the env asks for it."""
+
+    def __init__(self) -> None:
+        self.service = None
+        if USE_SERVICE:
+            from repro.service import ConflictService, ServiceConfig
+
+            self.service = ConflictService(ServiceConfig(port=0, workers=2))
+            self.service.start_background()
+
+    def make(self):
+        if self.service is None:
+            return InProcessBackend()
+        return ServiceBackend(port=self.service.port)
+
+    def close(self) -> None:
+        if self.service is not None:
+            self.service.drain(snapshot=False)
+
+    @property
+    def source(self) -> str:
+        return "service" if self.service is not None else "in-process"
+
+
+def _run_cell(replicas: int, conflict_rate: float, factory: _BackendFactory):
+    scenario = random_replication_scenario(
+        replicas=replicas,
+        edits=EDITS,
+        conflict_rate=conflict_rate,
+        seed=SEED,
+        bursts=4,
+    )
+    backend = factory.make()
+    try:
+        start = time.perf_counter()
+        result = run_scenario(scenario, backend=backend)
+        elapsed = time.perf_counter() - start
+    finally:
+        backend.close()
+    assert result.converged, f"r={replicas} c={conflict_rate} diverged"
+    assert result.lost_updates == []
+    realized = (
+        result.pairs_conflicting / result.pairs_classified
+        if result.pairs_classified
+        else 0.0
+    )
+    return {
+        "replicas": replicas,
+        "conflict_rate_knob": conflict_rate,
+        "conflict_rate_realized": round(realized, 3),
+        "edits": result.edits,
+        "syncs": result.syncs,
+        "pairs_classified": result.pairs_classified,
+        "pairs_conflicting": result.pairs_conflicting,
+        "rounds_to_converge": result.rounds_to_converge,
+        "elapsed_s": round(elapsed, 4),
+        "syncs_per_s": round(result.syncs / elapsed, 1) if elapsed else None,
+        "pairs_per_s": (
+            round(result.pairs_classified / elapsed, 1) if elapsed else None
+        ),
+        "sync_ms_p50": result.sync_ms.get("p50"),
+        "sync_ms_p95": result.sync_ms.get("p95"),
+    }
+
+
+def test_replication_grid():
+    """Sync throughput and rounds-to-convergence across the grid."""
+    factory = _BackendFactory()
+    cells = []
+    try:
+        for replicas in REPLICA_COUNTS:
+            for conflict_rate in CONFLICT_RATES:
+                cell = _run_cell(replicas, conflict_rate, factory)
+                cells.append(cell)
+                print(
+                    f"  r={replicas} knob={conflict_rate:.1f} "
+                    f"realized={cell['conflict_rate_realized']:.2f} "
+                    f"syncs/s={cell['syncs_per_s']} "
+                    f"rounds={cell['rounds_to_converge']}"
+                )
+    finally:
+        factory.close()
+    _emit(
+        f"grid:{factory.source}",
+        {
+            "verdict_source": factory.source,
+            "edits_per_cell": EDITS,
+            "seed": SEED,
+            "smoke": SMOKE,
+            "cells": cells,
+        },
+    )
+
+
+def test_resolver_comparison():
+    """Rounds/throughput per built-in resolver on the contended cell."""
+    factory = _BackendFactory()
+    rows = {}
+    try:
+        for resolver in ("local-wins", "remote-wins", "last-writer-wins"):
+            scenario = random_replication_scenario(
+                replicas=4,
+                edits=EDITS,
+                conflict_rate=0.8,
+                seed=SEED,
+                resolver=resolver,
+                bursts=4,
+                partition=True,
+            )
+            backend = factory.make()
+            try:
+                start = time.perf_counter()
+                result = run_scenario(scenario, backend=backend)
+                elapsed = time.perf_counter() - start
+            finally:
+                backend.close()
+            assert result.converged, resolver
+            rows[resolver] = {
+                "rounds_to_converge": result.rounds_to_converge,
+                "resolutions": result.resolutions,
+                "unresolved": len(result.unresolved),
+                "elapsed_s": round(elapsed, 4),
+            }
+            print(f"  {resolver}: {rows[resolver]}")
+    finally:
+        factory.close()
+    _emit(
+        f"resolvers:{factory.source}",
+        {"verdict_source": factory.source, "smoke": SMOKE, "rows": rows},
+    )

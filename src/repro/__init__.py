@@ -68,6 +68,14 @@ Package map:
   ``ConflictService``, ``ServiceConfig``, and ``ServiceClient`` are
   importable from the top level but loaded lazily, so library users who
   never serve pay nothing for the HTTP stack.
+* :mod:`repro.replication` — the replication & conflict-resolution
+  scenario engine (``docs/REPLICATION.md``): N replicas of one document
+  edit concurrently, sync rounds classify concurrent pairs through the
+  conflict engine (in-process or a live service endpoint), certified
+  conflicts go through pluggable resolvers, and every replica's tree is
+  a deterministic replay of the surviving operations — convergence by
+  construction, checked with tree isomorphism.  ``repro replay`` runs
+  declarative scenario files; also exported lazily.
 """
 
 from repro.compile import (
@@ -147,19 +155,42 @@ __all__ = [
     "ConflictService",
     "ServiceConfig",
     "ServiceClient",
+    "ReplicationSession",
+    "InProcessBackend",
+    "ServiceBackend",
+    "Scenario",
+    "ScenarioResult",
+    "load_scenario",
+    "run_scenario",
+    "scenario_from_dict",
+    "BUILTIN_RESOLVERS",
+    "random_replication_scenario",
 ]
 
 # The service names resolve lazily (PEP 562): importing repro must not
 # drag in http.server and the admission machinery for library users.
-_SERVICE_EXPORTS = {
+_LAZY_EXPORTS = {
     "ConflictService": "repro.service.server",
     "ServiceConfig": "repro.service.config",
     "ServiceClient": "repro.service.client",
+    # Replication scenario engine (docs/REPLICATION.md) — lazy for the
+    # same reason as the service tier: pure pair-checking users never
+    # touch sessions, resolvers, or the scenario DSL.
+    "ReplicationSession": "repro.replication",
+    "InProcessBackend": "repro.replication",
+    "ServiceBackend": "repro.replication",
+    "Scenario": "repro.replication",
+    "ScenarioResult": "repro.replication",
+    "load_scenario": "repro.replication",
+    "run_scenario": "repro.replication",
+    "scenario_from_dict": "repro.replication",
+    "BUILTIN_RESOLVERS": "repro.replication",
+    "random_replication_scenario": "repro.workloads.replication",
 }
 
 
 def __getattr__(name: str):  # type: ignore[no-untyped-def]
-    module_name = _SERVICE_EXPORTS.get(name)
+    module_name = _LAZY_EXPORTS.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
     import importlib
@@ -168,4 +199,4 @@ def __getattr__(name: str):  # type: ignore[no-untyped-def]
 
 
 def __dir__() -> list[str]:
-    return sorted(set(globals()) | set(_SERVICE_EXPORTS))
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -16,7 +16,10 @@ The subcommands expose the library's main entry points:
   shard processes behind a health-checked consistent-hash router
   (``docs/SERVICE.md``, "Sharding & failover");
 * ``cache``     — operate on verdict-cache snapshots: ``inspect`` one,
-  or ``merge`` several into one.
+  or ``merge`` several into one;
+* ``replay``    — run a replication scenario file (``docs/REPLICATION.md``)
+  against the in-process engine or a live service/cluster endpoint:
+  exit ``0`` when the session converged, ``1`` when replicas diverged.
 
 Exit codes for the decision commands (``check``/``commute``/``matrix``/
 ``schedule``): ``0`` = no conflict / valid, ``1`` = conflict / invalid,
@@ -431,6 +434,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_json_arg(p_merge)
     p_cache.set_defaults(handler=_cmd_cache)
+
+    p_replay = add_command(
+        "replay",
+        help="run a replication scenario (see docs/REPLICATION.md)",
+    )
+    p_replay.add_argument("scenario", help="path to a scenario JSON file")
+    p_replay.add_argument(
+        "--resolver",
+        metavar="NAME",
+        help="override the scenario's resolver "
+        "(local-wins, remote-wins, last-writer-wins)",
+    )
+    p_replay.add_argument(
+        "--service-port",
+        type=int,
+        metavar="PORT",
+        help="classify pairs through a live repro serve / cluster serve "
+        "endpoint on this port instead of in-process",
+    )
+    p_replay.add_argument(
+        "--service-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="host of the service endpoint (default 127.0.0.1)",
+    )
+    p_replay.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="per-pair deadline forwarded to the service backend",
+    )
+    _add_json_arg(p_replay)
+    p_replay.set_defaults(handler=_cmd_replay)
 
     return parser
 
@@ -1086,6 +1122,61 @@ def _cmd_cache_merge(args: argparse.Namespace) -> int:
     print(f"wrote {len(merged)} entr{'y' if len(merged) == 1 else 'ies'} "
           f"to {args.out}")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.errors import ConvergenceError
+    from repro.replication import ServiceBackend, load_scenario, run_scenario
+
+    scenario = load_scenario(args.scenario)
+    backend = None
+    if args.service_port is not None:
+        backend = ServiceBackend(
+            port=args.service_port,
+            host=args.service_host,
+            deadline_ms=args.deadline_ms,
+        )
+    try:
+        result = run_scenario(
+            scenario, backend=backend, resolver=args.resolver, strict=False
+        )
+    except ConvergenceError as exc:
+        # Only a mid-scenario assert can still raise here (strict=False
+        # covers the final report); treat it the same as a diverged run.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if backend is not None:
+            backend.close()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.converged and result.error is None else 1
+    status = "converged" if result.converged else "DIVERGED"
+    print(
+        f"{result.name}: {status} "
+        f"({result.replicas} replicas, resolver {result.resolver}, "
+        f"verdicts {result.verdict_source})"
+    )
+    print(
+        f"  edits {result.edits}, syncs {result.syncs} "
+        f"(+{result.syncs_skipped} skipped), "
+        f"pairs {result.pairs_classified} classified / "
+        f"{result.pairs_conflicting} conflicting / "
+        f"{result.pairs_unproven} unproven"
+    )
+    if result.resolutions:
+        breakdown = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(result.resolutions.items())
+        )
+        print(f"  resolutions: {breakdown}")
+    if result.rounds_to_converge is not None:
+        print(f"  rounds to converge: {result.rounds_to_converge}")
+    if result.lost_updates:
+        print(f"  LOST UPDATES: {result.lost_updates}")
+    if result.error:
+        print(f"  error: {result.error}")
+    return 0 if result.converged and result.error is None else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

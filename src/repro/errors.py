@@ -229,3 +229,23 @@ class ProgramParseError(LanguageError):
 
 class ProgramRuntimeError(LanguageError):
     """A pidgin program referenced an undefined variable or misused a value."""
+
+
+class ReplicationError(ReproError):
+    """Base class for errors in the replication scenario engine."""
+
+
+class ScenarioError(ReplicationError):
+    """A scenario file/dict is malformed (unknown step, bad field, ...)."""
+
+
+class ConvergenceError(ReplicationError):
+    """An ``assert_converged`` step found diverged replicas.
+
+    Carries the per-replica canonical forms so the failure message names
+    exactly which replicas disagree, not just "not converged".
+    """
+
+    def __init__(self, message: str, forms: dict[int, str] | None = None) -> None:
+        super().__init__(message)
+        self.forms = forms or {}

@@ -1,0 +1,93 @@
+"""Replication & conflict-resolution scenario engine (ROADMAP item 4).
+
+The paper gives a PTIME procedure for *detecting* conflicting XPath
+updates; this package is the loop that *uses* it: N replicas of one
+document edit independently, sync rounds exchange stamped op logs,
+concurrent pairs are classified by the conflict engine (in-process
+:func:`repro.analyze` or a live service/cluster endpoint), certified
+conflicts go through pluggable resolvers, and every replica's tree is a
+deterministic replay of the surviving operations — so quiescence implies
+convergence by construction, verified with
+:func:`repro.xml.isomorphism.canonical_form`.
+
+Layers:
+
+* :mod:`~repro.replication.log` — stamped :class:`LoggedOp` records,
+  replicated :class:`Decision` rulings, vector-clock concurrency.
+* :mod:`~repro.replication.resolvers` — the couchbase-lite-style
+  resolver contract plus the built-ins (``local-wins``, ``remote-wins``,
+  ``last-writer-wins``).
+* :mod:`~repro.replication.backends` — where verdicts come from
+  (:class:`InProcessBackend`, :class:`ServiceBackend`).
+* :mod:`~repro.replication.session` — :class:`ReplicationSession`:
+  edit/sync/partition/heal/crash/quiesce.
+* :mod:`~repro.replication.scenario` — the declarative scenario DSL
+  behind ``repro replay``.
+
+See ``docs/REPLICATION.md`` for the DSL grammar, the resolver contract,
+and precisely which convergence guarantees hold for which resolvers.
+"""
+
+from repro.replication.backends import (
+    DecisionBackend,
+    InProcessBackend,
+    ServiceBackend,
+)
+from repro.replication.log import (
+    Decision,
+    LoggedOp,
+    PairKey,
+    concurrent,
+    logged_op_from,
+    merge_decisions,
+    pair_key,
+)
+from repro.replication.resolvers import (
+    BUILTIN_RESOLVERS,
+    ConflictPair,
+    Resolver,
+    last_writer_wins,
+    local_wins,
+    remote_wins,
+    resolver_by_name,
+    resolver_name,
+)
+from repro.replication.scenario import (
+    Scenario,
+    ScenarioResult,
+    load_scenario,
+    run_scenario,
+    scenario_from_dict,
+    scenario_from_json,
+)
+from repro.replication.session import Replica, ReplicationSession, SyncReport
+
+__all__ = [
+    "BUILTIN_RESOLVERS",
+    "ConflictPair",
+    "Decision",
+    "DecisionBackend",
+    "InProcessBackend",
+    "LoggedOp",
+    "PairKey",
+    "Replica",
+    "ReplicationSession",
+    "Resolver",
+    "Scenario",
+    "ScenarioResult",
+    "ServiceBackend",
+    "SyncReport",
+    "concurrent",
+    "last_writer_wins",
+    "load_scenario",
+    "local_wins",
+    "logged_op_from",
+    "merge_decisions",
+    "pair_key",
+    "remote_wins",
+    "resolver_by_name",
+    "resolver_name",
+    "run_scenario",
+    "scenario_from_dict",
+    "scenario_from_json",
+]

@@ -1,0 +1,241 @@
+"""The replicated update log: stamped operations and resolution records.
+
+A replica's durable state is *not* its tree — it is the set of update
+operations it knows about plus the set of conflict-resolution decisions
+it knows about.  The tree is a deterministic function of those two sets
+(replay the surviving operations in canonical stamp order from the base
+document), which is what makes convergence a set-union property: two
+replicas that know the same operations and the same decisions *are* the
+same replica.  This mirrors u1db's sync model (state = document + known
+revisions, exchanged as deltas) rather than couchbase's revision trees,
+because the paper's operations are cheap to replay and replaying sidesteps
+undo entirely.
+
+Stamps are Lamport clocks extended with the originating replica id and a
+per-origin sequence number, so the canonical replay order
+``(lamport, op_id)`` is a total order that respects causality.  Each
+operation additionally carries the vector clock of its origin at creation
+time; two operations are *concurrent* — and therefore candidates for
+conflict classification — exactly when neither vector clock dominates the
+other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+from repro.operations.ops import UpdateOp
+from repro.service.protocol import op_from_spec, op_to_spec
+
+__all__ = [
+    "LoggedOp",
+    "Decision",
+    "PairKey",
+    "pair_key",
+    "concurrent",
+    "logged_op_from",
+    "merge_decisions",
+]
+
+#: Canonical identity of an unordered operation pair: the two op ids, sorted.
+PairKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class LoggedOp:
+    """One update operation as recorded in a replica's log.
+
+    Attributes:
+        op_id: globally unique id — ``"r<origin>.<seq>"`` for edits,
+            ``"m(<id>,<id>)"`` for resolver-produced merge replacements.
+        origin: id of the replica that created the operation (``-1`` for
+            merge replacements, which no single replica authored).
+        seq: per-origin sequence number (``0`` for merge replacements).
+        lamport: Lamport timestamp at creation; the primary replay key.
+        vc: the origin's vector clock at creation, as sorted
+            ``(origin, max_seq)`` pairs — the causal context used to
+            decide concurrency.
+        spec: the operation's canonical JSON spec (the same wire form the
+            service protocol uses), which doubles as the op's identity
+            for caching and transport.
+    """
+
+    op_id: str
+    origin: int
+    seq: int
+    lamport: int
+    vc: tuple[tuple[int, int], ...]
+    spec: dict = field(hash=False)
+
+    @cached_property
+    def op(self) -> UpdateOp:
+        """The live operation object (parsed once per process)."""
+        built = op_from_spec(self.spec)
+        if not isinstance(built, UpdateOp):
+            raise TypeError(f"logged op {self.op_id} is not an update: {self.spec}")
+        return built
+
+    @property
+    def kind(self) -> str:
+        """``"insert"`` or ``"delete"``."""
+        return str(self.spec["op"])
+
+    @property
+    def stamp(self) -> tuple[int, int, int]:
+        """The last-writer-wins total order: ``(lamport, origin, seq)``."""
+        return (self.lamport, self.origin, self.seq)
+
+    @property
+    def sort_key(self) -> tuple[int, str]:
+        """Canonical replay order (respects causality via the Lamport clock)."""
+        return (self.lamport, self.op_id)
+
+    def vc_dict(self) -> dict[int, int]:
+        return dict(self.vc)
+
+    def knows(self, other: "LoggedOp") -> bool:
+        """Did this op's origin know ``other`` when this op was created?
+
+        For an authored op that is a vector-clock lookup; for a merge
+        replacement (which carries the pointwise-max clock of its pair)
+        it is vector-clock dominance.
+        """
+        mine = self.vc_dict()
+        if other.origin >= 0:
+            return mine.get(other.origin, 0) >= other.seq
+        return all(mine.get(origin, 0) >= seq for origin, seq in other.vc)
+
+    def to_dict(self) -> dict:
+        """JSON form (scenario replay artifacts, ``--json`` output)."""
+        return {
+            "op_id": self.op_id,
+            "origin": self.origin,
+            "seq": self.seq,
+            "lamport": self.lamport,
+            "vc": [list(pair) for pair in self.vc],
+            "spec": dict(self.spec),
+        }
+
+
+def logged_op_from(
+    op: UpdateOp, *, origin: int, seq: int, lamport: int, vc: dict[int, int]
+) -> LoggedOp:
+    """Stamp a freshly authored update into its log record."""
+    return LoggedOp(
+        op_id=f"r{origin}.{seq}",
+        origin=origin,
+        seq=seq,
+        lamport=lamport,
+        vc=tuple(sorted(vc.items())),
+        spec=op_to_spec(op),
+    )
+
+
+def pair_key(a: LoggedOp | str, b: LoggedOp | str) -> PairKey:
+    """The unordered pair's canonical key."""
+    first = a if isinstance(a, str) else a.op_id
+    second = b if isinstance(b, str) else b.op_id
+    return (first, second) if first <= second else (second, first)
+
+
+def concurrent(a: LoggedOp, b: LoggedOp) -> bool:
+    """True when neither operation causally precedes the other."""
+    if a.op_id == b.op_id:
+        return False
+    return not a.knows(b) and not b.knows(a)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A resolution record for one conflicting concurrent pair.
+
+    Decisions replicate exactly like operations do: a sync round unions
+    the two replicas' decision sets.  When two replicas resolved the
+    same pair independently (possible under a partition with an
+    asymmetric resolver such as ``local-wins``), the union keeps the
+    decision with the smallest ``(decided_by, outcome)`` — an arbitrary
+    but *deterministic* tiebreak, so every replica converges on one
+    ruling no matter the order decisions arrive in.
+
+    Attributes:
+        pair: the conflicting pair's :data:`PairKey`.
+        outcome: ``"local"`` / ``"remote"`` (one side kept), ``"merged"``
+            (both dropped, replacements added), or ``"unresolved"`` (both
+            dropped conservatively — e.g. the resolver raised).
+        dropped: op ids this decision removes from replay.
+        added: merge-replacement operations this decision introduces;
+            they join the regular op log and propagate like any edit.
+        decided_by: replica that ran the resolver.
+        resolver: resolver name, for the audit trail.
+        note: human-readable detail (resolver error text, ...).
+    """
+
+    pair: PairKey
+    outcome: str
+    dropped: tuple[str, ...]
+    added: tuple[LoggedOp, ...]
+    decided_by: int
+    resolver: str
+    note: str = ""
+
+    @property
+    def merge_rank(self) -> tuple:
+        """Deterministic priority when two decisions cover one pair.
+
+        Only the decision's *core* ruling participates: ids outside the
+        pair itself (loser replacements that :func:`merge_decisions`
+        folds into ``dropped`` as tombstones) are excluded, so a
+        decision's rank never changes as it accumulates tombstones —
+        that stability is what keeps the union rule convergent.
+        """
+        return (
+            self.decided_by,
+            self.outcome,
+            tuple(i for i in self.dropped if i in self.pair),
+            tuple(op.op_id for op in self.added),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pair": list(self.pair),
+            "outcome": self.outcome,
+            "dropped": list(self.dropped),
+            "added": [op.to_dict() for op in self.added],
+            "decided_by": self.decided_by,
+            "resolver": self.resolver,
+            "note": self.note,
+        }
+
+
+def merge_decisions(mine: Decision | None, theirs: Decision) -> Decision:
+    """Union rule for one pair's decisions (see :class:`Decision`).
+
+    The smaller :attr:`Decision.merge_rank` wins.  The losing decision's
+    merge-replacement ops — both the ones it ``added`` and any loser
+    replacements it had itself already buried — are folded into the
+    winner's ``dropped`` set, because those replacements may already be
+    circulating in op logs and must not survive replay once their
+    decision loses.  The winner's *own* pair ruling is never touched:
+    only ids outside the pair are unioned in, never the two real pair
+    ops, so a ``local``-wins ruling stays a ``local``-wins ruling.
+
+    Min-by-(augmentation-stable)-rank plus monotone set-union of loser
+    replacements is commutative and associative, so every replica
+    reaches the same final decision regardless of arrival order.
+    """
+    if mine is None:
+        return theirs
+    winner, loser = (
+        (mine, theirs)
+        if mine.merge_rank <= theirs.merge_rank
+        else (theirs, mine)
+    )
+    keep = {op.op_id for op in winner.added}
+    buried = set(loser.dropped) - set(loser.pair)
+    buried.update(op.op_id for op in loser.added)
+    buried -= keep
+    buried -= set(winner.dropped)
+    if not buried:
+        return winner
+    return replace(winner, dropped=tuple(sorted({*winner.dropped, *buried})))

@@ -1,0 +1,145 @@
+"""Pluggable conflict resolvers, modeled on couchbase-lite's custom
+conflict-resolver contract.
+
+A resolver is any callable ``resolver(conflict) -> ResolutionChoice``
+where ``conflict`` is a :class:`ConflictPair` and the choice is one of:
+
+* the string ``"local"`` or ``"remote"`` — keep that side's operation
+  and drop the other (the couchbase ``local-wins`` / ``remote-wins``
+  test specs);
+* an :class:`~repro.operations.ops.Insert` / ``Delete`` (or a list of
+  them, or their JSON specs) — drop *both* sides and replace them with
+  the returned merge operations, which then replicate like ordinary
+  edits;
+* ``None`` — decline: the pair is recorded as ``unresolved`` and both
+  operations are conservatively withheld from replay.
+
+A resolver that **raises** is treated exactly like one that declines,
+plus the error text is recorded on the decision — the session degrades,
+it never crashes and never lets replicas diverge silently.
+
+Convergence caveat (see ``docs/REPLICATION.md``): ``last-writer-wins``
+is a pure function of the pair, so it rules identically no matter which
+replica resolves, making it sync-order invariant.  ``local-wins`` and
+``remote-wins`` depend on which replica happened to resolve first; they
+still converge (decisions replicate, ties broken deterministically) but
+the *winner* can depend on the sync schedule — same as couchbase.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from repro.conflicts.semantics import ConflictKind, Verdict
+from repro.errors import ReplicationError
+from repro.operations.ops import UpdateOp
+from repro.replication.log import LoggedOp
+
+__all__ = [
+    "ConflictPair",
+    "Resolver",
+    "local_wins",
+    "remote_wins",
+    "last_writer_wins",
+    "BUILTIN_RESOLVERS",
+    "resolver_by_name",
+    "resolver_name",
+]
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """Everything a resolver may consult about one conflicting pair.
+
+    Attributes:
+        local: the operation held by the replica running the resolver
+            (the sync initiator's side).
+        remote: the incoming operation from the peer.
+        verdict: the engine's classification — ``CONFLICT``, or a
+            conservative ``UNKNOWN`` the session treats as conflicting.
+        kind: the conflict semantics the verdict was decided under.
+        local_replica: id of the resolving replica.
+        remote_replica: id of the peer.
+    """
+
+    local: LoggedOp
+    remote: LoggedOp
+    verdict: Verdict
+    kind: ConflictKind
+    local_replica: int
+    remote_replica: int
+
+    @property
+    def is_delete_vs_update(self) -> bool:
+        """True when exactly one side deleted what the other touched —
+        the couchbase spec's hardest case (snippet 3)."""
+        return {self.local.kind, self.remote.kind} == {"insert", "delete"}
+
+    @property
+    def deleter(self) -> LoggedOp | None:
+        """The deleting side of a delete-vs-update pair, if any."""
+        if not self.is_delete_vs_update:
+            return None
+        return self.local if self.local.kind == "delete" else self.remote
+
+    @property
+    def updater(self) -> LoggedOp | None:
+        """The inserting side of a delete-vs-update pair, if any."""
+        if not self.is_delete_vs_update:
+            return None
+        return self.local if self.local.kind == "insert" else self.remote
+
+
+#: What a resolver may return; see the module docstring.
+ResolutionChoice = str | UpdateOp | Mapping | list | None
+#: The resolver callable contract.
+Resolver = Callable[[ConflictPair], ResolutionChoice]
+
+
+def local_wins(conflict: ConflictPair) -> str:
+    """Keep the resolving replica's own operation (couchbase #1)."""
+    return "local"
+
+
+def remote_wins(conflict: ConflictPair) -> str:
+    """Keep the incoming peer operation (couchbase #2)."""
+    return "remote"
+
+
+def last_writer_wins(conflict: ConflictPair) -> str:
+    """Keep the operation with the larger ``(lamport, origin, seq)`` stamp.
+
+    A pure function of the pair: every replica that resolves this pair
+    rules the same way, which is what makes this resolver sync-order
+    and replica-order invariant (the property the metamorphic tests pin).
+    """
+    return "local" if conflict.local.stamp > conflict.remote.stamp else "remote"
+
+
+BUILTIN_RESOLVERS: dict[str, Resolver] = {
+    "local-wins": local_wins,
+    "remote-wins": remote_wins,
+    "last-writer-wins": last_writer_wins,
+}
+
+
+def resolver_by_name(name: "str | Resolver") -> Resolver:
+    """Look up a built-in resolver; passes callables through unchanged."""
+    if callable(name):
+        return name
+    key = str(name).replace("_", "-")
+    try:
+        return BUILTIN_RESOLVERS[key]
+    except KeyError:
+        raise ReplicationError(
+            f"unknown resolver {name!r} "
+            f"(built-ins: {', '.join(sorted(BUILTIN_RESOLVERS))})"
+        ) from None
+
+
+def resolver_name(resolver: "str | Resolver") -> str:
+    """A display name for decisions and reports."""
+    if isinstance(resolver, str):
+        return resolver.replace("_", "-")
+    return getattr(resolver, "__name__", type(resolver).__name__).replace("_", "-")

@@ -1,0 +1,441 @@
+"""Declarative replication scenarios: parse, validate, run, report.
+
+A scenario is a JSON document (or the equivalent dict) describing a
+replicated editing session as an ordered list of steps::
+
+    {
+      "name": "partition-then-heal",
+      "replicas": 3,
+      "doc": "<doc><hot/><p0/><p1/><p2/></doc>",
+      "resolver": "last-writer-wins",
+      "steps": [
+        {"step": "edit", "replica": 0,
+         "op": {"op": "insert", "xpath": "doc/hot", "xml": "<item/>"}},
+        {"step": "partition", "groups": [[0], [1, 2]]},
+        {"step": "edit", "replica": 1,
+         "op": {"op": "delete", "xpath": "doc/hot/item"}},
+        {"step": "sync", "a": 1, "b": 2},
+        {"step": "heal"},
+        {"step": "assert_converged"}
+      ]
+    }
+
+Step vocabulary (full grammar in ``docs/REPLICATION.md``):
+
+``edit``
+    ``{"step": "edit", "replica": R, "op": <op spec>}`` — author one
+    insert/delete at replica ``R`` (the service-protocol spec format).
+``sync``
+    ``{"step": "sync", "a": A, "b": B}`` — one pairwise sync round;
+    omit both endpoints for a full gossip round over every pair.
+``partition`` / ``heal``
+    ``{"step": "partition", "groups": [[...], [...]]}`` splits the
+    network; ``{"step": "heal"}`` removes the split.
+``crash`` / ``recover``
+    ``{"step": "crash", "replica": R}`` takes a replica offline (its
+    durable log survives); ``recover`` brings it back.
+``quiesce``
+    ``{"step": "quiesce", "max_rounds": N}`` — gossip until a full
+    round changes nothing.
+``assert_converged``
+    Quiesce (unless ``"quiesce": false``), then require all live
+    replicas pairwise isomorphic — raising
+    :class:`~repro.errors.ConvergenceError` with the offending
+    canonical forms otherwise.
+
+:func:`run_scenario` executes steps in order against a
+:class:`~repro.replication.session.ReplicationSession` and returns a
+:class:`ScenarioResult` whose :meth:`~ScenarioResult.to_dict` is the
+``repro replay --json`` payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConvergenceError, ScenarioError
+from repro.obs.metrics import MetricsRegistry, quantile_from_snapshot
+from repro.replication.backends import DecisionBackend
+from repro.replication.resolvers import Resolver, resolver_name
+from repro.replication.session import ReplicationSession
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "scenario_from_dict",
+    "scenario_from_json",
+    "load_scenario",
+    "run_scenario",
+]
+
+_STEPS = (
+    "edit",
+    "sync",
+    "partition",
+    "heal",
+    "crash",
+    "recover",
+    "quiesce",
+    "assert_converged",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A validated scenario, ready to run."""
+
+    name: str
+    replicas: int
+    doc: str
+    steps: tuple[dict, ...]
+    resolver: "str | Resolver" = "last-writer-wins"
+    unknown_policy: str = "keep"
+    seed: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "replicas": self.replicas,
+            "doc": self.doc,
+            "resolver": resolver_name(self.resolver),
+            "unknown_policy": self.unknown_policy,
+            "seed": self.seed,
+            "steps": [dict(step) for step in self.steps],
+        }
+
+
+def _require(data: dict, key: str, kind: type, where: str):
+    try:
+        value = data[key]
+    except KeyError:
+        raise ScenarioError(f"{where}: missing required field {key!r}") from None
+    if kind is int and isinstance(value, bool) or not isinstance(value, kind):
+        raise ScenarioError(
+            f"{where}: field {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _check_replica(value: object, replicas: int, where: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{where}: replica id must be an int, got {value!r}")
+    if not 0 <= value < replicas:
+        raise ScenarioError(
+            f"{where}: replica {value} out of range (scenario has {replicas})"
+        )
+    return value
+
+
+def _validate_step(step: object, index: int, replicas: int) -> dict:
+    where = f"steps[{index}]"
+    if not isinstance(step, dict):
+        raise ScenarioError(f"{where}: each step must be an object")
+    kind = step.get("step")
+    if kind not in _STEPS:
+        raise ScenarioError(
+            f"{where}: unknown step {kind!r} (expected one of {', '.join(_STEPS)})"
+        )
+    known = {"step"}
+    if kind == "edit":
+        _check_replica(step.get("replica"), replicas, where)
+        op = _require(step, "op", dict, where)
+        if op.get("op") not in ("insert", "delete"):
+            raise ScenarioError(
+                f"{where}: edit op must be an insert or delete spec, got {op!r}"
+            )
+        known |= {"replica", "op"}
+    elif kind == "sync":
+        if ("a" in step) != ("b" in step):
+            raise ScenarioError(
+                f"{where}: sync needs both endpoints 'a' and 'b', or neither"
+            )
+        if "a" in step:
+            a = _check_replica(step["a"], replicas, where)
+            b = _check_replica(step["b"], replicas, where)
+            if a == b:
+                raise ScenarioError(f"{where}: sync endpoints must differ")
+        known |= {"a", "b"}
+    elif kind == "partition":
+        groups = _require(step, "groups", list, where)
+        for group in groups:
+            if not isinstance(group, list):
+                raise ScenarioError(f"{where}: each partition group is a list")
+            for rid in group:
+                _check_replica(rid, replicas, where)
+        known |= {"groups"}
+    elif kind in ("crash", "recover"):
+        _check_replica(step.get("replica"), replicas, where)
+        known |= {"replica"}
+    elif kind == "quiesce":
+        if "max_rounds" in step:
+            _require(step, "max_rounds", int, where)
+        known |= {"max_rounds"}
+    elif kind == "assert_converged":
+        known |= {"quiesce", "max_rounds"}
+    extra = set(step) - known
+    if extra:
+        raise ScenarioError(
+            f"{where}: unknown field(s) for {kind!r}: {', '.join(sorted(extra))}"
+        )
+    return dict(step)
+
+
+def scenario_from_dict(data: dict) -> Scenario:
+    """Validate a scenario dict; raises :class:`ScenarioError` on any flaw."""
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"a scenario must be a JSON object, got {type(data).__name__}"
+        )
+    replicas = _require(data, "replicas", int, "scenario")
+    if replicas < 1:
+        raise ScenarioError("scenario: 'replicas' must be >= 1")
+    doc = _require(data, "doc", str, "scenario")
+    raw_steps = _require(data, "steps", list, "scenario")
+    steps = tuple(
+        _validate_step(step, index, replicas)
+        for index, step in enumerate(raw_steps)
+    )
+    resolver = data.get("resolver", "last-writer-wins")
+    if not (isinstance(resolver, str) or callable(resolver)):
+        raise ScenarioError("scenario: 'resolver' must be a name or callable")
+    unknown_policy = data.get("unknown_policy", "keep")
+    if unknown_policy not in ("keep", "conflict"):
+        raise ScenarioError(
+            "scenario: 'unknown_policy' must be 'keep' or 'conflict'"
+        )
+    seed = data.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise ScenarioError("scenario: 'seed' must be an int")
+    extra = set(data) - {
+        "name", "replicas", "doc", "steps", "resolver", "unknown_policy", "seed",
+    }
+    if extra:
+        raise ScenarioError(
+            f"scenario: unknown field(s): {', '.join(sorted(extra))}"
+        )
+    return Scenario(
+        name=str(data.get("name", "scenario")),
+        replicas=replicas,
+        doc=doc,
+        steps=steps,
+        resolver=resolver,
+        unknown_policy=unknown_policy,
+        seed=seed,
+    )
+
+
+def scenario_from_json(text: str) -> Scenario:
+    """Parse and validate a scenario from JSON text."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"scenario is not valid JSON: {exc}") from exc
+    return scenario_from_dict(data)
+
+
+def load_scenario(path: str) -> Scenario:
+    """Read and validate a scenario file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario {path!r}: {exc}") from exc
+    return scenario_from_json(text)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run observed, JSON-ready via :meth:`to_dict`."""
+
+    name: str
+    replicas: int
+    resolver: str
+    verdict_source: str
+    converged: bool
+    steps_executed: int
+    edits: int
+    syncs: int
+    syncs_skipped: int
+    pairs_classified: int
+    pairs_conflicting: int
+    pairs_unproven: int
+    resolutions: dict[str, int]
+    unresolved: list[dict]
+    rounds_to_converge: int | None
+    lost_updates: list[list]
+    replica_summaries: list[dict] = field(default_factory=list)
+    sync_ms: dict = field(default_factory=dict)
+    seed: int | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "replicas": self.replicas,
+            "resolver": self.resolver,
+            "verdict_source": self.verdict_source,
+            "converged": self.converged,
+            "steps_executed": self.steps_executed,
+            "edits": self.edits,
+            "syncs": self.syncs,
+            "syncs_skipped": self.syncs_skipped,
+            "pairs_classified": self.pairs_classified,
+            "pairs_conflicting": self.pairs_conflicting,
+            "pairs_unproven": self.pairs_unproven,
+            "resolutions": dict(self.resolutions),
+            "unresolved": list(self.unresolved),
+            "rounds_to_converge": self.rounds_to_converge,
+            "lost_updates": [list(item) for item in self.lost_updates],
+            "replicas_detail": list(self.replica_summaries),
+            "sync_ms": dict(self.sync_ms),
+            "seed": self.seed,
+            "error": self.error,
+        }
+
+
+def _collect_result(
+    scenario: Scenario,
+    session: ReplicationSession,
+    steps_executed: int,
+    rounds: int | None,
+    error: str | None,
+) -> ScenarioResult:
+    registry = session.registry
+    snapshot = registry.snapshot()
+    counters = snapshot.get("counters", {})
+
+    def _counter_total(prefix: str) -> int:
+        return sum(
+            value
+            for key, value in counters.items()
+            if key == prefix or key.startswith(prefix + "{")
+        )
+
+    resolutions: dict[str, int] = {}
+    for key, value in counters.items():
+        if key.startswith("replication.resolutions{outcome="):
+            outcome = key.split("outcome=", 1)[1].rstrip("}")
+            resolutions[outcome] = resolutions.get(outcome, 0) + value
+    hist = registry.histogram("replication.sync_ms")
+    sync_ms = {}
+    if hist:
+        sync_ms = {
+            "count": hist.get("count", 0),
+            "p50": quantile_from_snapshot(hist, 0.5),
+            "p95": quantile_from_snapshot(hist, 0.95),
+        }
+    forms = session.canonical_forms()
+    summaries = [
+        {
+            "replica": rep.rid,
+            "down": rep.down,
+            "ops": len(rep.ops),
+            "live_ops": len(rep.live_ops()),
+            "decisions": len(rep.decisions),
+            "canonical_size": len(forms[rep.rid]) if rep.rid in forms else None,
+        }
+        for rep in session.replicas
+    ]
+    return ScenarioResult(
+        name=scenario.name,
+        replicas=scenario.replicas,
+        resolver=resolver_name(scenario.resolver),
+        verdict_source=session.backend.source,
+        converged=session.converged(),
+        steps_executed=steps_executed,
+        edits=_counter_total("replication.ops_edited"),
+        syncs=_counter_total("replication.syncs_total"),
+        syncs_skipped=_counter_total("replication.syncs_skipped"),
+        pairs_classified=_counter_total("replication.pairs_classified"),
+        pairs_conflicting=_counter_total("replication.pairs_conflicting"),
+        pairs_unproven=_counter_total("replication.pairs_unproven"),
+        resolutions=resolutions,
+        unresolved=[decision.to_dict() for decision in session.unresolved()],
+        rounds_to_converge=rounds,
+        lost_updates=[list(item) for item in session.lost_updates()],
+        replica_summaries=summaries,
+        sync_ms=sync_ms,
+        seed=scenario.seed,
+        error=error,
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    backend: DecisionBackend | None = None,
+    resolver: "str | Resolver | None" = None,
+    registry: MetricsRegistry | None = None,
+    strict: bool = True,
+) -> ScenarioResult:
+    """Execute a scenario and report what happened.
+
+    Args:
+        scenario: a validated :class:`Scenario`.
+        backend: decision backend override (defaults to in-process).
+        resolver: resolver override — e.g. replay one scenario under
+            every built-in resolver, as the convergence tests do.
+        registry: metrics registry (private per run when ``None``, so
+            counters in the result cover exactly this run).
+        strict: when True a failing ``assert_converged`` raises
+            :class:`ConvergenceError`; when False it is recorded on
+            ``result.error`` and the run continues.
+    """
+    if resolver is not None:
+        scenario = Scenario(
+            name=scenario.name,
+            replicas=scenario.replicas,
+            doc=scenario.doc,
+            steps=scenario.steps,
+            resolver=resolver,
+            unknown_policy=scenario.unknown_policy,
+            seed=scenario.seed,
+        )
+    session = ReplicationSession(
+        scenario.replicas,
+        scenario.doc,
+        resolver=scenario.resolver,
+        backend=backend,
+        registry=registry,
+        unknown_policy=scenario.unknown_policy,
+    )
+    rounds: int | None = None
+    error: str | None = None
+    steps_executed = 0
+    for step in scenario.steps:
+        kind = step["step"]
+        if kind == "edit":
+            session.edit(step["replica"], step["op"])
+        elif kind == "sync":
+            if "a" in step:
+                session.sync(step["a"], step["b"])
+            else:
+                session.sync_all()
+        elif kind == "partition":
+            session.partition(step["groups"])
+        elif kind == "heal":
+            session.heal()
+        elif kind == "crash":
+            session.crash(step["replica"])
+        elif kind == "recover":
+            session.recover(step["replica"])
+        elif kind == "quiesce":
+            rounds = session.quiesce(step.get("max_rounds", 16))
+        elif kind == "assert_converged":
+            if step.get("quiesce", True):
+                rounds = session.quiesce(step.get("max_rounds", 16))
+            if not session.converged():
+                forms = session.canonical_forms()
+                failure = ConvergenceError(
+                    f"replicas diverged after step {steps_executed} "
+                    f"({len(set(forms.values()))} distinct canonical forms "
+                    f"across {len(forms)} live replicas)",
+                    forms=forms,
+                )
+                if strict:
+                    raise failure
+                error = str(failure)
+        steps_executed += 1
+    return _collect_result(scenario, session, steps_executed, rounds, error)

@@ -1,0 +1,569 @@
+"""Multi-replica editing sessions with sync, resolution, and convergence.
+
+A :class:`ReplicationSession` holds N replicas of one base document.
+Each replica accumulates XPath update operations in a stamped log
+(:mod:`repro.replication.log`); a *sync round* between two replicas
+
+1. exchanges the log entries each side is missing,
+2. classifies every **newly concurrent pair** (one op from each side,
+   neither causally aware of the other) through a decision backend —
+   :func:`repro.analyze` in pairs mode, or a live service endpoint,
+3. routes conflicting pairs (verdict ``CONFLICT``, or a conservative
+   ``UNKNOWN``) through the session's resolver, recording the ruling as
+   a replicated :class:`~repro.replication.log.Decision`, and
+4. rebuilds both trees by materializing the surviving operations with
+   ``apply_in_place`` in canonical stamp order from the base document.
+
+Step 4 is what makes convergence structural rather than hopeful: a
+replica's tree is a pure function of (base document, known ops, known
+decisions), so once quiescence propagates the same sets everywhere, the
+trees are equal by construction — the isomorphism check in
+:meth:`ReplicationSession.converged` verifies the implementation, not
+the math.  The price is replay cost per sync, which is the right trade
+for session-scale logs (see ``docs/REPLICATION.md`` for the limits).
+
+Non-conflicting concurrent pairs are simply *both kept*: the engine's
+verdict is precisely the proof that their relative order cannot be
+observed, so the canonical replay order is as good as any other.  That
+is the paper's detection procedure doing real work inside a replication
+loop — every pair the index or the PTIME deciders discharge is a pair
+no resolver (and no human) ever has to look at.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro import obs
+from repro.conflicts.semantics import ConflictKind, Verdict
+from repro.errors import ReplicationError
+from repro.obs.metrics import MetricsRegistry
+from repro.operations.ops import Read, UpdateOp
+from repro.replication.backends import DecisionBackend, InProcessBackend
+from repro.replication.log import (
+    Decision,
+    LoggedOp,
+    PairKey,
+    concurrent,
+    logged_op_from,
+    merge_decisions,
+    pair_key,
+)
+from repro.replication.resolvers import (
+    ConflictPair,
+    Resolver,
+    resolver_by_name,
+    resolver_name,
+)
+from repro.service.protocol import op_from_spec, op_to_spec
+from repro.xml.isomorphism import canonical_form
+from repro.xml.parser import parse as parse_xml
+from repro.xml.tree import XMLTree
+
+__all__ = ["Replica", "SyncReport", "ReplicationSession"]
+
+#: Resolution outcomes a sync can record (metric label values).
+_OUTCOMES = ("local", "remote", "merged", "unresolved")
+
+
+@dataclass
+class Replica:
+    """One replica: a stamped op log, known decisions, and the rebuilt tree."""
+
+    rid: int
+    tree: XMLTree
+    ops: dict[str, LoggedOp] = field(default_factory=dict)
+    decisions: dict[PairKey, Decision] = field(default_factory=dict)
+    lamport: int = 0
+    seq: int = 0
+    down: bool = False
+
+    def vector_clock(self) -> dict[int, int]:
+        """Per-origin max sequence number over the known ops."""
+        vc: dict[int, int] = {}
+        for op in self.ops.values():
+            if op.origin >= 0 and op.seq > vc.get(op.origin, 0):
+                vc[op.origin] = op.seq
+        return vc
+
+    def dropped_ids(self) -> set[str]:
+        out: set[str] = set()
+        for decision in self.decisions.values():
+            out.update(decision.dropped)
+        return out
+
+    def live_ops(self) -> list[LoggedOp]:
+        """Surviving ops in canonical replay order."""
+        dropped = self.dropped_ids()
+        live = [op for op in self.ops.values() if op.op_id not in dropped]
+        live.sort(key=lambda op: op.sort_key)
+        return live
+
+
+@dataclass
+class SyncReport:
+    """What one pairwise sync did (or why it was skipped)."""
+
+    a: int
+    b: int
+    skipped: str | None = None
+    ops_to_a: int = 0
+    ops_to_b: int = 0
+    pairs_classified: int = 0
+    pairs_conflicting: int = 0
+    resolutions: dict[str, int] = field(default_factory=dict)
+    new_decisions: list[Decision] = field(default_factory=list)
+    duration_ms: float = 0.0
+
+
+class ReplicationSession:
+    """N replicas of one document under a shared resolver and backend.
+
+    Args:
+        replicas: replica count (ids ``0 .. replicas-1``).
+        doc: the base document — XML text or an :class:`XMLTree`.
+        resolver: a built-in name (``"local-wins"``, ``"remote-wins"``,
+            ``"last-writer-wins"``) or any callable honoring the
+            :mod:`repro.replication.resolvers` contract.
+        backend: a :class:`~repro.replication.backends.DecisionBackend`;
+            defaults to a fresh :class:`InProcessBackend`.
+        registry: metrics registry to record into (private when ``None``);
+            see ``docs/REPLICATION.md`` for the emitted series.
+        unknown_policy: what to do with pairs the engine could not
+            certify either way.  The paper's update/update procedure is
+            asymmetric — it *certifies* conflicts (by exhibiting a
+            commutativity witness) but can never certify their absence —
+            so ``UNKNOWN`` means "no demonstrated order-dependence within
+            budget".  ``"keep"`` (default) applies both operations in
+            canonical stamp order, which is deterministic and convergent;
+            ``"conflict"`` routes every unproven pair through the
+            resolver too, trading kept edits for strictness.
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        doc: "str | XMLTree",
+        *,
+        resolver: "str | Resolver" = "last-writer-wins",
+        backend: DecisionBackend | None = None,
+        registry: MetricsRegistry | None = None,
+        unknown_policy: str = "keep",
+    ) -> None:
+        if replicas < 1:
+            raise ReplicationError("a session needs at least one replica")
+        if unknown_policy not in ("keep", "conflict"):
+            raise ReplicationError(
+                f"unknown_policy must be 'keep' or 'conflict', "
+                f"got {unknown_policy!r}"
+            )
+        self.unknown_policy = unknown_policy
+        self._base = parse_xml(doc) if isinstance(doc, str) else doc.copy()
+        self._resolver_spec = resolver
+        self._resolver = resolver_by_name(resolver)
+        self.backend = backend if backend is not None else InProcessBackend()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.replicas = [
+            Replica(rid=rid, tree=self._base.copy()) for rid in range(replicas)
+        ]
+        self._groups: list[set[int]] | None = None
+        self._verdicts: dict[PairKey, Verdict] = {}
+        self.sync_history: list[SyncReport] = []
+
+    # ------------------------------------------------------------------
+    # Editing
+    # ------------------------------------------------------------------
+
+    def edit(self, replica: int, op: "UpdateOp | dict") -> LoggedOp:
+        """Author an update at ``replica`` and apply it locally."""
+        rep = self._replica(replica)
+        if rep.down:
+            raise ReplicationError(f"replica {replica} is down (crashed)")
+        if isinstance(op, dict):
+            op = op_from_spec(op)
+        if isinstance(op, Read) or not isinstance(op, UpdateOp):
+            raise ReplicationError(
+                "only insert/delete operations mutate a replica; "
+                f"got {type(op).__name__}"
+            )
+        rep.lamport += 1
+        rep.seq += 1
+        vc = rep.vector_clock()
+        vc[rep.rid] = rep.seq
+        logged = logged_op_from(
+            op, origin=rep.rid, seq=rep.seq, lamport=rep.lamport, vc=vc
+        )
+        rep.ops[logged.op_id] = logged
+        logged.op.apply_in_place(rep.tree)
+        self.registry.inc("replication.ops_edited")
+        return logged
+
+    # ------------------------------------------------------------------
+    # Topology control
+    # ------------------------------------------------------------------
+
+    def partition(self, groups: "list[list[int]]") -> None:
+        """Split the network: syncs only succeed within one group.
+
+        Replicas not named in any group become singleton groups.
+        """
+        seen: set[int] = set()
+        parsed: list[set[int]] = []
+        for group in groups:
+            members = set()
+            for rid in group:
+                self._replica(rid)
+                if rid in seen:
+                    raise ReplicationError(
+                        f"replica {rid} appears in two partition groups"
+                    )
+                seen.add(rid)
+                members.add(rid)
+            if members:
+                parsed.append(members)
+        for rid in range(len(self.replicas)):
+            if rid not in seen:
+                parsed.append({rid})
+        self._groups = parsed
+
+    def heal(self) -> None:
+        """Remove any partition; every pair may sync again."""
+        self._groups = None
+
+    def crash(self, replica: int) -> None:
+        """Take a replica offline: it cannot edit and all its syncs skip.
+
+        The log is durable — recovery loses nothing; what the replica
+        missed while down arrives through ordinary syncs afterwards.
+        """
+        self._replica(replica).down = True
+
+    def recover(self, replica: int) -> None:
+        """Bring a crashed replica back online."""
+        self._replica(replica).down = False
+
+    def reachable(self, a: int, b: int) -> str | None:
+        """``None`` when ``a`` and ``b`` may sync, else the reason not."""
+        rep_a, rep_b = self._replica(a), self._replica(b)
+        if a == b:
+            return "self"
+        if rep_a.down or rep_b.down:
+            return "down"
+        if self._groups is not None:
+            for group in self._groups:
+                if a in group:
+                    return None if b in group else "partitioned"
+        return None
+
+    # ------------------------------------------------------------------
+    # Sync
+    # ------------------------------------------------------------------
+
+    def sync(self, a: int, b: int) -> SyncReport:
+        """One bidirectional sync round between replicas ``a`` and ``b``.
+
+        ``a`` is the initiator: for every conflicting pair first
+        classified in this round, ``a``'s op is the resolver's *local*
+        side — the couchbase pull-replicator convention.
+        """
+        reason = self.reachable(a, b)
+        if reason is not None:
+            self.registry.inc("replication.syncs_skipped", reason=reason)
+            report = SyncReport(a=a, b=b, skipped=reason)
+            self.sync_history.append(report)
+            return report
+        start = time.perf_counter()
+        rep_a, rep_b = self._replica(a), self._replica(b)
+        with obs.span("replication.sync", a=a, b=b):
+            report = self._sync_live(rep_a, rep_b)
+        report.duration_ms = (time.perf_counter() - start) * 1000.0
+        self.registry.inc("replication.syncs_total")
+        self.registry.observe("replication.sync_ms", report.duration_ms)
+        self.sync_history.append(report)
+        return report
+
+    def _sync_live(self, rep_a: Replica, rep_b: Replica) -> SyncReport:
+        report = SyncReport(a=rep_a.rid, b=rep_b.rid)
+        only_a = [op for key, op in rep_a.ops.items() if key not in rep_b.ops]
+        only_b = [op for key, op in rep_b.ops.items() if key not in rep_a.ops]
+        only_a.sort(key=lambda op: op.op_id)
+        only_b.sort(key=lambda op: op.op_id)
+        report.ops_to_a, report.ops_to_b = len(only_b), len(only_a)
+
+        # Newly co-present pairs are exactly only_a x only_b: any other
+        # pair already met inside one replica's log during an earlier
+        # sync (or is causally ordered with a local edit).
+        fresh = [
+            (x, y) for x in only_a for y in only_b if concurrent(x, y)
+        ]
+        known = {key: None for key in rep_a.decisions}
+        known.update(dict.fromkeys(rep_b.decisions))
+        need = [
+            (x, y)
+            for x, y in fresh
+            if pair_key(x, y) not in self._verdicts
+        ]
+        if need:
+            self._verdicts.update(self.backend.classify(need))
+        report.pairs_classified = len(fresh)
+        self.registry.inc("replication.pairs_classified", len(fresh))
+
+        new_decisions: list[Decision] = []
+        for x, y in sorted(fresh, key=lambda pair: pair_key(*pair)):
+            verdict = self._verdicts[pair_key(x, y)]
+            if verdict is Verdict.NO_CONFLICT:
+                continue
+            if verdict is Verdict.UNKNOWN and self.unknown_policy == "keep":
+                self.registry.inc("replication.pairs_unproven")
+                continue
+            report.pairs_conflicting += 1
+            self.registry.inc(
+                "replication.pairs_conflicting", verdict=verdict.value
+            )
+            if pair_key(x, y) in known:
+                continue  # an earlier sync already ruled on this pair
+            decision = self._resolve(x, y, verdict, rep_a, rep_b)
+            new_decisions.append(decision)
+            known[decision.pair] = None
+            outcome = decision.outcome
+            report.resolutions[outcome] = report.resolutions.get(outcome, 0) + 1
+            self.registry.inc("replication.resolutions", outcome=outcome)
+
+        # Union logs, then decisions (deterministic per-pair tiebreak).
+        for op in only_b:
+            rep_a.ops[op.op_id] = op
+        for op in only_a:
+            rep_b.ops[op.op_id] = op
+        for decision in new_decisions:
+            rep_a.decisions[decision.pair] = merge_decisions(
+                rep_a.decisions.get(decision.pair), decision
+            )
+        all_pairs = set(rep_a.decisions) | set(rep_b.decisions)
+        for key in all_pairs:
+            merged = merge_decisions(
+                rep_a.decisions.get(key),
+                rep_b.decisions.get(key, rep_a.decisions.get(key)),
+            )
+            rep_a.decisions[key] = merged
+            rep_b.decisions[key] = merged
+            for op in merged.added:
+                rep_a.ops.setdefault(op.op_id, op)
+                rep_b.ops.setdefault(op.op_id, op)
+        report.new_decisions = new_decisions
+
+        clock = max(rep_a.lamport, rep_b.lamport)
+        rep_a.lamport = rep_b.lamport = clock
+        self._rebuild(rep_a)
+        self._rebuild(rep_b)
+        return report
+
+    def sync_all(self) -> list[SyncReport]:
+        """One full gossip round: every reachable unordered pair, in order."""
+        reports = []
+        for a in range(len(self.replicas)):
+            for b in range(a + 1, len(self.replicas)):
+                reports.append(self.sync(a, b))
+        return reports
+
+    def quiesce(self, max_rounds: int = 16) -> int:
+        """Run full gossip rounds until a round changes nothing.
+
+        Returns the number of rounds that *did* change state, and
+        records it as the ``replication.rounds_to_converge`` gauge.
+        Raises :class:`ReplicationError` when ``max_rounds`` full rounds
+        were not enough (a resolver that keeps minting fresh merge ops
+        that conflict again could in principle live-lock; the bound
+        makes that loud instead of infinite).
+        """
+        changed = 0
+        for _ in range(max_rounds):
+            before = self._fingerprint()
+            self.sync_all()
+            if self._fingerprint() == before:
+                self.registry.set_gauge("replication.rounds_to_converge", changed)
+                return changed
+            changed += 1
+        raise ReplicationError(
+            f"session did not quiesce within {max_rounds} full sync rounds"
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def tree(self, replica: int) -> XMLTree:
+        """An independent copy of a replica's current tree."""
+        return self._replica(replica).tree.copy()
+
+    def canonical_forms(self) -> dict[int, str]:
+        """Canonical form of every *live* replica's tree."""
+        return {
+            rep.rid: canonical_form(rep.tree)
+            for rep in self.replicas
+            if not rep.down
+        }
+
+    def converged(self) -> bool:
+        """Are all live replicas pairwise isomorphic?"""
+        return len(set(self.canonical_forms().values())) <= 1
+
+    def unresolved(self) -> list[Decision]:
+        """Every pair degraded to ``unresolved``, across all replicas."""
+        seen: dict[PairKey, Decision] = {}
+        for rep in self.replicas:
+            for key, decision in rep.decisions.items():
+                if decision.outcome == "unresolved":
+                    seen[key] = decision
+        return [seen[key] for key in sorted(seen)]
+
+    def lost_updates(self) -> list[tuple[str, int]]:
+        """Ops some live replica knows that another live replica lacks.
+
+        Empty after a healed, quiesced session — the "0 lost updates"
+        property the CI smoke asserts.  (Ops *dropped by a decision* are
+        not lost: the decision that drops them is itself replicated and
+        auditable.)
+        """
+        live = [rep for rep in self.replicas if not rep.down]
+        union: set[str] = set()
+        for rep in live:
+            union.update(rep.ops)
+        missing = [
+            (op_id, rep.rid)
+            for rep in live
+            for op_id in sorted(union)
+            if op_id not in rep.ops
+        ]
+        return sorted(missing)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _replica(self, rid: int) -> Replica:
+        if not 0 <= rid < len(self.replicas):
+            raise ReplicationError(
+                f"no replica {rid} (session has {len(self.replicas)})"
+            )
+        return self.replicas[rid]
+
+    def _rebuild(self, rep: Replica) -> None:
+        """Recompute the tree: replay surviving ops from the base doc."""
+        tree = self._base.copy()
+        for logged in rep.live_ops():
+            logged.op.apply_in_place(tree)
+        rep.tree = tree
+        self.registry.inc("replication.rebuilds")
+
+    def _fingerprint(self) -> tuple:
+        return tuple(
+            (
+                len(rep.ops),
+                tuple(sorted(rep.ops)),
+                tuple(
+                    (key, rep.decisions[key].outcome, rep.decisions[key].dropped)
+                    for key in sorted(rep.decisions)
+                ),
+                canonical_form(rep.tree),
+            )
+            for rep in self.replicas
+        )
+
+    def _resolve(
+        self,
+        local: LoggedOp,
+        remote: LoggedOp,
+        verdict: Verdict,
+        rep_local: Replica,
+        rep_remote: Replica,
+    ) -> Decision:
+        name = resolver_name(self._resolver_spec)
+        conflict = ConflictPair(
+            local=local,
+            remote=remote,
+            verdict=verdict,
+            kind=ConflictKind.VALUE,
+            local_replica=rep_local.rid,
+            remote_replica=rep_remote.rid,
+        )
+        key = pair_key(local, remote)
+        try:
+            choice = self._resolver(conflict)
+            return self._normalize_choice(choice, conflict, key, name)
+        except ReplicationError:
+            raise
+        except Exception as exc:  # resolver contract: degrade, never crash
+            self.registry.inc("replication.resolver_errors")
+            return Decision(
+                pair=key,
+                outcome="unresolved",
+                dropped=(local.op_id, remote.op_id),
+                added=(),
+                decided_by=rep_local.rid,
+                resolver=name,
+                note=f"resolver raised {type(exc).__name__}: {exc}",
+            )
+
+    def _normalize_choice(
+        self, choice, conflict: ConflictPair, key: PairKey, name: str
+    ) -> Decision:
+        local, remote = conflict.local, conflict.remote
+        decided_by = conflict.local_replica
+        if choice == "local":
+            return Decision(
+                pair=key, outcome="local", dropped=(remote.op_id,), added=(),
+                decided_by=decided_by, resolver=name,
+            )
+        if choice == "remote":
+            return Decision(
+                pair=key, outcome="remote", dropped=(local.op_id,), added=(),
+                decided_by=decided_by, resolver=name,
+            )
+        if choice is None:
+            return Decision(
+                pair=key, outcome="unresolved",
+                dropped=(local.op_id, remote.op_id), added=(),
+                decided_by=decided_by, resolver=name,
+                note="resolver declined",
+            )
+        replacements = choice if isinstance(choice, list) else [choice]
+        added = tuple(
+            self._merge_op(item, index, conflict, key)
+            for index, item in enumerate(replacements)
+        )
+        return Decision(
+            pair=key, outcome="merged",
+            dropped=(local.op_id, remote.op_id), added=added,
+            decided_by=decided_by, resolver=name,
+        )
+
+    def _merge_op(
+        self, item, index: int, conflict: ConflictPair, key: PairKey
+    ) -> LoggedOp:
+        """Stamp one resolver-produced replacement operation.
+
+        The stamp is a pure function of the pair, so any replica that
+        runs the same merge resolver mints byte-identical replacements —
+        a requirement for decision-set union to be convergent.
+        """
+        if isinstance(item, dict):
+            item = op_from_spec(item)
+        if isinstance(item, Read) or not isinstance(item, UpdateOp):
+            raise TypeError(
+                f"merge resolvers must return update operations, "
+                f"got {type(item).__name__}"
+            )
+        local, remote = conflict.local, conflict.remote
+        vc: dict[int, int] = local.vc_dict()
+        for origin, seq in remote.vc:
+            if seq > vc.get(origin, 0):
+                vc[origin] = seq
+        return LoggedOp(
+            op_id=f"m{index}({key[0]},{key[1]})",
+            origin=-1,
+            seq=0,
+            lamport=max(local.lamport, remote.lamport),
+            vc=tuple(sorted(vc.items())),
+            spec=op_to_spec(item),
+        )

@@ -1,5 +1,11 @@
 """Workload generators used by the experiment suite."""
 
+from repro.workloads.replication import (
+    hot_edit,
+    private_edit,
+    random_replication_scenario,
+)
+
 from repro.workloads.generators import (
     containment_pair,
     random_branching_pattern,
@@ -18,4 +24,7 @@ __all__ = [
     "random_delete",
     "containment_pair",
     "random_program",
+    "random_replication_scenario",
+    "hot_edit",
+    "private_edit",
 ]

@@ -1,0 +1,163 @@
+"""Seeded replication traffic: random multi-writer editing scenarios.
+
+The generator builds :class:`~repro.replication.scenario.Scenario`
+objects with a *controllable certified-conflict rate*.  The document has
+one shared hot section plus one private section per replica::
+
+    <doc><hot><item>0</item></hot><p0/><p1/>...<p(N-1)/></doc>
+
+Two edit shapes are mixed:
+
+* **hot edits** alternate between inserting fresh subtrees at the hot
+  section's *parent* path (``doc/hot``) and touching its *child* path
+  (``doc/hot/item``).  A parent-insert creates new matches for a
+  concurrent child op's pattern, which is exactly the shape the
+  update/update engine can certify as a conflict (a commutativity
+  witness exists and the heuristic finds it).
+* **private edits** insert under the author's own ``p<r>`` section —
+  disjoint from everything, so concurrent pairs come back unproven and
+  both sides are kept.
+
+Raising ``conflict_rate`` therefore raises the fraction of classified
+pairs the session must actually *resolve*, which is the knob the
+convergence tests and ``benchmarks/bench_replication.py`` sweep.
+
+Everything is driven by one seeded :class:`random.Random`, so the same
+``seed`` yields a byte-identical scenario (and, because sessions are
+deterministic, a byte-identical run).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.replication.scenario import Scenario, scenario_from_dict
+
+__all__ = ["random_replication_scenario", "hot_edit", "private_edit"]
+
+#: Labels for generated insert payloads (kept tiny: pattern size is what
+#: drives decision cost, not payload size).
+_PAYLOAD_LABELS = ("u", "v", "w")
+
+
+def hot_edit(rng: random.Random, flavor: "str | None" = None) -> dict:
+    """One contended edit spec at the shared hot section.
+
+    ``flavor`` is ``"parent"`` (insert at ``doc/hot``) or ``"child"``
+    (insert at or delete of ``doc/hot/item``); picked at random when
+    omitted.  A concurrent parent/child pair is certifiable as a
+    conflict; pairs on the same side usually are not — so a 50/50 mix
+    makes roughly half of hot×hot concurrent pairs certified conflicts.
+    """
+    if flavor is None:
+        flavor = rng.choice(("parent", "child"))
+    label = rng.choice(_PAYLOAD_LABELS)
+    if flavor == "parent":
+        return {"op": "insert", "xpath": "doc/hot", "xml": f"<item><{label}/></item>"}
+    if rng.random() < 0.5:
+        return {"op": "delete", "xpath": "doc/hot/item"}
+    return {"op": "insert", "xpath": "doc/hot/item", "xml": f"<{label}/>"}
+
+
+def private_edit(rng: random.Random, author: int) -> dict:
+    """One uncontended edit spec in the author's private section."""
+    label = rng.choice(_PAYLOAD_LABELS)
+    return {
+        "op": "insert",
+        "xpath": f"doc/p{author}",
+        "xml": f"<{label}><{rng.choice(_PAYLOAD_LABELS)}/></{label}>",
+    }
+
+
+def random_replication_scenario(
+    replicas: int = 4,
+    edits: int = 24,
+    conflict_rate: float = 0.3,
+    seed: int = 0,
+    *,
+    resolver: str = "last-writer-wins",
+    bursts: int = 4,
+    partition: bool = False,
+    unknown_policy: str = "keep",
+    name: str | None = None,
+) -> Scenario:
+    """Generate a seeded multi-writer scenario.
+
+    Args:
+        replicas: session width (the bench sweeps 2/4/8).
+        edits: total authored operations across all replicas.
+        conflict_rate: probability an edit targets the shared hot
+            section rather than the author's private one.  The realized
+            certified-conflict fraction is reported by the run itself
+            (``pairs_conflicting / pairs_classified``); hot/hot pairs on
+            opposite parent/child flavors certify, so the realized rate
+            tracks roughly half this knob's square per concurrent burst
+            — callers that need a floor should measure, not assume.
+        seed: RNG seed; identical seeds give identical scenarios.
+        resolver: built-in resolver name recorded in the scenario.
+        bursts: edits are split into this many bursts, each followed by
+            a full gossip round — edits inside one burst are mutually
+            concurrent, edits in different bursts usually are not.
+        partition: when True, the middle burst runs under a two-group
+            partition that heals afterwards, exercising decision
+            replication across a split.
+        unknown_policy: forwarded to the session (see
+            :class:`~repro.replication.session.ReplicationSession`).
+        name: scenario name (derived from the parameters when omitted).
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    if not 0.0 <= conflict_rate <= 1.0:
+        raise ValueError("conflict_rate must be within [0, 1]")
+    if bursts < 1:
+        raise ValueError("bursts must be >= 1")
+    rng = random.Random(seed)
+    sections = "".join(f"<p{r}/>" for r in range(replicas))
+    doc = f"<doc><hot><item>0</item></hot>{sections}</doc>"
+
+    steps: list[dict] = []
+    per_burst = [edits // bursts] * bursts
+    for index in range(edits % bursts):
+        per_burst[index] += 1
+    partition_burst = bursts // 2 if partition and replicas >= 2 else None
+    for burst, burst_edits in enumerate(per_burst):
+        if burst == partition_burst:
+            half = replicas // 2
+            steps.append(
+                {
+                    "step": "partition",
+                    "groups": [
+                        list(range(half)),
+                        list(range(half, replicas)),
+                    ],
+                }
+            )
+        # Alternate hot-edit flavors within a burst so concurrent hot
+        # pairs actually cross the parent/child boundary that certifies.
+        flavor_toggle = rng.random() < 0.5
+        for _ in range(burst_edits):
+            author = rng.randrange(replicas)
+            if rng.random() < conflict_rate:
+                flavor = "parent" if flavor_toggle else "child"
+                flavor_toggle = not flavor_toggle
+                op = hot_edit(rng, flavor)
+            else:
+                op = private_edit(rng, author)
+            steps.append({"step": "edit", "replica": author, "op": op})
+        if burst == partition_burst:
+            steps.append({"step": "heal"})
+        steps.append({"step": "sync"})
+    steps.append({"step": "assert_converged"})
+
+    return scenario_from_dict(
+        {
+            "name": name
+            or f"random-r{replicas}-e{edits}-c{conflict_rate:g}-s{seed}",
+            "replicas": replicas,
+            "doc": doc,
+            "resolver": resolver,
+            "unknown_policy": unknown_policy,
+            "seed": seed,
+            "steps": steps,
+        }
+    )
